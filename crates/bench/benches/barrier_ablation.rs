@@ -1,0 +1,102 @@
+//! Barrier ablations: central vs combining-tree algorithms, and the cost
+//! of the ORA events added to the implicit/explicit barrier runtime calls
+//! (the events are two of the three the paper's tool registers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omprt::{Barrier, BarrierKind, Config, OpenMp};
+use ora_core::event::Event;
+use ora_core::request::Request;
+use std::sync::Arc;
+
+fn bench_barrier_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_algorithm");
+    g.sample_size(20);
+
+    // Single-thread episode cost: the arithmetic of arrival/release
+    // without contention (contended behaviour is covered by the runtime
+    // benches below).
+    for kind in [BarrierKind::Central, BarrierKind::Tree] {
+        g.bench_with_input(
+            BenchmarkId::new("solo_episode", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let barrier = Barrier::new(kind, 1);
+                b.iter(|| barrier.wait(0));
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("runtime_barrier");
+    g.sample_size(10);
+    let threads = 2;
+
+    for kind in [BarrierKind::Central, BarrierKind::Tree] {
+        g.bench_with_input(
+            BenchmarkId::new("explicit_barrier_region", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let rt = OpenMp::with_config(Config {
+                    num_threads: threads,
+                    barrier: kind,
+                    ..Config::default()
+                });
+                rt.parallel(|_| {});
+                b.iter(|| {
+                    rt.parallel(|ctx| {
+                        for _ in 0..8 {
+                            ctx.barrier();
+                        }
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_barrier_event_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_event_cost");
+    g.sample_size(10);
+
+    // Barriers with no collector attached.
+    {
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        g.bench_function("no_collector", |b| {
+            b.iter(|| {
+                rt.parallel(|ctx| {
+                    for _ in 0..8 {
+                        ctx.barrier();
+                    }
+                })
+            });
+        });
+    }
+
+    // Barriers with EBAR events registered into an empty callback.
+    {
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        let api = rt.collector_api();
+        api.handle_request(Request::Start).unwrap();
+        api.register_callback(Event::ThreadBeginExplicitBarrier, Arc::new(|_| {}))
+            .unwrap();
+        api.register_callback(Event::ThreadEndExplicitBarrier, Arc::new(|_| {}))
+            .unwrap();
+        g.bench_function("ebar_events_registered", |b| {
+            b.iter(|| {
+                rt.parallel(|ctx| {
+                    for _ in 0..8 {
+                        ctx.barrier();
+                    }
+                })
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_barrier_algorithms, bench_barrier_event_cost);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Callstack machinery costs: frame push/pop, capture at varying depth
+//! (what the tool pays per join event), symbol resolution, and offline
+//! user-model reconstruction. The paper flags callstack retrieval as the
+//! overhead to be selective about ("we want to avoid doing so for
+//! insignificant events and small parallel regions").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psx::symtab::{SymbolDesc, SymbolTable};
+use psx::unwind::Backtrace;
+
+fn with_stack_depth<T>(table: &SymbolTable, depth: usize, f: impl FnOnce() -> T) -> T {
+    fn go<T>(table: &SymbolTable, remaining: usize, f: impl FnOnce() -> T) -> T {
+        if remaining == 0 {
+            return f();
+        }
+        let ip = table.register(SymbolDesc::user(format!("f{remaining}"), "bench.rs", 1));
+        let _g = psx::enter(ip);
+        go(table, remaining - 1, f)
+    }
+    go(table, depth, f)
+}
+
+fn bench_callstack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("callstack");
+
+    g.bench_function("frame_push_pop", |b| {
+        let table = SymbolTable::new();
+        let ip = table.register(SymbolDesc::user("hot", "bench.rs", 1));
+        b.iter(|| {
+            let _g = psx::enter(std::hint::black_box(ip));
+        })
+    });
+
+    for depth in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("capture", depth), &depth, |b, &depth| {
+            let table = SymbolTable::new();
+            with_stack_depth(&table, depth, || {
+                let mut bt = Backtrace::new();
+                b.iter(|| psx::capture_into(std::hint::black_box(&mut bt)));
+            });
+        });
+    }
+
+    g.bench_function("resolve_ip", |b| {
+        let table = SymbolTable::new();
+        let mut last = table.register(SymbolDesc::user("f0", "bench.rs", 1));
+        for i in 1..100 {
+            last = table.register(SymbolDesc::user(format!("f{i}"), "bench.rs", 1));
+        }
+        b.iter(|| std::hint::black_box(table.resolve(last)));
+    });
+
+    g.bench_function("reconstruct_user_model", |b| {
+        let table = SymbolTable::new();
+        let main = table.register(SymbolDesc::user("main", "app.c", 1));
+        let fork = table.register(SymbolDesc::runtime("__ompc_fork"));
+        let outlined = table.register(SymbolDesc::outlined("__ompdo_main_1", "app.c", 9, main));
+        let ibar = table.register(SymbolDesc::runtime("__ompc_ibarrier"));
+        let bt = Backtrace::from_ips(vec![main.0, fork.0, outlined.0, ibar.0]);
+        b.iter(|| std::hint::black_box(psx::reconstruct(&bt, &table)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_callstack);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-costs of the event-notification fast path.
+//!
+//! The paper's check ordering exists so that unmonitored events cost
+//! almost nothing: "the ordering of the checks is important to avoid
+//! unnecessary checking if no callback has been registered" (§IV-C).
+//! These benches measure each arm of that fast path: unregistered events,
+//! registered-but-inactive, paused, and full dispatch into a callback.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ora_core::api::CollectorApi;
+use ora_core::event::Event;
+use ora_core::registry::EventData;
+use ora_core::request::Request;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_dispatch");
+    let data = EventData::bare(Event::Fork, 0);
+
+    // Nothing registered, API inactive: the common no-tool case the
+    // runtime pays on every event point.
+    {
+        let api = CollectorApi::new();
+        g.bench_function("unregistered_inactive", |b| {
+            b.iter(|| api.event(std::hint::black_box(&data)))
+        });
+    }
+
+    // Registered but the API was never started (callback must not fire).
+    {
+        let api = CollectorApi::new();
+        api.handle_request(Request::Start).unwrap();
+        api.register_callback(Event::Fork, Arc::new(|_| {})).unwrap();
+        api.handle_request(Request::Stop).unwrap();
+        // Stop cleared registrations; re-register without start to model
+        // "registered entry, inactive API" via start/register/pause path.
+        api.handle_request(Request::Start).unwrap();
+        api.register_callback(Event::Fork, Arc::new(|_| {})).unwrap();
+        api.handle_request(Request::Pause).unwrap();
+        g.bench_function("registered_paused", |b| {
+            b.iter(|| api.event(std::hint::black_box(&data)))
+        });
+    }
+
+    // Full dispatch into an empty callback — the per-event cost a
+    // collector imposes (the "communication" component of §V-B).
+    {
+        let api = CollectorApi::new();
+        api.handle_request(Request::Start).unwrap();
+        api.register_callback(Event::Fork, Arc::new(|_| {})).unwrap();
+        g.bench_function("registered_active", |b| {
+            b.iter(|| api.event(std::hint::black_box(&data)))
+        });
+    }
+
+    // Dispatch into a counting callback (a minimal real collector).
+    {
+        let api = CollectorApi::new();
+        api.handle_request(Request::Start).unwrap();
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let ctr = counter.clone();
+        api.register_callback(
+            Event::Fork,
+            Arc::new(move |_| {
+                ctr.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }),
+        )
+        .unwrap();
+        g.bench_function("registered_counting", |b| {
+            b.iter(|| api.event(std::hint::black_box(&data)))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion form of Figure 4: EPCC directive cost with vs without ORA
+//! collection. (The `fig4_epcc` binary prints the full paper-style matrix;
+//! this bench gives statistically tracked per-directive pairs for the
+//! heavily-used directives the paper calls out.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use collector::{Profiler, ProfilerConfig, RuntimeHandle};
+use omprt::OpenMp;
+use workloads::epcc::{self, Directive, EpccConfig};
+
+fn cfg() -> EpccConfig {
+    EpccConfig {
+        outer_reps: 1,
+        inner_reps: 32,
+        delay_len: 64,
+    }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_epcc");
+    g.sample_size(10);
+
+    for directive in [Directive::Parallel, Directive::ParallelFor, Directive::Reduction, Directive::Barrier] {
+        g.bench_with_input(
+            BenchmarkId::new("base", format!("{directive:?}")),
+            &directive,
+            |b, &d| {
+                let rt = OpenMp::with_threads(2);
+                rt.parallel(|_| {});
+                let cfg = cfg();
+                b.iter(|| std::hint::black_box(epcc::measure(&rt, d, &cfg)));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("collected", format!("{directive:?}")),
+            &directive,
+            |b, &d| {
+                let rt = OpenMp::with_threads(2);
+                rt.parallel(|_| {});
+                let handle = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+                let profiler = Profiler::attach(handle, ProfilerConfig::default()).unwrap();
+                let cfg = cfg();
+                b.iter(|| std::hint::black_box(epcc::measure(&rt, d, &cfg)));
+                profiler.finish();
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

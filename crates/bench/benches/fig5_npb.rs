@@ -1,0 +1,36 @@
+//! Criterion form of Figure 5: NPB kernels with vs without ORA collection
+//! at class S (the `fig5_npb` binary prints the full matrix at larger
+//! scales). CG and LU-HP bracket the region-call spectrum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use collector::{Profiler, ProfilerConfig, RuntimeHandle};
+use omprt::OpenMp;
+use workloads::{NpbClass, NpbKernel};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_npb");
+    g.sample_size(10);
+
+    for kernel_fn in [NpbKernel::cg as fn() -> NpbKernel, NpbKernel::lu_hp, NpbKernel::ep] {
+        let kernel = kernel_fn();
+        let name = kernel.name;
+        g.bench_with_input(BenchmarkId::new("base", name), &kernel, |b, k| {
+            let rt = OpenMp::with_threads(2);
+            rt.parallel(|_| {});
+            b.iter(|| std::hint::black_box(k.run(&rt, NpbClass::S)));
+        });
+        let kernel = kernel_fn();
+        g.bench_with_input(BenchmarkId::new("collected", name), &kernel, |b, k| {
+            let rt = OpenMp::with_threads(2);
+            rt.parallel(|_| {});
+            let handle = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+            let profiler = Profiler::attach(handle, ProfilerConfig::default()).unwrap();
+            b.iter(|| std::hint::black_box(k.run(&rt, NpbClass::S)));
+            profiler.finish();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

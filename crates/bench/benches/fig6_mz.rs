@@ -1,0 +1,33 @@
+//! Criterion form of Figure 6: LU-MZ (the smallest hybrid) across collect
+//! modes at class S. The `fig6_npb_mz` binary prints the full P×T matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::{CollectMode, MzBenchmark, NpbClass};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_mz");
+    g.sample_size(10);
+
+    for (name, mode) in [
+        ("off", CollectMode::Off),
+        ("callbacks_only", CollectMode::CallbacksOnly),
+        ("profile", CollectMode::Profile),
+    ] {
+        for procs in [1usize, 2] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{procs}x2")),
+                &(procs, mode),
+                |b, &(procs, mode)| {
+                    let bench = MzBenchmark::lu_mz();
+                    b.iter(|| {
+                        std::hint::black_box(bench.run(procs, 2, NpbClass::S, mode).wall_secs)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! The §II argument, measured: the same workload monitored through
+//! POMP-style source instrumentation vs. through ORA event callbacks, plus
+//! the no-tool baseline each system imposes (ORA's is a runtime-internal
+//! flag check; POMP's instrumentation executes in user code regardless).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use collector::{Profiler, ProfilerConfig, RuntimeHandle};
+use omprt::OpenMp;
+use pomp::{hooks, ConstructKind, PompMonitor};
+
+fn workload(rt: &OpenMp) {
+    for _ in 0..50 {
+        rt.parallel(|ctx| {
+            let mut x = 0u64;
+            ctx.for_each(0, 255, |i| x = x.wrapping_add(i as u64));
+            std::hint::black_box(x);
+        });
+    }
+}
+
+fn workload_pomp_instrumented(rt: &OpenMp, region: u32) {
+    for _ in 0..50 {
+        hooks::pomp_parallel_begin(region, 0);
+        rt.parallel(|ctx| {
+            let mut x = 0u64;
+            hooks::pomp_for_enter(region, ctx.thread_num());
+            ctx.for_each(0, 255, |i| x = x.wrapping_add(i as u64));
+            hooks::pomp_for_exit(region, ctx.thread_num());
+            std::hint::black_box(x);
+        });
+        hooks::pomp_parallel_end(region, 0);
+    }
+}
+
+fn bench_pomp_vs_ora(c: &mut Criterion) {
+    let region = pomp::register_region(ConstructKind::Parallel, "bench.rs", 1, 9);
+    let mut g = c.benchmark_group("pomp_vs_ora");
+    g.sample_size(10);
+
+    g.bench_function("uninstrumented", |b| {
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        b.iter(|| workload(&rt));
+    });
+
+    g.bench_function("pomp_dormant", |b| {
+        // Instrumentation present, no monitor: POMP's no-tool cost.
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        b.iter(|| workload_pomp_instrumented(&rt, region));
+    });
+
+    g.bench_function("pomp_monitoring", |b| {
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        let monitor = PompMonitor::attach();
+        b.iter(|| workload_pomp_instrumented(&rt, region));
+        monitor.finish();
+    });
+
+    g.bench_function("ora_dormant", |b| {
+        // ORA's no-tool cost is inside the runtime: nothing in user code.
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        b.iter(|| workload(&rt));
+    });
+
+    g.bench_function("ora_profiling", |b| {
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        let h = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+        let p = Profiler::attach(h, ProfilerConfig::default()).unwrap();
+        b.iter(|| workload(&rt));
+        p.finish();
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pomp_vs_ora);
+criterion_main!(benches);

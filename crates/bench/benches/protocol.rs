@@ -1,0 +1,59 @@
+//! Wire-protocol costs: encoding request batches and serving them through
+//! the byte-array entry point (the round trip behind every Fig. 3 arrow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ora_core::api::CollectorApi;
+use ora_core::event::Event;
+use ora_core::message::RequestBatch;
+use ora_core::request::{CallbackToken, Request};
+
+fn batch_of(n: usize) -> Vec<Request> {
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => Request::QueryState,
+            1 => Request::QueryCurrentPrid,
+            2 => Request::QueryParentPrid,
+            _ => Request::Register {
+                event: Event::Fork,
+                token: CallbackToken(i as u64),
+            },
+        })
+        .collect()
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_protocol");
+
+    for n in [1usize, 8, 64] {
+        let reqs = batch_of(n);
+        g.bench_with_input(BenchmarkId::new("encode", n), &reqs, |b, reqs| {
+            b.iter(|| std::hint::black_box(RequestBatch::new(reqs)))
+        });
+
+        g.bench_with_input(BenchmarkId::new("serve_via_api", n), &reqs, |b, reqs| {
+            let api = CollectorApi::new();
+            b.iter(|| {
+                let mut batch = RequestBatch::new(reqs);
+                std::hint::black_box(api.handle_bytes(batch.as_mut_bytes()))
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("decode_responses", n), &reqs, |b, reqs| {
+            let api = CollectorApi::new();
+            let mut batch = RequestBatch::new(reqs);
+            api.handle_bytes(batch.as_mut_bytes());
+            b.iter(|| std::hint::black_box(batch.responses()))
+        });
+    }
+
+    // The typed in-process path, for comparison with the byte path.
+    g.bench_function("typed_state_query", |b| {
+        let api = CollectorApi::new();
+        b.iter(|| std::hint::black_box(api.handle_request(Request::QueryState)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Loop-schedule ablation: static vs chunked vs dynamic vs guided on a
+//! fixed worksharing loop, measuring the schedule-computation overhead the
+//! runtime accounts to the OVHD state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omprt::{schedule, Config, OpenMp, Schedule};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_schedule_math(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_math");
+    g.bench_function("static_even_init", |b| {
+        b.iter(|| std::hint::black_box(schedule::static_even(0, 99_999, 1, 3, 8)))
+    });
+    g.bench_function("static_chunked_init", |b| {
+        b.iter(|| std::hint::black_box(schedule::static_chunks(0, 9_999, 1, 64, 3, 8)))
+    });
+    g.bench_function("dynamic_claim", |b| {
+        let l = schedule::DynamicLoop::new(0, i64::MAX / 2, 1, Schedule::Dynamic(64), 8);
+        b.iter(|| std::hint::black_box(l.claim()))
+    });
+    g.finish();
+}
+
+fn bench_schedules_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worksharing_schedules");
+    g.sample_size(10);
+
+    for (name, sched) in [
+        ("static_even", Schedule::StaticEven),
+        ("static_chunk_64", Schedule::StaticChunk(64)),
+        ("dynamic_64", Schedule::Dynamic(64)),
+        ("guided_16", Schedule::Guided(16)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("loop_10k", name), &sched, |b, &sched| {
+            let rt = OpenMp::with_config(Config {
+                num_threads: 2,
+                schedule: sched,
+                ..Config::default()
+            });
+            rt.parallel(|_| {});
+            let sum = AtomicU64::new(0);
+            b.iter(|| {
+                rt.parallel(|ctx| {
+                    let mut local = 0u64;
+                    ctx.for_each(0, 9_999, |i| local = local.wrapping_add(i as u64));
+                    ctx.atomic_update(&sum, |v| v.wrapping_add(local));
+                })
+            });
+            std::hint::black_box(sum.load(Ordering::Relaxed));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule_math, bench_schedules_end_to_end);
+criterion_main!(benches);

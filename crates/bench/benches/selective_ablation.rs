@@ -1,0 +1,74 @@
+//! Ablation of the §VI overhead-control plan: the same region-call-heavy
+//! workload under (a) no collection, (b) callbacks only, (c) the full
+//! profiler, and (d) the selective profiler with duration gating +
+//! calling-context dedup. The gap between (c) and (d) is the payoff the
+//! paper predicts from "distinguishing between … the same parallel region
+//! or the calling context".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use collector::{
+    Mode, Profiler, ProfilerConfig, RuntimeHandle, SelectivePolicy, SelectiveProfiler,
+};
+use omprt::{OpenMp, SourceFunction};
+
+fn workload(rt: &OpenMp, region: &omprt::RegionHandle) {
+    for _ in 0..200 {
+        rt.parallel_region(region, |ctx| {
+            let mut x = 0u64;
+            ctx.for_each(0, 63, |i| x = x.wrapping_add(i as u64));
+            std::hint::black_box(x);
+        });
+    }
+}
+
+fn bench_selective(c: &mut Criterion) {
+    let func = SourceFunction::new("sel_bench", "bench.rs", 1);
+    let region = func.region("hot", 4);
+    let mut g = c.benchmark_group("collection_modes");
+    g.sample_size(10);
+
+    g.bench_function("no_collection", |b| {
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        b.iter(|| workload(&rt, &region));
+    });
+
+    g.bench_function("callbacks_only", |b| {
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        let h = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+        let p = Profiler::attach(
+            h,
+            ProfilerConfig {
+                mode: Mode::CallbacksOnly,
+                ..ProfilerConfig::default()
+            },
+        )
+        .unwrap();
+        b.iter(|| workload(&rt, &region));
+        p.finish();
+    });
+
+    g.bench_function("full_profiler", |b| {
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        let h = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+        let p = Profiler::attach_default(h).unwrap();
+        b.iter(|| workload(&rt, &region));
+        p.finish();
+    });
+
+    g.bench_function("selective_profiler", |b| {
+        let rt = OpenMp::with_threads(2);
+        rt.parallel(|_| {});
+        let h = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+        let p = SelectiveProfiler::attach(h, SelectivePolicy::default()).unwrap();
+        b.iter(|| workload(&rt, &region));
+        p.finish();
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_selective);
+criterion_main!(benches);

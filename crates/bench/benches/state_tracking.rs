@@ -1,0 +1,46 @@
+//! Cost of always-on thread-state tracking.
+//!
+//! "Keeping track of the thread states is an inexpensive operation which
+//! consists of performing one assignment operation per state" (§IV-C) —
+//! the justification for tracking states even when no collector is
+//! attached. These benches quantify that one-store claim against the
+//! alternative the paper rejected (a conditional check before every
+//! update) and against the wait-ID increment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ora_core::state::{StateCell, ThreadState, WaitId};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn bench_state_tracking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_tracking");
+
+    let cell = StateCell::new();
+    g.bench_function("set_state", |b| {
+        b.iter(|| cell.set(std::hint::black_box(ThreadState::Working)))
+    });
+
+    g.bench_function("replace_state", |b| {
+        b.iter(|| cell.replace(std::hint::black_box(ThreadState::ImplicitBarrier)))
+    });
+
+    g.bench_function("get_state", |b| b.iter(|| std::hint::black_box(cell.get())));
+
+    // The rejected design: guard every update with an "is the collector
+    // initialized?" conditional.
+    let initialized = AtomicBool::new(false);
+    g.bench_function("conditional_set_state", |b| {
+        b.iter(|| {
+            if initialized.load(Ordering::Acquire) {
+                cell.set(std::hint::black_box(ThreadState::Working));
+            }
+        })
+    });
+
+    let wait = WaitId::new();
+    g.bench_function("wait_id_next", |b| b.iter(|| std::hint::black_box(wait.next())));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_state_tracking);
+criterion_main!(benches);

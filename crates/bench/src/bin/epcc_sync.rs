@@ -1,0 +1,116 @@
+//! EPCC syncbench native output: the absolute per-directive overheads (in
+//! microseconds per directive instance) that the EPCC suite itself
+//! reports, plus the schedbench scheduling sweep — the raw data underneath
+//! the paper's Fig. 4 percentages.
+
+use collector::report;
+use omprt::{OpenMp, Schedule};
+use ora_bench::Scale;
+use workloads::epcc::{self, EpccConfig, ALL_DIRECTIVES};
+use workloads::schedbench::{self, SchedConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = match scale {
+        Scale::Paper => EpccConfig::paper_scale(),
+        Scale::Quick => EpccConfig {
+            outer_reps: 6,
+            inner_reps: 200,
+            delay_len: 256,
+        },
+        Scale::Smoke => EpccConfig {
+            outer_reps: 2,
+            inner_reps: 16,
+            delay_len: 64,
+        },
+    };
+    let thread_counts: Vec<usize> = match scale {
+        Scale::Smoke => vec![2],
+        _ => vec![1, 2, 4, 8],
+    };
+
+    println!("EPCC syncbench — directive overhead (us per instance)");
+    println!(
+        "outer={} inner={} delay={}\n",
+        cfg.outer_reps, cfg.inner_reps, cfg.delay_len
+    );
+
+    let mut rows = Vec::new();
+    for directive in ALL_DIRECTIVES {
+        let mut row = vec![directive.name().to_string()];
+        for &nt in &thread_counts {
+            let rt = OpenMp::with_threads(nt);
+            rt.parallel(|_| {});
+            let stat = epcc::measure(&rt, directive, &cfg);
+            row.push(format!("{:.2}", stat.mean * 1e6));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["directive".to_string()];
+    headers.extend(thread_counts.iter().map(|t| format!("{t} thr (us)")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", report::table(&header_refs, rows));
+
+    // Schedbench: per-iteration scheduling overhead by chunk size.
+    println!("\nEPCC schedbench — scheduling overhead (us per iteration), 2 threads");
+    let rt = OpenMp::with_threads(2);
+    rt.parallel(|_| {});
+    let sched_cfg = match scale {
+        Scale::Smoke => SchedConfig {
+            loop_iters: 128,
+            reps: 2,
+            delay_len: 16,
+        },
+        _ => SchedConfig::default(),
+    };
+    let max_chunk = if scale == Scale::Smoke { 4 } else { 64 };
+    let points = schedbench::sweep(&rt, max_chunk, &sched_cfg);
+    println!(
+        "{}",
+        report::table(
+            &["schedule", "overhead/iter (us)", "raw/iter (us)"],
+            points.iter().map(|p| {
+                let name = match p.schedule {
+                    Schedule::StaticEven => "static".to_string(),
+                    Schedule::StaticChunk(c) => format!("static,{c}"),
+                    Schedule::Dynamic(c) => format!("dynamic,{c}"),
+                    Schedule::Guided(c) => format!("guided,{c}"),
+                };
+                vec![
+                    name,
+                    format!("{:.4}", p.overhead_per_iter * 1e6),
+                    format!("{:.4}", p.raw_per_iter * 1e6),
+                ]
+            }),
+        )
+    );
+    println!(
+        "expected shape: dynamic,1 most expensive (a claim per iteration); \
+         overhead falls as chunk size grows; guided between dynamic and static"
+    );
+
+    // Arraybench: data-clause overheads by array size.
+    println!("\nEPCC arraybench — data-clause overhead (us per region), 2 threads");
+    let array_cfg = workloads::arraybench::ArrayConfig {
+        inner_reps: if scale == Scale::Smoke { 8 } else { 32 },
+    };
+    let max_size = if scale == Scale::Smoke { 81 } else { 59_049 };
+    let points = workloads::arraybench::sweep(&rt, max_size, &array_cfg);
+    println!(
+        "{}",
+        report::table(
+            &["clause", "size", "overhead/region (us)"],
+            points.iter().map(|p| {
+                vec![
+                    p.clause.name().to_string(),
+                    p.size.to_string(),
+                    format!("{:.3}", p.overhead_per_region * 1e6),
+                ]
+            }),
+        )
+    );
+    println!(
+        "expected shape: PRIVATE flat (no copy); FIRSTPRIVATE and COPYPRIVATE \
+         grow with array size (copy-in / broadcast cost)"
+    );
+}

@@ -1,0 +1,150 @@
+//! `omp_prof` — a psrun-style command-line front end: run a built-in
+//! workload under a chosen ORA collector tool and print its report.
+//!
+//! ```text
+//! omp_prof --workload cg --tool profile   --threads 4 --class s
+//! omp_prof --workload lu-hp --tool trace  --threads 2
+//! omp_prof --workload bt --tool states
+//! omp_prof --workload sp --tool selective
+//! omp_prof --workload epcc --tool profile
+//! ```
+
+use collector::{
+    report, Profiler, RuntimeHandle, SelectivePolicy, SelectiveProfiler, StateTimer, Tracer,
+};
+use omprt::OpenMp;
+use workloads::epcc::{self, EpccConfig};
+use workloads::{NpbClass, NpbKernel};
+
+fn arg(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn run_workload(rt: &OpenMp, workload: &str, class: NpbClass) {
+    match workload {
+        "epcc" => {
+            let cfg = EpccConfig {
+                outer_reps: 2,
+                inner_reps: 64,
+                delay_len: 64,
+            };
+            for (d, stat) in epcc::run_all(rt, &cfg) {
+                println!(
+                    "  epcc {:<12} overhead/instance {:>9.3} us",
+                    d.name(),
+                    stat.mean * 1e6
+                );
+            }
+        }
+        name => {
+            let kernel = NpbKernel::all()
+                .into_iter()
+                .find(|k| k.name.eq_ignore_ascii_case(name))
+                .unwrap_or_else(|| {
+                    eprintln!("unknown workload '{name}' — use bt|ep|sp|mg|ft|cg|lu-hp|lu|epcc");
+                    std::process::exit(2);
+                });
+            println!(
+                "running {} (class {:?}: {} regions, {} region calls)",
+                kernel.name,
+                class,
+                kernel.region_count(),
+                kernel.region_calls(class)
+            );
+            let checksum = kernel.run(rt, class);
+            println!("checksum: {checksum:.6}");
+            if std::env::args().any(|a| a == "--verify") {
+                match kernel.verify(rt.num_threads(), class) {
+                    workloads::npb::Verification::Successful { rel_error } => {
+                        println!("verification: SUCCESSFUL (rel err {rel_error:.2e})")
+                    }
+                    workloads::npb::Verification::Failed { expected, got } => {
+                        println!("verification: FAILED (expected {expected}, got {got})")
+                    }
+                    workloads::npb::Verification::NotApplicable => {
+                        println!("verification: N/A (partition-dependent kernel)")
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let workload = arg("--workload", "cg");
+    let tool = arg("--tool", "profile");
+    let threads: usize = arg("--threads", "2").parse().unwrap_or(2);
+    let class = match arg("--class", "s").as_str() {
+        "w" | "W" => NpbClass::W,
+        "b" | "B" => NpbClass::Bsim,
+        _ => NpbClass::S,
+    };
+
+    let rt = OpenMp::with_threads(threads);
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).expect("runtime symbol");
+
+    match tool.as_str() {
+        "profile" => {
+            let p = Profiler::attach_default(handle).unwrap();
+            run_workload(&rt, &workload, class);
+            let profile = p.finish();
+            println!("\n{}", profile.render());
+        }
+        "trace" => {
+            let t = Tracer::attach(handle, 1_000_000).unwrap();
+            run_workload(&rt, &workload, class);
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            let trace = t.finish();
+            println!("\nfirst 30 records:\n{}", trace.render_head(30));
+            println!(
+                "{}",
+                report::table(
+                    &["event", "count"],
+                    ora_core::event::ALL_EVENTS
+                        .iter()
+                        .filter(|e| trace.count(**e) > 0)
+                        .map(|e| vec![e.name().to_string(), trace.count(*e).to_string()]),
+                )
+            );
+            if std::env::args().any(|a| a == "--csv") {
+                println!("{}", trace.to_csv());
+            }
+        }
+        "states" => {
+            let t = StateTimer::attach(handle).unwrap();
+            run_workload(&rt, &workload, class);
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            let profile = t.finish();
+            println!("\n{}", profile.render());
+        }
+        "suite" => {
+            let t = collector::ToolSuite::attach(handle, collector::SuiteConfig::default())
+                .unwrap();
+            run_workload(&rt, &workload, class);
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            println!("\n{}", t.finish().render());
+        }
+        "selective" => {
+            let p = SelectiveProfiler::attach(handle, SelectivePolicy::default()).unwrap();
+            run_workload(&rt, &workload, class);
+            let r = p.finish();
+            println!(
+                "\njoins {} | sampled {} | skipped small {} | deduped {} | savings {:.1}%",
+                r.joins,
+                r.sampled,
+                r.skipped_small,
+                r.skipped_dedup,
+                r.savings() * 100.0
+            );
+            println!("\ncall tree:\n{}", r.call_tree.render());
+        }
+        other => {
+            eprintln!("unknown tool '{other}' — use profile|trace|states|selective|suite");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Table II: parallel-region calls per process for the NPB3.2-MZ-MPI
+//! hybrids across P×T decompositions, computed from the zone-step
+//! distribution and verified by a measured run.
+
+use collector::report;
+use ora_bench::Scale;
+use workloads::{CollectMode, MzBenchmark};
+
+const PAPER: [(&str, [u64; 4]); 3] = [
+    ("BT-MZ", [167_616, 83_808, 41_904, 20_952]),
+    ("LU-MZ", [40_353, 20_177, 10_089, 5_045]),
+    ("SP-MZ", [436_672, 218_336, 109_168, 54_584]),
+];
+
+fn main() {
+    let scale = Scale::from_args();
+    let class = scale.npb_class();
+    println!("Table II — parallel-region calls per process (process x thread)\n");
+
+    let mut rows = Vec::new();
+    for (bench, (name, paper)) in MzBenchmark::all().iter().zip(PAPER) {
+        for (i, procs) in [1usize, 2, 4, 8].into_iter().enumerate() {
+            let ours = bench.table2_calls(procs);
+            assert_eq!(ours, paper[i], "{name} at {procs} procs");
+        }
+        rows.push(vec![
+            name.to_string(),
+            bench.table2_calls(1).to_string(),
+            bench.table2_calls(2).to_string(),
+            bench.table2_calls(4).to_string(),
+            bench.table2_calls(8).to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(&["benchmark", "1 X 8", "2 X 4", "4 X 2", "8 X 1"], rows)
+    );
+    println!("all twelve entries equal the paper's Table II exactly\n");
+
+    // Verification run: every zone-step region call is observed as a join
+    // sample by the per-rank profilers.
+    println!("verification run at class {class:?} (2 ranks x 2 threads):");
+    for bench in MzBenchmark::all() {
+        let result = bench.run(2, 2, class, CollectMode::Profile);
+        let expected: u64 = result.per_rank_calls.iter().sum();
+        println!(
+            "  {:6}  expected calls {:>8}  measured join samples {:>8}  wall {:.3}s",
+            bench.name, expected, result.join_samples, result.wall_secs
+        );
+        assert_eq!(result.join_samples, expected);
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline trace analysis.
+//!
+//! The paper's workflow collects minimal data online and reconstructs
+//! "offline after the application finishes" (§IV). This module is the
+//! offline half for traces: given a [`Trace`], derive per-region
+//! fork→join intervals, per-thread wait intervals, event rates, and a
+//! concurrency timeline — the summaries a Vampir-style tool would plot.
+
+use std::collections::HashMap;
+
+use ora_core::event::Event;
+
+use crate::clock;
+use crate::report;
+use crate::tracer::{Trace, TraceRecord};
+
+/// One fork→join interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionInterval {
+    /// Region ID.
+    pub region_id: u64,
+    /// Fork tick.
+    pub start: u64,
+    /// Join tick.
+    pub end: u64,
+}
+
+impl RegionInterval {
+    /// Interval length in seconds.
+    pub fn secs(&self) -> f64 {
+        clock::to_secs(self.end.saturating_sub(self.start))
+    }
+}
+
+/// A begin→end wait interval on one thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaitInterval {
+    /// Thread that waited.
+    pub gtid: usize,
+    /// The begin event kind.
+    pub begin: Event,
+    /// The wait ID pairing begin with end.
+    pub wait_id: u64,
+    /// Begin tick.
+    pub start: u64,
+    /// End tick.
+    pub end: u64,
+}
+
+/// Summary statistics computed from a trace.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Every completed fork→join interval, in fork order.
+    pub regions: Vec<RegionInterval>,
+    /// Every completed begin/end wait interval.
+    pub waits: Vec<WaitInterval>,
+    /// Events per second over the trace's span.
+    pub event_rate: f64,
+    /// Trace span in seconds (first to last record).
+    pub span_secs: f64,
+}
+
+/// Analyze a trace.
+pub fn analyze(trace: &Trace) -> TraceAnalysis {
+    let mut regions = Vec::new();
+    let mut fork_at: HashMap<u64, u64> = HashMap::new();
+    // Open waits keyed by (gtid, begin event, wait id).
+    let mut open: HashMap<(usize, Event, u64), u64> = HashMap::new();
+    let mut waits = Vec::new();
+
+    for r in &trace.records {
+        match r.event {
+            Event::Fork => {
+                fork_at.insert(r.region_id, r.tick);
+            }
+            Event::Join => {
+                if let Some(start) = fork_at.remove(&r.region_id) {
+                    regions.push(RegionInterval {
+                        region_id: r.region_id,
+                        start,
+                        end: r.tick,
+                    });
+                }
+            }
+            e if e.is_begin() => {
+                open.insert((r.gtid, e, r.wait_id), r.tick);
+            }
+            e => {
+                if let Some(begin) = e.pair() {
+                    if let Some(start) = open.remove(&(r.gtid, begin, r.wait_id)) {
+                        waits.push(WaitInterval {
+                            gtid: r.gtid,
+                            begin,
+                            wait_id: r.wait_id,
+                            start,
+                            end: r.tick,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let span = match (trace.records.first(), trace.records.last()) {
+        (Some(a), Some(b)) => clock::to_secs(b.tick.saturating_sub(a.tick)),
+        _ => 0.0,
+    };
+    let event_rate = if span > 0.0 {
+        trace.records.len() as f64 / span
+    } else {
+        0.0
+    };
+
+    TraceAnalysis {
+        regions,
+        waits,
+        event_rate,
+        span_secs: span,
+    }
+}
+
+impl TraceAnalysis {
+    /// Total time inside parallel regions.
+    pub fn total_region_secs(&self) -> f64 {
+        self.regions.iter().map(|r| r.secs()).sum()
+    }
+
+    /// Total wait time for intervals whose begin event is `begin`.
+    pub fn wait_secs(&self, begin: Event) -> f64 {
+        self.waits
+            .iter()
+            .filter(|w| w.begin == begin)
+            .map(|w| clock::to_secs(w.end.saturating_sub(w.start)))
+            .sum()
+    }
+
+    /// The maximum number of parallel regions in flight at once (1 for a
+    /// single runtime; >1 indicates nested or multi-instance traces).
+    pub fn peak_region_concurrency(&self) -> usize {
+        let mut edges: Vec<(u64, i32)> = Vec::with_capacity(self.regions.len() * 2);
+        for r in &self.regions {
+            edges.push((r.start, 1));
+            edges.push((r.end, -1));
+        }
+        edges.sort_unstable();
+        let mut cur = 0i32;
+        let mut peak = 0i32;
+        for (_, d) in edges {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as usize
+    }
+
+    /// Render a summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "span {:.6}s | {} regions ({:.6}s inside) | {:.0} events/s | peak concurrency {}\n",
+            self.span_secs,
+            self.regions.len(),
+            self.total_region_secs(),
+            self.event_rate,
+            self.peak_region_concurrency()
+        );
+        let by_kind: Vec<(Event, f64, usize)> = [
+            Event::ThreadBeginImplicitBarrier,
+            Event::ThreadBeginExplicitBarrier,
+            Event::ThreadBeginLockWait,
+            Event::ThreadBeginCriticalWait,
+            Event::ThreadBeginOrderedWait,
+            Event::TaskWaitBegin,
+        ]
+        .into_iter()
+        .map(|e| {
+            (
+                e,
+                self.wait_secs(e),
+                self.waits.iter().filter(|w| w.begin == e).count(),
+            )
+        })
+        .filter(|(_, secs, n)| *secs > 0.0 || *n > 0)
+        .collect();
+        out.push_str(&report::table(
+            &["wait kind", "total (s)", "intervals"],
+            by_kind.into_iter().map(|(e, secs, n)| {
+                vec![e.name().to_string(), format!("{secs:.6}"), n.to_string()]
+            }),
+        ));
+        out
+    }
+}
+
+/// Build a trace from records (for tests and external tooling).
+pub fn trace_from_records(records: Vec<TraceRecord>) -> Trace {
+    let mut counts = [0u64; ora_core::event::EVENT_COUNT];
+    for r in &records {
+        counts[r.event.index()] += 1;
+    }
+    Trace {
+        records,
+        counts,
+        dropped: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tick: u64, gtid: usize, event: Event, region_id: u64, wait_id: u64) -> TraceRecord {
+        TraceRecord {
+            tick,
+            gtid,
+            event,
+            region_id,
+            wait_id,
+        }
+    }
+
+    #[test]
+    fn regions_pair_fork_with_join() {
+        let t = trace_from_records(vec![
+            rec(100, 0, Event::Fork, 1, 0),
+            rec(500, 0, Event::Join, 1, 0),
+            rec(600, 0, Event::Fork, 2, 0),
+            rec(900, 0, Event::Join, 2, 0),
+        ]);
+        let a = analyze(&t);
+        assert_eq!(a.regions.len(), 2);
+        assert_eq!(a.regions[0].end - a.regions[0].start, 400);
+        assert_eq!(a.peak_region_concurrency(), 1);
+        assert!(a.total_region_secs() > 0.0);
+    }
+
+    #[test]
+    fn nested_regions_show_concurrency_two() {
+        let t = trace_from_records(vec![
+            rec(100, 0, Event::Fork, 1, 0),
+            rec(200, 1, Event::Fork, 2, 1),
+            rec(300, 1, Event::Join, 2, 1),
+            rec(400, 0, Event::Join, 1, 0),
+        ]);
+        let a = analyze(&t);
+        assert_eq!(a.regions.len(), 2);
+        assert_eq!(a.peak_region_concurrency(), 2);
+    }
+
+    #[test]
+    fn waits_pair_by_thread_and_wait_id() {
+        let t = trace_from_records(vec![
+            rec(10, 1, Event::ThreadBeginImplicitBarrier, 1, 7),
+            rec(15, 2, Event::ThreadBeginImplicitBarrier, 1, 3),
+            rec(40, 1, Event::ThreadEndImplicitBarrier, 1, 7),
+            rec(60, 2, Event::ThreadEndImplicitBarrier, 1, 3),
+        ]);
+        let a = analyze(&t);
+        assert_eq!(a.waits.len(), 2);
+        let w1 = a.waits.iter().find(|w| w.gtid == 1).unwrap();
+        assert_eq!(w1.end - w1.start, 30);
+        let total = a.wait_secs(Event::ThreadBeginImplicitBarrier);
+        assert!((total - clock::to_secs(30 + 45)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpaired_events_are_ignored_gracefully() {
+        let t = trace_from_records(vec![
+            rec(10, 0, Event::Join, 9, 0),                         // join without fork
+            rec(20, 0, Event::ThreadEndExplicitBarrier, 1, 1),     // end without begin
+            rec(30, 0, Event::ThreadBeginExplicitBarrier, 1, 2),   // begin without end
+        ]);
+        let a = analyze(&t);
+        assert!(a.regions.is_empty());
+        assert!(a.waits.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_zeroes() {
+        let a = analyze(&trace_from_records(vec![]));
+        assert_eq!(a.span_secs, 0.0);
+        assert_eq!(a.event_rate, 0.0);
+        assert_eq!(a.peak_region_concurrency(), 0);
+    }
+
+    #[test]
+    fn render_mentions_key_quantities() {
+        let t = trace_from_records(vec![
+            rec(0, 0, Event::Fork, 1, 0),
+            rec(1_000_000, 0, Event::Join, 1, 0),
+        ]);
+        let text = analyze(&t).render();
+        assert!(text.contains("1 regions"), "{text}");
+        assert!(text.contains("peak concurrency 1"), "{text}");
+    }
+}

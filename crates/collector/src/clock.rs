@@ -1,0 +1,64 @@
+//! The hardware time counter abstraction.
+//!
+//! The paper's prototype tool "stores a sample of a hardware-based time
+//! counter" in each event callback. This module provides that counter: a
+//! monotonic tick source read with one call and no allocation, plus
+//! conversions for reporting.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Current tick count (nanoseconds since the process-local epoch).
+#[inline]
+pub fn ticks() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Convert ticks to seconds.
+#[inline]
+pub fn to_secs(ticks: u64) -> f64 {
+    ticks as f64 * 1e-9
+}
+
+/// Convert ticks to microseconds.
+#[inline]
+pub fn to_micros(ticks: u64) -> f64 {
+    ticks as f64 * 1e-3
+}
+
+/// Measure the wall-clock duration of `f`, in ticks, alongside its result.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let t0 = ticks();
+    let result = f();
+    (result, ticks() - t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotonic() {
+        let a = ticks();
+        let b = ticks();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn time_measures_elapsed_work() {
+        let ((), t) = time(|| std::thread::sleep(std::time::Duration::from_millis(10)));
+        assert!(t >= 9_000_000, "slept 10ms but measured {t} ticks");
+    }
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(to_secs(1_000_000_000), 1.0);
+        assert_eq!(to_micros(1_000), 1.0);
+        assert!((to_secs(500_000_000) - 0.5).abs() < 1e-12);
+    }
+}

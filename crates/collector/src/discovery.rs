@@ -1,0 +1,103 @@
+//! Runtime discovery — the LD_PRELOAD init-section handshake.
+//!
+//! "The tool is a shared object that is LD_PRELOAD'ed to the target's
+//! address space. It includes an init section that queries the runtime
+//! linker for the presence of the OpenMP API symbol. If the symbol is
+//! present, the tool initiates a start request…" (paper §V)
+//!
+//! [`RuntimeHandle`] is that init section: it resolves the exported
+//! `__omp_collector_api` entry point (canonical or instance-qualified) and
+//! drives it exclusively through the byte protocol, so a collector built
+//! on this module shares no types with the runtime beyond `ora-core`.
+
+use std::sync::Arc;
+
+use ora_core::api::CollectorApi;
+use ora_core::message::RequestBatch;
+use ora_core::registry::Callback;
+use ora_core::request::{CallbackToken, OraError, OraResult, Request, Response};
+use ora_core::COLLECTOR_API_SYMBOL;
+use psx::dynsym::{self, CollectorEntry};
+
+/// A resolved connection to one OpenMP runtime's collector entry point.
+#[derive(Clone)]
+pub struct RuntimeHandle {
+    symbol: String,
+    entry: CollectorEntry,
+    api: Arc<CollectorApi>,
+}
+
+impl RuntimeHandle {
+    /// Resolve the canonical `__omp_collector_api` symbol — what a
+    /// preloaded tool does at startup. `None` means no ORA-capable OpenMP
+    /// runtime is loaded, and the tool should stand down.
+    pub fn discover() -> Option<RuntimeHandle> {
+        Self::discover_named(COLLECTOR_API_SYMBOL)
+    }
+
+    /// Resolve a specific exported symbol (instance-qualified names let
+    /// one process host several runtimes, e.g. the multi-zone rank
+    /// simulation).
+    pub fn discover_named(symbol: &str) -> Option<RuntimeHandle> {
+        let entry = dynsym::lookup(symbol)?;
+        let api = dynsym::objects::lookup::<CollectorApi>(&format!("{symbol}.api"))?;
+        Some(RuntimeHandle {
+            symbol: symbol.to_string(),
+            entry,
+            api,
+        })
+    }
+
+    /// The symbol this handle resolved.
+    pub fn symbol(&self) -> &str {
+        &self.symbol
+    }
+
+    /// Send a batch of requests through the byte protocol and decode the
+    /// per-request results.
+    pub fn request(&self, requests: &[Request]) -> Vec<OraResult<Response>> {
+        let mut batch = RequestBatch::new(requests);
+        let n = (self.entry)(batch.as_mut_bytes());
+        if n < 0 {
+            return requests.iter().map(|_| Err(OraError::Malformed)).collect();
+        }
+        batch.responses()
+    }
+
+    /// Send a single request.
+    pub fn request_one(&self, request: Request) -> OraResult<Response> {
+        self.request(&[request]).pop().expect("one response")
+    }
+
+    /// Intern a callback with the runtime, returning the token to put in a
+    /// register request — the stand-in for the function pointer the C
+    /// interface passes in the request payload.
+    pub fn intern_callback(&self, cb: Callback) -> CallbackToken {
+        self.api.intern_callback(cb)
+    }
+
+    /// Convenience: intern and register `cb` for `event` in one step.
+    pub fn register(&self, event: ora_core::event::Event, cb: Callback) -> OraResult<()> {
+        let token = self.intern_callback(cb);
+        self.request_one(Request::Register { event, token })
+            .map(|_| ())
+    }
+}
+
+impl std::fmt::Debug for RuntimeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeHandle")
+            .field("symbol", &self.symbol)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_fails_cleanly_without_a_runtime() {
+        assert!(RuntimeHandle::discover_named("__no_runtime_here__").is_none());
+    }
+}

@@ -1,0 +1,82 @@
+//! Plain-text table rendering for profiles and experiment harnesses.
+
+/// Render an aligned text table with a header row, a separator, and one
+/// row per entry. Columns are right-aligned except the first.
+pub fn table<R>(headers: &[&str], rows: R) -> String
+where
+    R: IntoIterator<Item = Vec<String>>,
+{
+    let rows: Vec<Vec<String>> = rows.into_iter().collect();
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            } else {
+                out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    render_row(&header_cells, &mut out);
+    let sep_len = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(sep_len));
+    out.push('\n');
+    for row in &rows {
+        render_row(row, &mut out);
+    }
+    out
+}
+
+/// Format a ratio as a percentage string with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            vec![
+                vec!["a".to_string(), "1".to_string()],
+                vec!["longer".to_string(), "12345".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].ends_with("12345"));
+        // All rows have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn empty_table_is_header_and_separator() {
+        let t = table(&["x"], Vec::<Vec<String>>::new());
+        assert_eq!(t.lines().count(), 2);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0512), "5.1%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

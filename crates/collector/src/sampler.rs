@@ -1,0 +1,89 @@
+//! Asynchronous thread-state sampling.
+//!
+//! "The collector tool can request the state of a thread at any given
+//! point of the program execution" (paper §IV-D). On real hardware the
+//! "any point" is a profiling interrupt executing *on* the sampled thread;
+//! here the sampler piggybacks on event callbacks (which likewise run on
+//! the firing thread) and on explicit in-line sample calls, issuing
+//! `OMP_REQ_STATE` queries and histogramming the answers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ora_core::event::Event;
+use ora_core::request::{OraResult, Request, Response};
+use ora_core::state::{ThreadState, ALL_STATES, STATE_COUNT};
+
+use crate::discovery::RuntimeHandle;
+use crate::report;
+
+/// A histogram of observed thread states.
+pub struct StateSampler {
+    handle: RuntimeHandle,
+    counts: Arc<[AtomicU64; STATE_COUNT]>,
+}
+
+impl StateSampler {
+    /// A sampler over `handle`. Does not itself send `Start`; combine with
+    /// a profiler/tracer or send the request first when using event-driven
+    /// sampling.
+    pub fn new(handle: RuntimeHandle) -> StateSampler {
+        StateSampler {
+            handle,
+            counts: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+
+    /// Take one sample on the calling thread.
+    pub fn sample(&self) -> OraResult<ThreadState> {
+        match self.handle.request_one(Request::QueryState)? {
+            Response::State { state, .. } => {
+                self.counts[state.index()].fetch_add(1, Ordering::Relaxed);
+                Ok(state)
+            }
+            _ => Err(ora_core::request::OraError::Error),
+        }
+    }
+
+    /// Register sampling callbacks on `events`: every occurrence samples
+    /// the firing thread's state. (The query runs on the thread that hit
+    /// the event, which is what makes the answer meaningful.)
+    pub fn sample_on(&self, events: &[Event]) -> OraResult<()> {
+        for &event in events {
+            let handle = self.handle.clone();
+            let counts = self.counts.clone();
+            self.handle.register(
+                event,
+                Arc::new(move |_| {
+                    if let Ok(Response::State { state, .. }) =
+                        handle.request_one(Request::QueryState)
+                    {
+                        counts[state.index()].fetch_add(1, Ordering::Relaxed);
+                    }
+                }),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Samples observed for `state`.
+    pub fn count(&self, state: ThreadState) -> u64 {
+        self.counts[state.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Render the histogram (non-zero states only).
+    pub fn render(&self) -> String {
+        report::table(
+            &["state", "samples"],
+            ALL_STATES
+                .iter()
+                .filter(|s| self.count(**s) > 0)
+                .map(|s| vec![s.name().to_string(), self.count(*s).to_string()]),
+        )
+    }
+}

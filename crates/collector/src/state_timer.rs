@@ -1,0 +1,186 @@
+//! Per-thread time-in-state accounting.
+//!
+//! The introduction's motivation for thread states is telling "when a
+//! thread performs a fork/join operation and goes from a serial state to
+//! another state (i.e. parallel overhead state or parallel work state)".
+//! This collector turns the state machinery into a profile: it registers
+//! for every event the runtime supports, and at each event (which runs on
+//! the firing thread) issues an `OMP_REQ_STATE` query, attributing the
+//! time since the thread's previous event to the previously observed
+//! state. The result is a per-thread breakdown of work / overhead /
+//! barrier / wait / idle time — the classic OpenMP efficiency report.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ora_core::event::ALL_EVENTS;
+use ora_core::request::{OraError, OraResult, Request, Response};
+use ora_core::state::{ThreadState, ALL_STATES, STATE_COUNT};
+
+use crate::clock;
+use crate::discovery::RuntimeHandle;
+use crate::report;
+
+/// Highest thread ID tracked.
+pub const MAX_THREADS: usize = 256;
+
+#[derive(Clone, Copy)]
+struct ThreadSlot {
+    last_tick: u64,
+    last_state: Option<ThreadState>,
+    per_state: [u64; STATE_COUNT],
+}
+
+impl Default for ThreadSlot {
+    fn default() -> Self {
+        ThreadSlot {
+            last_tick: 0,
+            last_state: None,
+            per_state: [0; STATE_COUNT],
+        }
+    }
+}
+
+struct TimerState {
+    threads: Vec<Mutex<ThreadSlot>>,
+}
+
+/// An attached state-time profiler.
+pub struct StateTimer {
+    handle: RuntimeHandle,
+    state: Arc<TimerState>,
+}
+
+impl StateTimer {
+    /// Attach: send `Start` and register a sampling callback on every
+    /// supported event.
+    pub fn attach(handle: RuntimeHandle) -> OraResult<StateTimer> {
+        handle.request_one(Request::Start)?;
+        let state = Arc::new(TimerState {
+            threads: (0..MAX_THREADS).map(|_| Mutex::default()).collect(),
+        });
+
+        for event in ALL_EVENTS {
+            let s = state.clone();
+            let h = handle.clone();
+            let result = h.clone().register(
+                event,
+                Arc::new(move |d| {
+                    if d.gtid >= MAX_THREADS {
+                        return;
+                    }
+                    let Ok(Response::State { state: now_state, .. }) =
+                        h.request_one(Request::QueryState)
+                    else {
+                        return;
+                    };
+                    let now = clock::ticks();
+                    let mut slot = s.threads[d.gtid].lock();
+                    if let Some(prev) = slot.last_state {
+                        let elapsed = now.saturating_sub(slot.last_tick);
+                        slot.per_state[prev.index()] += elapsed;
+                    }
+                    slot.last_tick = now;
+                    slot.last_state = Some(now_state);
+                }),
+            );
+            if let Err(e) = result {
+                if e != OraError::UnsupportedEvent {
+                    return Err(e);
+                }
+            }
+        }
+        Ok(StateTimer { handle, state })
+    }
+
+    /// Stop collection and produce the per-thread state-time profile.
+    pub fn finish(self) -> StateProfile {
+        let _ = self.handle.request_one(Request::Stop);
+        let threads = self
+            .state
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(gtid, slot)| {
+                let slot = slot.lock();
+                slot.last_state?;
+                Some(ThreadStateTimes {
+                    gtid,
+                    secs_per_state: std::array::from_fn(|i| clock::to_secs(slot.per_state[i])),
+                })
+            })
+            .collect();
+        StateProfile { threads }
+    }
+}
+
+/// One thread's accumulated seconds per state.
+#[derive(Debug, Clone)]
+pub struct ThreadStateTimes {
+    /// Thread ID.
+    pub gtid: usize,
+    /// Seconds attributed to each state, indexed by [`ThreadState::index`].
+    pub secs_per_state: [f64; STATE_COUNT],
+}
+
+impl ThreadStateTimes {
+    /// Seconds the thread spent in `state`.
+    pub fn secs(&self, state: ThreadState) -> f64 {
+        self.secs_per_state[state.index()]
+    }
+
+    /// Total attributed seconds.
+    pub fn total(&self) -> f64 {
+        self.secs_per_state.iter().sum()
+    }
+
+    /// Fraction of attributed time spent productively (work or serial).
+    pub fn efficiency(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.secs(ThreadState::Working) + self.secs(ThreadState::Serial)) / total
+    }
+}
+
+/// The assembled per-thread state-time report.
+#[derive(Debug, Clone)]
+pub struct StateProfile {
+    /// Threads that produced at least one sample.
+    pub threads: Vec<ThreadStateTimes>,
+}
+
+impl StateProfile {
+    /// Total seconds across threads spent in `state`.
+    pub fn total_secs(&self, state: ThreadState) -> f64 {
+        self.threads.iter().map(|t| t.secs(state)).sum()
+    }
+
+    /// Render the profile as a text table (non-zero states only).
+    pub fn render(&self) -> String {
+        let active_states: Vec<ThreadState> = ALL_STATES
+            .iter()
+            .copied()
+            .filter(|s| self.total_secs(*s) > 0.0)
+            .collect();
+        let mut headers = vec!["thread".to_string()];
+        headers.extend(active_states.iter().map(|s| s.name().to_string()));
+        headers.push("efficiency".to_string());
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        report::table(
+            &header_refs,
+            self.threads.iter().map(|t| {
+                let mut row = vec![t.gtid.to_string()];
+                row.extend(
+                    active_states
+                        .iter()
+                        .map(|s| format!("{:.6}", t.secs(*s))),
+                );
+                row.push(format!("{:.1}%", t.efficiency() * 100.0));
+                row
+            }),
+        )
+    }
+}

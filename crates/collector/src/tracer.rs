@@ -1,0 +1,323 @@
+//! Full event tracing.
+//!
+//! The optional ORA events exist "to support tracing"; this collector
+//! registers for every event the runtime supports and records timestamped
+//! records into per-thread buffers, merged by time at the end. It also
+//! keeps per-event counters — which is how the `table1_regions` harness
+//! measures the parallel-region call counts of the paper's Tables I and II
+//! (one fork event per region call).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ora_core::event::{Event, ALL_EVENTS, EVENT_COUNT};
+use ora_core::registry::EventData;
+use ora_core::request::{OraResult, Request};
+
+use crate::clock;
+use crate::discovery::RuntimeHandle;
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Time of the event.
+    pub tick: u64,
+    /// Firing thread.
+    pub gtid: usize,
+    /// The event.
+    pub event: Event,
+    /// Region the thread was executing (0 outside regions).
+    pub region_id: u64,
+    /// Wait ID for wait events.
+    pub wait_id: u64,
+}
+
+/// Buffers sharded by thread ID to keep recording contention-free.
+const SHARDS: usize = 64;
+
+struct TraceState {
+    shards: Vec<Mutex<Vec<TraceRecord>>>,
+    counts: [AtomicU64; EVENT_COUNT],
+    /// Per-shard cap; recording stops silently past it.
+    cap_per_shard: usize,
+    dropped: AtomicU64,
+}
+
+/// An attached tracer.
+pub struct Tracer {
+    handle: RuntimeHandle,
+    state: Arc<TraceState>,
+}
+
+impl Tracer {
+    /// Attach to a runtime, start collection, and register every event
+    /// the runtime supports (unsupported registrations are skipped — the
+    /// paper's runtime rejects atomic-wait events, for instance).
+    /// `capacity` bounds the total records kept.
+    pub fn attach(handle: RuntimeHandle, capacity: usize) -> OraResult<Tracer> {
+        handle.request_one(Request::Start)?;
+        let state = Arc::new(TraceState {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            cap_per_shard: (capacity / SHARDS).max(1),
+            dropped: AtomicU64::new(0),
+        });
+
+        // Plan registrations from the capabilities bitmap when available
+        // (one round trip instead of per-event UNSUPPORTED probing).
+        let supported: Vec<Event> = match handle.request_one(Request::QueryCapabilities) {
+            Ok(resp) => resp.supported_events().unwrap_or_else(|| ALL_EVENTS.to_vec()),
+            Err(_) => ALL_EVENTS.to_vec(),
+        };
+        for event in supported {
+            let s = state.clone();
+            let result = handle.register(
+                event,
+                Arc::new(move |d: &EventData| {
+                    s.counts[d.event.index()].fetch_add(1, Ordering::Relaxed);
+                    let mut shard = s.shards[d.gtid % SHARDS].lock();
+                    if shard.len() < s.cap_per_shard {
+                        shard.push(TraceRecord {
+                            tick: clock::ticks(),
+                            gtid: d.gtid,
+                            event: d.event,
+                            region_id: d.region_id,
+                            wait_id: d.wait_id,
+                        });
+                    } else {
+                        s.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }),
+            );
+            // Unsupported optional events are fine; anything else is not.
+            if let Err(e) = result {
+                if e != ora_core::request::OraError::UnsupportedEvent {
+                    return Err(e);
+                }
+            }
+        }
+
+        Ok(Tracer { handle, state })
+    }
+
+    /// Occurrences of `event` so far.
+    pub fn count(&self, event: Event) -> u64 {
+        self.state.counts[event.index()].load(Ordering::Relaxed)
+    }
+
+    /// Parallel-region calls observed (fork events).
+    pub fn region_calls(&self) -> u64 {
+        self.count(Event::Fork)
+    }
+
+    /// Stop collection and return the merged, time-ordered trace.
+    pub fn finish(self) -> Trace {
+        let _ = self.handle.request_one(Request::Stop);
+        let mut records: Vec<TraceRecord> = self
+            .state
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().clone())
+            .collect();
+        records.sort_by_key(|r| r.tick);
+        Trace {
+            records,
+            counts: std::array::from_fn(|i| self.state.counts[i].load(Ordering::Relaxed)),
+            dropped: self.state.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A finished trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Time-ordered records.
+    pub records: Vec<TraceRecord>,
+    /// Total occurrences per event (indexed by [`Event::index`]), counting
+    /// records dropped past the capacity too.
+    pub counts: [u64; EVENT_COUNT],
+    /// Records dropped because the buffer was full.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Occurrences of `event`.
+    pub fn count(&self, event: Event) -> u64 {
+        self.counts[event.index()]
+    }
+
+    /// Records for one thread, in time order.
+    pub fn for_thread(&self, gtid: usize) -> Vec<TraceRecord> {
+        self.records
+            .iter()
+            .copied()
+            .filter(|r| r.gtid == gtid)
+            .collect()
+    }
+
+    /// Check begin/end pairing for an interval event pair on each thread:
+    /// returns the number of unmatched begins.
+    pub fn unmatched_begins(&self, begin: Event) -> u64 {
+        let end = begin.pair().expect("paired event");
+        let mut depth: std::collections::HashMap<usize, i64> = Default::default();
+        let mut unmatched = 0i64;
+        for r in &self.records {
+            let d = depth.entry(r.gtid).or_insert(0);
+            if r.event == begin {
+                *d += 1;
+            } else if r.event == end {
+                if *d > 0 {
+                    *d -= 1;
+                } else {
+                    unmatched += 1;
+                }
+            }
+        }
+        depth.values().sum::<i64>().unsigned_abs() + unmatched.unsigned_abs()
+    }
+
+    /// Export the trace as CSV (`tick,gtid,event,region_id,wait_id` with
+    /// a header row) for offline analysis — the "reconstructing … is done
+    /// offline after the application finishes" workflow.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("tick,gtid,event,region_id,wait_id\n");
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                r.tick, r.gtid, r.event as u32, r.region_id, r.wait_id
+            );
+        }
+        out
+    }
+
+    /// Parse a CSV produced by [`Trace::to_csv`]. Counts are rebuilt from
+    /// the records (dropped records are not representable in CSV).
+    pub fn from_csv(csv: &str) -> Result<Trace, String> {
+        let mut records = Vec::new();
+        let mut counts = [0u64; EVENT_COUNT];
+        for (lineno, line) in csv.lines().enumerate() {
+            if lineno == 0 || line.is_empty() {
+                continue; // header
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 5 {
+                return Err(format!("line {}: expected 5 fields", lineno + 1));
+            }
+            let parse = |i: usize| -> Result<u64, String> {
+                fields[i]
+                    .parse::<u64>()
+                    .map_err(|e| format!("line {}: field {}: {e}", lineno + 1, i))
+            };
+            let event_raw = parse(2)? as u32;
+            let event = Event::from_u32(event_raw)
+                .ok_or_else(|| format!("line {}: unknown event {event_raw}", lineno + 1))?;
+            counts[event.index()] += 1;
+            records.push(TraceRecord {
+                tick: parse(0)?,
+                gtid: parse(1)? as usize,
+                event,
+                region_id: parse(3)?,
+                wait_id: parse(4)?,
+            });
+        }
+        Ok(Trace {
+            records,
+            counts,
+            dropped: 0,
+        })
+    }
+
+    /// Render the first `n` records as text.
+    pub fn render_head(&self, n: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for r in self.records.iter().take(n) {
+            let _ = writeln!(
+                out,
+                "{:>12} t{:<3} {:<34} region={} wait={}",
+                r.tick, r.gtid, r.event.name(), r.region_id, r.wait_id
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let records = vec![
+            TraceRecord {
+                tick: 10,
+                gtid: 0,
+                event: Event::Fork,
+                region_id: 1,
+                wait_id: 0,
+            },
+            TraceRecord {
+                tick: 20,
+                gtid: 1,
+                event: Event::ThreadBeginImplicitBarrier,
+                region_id: 1,
+                wait_id: 3,
+            },
+            TraceRecord {
+                tick: 30,
+                gtid: 0,
+                event: Event::Join,
+                region_id: 1,
+                wait_id: 0,
+            },
+        ];
+        let mut counts = [0u64; EVENT_COUNT];
+        for r in &records {
+            counts[r.event.index()] += 1;
+        }
+        Trace {
+            records,
+            counts,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let trace = sample_trace();
+        let csv = trace.to_csv();
+        let parsed = Trace::from_csv(&csv).unwrap();
+        assert_eq!(parsed.records, trace.records);
+        assert_eq!(parsed.counts, trace.counts);
+        // And a second serialization is identical.
+        assert_eq!(parsed.to_csv(), csv);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample_trace().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "tick,gtid,event,region_id,wait_id");
+        assert!(lines[1].starts_with("10,0,1,1,0"));
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected_with_line_numbers() {
+        assert!(Trace::from_csv("tick,gtid\n1,2").is_err());
+        let err = Trace::from_csv("header\n1,2,999,4,5").unwrap_err();
+        assert!(err.contains("unknown event"), "{err}");
+        let err = Trace::from_csv("header\nx,2,1,4,5").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_csv_parses_to_empty_trace() {
+        let t = Trace::from_csv("tick,gtid,event,region_id,wait_id\n").unwrap();
+        assert!(t.records.is_empty());
+        assert_eq!(t.counts.iter().sum::<u64>(), 0);
+    }
+}

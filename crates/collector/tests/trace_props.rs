@@ -1,0 +1,101 @@
+//! Property tests on the trace export/analysis pipeline.
+
+use collector::analysis::{analyze, trace_from_records};
+use collector::{Trace, TraceRecord};
+use ora_core::event::{Event, ALL_EVENTS};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        any::<u32>(),
+        0usize..16,
+        0usize..ALL_EVENTS.len(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(tick, gtid, ev, region, wait)| TraceRecord {
+            tick: tick as u64,
+            gtid,
+            event: ALL_EVENTS[ev],
+            region_id: region as u64,
+            wait_id: wait as u64,
+        })
+}
+
+proptest! {
+    /// CSV export/import is lossless for arbitrary record streams.
+    #[test]
+    fn csv_round_trips_arbitrary_traces(
+        records in proptest::collection::vec(arb_record(), 0..64)
+    ) {
+        let trace = trace_from_records(records);
+        let parsed = Trace::from_csv(&trace.to_csv()).unwrap();
+        prop_assert_eq!(&parsed.records, &trace.records);
+        prop_assert_eq!(parsed.counts, trace.counts);
+        // Idempotent: a second round trip is byte-identical.
+        prop_assert_eq!(parsed.to_csv(), trace.to_csv());
+    }
+
+    /// Analysis never panics and its aggregates are internally
+    /// consistent for arbitrary (even nonsensical) record streams.
+    #[test]
+    fn analysis_is_total_and_consistent(
+        records in proptest::collection::vec(arb_record(), 0..128)
+    ) {
+        let trace = trace_from_records(records);
+        let a = analyze(&trace);
+        // Regions pair forks with joins: there can be at most as many
+        // intervals as the rarer of the two events.
+        let forks = trace.count(Event::Fork) as usize;
+        let joins = trace.count(Event::Join) as usize;
+        prop_assert!(a.regions.len() <= forks.min(joins).max(forks));
+        // Every interval is well formed.
+        for r in &a.regions {
+            prop_assert!(r.end >= r.start);
+            prop_assert!(r.secs() >= 0.0);
+        }
+        for w in &a.waits {
+            prop_assert!(w.end >= w.start);
+            prop_assert!(w.begin.is_begin());
+        }
+        prop_assert!(a.span_secs >= 0.0);
+        prop_assert!(a.peak_region_concurrency() <= a.regions.len());
+        // total region time can't exceed span × concurrency bound.
+        if !a.regions.is_empty() {
+            let bound = a.span_secs * a.regions.len() as f64 + 1e-9;
+            prop_assert!(a.total_region_secs() <= bound);
+        }
+    }
+
+    /// Pairing checks are consistent: a trace made of perfectly nested
+    /// begin/end pairs per thread has zero unmatched begins.
+    #[test]
+    fn balanced_pairs_have_no_unmatched_begins(
+        threads in 1usize..4,
+        pairs_per_thread in 0usize..10,
+    ) {
+        let mut records = Vec::new();
+        let mut tick = 0u64;
+        for gtid in 0..threads {
+            for wait in 0..pairs_per_thread as u64 {
+                records.push(TraceRecord {
+                    tick, gtid, event: Event::ThreadBeginImplicitBarrier,
+                    region_id: 1, wait_id: wait,
+                });
+                tick += 1;
+                records.push(TraceRecord {
+                    tick, gtid, event: Event::ThreadEndImplicitBarrier,
+                    region_id: 1, wait_id: wait,
+                });
+                tick += 1;
+            }
+        }
+        let trace = trace_from_records(records);
+        prop_assert_eq!(
+            trace.unmatched_begins(Event::ThreadBeginImplicitBarrier),
+            0
+        );
+        let a = analyze(&trace);
+        prop_assert_eq!(a.waits.len(), threads * pairs_per_thread);
+    }
+}

@@ -1,0 +1,693 @@
+//! The collector API state machine.
+//!
+//! One [`CollectorApi`] instance lives inside each OpenMP runtime instance
+//! and backs its exported `__omp_collector_api` entry point. It owns the
+//! callback table, the init/pause/resume/stop lifecycle (including the
+//! "out of sync" error on a second `Start` without an intervening `Stop`,
+//! paper §IV-B), the per-thread request queues, and the event-dispatch
+//! fast path with the paper's check ordering.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::event::Event;
+use crate::message;
+use crate::registry::{Callback, CallbackRegistry, EventData};
+use crate::request::{CallbackToken, OraError, OraResult, Request, Response};
+use crate::state::{ThreadState, WaitIdKind};
+
+/// What the runtime must answer on behalf of the API.
+///
+/// The API is runtime-agnostic; a runtime registers a provider so that
+/// state and region-ID queries can be answered from its thread descriptors
+/// and team structures.
+pub trait RuntimeInfoProvider: Send + Sync {
+    /// The calling thread's current state plus its wait ID when the state
+    /// has one (paper §IV-D).
+    fn thread_state(&self) -> (ThreadState, Option<(WaitIdKind, u64)>);
+
+    /// The ID of the parallel region the calling thread is executing.
+    /// Outside any region this is an out-of-sequence error (paper §IV-E).
+    fn current_region_id(&self) -> OraResult<u64>;
+
+    /// The parent region ID — always 0 for non-nested regions.
+    fn parent_region_id(&self) -> OraResult<u64>;
+
+    /// Whether this runtime can generate `event`. Only fork and join are
+    /// mandatory; optional events a runtime does not implement must be
+    /// rejected at registration time.
+    fn supports_event(&self, event: Event) -> bool {
+        let _ = event;
+        true
+    }
+}
+
+/// Lifecycle phase of the collector API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Not initialized; events never fire, registrations are rejected.
+    Inactive,
+    /// Initialized and generating events.
+    Active,
+    /// Initialized but event generation is suspended. State tracking
+    /// continues (it is always on in this implementation, paper §IV-C).
+    Paused,
+}
+
+/// Number of shards backing the per-thread request queues.
+const QUEUE_SHARDS: usize = 64;
+
+#[derive(Default)]
+struct QueueShard {
+    pending: Vec<Request>,
+    processed: u64,
+}
+
+/// Per-thread request queues.
+///
+/// "Future requests to the API are pushed onto a queue associated with a
+/// thread. In this manner, we were able to avoid the contention otherwise
+/// incurred if a single global queue processed requests." (paper §IV-B)
+/// Requests are sharded by calling thread; each shard is drained by the
+/// thread that filled it, so shard locks are effectively uncontended.
+struct RequestQueues {
+    shards: Vec<Mutex<QueueShard>>,
+}
+
+impl RequestQueues {
+    fn new() -> Self {
+        RequestQueues {
+            shards: (0..QUEUE_SHARDS).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    fn shard_index() -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        (h.finish() as usize) % QUEUE_SHARDS
+    }
+
+    /// Enqueue requests on the calling thread's shard, then drain the
+    /// shard through `serve`, returning one result per drained request.
+    fn submit_and_drain(
+        &self,
+        requests: &[Request],
+        mut serve: impl FnMut(Request) -> OraResult<Response>,
+    ) -> Vec<OraResult<Response>> {
+        let shard = &self.shards[Self::shard_index()];
+        let drained: Vec<Request> = {
+            let mut guard = shard.lock();
+            guard.pending.extend_from_slice(requests);
+            std::mem::take(&mut guard.pending)
+        };
+        let results: Vec<_> = drained.into_iter().map(&mut serve).collect();
+        shard.lock().processed += results.len() as u64;
+        results
+    }
+
+    /// Per-shard processed counts (diagnostics; shows the spread that
+    /// avoids a single hot queue).
+    fn processed_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.lock().processed).collect()
+    }
+}
+
+/// Lifetime statistics of one API instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApiStats {
+    /// Successful `Start` requests served.
+    pub starts: u64,
+    /// Successful `Stop` requests served.
+    pub stops: u64,
+    /// Successful `Pause` requests served.
+    pub pauses: u64,
+    /// Successful `Resume` requests served.
+    pub resumes: u64,
+    /// Requests rejected with [`OraError::OutOfSequence`].
+    pub sequence_errors: u64,
+    /// Total requests served (including failed ones).
+    pub requests: u64,
+}
+
+/// The collector API: callback table + lifecycle + request service.
+pub struct CollectorApi {
+    phase: Mutex<Phase>,
+    /// Fast-path flag: `initialized && !paused`. Checked second on the
+    /// event path, after the per-event registration flag.
+    active: AtomicBool,
+    registry: CallbackRegistry,
+    tokens: Mutex<HashMap<u64, Callback>>,
+    next_token: AtomicU64,
+    provider: RwLock<Option<Arc<dyn RuntimeInfoProvider>>>,
+    queues: RequestQueues,
+    stats: Mutex<ApiStats>,
+}
+
+impl Default for CollectorApi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CollectorApi {
+    /// A fresh, inactive API instance.
+    pub fn new() -> Self {
+        CollectorApi {
+            phase: Mutex::new(Phase::Inactive),
+            active: AtomicBool::new(false),
+            registry: CallbackRegistry::new(),
+            tokens: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            provider: RwLock::new(None),
+            queues: RequestQueues::new(),
+            stats: Mutex::new(ApiStats::default()),
+        }
+    }
+
+    /// Install the runtime's info provider (done once, when the runtime
+    /// wires itself to the API).
+    pub fn set_provider(&self, provider: Arc<dyn RuntimeInfoProvider>) {
+        *self.provider.write() = Some(provider);
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> Phase {
+        *self.phase.lock()
+    }
+
+    /// Whether events currently fire (initialized and not paused).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of lifetime statistics.
+    pub fn stats(&self) -> ApiStats {
+        *self.stats.lock()
+    }
+
+    /// Per-shard request counts of the thread-sharded queues.
+    pub fn queue_distribution(&self) -> Vec<u64> {
+        self.queues.processed_per_shard()
+    }
+
+    /// Intern a callback, obtaining the token the byte protocol carries in
+    /// register requests (the Rust stand-in for the C function pointer).
+    pub fn intern_callback(&self, cb: Callback) -> CallbackToken {
+        let id = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.tokens.lock().insert(id, cb);
+        CallbackToken(id)
+    }
+
+    /// Drop an interned callback. Does not unregister events that already
+    /// resolved the token.
+    pub fn forget_callback(&self, token: CallbackToken) -> bool {
+        self.tokens.lock().remove(&token.0).is_some()
+    }
+
+    /// Serve a batch of typed requests through the calling thread's queue.
+    pub fn handle_requests(&self, requests: &[Request]) -> Vec<OraResult<Response>> {
+        self.queues
+            .submit_and_drain(requests, |req| self.serve_one(req))
+    }
+
+    /// Serve a single typed request.
+    pub fn handle_request(&self, request: Request) -> OraResult<Response> {
+        self.handle_requests(&[request]).pop().expect("one result")
+    }
+
+    /// The byte-protocol entry point: the body of `__omp_collector_api`.
+    /// Returns the number of records processed, or -1 on a malformed
+    /// stream.
+    pub fn handle_bytes(&self, buf: &mut [u8]) -> i32 {
+        message::serve_batch(buf, |req| self.serve_one(req))
+    }
+
+    /// Convenience: typed registration without token interning.
+    pub fn register_callback(&self, event: Event, cb: Callback) -> OraResult<()> {
+        let token = self.intern_callback(cb);
+        self.handle_request(Request::Register { event, token })
+            .map(|_| ())
+    }
+
+    fn serve_one(&self, req: Request) -> OraResult<Response> {
+        let result = self.serve_inner(req);
+        let mut stats = self.stats.lock();
+        stats.requests += 1;
+        match (&req, &result) {
+            (Request::Start, Ok(_)) => stats.starts += 1,
+            (Request::Stop, Ok(_)) => stats.stops += 1,
+            (Request::Pause, Ok(_)) => stats.pauses += 1,
+            (Request::Resume, Ok(_)) => stats.resumes += 1,
+            (_, Err(OraError::OutOfSequence)) => stats.sequence_errors += 1,
+            _ => {}
+        }
+        result
+    }
+
+    fn serve_inner(&self, req: Request) -> OraResult<Response> {
+        match req {
+            Request::Start => {
+                let mut phase = self.phase.lock();
+                if *phase != Phase::Inactive {
+                    // "If two requests for initialization are made without
+                    // a stop request in-between, an 'out of sync' error
+                    // code is returned." (paper §IV-B)
+                    return Err(OraError::OutOfSequence);
+                }
+                *phase = Phase::Active;
+                self.active.store(true, Ordering::Release);
+                Ok(Response::Ack)
+            }
+            Request::Stop => {
+                let mut phase = self.phase.lock();
+                if *phase == Phase::Inactive {
+                    return Err(OraError::OutOfSequence);
+                }
+                *phase = Phase::Inactive;
+                self.active.store(false, Ordering::Release);
+                self.registry.clear();
+                Ok(Response::Ack)
+            }
+            Request::Pause => {
+                let mut phase = self.phase.lock();
+                if *phase != Phase::Active {
+                    return Err(OraError::OutOfSequence);
+                }
+                *phase = Phase::Paused;
+                self.active.store(false, Ordering::Release);
+                Ok(Response::Ack)
+            }
+            Request::Resume => {
+                let mut phase = self.phase.lock();
+                if *phase != Phase::Paused {
+                    return Err(OraError::OutOfSequence);
+                }
+                *phase = Phase::Active;
+                self.active.store(true, Ordering::Release);
+                Ok(Response::Ack)
+            }
+            Request::Register { event, token } => {
+                {
+                    let phase = self.phase.lock();
+                    if *phase == Phase::Inactive {
+                        return Err(OraError::OutOfSequence);
+                    }
+                }
+                if let Some(p) = self.provider.read().as_ref() {
+                    if !p.supports_event(event) {
+                        return Err(OraError::UnsupportedEvent);
+                    }
+                }
+                let cb = self
+                    .tokens
+                    .lock()
+                    .get(&token.0)
+                    .cloned()
+                    .ok_or(OraError::UnknownCallback)?;
+                self.registry.register(event, cb);
+                Ok(Response::Ack)
+            }
+            Request::Unregister { event } => {
+                let phase = self.phase.lock();
+                if *phase == Phase::Inactive {
+                    return Err(OraError::OutOfSequence);
+                }
+                drop(phase);
+                self.registry.unregister(event);
+                Ok(Response::Ack)
+            }
+            Request::QueryState => {
+                // "We made sure that this type of request could be
+                // requested at any given point during the execution of the
+                // program." (paper §IV-D) — no phase gating.
+                let provider = self.provider.read();
+                let p = provider.as_ref().ok_or(OraError::Error)?;
+                let (state, wait_id) = p.thread_state();
+                Ok(Response::State { state, wait_id })
+            }
+            Request::QueryCurrentPrid => {
+                let provider = self.provider.read();
+                let p = provider.as_ref().ok_or(OraError::Error)?;
+                p.current_region_id().map(Response::RegionId)
+            }
+            Request::QueryParentPrid => {
+                let provider = self.provider.read();
+                let p = provider.as_ref().ok_or(OraError::Error)?;
+                p.parent_region_id().map(Response::RegionId)
+            }
+            Request::QueryCapabilities => {
+                let provider = self.provider.read();
+                let bits = match provider.as_ref() {
+                    Some(p) => crate::event::ALL_EVENTS
+                        .iter()
+                        .filter(|e| p.supports_event(**e))
+                        .fold(0u64, |acc, e| acc | (1u64 << e.index())),
+                    // Without a provider the API itself supports all.
+                    None => (1u64 << crate::event::EVENT_COUNT) - 1,
+                };
+                Ok(Response::Capabilities(bits))
+            }
+        }
+    }
+
+    /// The event-notification fast path, called from every event point in
+    /// the runtime (`__ompc_event` in the paper).
+    ///
+    /// "The ordering of the checks is important to avoid unnecessary
+    /// checking if no callback has been registered for an event (which is
+    /// possible if the OpenMP Collector API has not been initialized)."
+    /// (paper §IV-C) — so the per-event registration flag is tested first,
+    /// then the initialized-and-not-paused flag, and only then is the
+    /// callback fetched and invoked.
+    #[inline]
+    pub fn event(&self, data: &EventData) {
+        if !self.registry.is_registered(data.event) {
+            return;
+        }
+        if !self.active.load(Ordering::Acquire) {
+            return;
+        }
+        self.registry.invoke(data);
+    }
+
+    /// Direct access to the callback table (diagnostics and tests).
+    pub fn registry(&self) -> &CallbackRegistry {
+        &self.registry
+    }
+}
+
+impl std::fmt::Debug for CollectorApi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectorApi")
+            .field("phase", &self.phase())
+            .field("registered", &self.registry.registered_events())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct FakeProvider {
+        in_region: AtomicBool,
+    }
+
+    impl FakeProvider {
+        fn new() -> Arc<Self> {
+            Arc::new(FakeProvider {
+                in_region: AtomicBool::new(false),
+            })
+        }
+    }
+
+    impl RuntimeInfoProvider for FakeProvider {
+        fn thread_state(&self) -> (ThreadState, Option<(WaitIdKind, u64)>) {
+            (ThreadState::Serial, None)
+        }
+        fn current_region_id(&self) -> OraResult<u64> {
+            if self.in_region.load(Ordering::SeqCst) {
+                Ok(9)
+            } else {
+                Err(OraError::OutOfSequence)
+            }
+        }
+        fn parent_region_id(&self) -> OraResult<u64> {
+            if self.in_region.load(Ordering::SeqCst) {
+                Ok(0)
+            } else {
+                Err(OraError::OutOfSequence)
+            }
+        }
+        fn supports_event(&self, event: Event) -> bool {
+            // Mimic the paper's runtime: atomic wait events unimplemented.
+            !matches!(
+                event,
+                Event::ThreadBeginAtomicWait | Event::ThreadEndAtomicWait
+            )
+        }
+    }
+
+    fn armed_api() -> (CollectorApi, Arc<AtomicUsize>) {
+        let api = CollectorApi::new();
+        api.set_provider(FakeProvider::new());
+        api.handle_request(Request::Start).unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let token = api.intern_callback(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        api.handle_request(Request::Register {
+            event: Event::Fork,
+            token,
+        })
+        .unwrap();
+        (api, hits)
+    }
+
+    #[test]
+    fn double_start_is_out_of_sync() {
+        let api = CollectorApi::new();
+        assert_eq!(api.handle_request(Request::Start), Ok(Response::Ack));
+        assert_eq!(
+            api.handle_request(Request::Start),
+            Err(OraError::OutOfSequence)
+        );
+        // After a stop, start is legal again.
+        assert_eq!(api.handle_request(Request::Stop), Ok(Response::Ack));
+        assert_eq!(api.handle_request(Request::Start), Ok(Response::Ack));
+        assert_eq!(api.stats().sequence_errors, 1);
+        assert_eq!(api.stats().starts, 2);
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        let api = CollectorApi::new();
+        assert_eq!(api.phase(), Phase::Inactive);
+        assert_eq!(
+            api.handle_request(Request::Pause),
+            Err(OraError::OutOfSequence)
+        );
+        assert_eq!(
+            api.handle_request(Request::Resume),
+            Err(OraError::OutOfSequence)
+        );
+        assert_eq!(
+            api.handle_request(Request::Stop),
+            Err(OraError::OutOfSequence)
+        );
+        api.handle_request(Request::Start).unwrap();
+        assert_eq!(api.phase(), Phase::Active);
+        assert!(api.is_active());
+        api.handle_request(Request::Pause).unwrap();
+        assert_eq!(api.phase(), Phase::Paused);
+        assert!(!api.is_active());
+        assert_eq!(
+            api.handle_request(Request::Pause),
+            Err(OraError::OutOfSequence)
+        );
+        api.handle_request(Request::Resume).unwrap();
+        assert_eq!(api.phase(), Phase::Active);
+        api.handle_request(Request::Stop).unwrap();
+        assert_eq!(api.phase(), Phase::Inactive);
+    }
+
+    #[test]
+    fn events_fire_only_when_active_and_registered() {
+        let (api, hits) = armed_api();
+        let data = EventData::bare(Event::Fork, 0);
+
+        api.event(&data);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+        // Unregistered event: no callback, no count.
+        api.event(&EventData::bare(Event::Join, 0));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+        // Paused: registered but suppressed.
+        api.handle_request(Request::Pause).unwrap();
+        api.event(&data);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+        api.handle_request(Request::Resume).unwrap();
+        api.event(&data);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn stop_clears_registrations() {
+        let (api, hits) = armed_api();
+        api.handle_request(Request::Stop).unwrap();
+        assert!(api.registry().registered_events().is_empty());
+        api.handle_request(Request::Start).unwrap();
+        // A new start does not resurrect old callbacks.
+        api.event(&EventData::bare(Event::Fork, 0));
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn register_requires_start() {
+        let api = CollectorApi::new();
+        let token = api.intern_callback(Arc::new(|_| {}));
+        assert_eq!(
+            api.handle_request(Request::Register {
+                event: Event::Fork,
+                token
+            }),
+            Err(OraError::OutOfSequence)
+        );
+    }
+
+    #[test]
+    fn unsupported_event_is_rejected_at_registration() {
+        let api = CollectorApi::new();
+        api.set_provider(FakeProvider::new());
+        api.handle_request(Request::Start).unwrap();
+        let token = api.intern_callback(Arc::new(|_| {}));
+        assert_eq!(
+            api.handle_request(Request::Register {
+                event: Event::ThreadBeginAtomicWait,
+                token
+            }),
+            Err(OraError::UnsupportedEvent)
+        );
+        // The mandatory events are always supported.
+        assert_eq!(
+            api.handle_request(Request::Register {
+                event: Event::Fork,
+                token
+            }),
+            Ok(Response::Ack)
+        );
+    }
+
+    #[test]
+    fn unknown_token_is_rejected() {
+        let api = CollectorApi::new();
+        api.handle_request(Request::Start).unwrap();
+        assert_eq!(
+            api.handle_request(Request::Register {
+                event: Event::Fork,
+                token: CallbackToken(999)
+            }),
+            Err(OraError::UnknownCallback)
+        );
+    }
+
+    #[test]
+    fn state_query_works_in_every_phase() {
+        let api = CollectorApi::new();
+        api.set_provider(FakeProvider::new());
+        for _ in 0..2 {
+            let r = api.handle_request(Request::QueryState).unwrap();
+            assert_eq!(r.state(), Some(ThreadState::Serial));
+            api.handle_request(Request::Start).ok();
+        }
+        api.handle_request(Request::Pause).unwrap();
+        assert!(api.handle_request(Request::QueryState).is_ok());
+    }
+
+    #[test]
+    fn region_id_outside_region_is_out_of_sequence() {
+        let api = CollectorApi::new();
+        let provider = FakeProvider::new();
+        api.set_provider(provider.clone());
+        assert_eq!(
+            api.handle_request(Request::QueryCurrentPrid),
+            Err(OraError::OutOfSequence)
+        );
+        provider.in_region.store(true, Ordering::SeqCst);
+        assert_eq!(
+            api.handle_request(Request::QueryCurrentPrid),
+            Ok(Response::RegionId(9))
+        );
+        assert_eq!(
+            api.handle_request(Request::QueryParentPrid),
+            Ok(Response::RegionId(0))
+        );
+    }
+
+    #[test]
+    fn byte_protocol_drives_the_same_state_machine() {
+        let api = CollectorApi::new();
+        api.set_provider(FakeProvider::new());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let token = api.intern_callback(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+
+        let mut batch = message::RequestBatch::new(&[
+            Request::Start,
+            Request::Register {
+                event: Event::Fork,
+                token,
+            },
+            Request::QueryState,
+        ]);
+        assert_eq!(api.handle_bytes(batch.as_mut_bytes()), 3);
+        assert_eq!(batch.response(0), Ok(Response::Ack));
+        assert_eq!(batch.response(1), Ok(Response::Ack));
+        assert_eq!(
+            batch.response(2).unwrap().state(),
+            Some(ThreadState::Serial)
+        );
+
+        api.event(&EventData::bare(Event::Fork, 0));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+        // Double start through bytes also reports out-of-sync.
+        let mut again = message::RequestBatch::new(&[Request::Start]);
+        api.handle_bytes(again.as_mut_bytes());
+        assert_eq!(again.response(0), Err(OraError::OutOfSequence));
+    }
+
+    #[test]
+    fn requests_spread_across_thread_queues() {
+        let api = Arc::new(CollectorApi::new());
+        api.set_provider(FakeProvider::new());
+        api.handle_request(Request::Start).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let api = Arc::clone(&api);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _ = api.handle_request(Request::QueryState);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let dist = api.queue_distribution();
+        let total: u64 = dist.iter().sum();
+        assert_eq!(total, 8 * 50 + 1); // +1 for the Start
+        // More than one shard should have been used by 8 distinct threads
+        // (collisions can happen, but all-in-one is effectively impossible).
+        let used = dist.iter().filter(|&&c| c > 0).count();
+        assert!(used > 1, "all requests landed in one shard: {dist:?}");
+    }
+
+    #[test]
+    fn forget_callback_removes_token() {
+        let api = CollectorApi::new();
+        let token = api.intern_callback(Arc::new(|_| {}));
+        assert!(api.forget_callback(token));
+        assert!(!api.forget_callback(token));
+        api.handle_request(Request::Start).unwrap();
+        assert_eq!(
+            api.handle_request(Request::Register {
+                event: Event::Fork,
+                token
+            }),
+            Err(OraError::UnknownCallback)
+        );
+    }
+}

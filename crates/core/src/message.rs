@@ -1,0 +1,554 @@
+//! The byte-array wire protocol of `__omp_collector_api`.
+//!
+//! The interface consists of a single routine taking "a pointer to a byte
+//! array that can be used by a collector to pass one or more requests for
+//! information from the runtime" (paper §IV). Each request is a
+//! self-describing record; the runtime fills in an error code and an
+//! optional response in place, so the same buffer carries the replies back.
+//!
+//! Record layout (all fields little-endian):
+//!
+//! ```text
+//! offset  0  u32  sz     total record size in bytes (header+payload+response)
+//! offset  4  u32  r      request code (OMP_REQ_*)
+//! offset  8  i32  ec     error code slot, 0 = success (filled by runtime)
+//! offset 12  u32  rsz    size of the trailing response area
+//! offset 16  ...         request payload, then `rsz` response bytes
+//! ```
+//!
+//! The record stream is terminated by a record with `sz == 0`.
+
+use crate::event::Event;
+use crate::request::{CallbackToken, OraError, Request, RequestCode, Response};
+use crate::state::{ThreadState, WaitIdKind};
+
+/// Size of the fixed record header in bytes.
+pub const HEADER_BYTES: usize = 16;
+
+/// Response-area size for a state query: state (u32) + wait-ID kind (u32) +
+/// wait-ID value (u64).
+pub const STATE_RESPONSE_BYTES: usize = 16;
+
+/// Response-area size for a region-ID query.
+pub const PRID_RESPONSE_BYTES: usize = 8;
+
+/// Response-area size for a capabilities query.
+pub const CAPS_RESPONSE_BYTES: usize = 8;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(buf: &[u8], off: usize) -> Option<u32> {
+    buf.get(off..off + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn read_u64(buf: &[u8], off: usize) -> Option<u64> {
+    buf.get(off..off + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn write_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn write_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn payload_bytes(req: &Request) -> usize {
+    match req {
+        Request::Register { .. } => 12, // event u32 + token u64
+        Request::Unregister { .. } => 4,
+        _ => 0,
+    }
+}
+
+fn response_bytes(req: &Request) -> usize {
+    match req {
+        Request::QueryState => STATE_RESPONSE_BYTES,
+        Request::QueryCurrentPrid | Request::QueryParentPrid => PRID_RESPONSE_BYTES,
+        Request::QueryCapabilities => CAPS_RESPONSE_BYTES,
+        _ => 0,
+    }
+}
+
+/// Append the encoding of one request record to `buf`.
+pub fn encode_request(buf: &mut Vec<u8>, req: &Request) {
+    let payload = payload_bytes(req);
+    let rsz = response_bytes(req);
+    let sz = HEADER_BYTES + payload + rsz;
+    put_u32(buf, sz as u32);
+    put_u32(buf, req.code() as u32);
+    put_u32(buf, 0); // ec slot
+    put_u32(buf, rsz as u32);
+    match req {
+        Request::Register { event, token } => {
+            put_u32(buf, *event as u32);
+            put_u64(buf, token.0);
+        }
+        Request::Unregister { event } => {
+            put_u32(buf, *event as u32);
+        }
+        _ => {}
+    }
+    buf.resize(buf.len() + rsz, 0);
+}
+
+const WAIT_KIND_NONE: u32 = 0;
+
+fn wait_kind_to_u32(kind: WaitIdKind) -> u32 {
+    match kind {
+        WaitIdKind::Barrier => 1,
+        WaitIdKind::Lock => 2,
+        WaitIdKind::Critical => 3,
+        WaitIdKind::Ordered => 4,
+        WaitIdKind::Atomic => 5,
+        WaitIdKind::Task => 6,
+    }
+}
+
+fn wait_kind_from_u32(raw: u32) -> Option<Option<WaitIdKind>> {
+    Some(match raw {
+        WAIT_KIND_NONE => None,
+        1 => Some(WaitIdKind::Barrier),
+        2 => Some(WaitIdKind::Lock),
+        3 => Some(WaitIdKind::Critical),
+        4 => Some(WaitIdKind::Ordered),
+        5 => Some(WaitIdKind::Atomic),
+        6 => Some(WaitIdKind::Task),
+        _ => return None,
+    })
+}
+
+/// A batch of encoded requests plus the record offsets needed to decode the
+/// in-place responses afterwards.
+///
+/// This is the collector-side view of the protocol: build a batch, hand
+/// [`RequestBatch::as_mut_bytes`] to the runtime entry point, then read the
+/// per-record results with [`RequestBatch::response`].
+#[derive(Debug, Clone)]
+pub struct RequestBatch {
+    buf: Vec<u8>,
+    offsets: Vec<usize>,
+    requests: Vec<Request>,
+}
+
+impl RequestBatch {
+    /// Encode a sequence of requests into a single buffer.
+    pub fn new(requests: &[Request]) -> Self {
+        let mut buf = Vec::new();
+        let mut offsets = Vec::with_capacity(requests.len());
+        for req in requests {
+            offsets.push(buf.len());
+            encode_request(&mut buf, req);
+        }
+        put_u32(&mut buf, 0); // terminator
+        RequestBatch {
+            buf,
+            offsets,
+            requests: requests.to_vec(),
+        }
+    }
+
+    /// The raw byte array to pass to `__omp_collector_api`.
+    pub fn as_mut_bytes(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Read-only view of the encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Decode the result of record `i` after the runtime served the batch.
+    pub fn response(&self, i: usize) -> Result<Response, OraError> {
+        let off = self.offsets[i];
+        let req = &self.requests[i];
+        let ec = read_u32(&self.buf, off + 8).ok_or(OraError::Malformed)? as i32;
+        if ec != 0 {
+            return Err(OraError::from_i32(ec).unwrap_or(OraError::Error));
+        }
+        let payload = payload_bytes(req);
+        let resp_off = off + HEADER_BYTES + payload;
+        match req {
+            Request::QueryState => {
+                let raw_state = read_u32(&self.buf, resp_off).ok_or(OraError::Malformed)?;
+                let state = ThreadState::from_u32(raw_state).ok_or(OraError::Malformed)?;
+                let raw_kind = read_u32(&self.buf, resp_off + 4).ok_or(OraError::Malformed)?;
+                let kind = wait_kind_from_u32(raw_kind).ok_or(OraError::Malformed)?;
+                let id = read_u64(&self.buf, resp_off + 8).ok_or(OraError::Malformed)?;
+                Ok(Response::State {
+                    state,
+                    wait_id: kind.map(|k| (k, id)),
+                })
+            }
+            Request::QueryCurrentPrid | Request::QueryParentPrid => {
+                let id = read_u64(&self.buf, resp_off).ok_or(OraError::Malformed)?;
+                Ok(Response::RegionId(id))
+            }
+            Request::QueryCapabilities => {
+                let bits = read_u64(&self.buf, resp_off).ok_or(OraError::Malformed)?;
+                Ok(Response::Capabilities(bits))
+            }
+            _ => Ok(Response::Ack),
+        }
+    }
+
+    /// Decode every record's result.
+    pub fn responses(&self) -> Vec<Result<Response, OraError>> {
+        (0..self.len()).map(|i| self.response(i)).collect()
+    }
+}
+
+/// Runtime-side protocol service: walk the record stream in `buf`, decode
+/// each request, invoke `serve`, and write error codes and responses back
+/// in place.
+///
+/// Returns the number of records processed (like the C entry point's `int`
+/// return), or `-1` if the stream itself was unparseable.
+pub fn serve_batch(
+    buf: &mut [u8],
+    mut serve: impl FnMut(Request) -> Result<Response, OraError>,
+) -> i32 {
+    let mut off = 0usize;
+    let mut served = 0i32;
+    loop {
+        let Some(sz) = read_u32(buf, off) else {
+            return -1;
+        };
+        let sz = sz as usize;
+        if sz == 0 {
+            return served;
+        }
+        if sz < HEADER_BYTES || off + sz > buf.len() {
+            return -1;
+        }
+        let outcome = decode_and_serve(buf, off, sz, &mut serve);
+        let ec = match outcome {
+            Ok(()) => 0,
+            Err(e) => e as i32,
+        };
+        write_u32(buf, off + 8, ec as u32);
+        served += 1;
+        off += sz;
+    }
+}
+
+fn decode_and_serve(
+    buf: &mut [u8],
+    off: usize,
+    sz: usize,
+    serve: &mut impl FnMut(Request) -> Result<Response, OraError>,
+) -> Result<(), OraError> {
+    let code = read_u32(buf, off + 4).ok_or(OraError::Malformed)?;
+    let code = RequestCode::from_u32(code).ok_or(OraError::UnknownRequest)?;
+    let rsz = read_u32(buf, off + 12).ok_or(OraError::Malformed)? as usize;
+    if HEADER_BYTES + rsz > sz {
+        return Err(OraError::Malformed);
+    }
+    let payload_len = sz - HEADER_BYTES - rsz;
+    let payload_off = off + HEADER_BYTES;
+
+    let request = match code {
+        RequestCode::Start => Request::Start,
+        RequestCode::Stop => Request::Stop,
+        RequestCode::Pause => Request::Pause,
+        RequestCode::Resume => Request::Resume,
+        RequestCode::Register => {
+            if payload_len < 12 {
+                return Err(OraError::Malformed);
+            }
+            let raw = read_u32(buf, payload_off).ok_or(OraError::Malformed)?;
+            let event = Event::from_u32(raw).ok_or(OraError::UnsupportedEvent)?;
+            let token = read_u64(buf, payload_off + 4).ok_or(OraError::Malformed)?;
+            Request::Register {
+                event,
+                token: CallbackToken(token),
+            }
+        }
+        RequestCode::Unregister => {
+            if payload_len < 4 {
+                return Err(OraError::Malformed);
+            }
+            let raw = read_u32(buf, payload_off).ok_or(OraError::Malformed)?;
+            let event = Event::from_u32(raw).ok_or(OraError::UnsupportedEvent)?;
+            Request::Unregister { event }
+        }
+        RequestCode::State => Request::QueryState,
+        RequestCode::CurrentPrid => Request::QueryCurrentPrid,
+        RequestCode::ParentPrid => Request::QueryParentPrid,
+        RequestCode::Capabilities => Request::QueryCapabilities,
+    };
+
+    let response = serve(request)?;
+    let resp_off = payload_off + payload_len;
+    match response {
+        Response::Ack => Ok(()),
+        Response::State { state, wait_id } => {
+            if rsz < STATE_RESPONSE_BYTES {
+                return Err(OraError::MemError);
+            }
+            write_u32(buf, resp_off, state as u32);
+            match wait_id {
+                Some((kind, id)) => {
+                    write_u32(buf, resp_off + 4, wait_kind_to_u32(kind));
+                    write_u64(buf, resp_off + 8, id);
+                }
+                None => {
+                    write_u32(buf, resp_off + 4, WAIT_KIND_NONE);
+                    write_u64(buf, resp_off + 8, 0);
+                }
+            }
+            Ok(())
+        }
+        Response::RegionId(id) => {
+            if rsz < PRID_RESPONSE_BYTES {
+                return Err(OraError::MemError);
+            }
+            write_u64(buf, resp_off, id);
+            Ok(())
+        }
+        Response::Capabilities(bits) => {
+            if rsz < CAPS_RESPONSE_BYTES {
+                return Err(OraError::MemError);
+            }
+            write_u64(buf, resp_off, bits);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server(req: Request) -> Result<Response, OraError> {
+        Ok(match req {
+            Request::QueryState => Response::State {
+                state: ThreadState::Working,
+                wait_id: None,
+            },
+            Request::QueryCurrentPrid => Response::RegionId(77),
+            Request::QueryParentPrid => Response::RegionId(0),
+            _ => Response::Ack,
+        })
+    }
+
+    #[test]
+    fn empty_batch_is_just_a_terminator() {
+        let mut b = RequestBatch::new(&[]);
+        assert!(b.is_empty());
+        assert_eq!(serve_batch(b.as_mut_bytes(), echo_server), 0);
+    }
+
+    #[test]
+    fn single_start_round_trips() {
+        let mut b = RequestBatch::new(&[Request::Start]);
+        assert_eq!(serve_batch(b.as_mut_bytes(), echo_server), 1);
+        assert_eq!(b.response(0), Ok(Response::Ack));
+    }
+
+    #[test]
+    fn multi_request_sequence_like_figure_3() {
+        // The paper's Fig. 3 sequence: start, register fork, register join,
+        // query state, query region id.
+        let reqs = [
+            Request::Start,
+            Request::Register {
+                event: Event::Fork,
+                token: CallbackToken(1),
+            },
+            Request::Register {
+                event: Event::Join,
+                token: CallbackToken(2),
+            },
+            Request::QueryState,
+            Request::QueryCurrentPrid,
+        ];
+        let mut b = RequestBatch::new(&reqs);
+        assert_eq!(serve_batch(b.as_mut_bytes(), echo_server), 5);
+        assert_eq!(b.response(0), Ok(Response::Ack));
+        assert_eq!(b.response(1), Ok(Response::Ack));
+        assert_eq!(
+            b.response(3),
+            Ok(Response::State {
+                state: ThreadState::Working,
+                wait_id: None
+            })
+        );
+        assert_eq!(b.response(4), Ok(Response::RegionId(77)));
+    }
+
+    #[test]
+    fn errors_are_written_into_the_ec_slot() {
+        let mut b = RequestBatch::new(&[Request::Start, Request::QueryCurrentPrid]);
+        let n = serve_batch(b.as_mut_bytes(), |req| match req {
+            Request::Start => Ok(Response::Ack),
+            _ => Err(OraError::OutOfSequence),
+        });
+        assert_eq!(n, 2); // both records processed
+        assert_eq!(b.response(0), Ok(Response::Ack));
+        assert_eq!(b.response(1), Err(OraError::OutOfSequence));
+    }
+
+    #[test]
+    fn wait_ids_round_trip_through_state_response() {
+        let mut b = RequestBatch::new(&[Request::QueryState]);
+        serve_batch(b.as_mut_bytes(), |_| {
+            Ok(Response::State {
+                state: ThreadState::LockWait,
+                wait_id: Some((WaitIdKind::Lock, 42)),
+            })
+        });
+        assert_eq!(
+            b.response(0),
+            Ok(Response::State {
+                state: ThreadState::LockWait,
+                wait_id: Some((WaitIdKind::Lock, 42))
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let mut b = RequestBatch::new(&[Request::Start]);
+        let full = b.as_mut_bytes();
+        let cut = full.len() - 6; // chop the terminator and part of header
+        assert_eq!(serve_batch(&mut full[..cut], echo_server), -1);
+    }
+
+    #[test]
+    fn unknown_request_code_flags_only_that_record() {
+        let mut b = RequestBatch::new(&[Request::Start, Request::Stop]);
+        // Corrupt the second record's request code.
+        let off2 = HEADER_BYTES; // first record has no payload/response
+        let bytes = b.as_mut_bytes();
+        bytes[off2 + 4..off2 + 8].copy_from_slice(&999u32.to_le_bytes());
+        assert_eq!(serve_batch(bytes, echo_server), 2);
+        assert_eq!(b.response(0), Ok(Response::Ack));
+        assert_eq!(b.response(1), Err(OraError::UnknownRequest));
+    }
+
+    #[test]
+    fn register_payload_decodes() {
+        let mut seen = Vec::new();
+        let mut b = RequestBatch::new(&[Request::Register {
+            event: Event::ThreadBeginImplicitBarrier,
+            token: CallbackToken(0xDEAD_BEEF_0BAD_F00D),
+        }]);
+        serve_batch(b.as_mut_bytes(), |req| {
+            seen.push(req);
+            Ok(Response::Ack)
+        });
+        assert_eq!(
+            seen,
+            vec![Request::Register {
+                event: Event::ThreadBeginImplicitBarrier,
+                token: CallbackToken(0xDEAD_BEEF_0BAD_F00D)
+            }]
+        );
+    }
+
+    #[test]
+    fn response_area_too_small_yields_mem_error() {
+        let mut b = RequestBatch::new(&[Request::QueryState]);
+        // Shrink the declared response size below what a state reply needs.
+        let bytes = b.as_mut_bytes();
+        bytes[12..16].copy_from_slice(&4u32.to_le_bytes());
+        // Also shrink the record size to stay consistent.
+        let new_sz = (HEADER_BYTES + 4) as u32;
+        bytes[0..4].copy_from_slice(&new_sz.to_le_bytes());
+        // Rebuild a consistent stream: terminator right after the record.
+        let mut stream = bytes[..HEADER_BYTES + 4].to_vec();
+        stream.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(serve_batch(&mut stream, echo_server), 1);
+        let ec = i32::from_le_bytes(stream[8..12].try_into().unwrap());
+        assert_eq!(OraError::from_i32(ec), Some(OraError::MemError));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        (1u32..=crate::event::EVENT_COUNT as u32).prop_map(|r| Event::from_u32(r).unwrap())
+    }
+
+    fn arb_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            Just(Request::Start),
+            Just(Request::Stop),
+            Just(Request::Pause),
+            Just(Request::Resume),
+            (arb_event(), any::<u64>()).prop_map(|(event, t)| Request::Register {
+                event,
+                token: CallbackToken(t)
+            }),
+            arb_event().prop_map(|event| Request::Unregister { event }),
+            Just(Request::QueryState),
+            Just(Request::QueryCurrentPrid),
+            Just(Request::QueryParentPrid),
+            Just(Request::QueryCapabilities),
+        ]
+    }
+
+    proptest! {
+        /// Every encodable batch decodes to exactly the requests encoded,
+        /// in order, and every record gets served.
+        #[test]
+        fn round_trip_requests(reqs in proptest::collection::vec(arb_request(), 0..16)) {
+            let mut batch = RequestBatch::new(&reqs);
+            let mut seen = Vec::new();
+            let n = serve_batch(batch.as_mut_bytes(), |r| {
+                seen.push(r);
+                Ok(Response::Ack)
+            });
+            prop_assert_eq!(n as usize, reqs.len());
+            prop_assert_eq!(seen, reqs);
+        }
+
+        /// State responses round-trip for every state/wait-ID combination.
+        #[test]
+        fn round_trip_state_response(
+            raw_state in 0u32..crate::state::STATE_COUNT as u32,
+            id in any::<u64>(),
+        ) {
+            let state = ThreadState::from_u32(raw_state).unwrap();
+            let wait_id = state.wait_id_kind().map(|k| (k, id));
+            let mut batch = RequestBatch::new(&[Request::QueryState]);
+            serve_batch(batch.as_mut_bytes(), |_| Ok(Response::State { state, wait_id }));
+            prop_assert_eq!(batch.response(0), Ok(Response::State { state, wait_id }));
+        }
+
+        /// Region-ID responses round-trip for arbitrary IDs.
+        #[test]
+        fn round_trip_region_id(id in any::<u64>()) {
+            let mut batch = RequestBatch::new(&[Request::QueryCurrentPrid]);
+            serve_batch(batch.as_mut_bytes(), |_| Ok(Response::RegionId(id)));
+            prop_assert_eq!(batch.response(0), Ok(Response::RegionId(id)));
+        }
+
+        /// Serving never panics on arbitrary garbage buffers.
+        #[test]
+        fn serve_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut bytes = bytes;
+            let _ = serve_batch(&mut bytes, |_| Ok(Response::Ack));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The event-callback table shared by all threads.
+//!
+//! "This function pointer is stored in a table that contains the event
+//! callbacks shared by all the threads. Each table entry has a lock
+//! associated with it to avoid data races when multiple threads try to
+//! register the same event with different callbacks." (paper §IV-C)
+//!
+//! The table assumes all threads share one callback per event and that
+//! registration is rare (mostly at program start), so the dispatch fast
+//! path only performs an atomic flag load before touching the entry lock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::{Event, EVENT_COUNT};
+
+/// Data passed to an event callback.
+///
+/// The white paper passes only the event type; we additionally expose the
+/// identity the runtime already has at hand (thread, region IDs, wait ID)
+/// so collectors need no extra query round-trip on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventData {
+    /// Which event fired.
+    pub event: Event,
+    /// Global thread ID (within the runtime instance) of the firing thread.
+    pub gtid: usize,
+    /// ID of the parallel region the thread is executing (0 if none).
+    pub region_id: u64,
+    /// Parent region ID (always 0 for non-nested regions, paper §IV-E).
+    pub parent_region_id: u64,
+    /// The relevant wait-ID counter value for wait events, else 0.
+    pub wait_id: u64,
+}
+
+impl EventData {
+    /// Event data for `event` with no region or wait context.
+    pub fn bare(event: Event, gtid: usize) -> Self {
+        EventData {
+            event,
+            gtid,
+            region_id: 0,
+            parent_region_id: 0,
+            wait_id: 0,
+        }
+    }
+}
+
+/// An event callback. Runs on the runtime thread that hit the event point,
+/// so it must be cheap and must not call back into the runtime.
+pub type Callback = Arc<dyn Fn(&EventData) + Send + Sync>;
+
+struct Entry {
+    /// Fast-path flag: checked *first* on dispatch, before any lock, so
+    /// unmonitored events cost one load (the paper's check ordering).
+    registered: AtomicBool,
+    /// The per-entry lock guarding the slot against racing registrations.
+    slot: Mutex<Option<Callback>>,
+    /// How many times this event's callback has been invoked (diagnostics).
+    fired: AtomicU64,
+}
+
+impl Entry {
+    fn new() -> Self {
+        Entry {
+            registered: AtomicBool::new(false),
+            slot: Mutex::new(None),
+            fired: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The callback table: one entry per event.
+pub struct CallbackRegistry {
+    entries: [Entry; EVENT_COUNT],
+}
+
+impl Default for CallbackRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CallbackRegistry {
+    /// An empty table: every event unregistered.
+    pub fn new() -> Self {
+        CallbackRegistry {
+            entries: std::array::from_fn(|_| Entry::new()),
+        }
+    }
+
+    /// Install `cb` for `event`, replacing any previous callback.
+    pub fn register(&self, event: Event, cb: Callback) {
+        let entry = &self.entries[event.index()];
+        let mut slot = entry.slot.lock();
+        *slot = Some(cb);
+        entry.registered.store(true, Ordering::Release);
+    }
+
+    /// Remove the callback for `event`. Returns whether one was present.
+    pub fn unregister(&self, event: Event) -> bool {
+        let entry = &self.entries[event.index()];
+        let mut slot = entry.slot.lock();
+        entry.registered.store(false, Ordering::Release);
+        slot.take().is_some()
+    }
+
+    /// Remove every callback (done on `OMP_REQ_STOP`).
+    pub fn clear(&self) {
+        for entry in &self.entries {
+            let mut slot = entry.slot.lock();
+            entry.registered.store(false, Ordering::Release);
+            *slot = None;
+        }
+    }
+
+    /// Whether a callback is currently installed for `event`. This is the
+    /// one-load fast-path check used by the dispatcher.
+    #[inline(always)]
+    pub fn is_registered(&self, event: Event) -> bool {
+        self.entries[event.index()]
+            .registered
+            .load(Ordering::Acquire)
+    }
+
+    /// Invoke the callback for `data.event`, if one is installed.
+    ///
+    /// Returns whether a callback ran. The Arc is cloned under the entry
+    /// lock and invoked outside it, so a concurrent unregister cannot free
+    /// a callback out from under a running invocation, and a callback may
+    /// itself (un)register events without deadlocking.
+    #[inline]
+    pub fn invoke(&self, data: &EventData) -> bool {
+        let entry = &self.entries[data.event.index()];
+        let cb = { entry.slot.lock().clone() };
+        match cb {
+            Some(cb) => {
+                entry.fired.fetch_add(1, Ordering::Relaxed);
+                cb(data);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// How many times `event`'s callback has fired.
+    pub fn fire_count(&self, event: Event) -> u64 {
+        self.entries[event.index()].fired.load(Ordering::Relaxed)
+    }
+
+    /// The events that currently have callbacks installed.
+    pub fn registered_events(&self) -> Vec<Event> {
+        crate::event::ALL_EVENTS
+            .iter()
+            .copied()
+            .filter(|e| self.is_registered(*e))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for CallbackRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallbackRegistry")
+            .field("registered", &self.registered_events())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counting_cb(counter: Arc<AtomicUsize>) -> Callback {
+        Arc::new(move |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        })
+    }
+
+    #[test]
+    fn starts_empty() {
+        let r = CallbackRegistry::new();
+        for e in crate::event::ALL_EVENTS {
+            assert!(!r.is_registered(e));
+        }
+        assert!(!r.invoke(&EventData::bare(Event::Fork, 0)));
+    }
+
+    #[test]
+    fn register_invoke_unregister() {
+        let r = CallbackRegistry::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        r.register(Event::Fork, counting_cb(n.clone()));
+        assert!(r.is_registered(Event::Fork));
+        assert!(!r.is_registered(Event::Join));
+        assert!(r.invoke(&EventData::bare(Event::Fork, 0)));
+        assert!(r.invoke(&EventData::bare(Event::Fork, 0)));
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+        assert_eq!(r.fire_count(Event::Fork), 2);
+        assert!(r.unregister(Event::Fork));
+        assert!(!r.unregister(Event::Fork));
+        assert!(!r.invoke(&EventData::bare(Event::Fork, 0)));
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn registration_replaces_previous_callback() {
+        let r = CallbackRegistry::new();
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        r.register(Event::Join, counting_cb(a.clone()));
+        r.register(Event::Join, counting_cb(b.clone()));
+        r.invoke(&EventData::bare(Event::Join, 0));
+        assert_eq!(a.load(Ordering::SeqCst), 0);
+        assert_eq!(b.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let r = CallbackRegistry::new();
+        for e in crate::event::ALL_EVENTS {
+            r.register(e, Arc::new(|_| {}));
+        }
+        assert_eq!(r.registered_events().len(), EVENT_COUNT);
+        r.clear();
+        assert!(r.registered_events().is_empty());
+    }
+
+    #[test]
+    fn concurrent_registration_of_same_event_is_safe() {
+        // The paper's reason for per-entry locks: multiple threads racing
+        // to register the same event with different callbacks.
+        let r = Arc::new(CallbackRegistry::new());
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                let n = Arc::clone(&n);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        r.register(Event::Fork, counting_cb(n.clone()));
+                        r.invoke(&EventData::bare(Event::Fork, 0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Exactly one callback per invoke; all invokes saw *a* callback.
+        assert_eq!(n.load(Ordering::SeqCst), 800);
+    }
+
+    #[test]
+    fn callback_may_reenter_registry() {
+        let r = Arc::new(CallbackRegistry::new());
+        let r2 = Arc::clone(&r);
+        r.register(
+            Event::Fork,
+            Arc::new(move |_| {
+                // Unregistering from inside the callback must not deadlock.
+                r2.unregister(Event::Fork);
+            }),
+        );
+        assert!(r.invoke(&EventData::bare(Event::Fork, 0)));
+        assert!(!r.invoke(&EventData::bare(Event::Fork, 0)));
+    }
+
+    #[test]
+    fn event_data_bare_has_zero_context() {
+        let d = EventData::bare(Event::ThreadBeginIdle, 3);
+        assert_eq!(d.gtid, 3);
+        assert_eq!(d.region_id, 0);
+        assert_eq!(d.parent_region_id, 0);
+        assert_eq!(d.wait_id, 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Thread states distinguished by the OpenMP runtime.
+//!
+//! ORA requires the runtime to answer "what is the calling thread doing
+//! right now?" at any point of execution (paper §IV-D). The states mirror
+//! the `THR_*_STATE` constants. Some states carry a *wait ID* — a per-thread
+//! counter identifying which barrier/lock/critical/ordered instance the
+//! thread is waiting on — returned after the state in the response payload.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// The state of an OpenMP thread, as tracked in its thread descriptor.
+#[repr(u32)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadState {
+    /// No state known (descriptor not yet initialized). The paper's
+    /// implementation guarantees this is never observable: descriptors are
+    /// pre-initialized to [`ThreadState::Overhead`] before thread creation.
+    Unknown = 0,
+    /// Executing OpenMP runtime overhead (preparing a fork, computing a
+    /// schedule, updating descriptors). `THR_OVHD_STATE`.
+    Overhead = 1,
+    /// Doing useful work inside a parallel region. `THR_WORK_STATE`.
+    Working = 2,
+    /// Inside an implicit barrier. `THR_IBAR_STATE`.
+    ImplicitBarrier = 3,
+    /// Inside an explicit barrier. `THR_EBAR_STATE`.
+    ExplicitBarrier = 4,
+    /// Idle between parallel regions (slave threads only). `THR_IDLE_STATE`.
+    Idle = 5,
+    /// Executing serial code outside any parallel region (master thread
+    /// only). `THR_SERIAL_STATE`.
+    Serial = 6,
+    /// Performing a reduction. `THR_REDUC_STATE`.
+    Reduction = 7,
+    /// Waiting to acquire a user-defined lock. `THR_LKWT_STATE`.
+    LockWait = 8,
+    /// Waiting to enter a critical region. `THR_CTWT_STATE`.
+    CriticalWait = 9,
+    /// Waiting for its turn in an ordered section. `THR_ODWT_STATE`.
+    OrderedWait = 10,
+    /// Waiting on a contended atomic update. `THR_ATWT_STATE`.
+    AtomicWait = 11,
+    /// Waiting in `taskwait` / draining tasks (OpenMP 3.0 extension;
+    /// tasking is the paper's stated future work). `THR_TSKWT_STATE`.
+    TaskWait = 12,
+}
+
+/// Number of distinct states (including `Unknown`).
+pub const STATE_COUNT: usize = 13;
+
+/// All states in discriminant order.
+pub const ALL_STATES: [ThreadState; STATE_COUNT] = [
+    ThreadState::Unknown,
+    ThreadState::Overhead,
+    ThreadState::Working,
+    ThreadState::ImplicitBarrier,
+    ThreadState::ExplicitBarrier,
+    ThreadState::Idle,
+    ThreadState::Serial,
+    ThreadState::Reduction,
+    ThreadState::LockWait,
+    ThreadState::CriticalWait,
+    ThreadState::OrderedWait,
+    ThreadState::AtomicWait,
+    ThreadState::TaskWait,
+];
+
+/// Which per-thread wait-ID counter a waiting state refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitIdKind {
+    /// Barrier ID — incremented each time a thread enters any barrier.
+    Barrier,
+    /// Lock-wait ID — incremented each time a thread blocks on a user lock.
+    Lock,
+    /// Critical-wait ID — incremented per blocked critical-region entry.
+    Critical,
+    /// Ordered-wait ID — incremented per blocked ordered-section entry.
+    Ordered,
+    /// Atomic-wait ID — incremented per contended atomic update.
+    Atomic,
+    /// Task-wait ID — incremented per `taskwait` (OpenMP 3.0 extension).
+    Task,
+}
+
+impl ThreadState {
+    /// Decode a wire discriminant.
+    pub const fn from_u32(raw: u32) -> Option<ThreadState> {
+        if (raw as usize) < STATE_COUNT {
+            Some(ALL_STATES[raw as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Dense index for histograms.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as u32 as usize
+    }
+
+    /// The `THR_*_STATE` constant name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ThreadState::Unknown => "THR_UNKNOWN_STATE",
+            ThreadState::Overhead => "THR_OVHD_STATE",
+            ThreadState::Working => "THR_WORK_STATE",
+            ThreadState::ImplicitBarrier => "THR_IBAR_STATE",
+            ThreadState::ExplicitBarrier => "THR_EBAR_STATE",
+            ThreadState::Idle => "THR_IDLE_STATE",
+            ThreadState::Serial => "THR_SERIAL_STATE",
+            ThreadState::Reduction => "THR_REDUC_STATE",
+            ThreadState::LockWait => "THR_LKWT_STATE",
+            ThreadState::CriticalWait => "THR_CTWT_STATE",
+            ThreadState::OrderedWait => "THR_ODWT_STATE",
+            ThreadState::AtomicWait => "THR_ATWT_STATE",
+            ThreadState::TaskWait => "THR_TSKWT_STATE",
+        }
+    }
+
+    /// The wait-ID counter associated with this state, if any. A state
+    /// query response carries the current value of this counter after the
+    /// state word (paper §IV-D).
+    pub const fn wait_id_kind(self) -> Option<WaitIdKind> {
+        match self {
+            ThreadState::ImplicitBarrier | ThreadState::ExplicitBarrier => {
+                Some(WaitIdKind::Barrier)
+            }
+            ThreadState::LockWait => Some(WaitIdKind::Lock),
+            ThreadState::CriticalWait => Some(WaitIdKind::Critical),
+            ThreadState::OrderedWait => Some(WaitIdKind::Ordered),
+            ThreadState::AtomicWait => Some(WaitIdKind::Atomic),
+            ThreadState::TaskWait => Some(WaitIdKind::Task),
+            _ => None,
+        }
+    }
+
+    /// Whether the thread is making forward progress on user code.
+    pub const fn is_productive(self) -> bool {
+        matches!(self, ThreadState::Working | ThreadState::Serial)
+    }
+}
+
+impl std::fmt::Display for ThreadState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A lock-free cell holding a [`ThreadState`].
+///
+/// This is the "one assignment operation per state" the paper relies on to
+/// justify always-on state tracking (§IV-C): `set` is a single relaxed
+/// store, `get` a single relaxed load.
+#[derive(Debug)]
+pub struct StateCell(AtomicU32);
+
+impl StateCell {
+    /// A new cell. Descriptors are created in the `Overhead` state so that
+    /// a state query always returns a meaningful value, even for a slave
+    /// thread that is still being created (paper §IV-D).
+    pub const fn new() -> Self {
+        StateCell(AtomicU32::new(ThreadState::Overhead as u32))
+    }
+
+    /// A cell starting in an explicit state.
+    pub const fn with(state: ThreadState) -> Self {
+        StateCell(AtomicU32::new(state as u32))
+    }
+
+    /// Store a new state. One relaxed store — safe to leave always-on.
+    #[inline(always)]
+    pub fn set(&self, state: ThreadState) {
+        self.0.store(state as u32, Ordering::Relaxed);
+    }
+
+    /// Store a new state and return the previous one (used by event sites
+    /// that must restore the pre-wait state afterwards).
+    #[inline(always)]
+    pub fn replace(&self, state: ThreadState) -> ThreadState {
+        let prev = self.0.swap(state as u32, Ordering::Relaxed);
+        ThreadState::from_u32(prev).unwrap_or(ThreadState::Unknown)
+    }
+
+    /// Load the current state.
+    #[inline(always)]
+    pub fn get(&self) -> ThreadState {
+        ThreadState::from_u32(self.0.load(Ordering::Relaxed)).unwrap_or(ThreadState::Unknown)
+    }
+}
+
+impl Default for StateCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A monotonically increasing wait-ID counter.
+///
+/// Each thread keeps its own counters (barrier ID, lock-wait ID, …); they
+/// are incremented when the thread *enters* the corresponding wait and are
+/// returned by state queries so a tool can distinguish wait instances.
+#[derive(Debug, Default)]
+pub struct WaitId(AtomicU64);
+
+impl WaitId {
+    /// A fresh counter starting at zero (meaning "never waited").
+    pub const fn new() -> Self {
+        WaitId(AtomicU64::new(0))
+    }
+
+    /// Increment on wait entry; returns the new instance ID (first wait
+    /// returns 1).
+    #[inline]
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current instance ID.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_round_trip() {
+        for s in ALL_STATES {
+            assert_eq!(ThreadState::from_u32(s as u32), Some(s));
+            assert_eq!(ALL_STATES[s.index()], s);
+        }
+        assert_eq!(ThreadState::from_u32(STATE_COUNT as u32), None);
+    }
+
+    #[test]
+    fn wait_id_kinds_match_paper() {
+        assert_eq!(
+            ThreadState::ImplicitBarrier.wait_id_kind(),
+            Some(WaitIdKind::Barrier)
+        );
+        assert_eq!(
+            ThreadState::ExplicitBarrier.wait_id_kind(),
+            Some(WaitIdKind::Barrier)
+        );
+        assert_eq!(ThreadState::LockWait.wait_id_kind(), Some(WaitIdKind::Lock));
+        assert_eq!(ThreadState::Working.wait_id_kind(), None);
+        assert_eq!(ThreadState::Serial.wait_id_kind(), None);
+        assert_eq!(ThreadState::Reduction.wait_id_kind(), None);
+    }
+
+    #[test]
+    fn state_cell_defaults_to_overhead() {
+        let c = StateCell::new();
+        assert_eq!(c.get(), ThreadState::Overhead);
+    }
+
+    #[test]
+    fn state_cell_set_get_replace() {
+        let c = StateCell::new();
+        c.set(ThreadState::Working);
+        assert_eq!(c.get(), ThreadState::Working);
+        let prev = c.replace(ThreadState::LockWait);
+        assert_eq!(prev, ThreadState::Working);
+        assert_eq!(c.get(), ThreadState::LockWait);
+    }
+
+    #[test]
+    fn wait_id_is_monotonic_from_one() {
+        let w = WaitId::new();
+        assert_eq!(w.get(), 0);
+        assert_eq!(w.next(), 1);
+        assert_eq!(w.next(), 2);
+        assert_eq!(w.get(), 2);
+    }
+
+    #[test]
+    fn state_cell_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(StateCell::new());
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                c2.set(ThreadState::Working);
+                c2.set(ThreadState::ImplicitBarrier);
+            }
+        });
+        for _ in 0..1000 {
+            // Concurrent reads must always observe a *valid* state.
+            let s = c.get();
+            assert_ne!(s, ThreadState::Unknown);
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn names_follow_convention() {
+        for s in ALL_STATES {
+            assert!(s.name().starts_with("THR_"), "{}", s.name());
+            assert!(s.name().ends_with("_STATE"), "{}", s.name());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests: the collector-API lifecycle under arbitrary request
+//! sequences always maintains its invariants.
+
+use std::sync::Arc;
+
+use ora_core::api::{CollectorApi, Phase};
+use ora_core::event::{Event, ALL_EVENTS};
+use ora_core::registry::EventData;
+use ora_core::request::{OraError, Request};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Start,
+    Stop,
+    Pause,
+    Resume,
+    Register(Event),
+    Unregister(Event),
+    Fire(Event),
+    QueryState,
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0..ALL_EVENTS.len()).prop_map(|i| ALL_EVENTS[i])
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Start),
+        Just(Op::Stop),
+        Just(Op::Pause),
+        Just(Op::Resume),
+        arb_event().prop_map(Op::Register),
+        arb_event().prop_map(Op::Unregister),
+        arb_event().prop_map(Op::Fire),
+        Just(Op::QueryState),
+    ]
+}
+
+/// A reference model of the lifecycle.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ModelPhase {
+    Inactive,
+    Active,
+    Paused,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The API's phase always matches a simple reference model, callbacks
+    /// fire exactly when the model says events are deliverable, and no
+    /// request sequence can wedge or crash the API.
+    #[test]
+    fn lifecycle_matches_reference_model(ops in proptest::collection::vec(arb_op(), 0..64)) {
+        let api = CollectorApi::new();
+        let fired = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut model = ModelPhase::Inactive;
+        let mut registered: std::collections::HashSet<Event> = Default::default();
+        let mut expected_fires = 0u64;
+
+        for op in &ops {
+            match op {
+                Op::Start => {
+                    let r = api.handle_request(Request::Start);
+                    if model == ModelPhase::Inactive {
+                        prop_assert!(r.is_ok());
+                        model = ModelPhase::Active;
+                    } else {
+                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                    }
+                }
+                Op::Stop => {
+                    let r = api.handle_request(Request::Stop);
+                    if model != ModelPhase::Inactive {
+                        prop_assert!(r.is_ok());
+                        model = ModelPhase::Inactive;
+                        registered.clear(); // stop clears the table
+                    } else {
+                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                    }
+                }
+                Op::Pause => {
+                    let r = api.handle_request(Request::Pause);
+                    if model == ModelPhase::Active {
+                        prop_assert!(r.is_ok());
+                        model = ModelPhase::Paused;
+                    } else {
+                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                    }
+                }
+                Op::Resume => {
+                    let r = api.handle_request(Request::Resume);
+                    if model == ModelPhase::Paused {
+                        prop_assert!(r.is_ok());
+                        model = ModelPhase::Active;
+                    } else {
+                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                    }
+                }
+                Op::Register(e) => {
+                    let f = fired.clone();
+                    let token = api.intern_callback(Arc::new(move |_| {
+                        f.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }));
+                    let r = api.handle_request(Request::Register { event: *e, token });
+                    if model == ModelPhase::Inactive {
+                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                    } else {
+                        prop_assert!(r.is_ok());
+                        registered.insert(*e);
+                    }
+                }
+                Op::Unregister(e) => {
+                    let r = api.handle_request(Request::Unregister { event: *e });
+                    if model == ModelPhase::Inactive {
+                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                    } else {
+                        prop_assert!(r.is_ok());
+                        registered.remove(e);
+                    }
+                }
+                Op::Fire(e) => {
+                    api.event(&EventData::bare(*e, 0));
+                    if model == ModelPhase::Active && registered.contains(e) {
+                        expected_fires += 1;
+                    }
+                }
+                Op::QueryState => {
+                    // No provider installed: the query fails with Error,
+                    // regardless of phase, and never panics.
+                    let r = api.handle_request(Request::QueryState);
+                    prop_assert_eq!(r, Err(OraError::Error));
+                }
+            }
+            // Phase agreement after every step.
+            let api_phase = api.phase();
+            let expected = match model {
+                ModelPhase::Inactive => Phase::Inactive,
+                ModelPhase::Active => Phase::Active,
+                ModelPhase::Paused => Phase::Paused,
+            };
+            prop_assert_eq!(api_phase, expected);
+            prop_assert_eq!(api.is_active(), model == ModelPhase::Active);
+        }
+
+        prop_assert_eq!(
+            fired.load(std::sync::atomic::Ordering::SeqCst),
+            expected_fires
+        );
+    }
+
+    /// Stats counters are consistent with the request stream: total
+    /// requests equals the number of requests sent.
+    #[test]
+    fn stats_count_every_request(ops in proptest::collection::vec(arb_op(), 0..64)) {
+        let api = CollectorApi::new();
+        let mut sent = 0u64;
+        for op in &ops {
+            let req = match op {
+                Op::Start => Some(Request::Start),
+                Op::Stop => Some(Request::Stop),
+                Op::Pause => Some(Request::Pause),
+                Op::Resume => Some(Request::Resume),
+                Op::QueryState => Some(Request::QueryState),
+                _ => None,
+            };
+            if let Some(req) = req {
+                let _ = api.handle_request(req);
+                sent += 1;
+            }
+        }
+        prop_assert_eq!(api.stats().requests, sent);
+    }
+}

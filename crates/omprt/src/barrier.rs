@@ -1,0 +1,293 @@
+//! Team barriers.
+//!
+//! Two implementations are provided: a central sense-reversing barrier
+//! (the default) and a combining-tree barrier, both with bounded spinning
+//! before parking. The runtime exposes *distinct* implicit and explicit
+//! barrier entry points built on these — the paper had to split its single
+//! `__ompc_barrier` call into implicit/explicit variants so the two could
+//! be distinguished by tools (§IV-C2); we mirror that split at the
+//! runtime-call layer (`crate::context`).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Which barrier algorithm a runtime instance uses (ablation knob for the
+/// `barrier_ablation` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierKind {
+    /// Central sense-reversing barrier: one counter, one sense flag.
+    #[default]
+    Central,
+    /// Combining tree with fan-in 4: arrivals ascend a tree of counters,
+    /// release broadcasts through the shared sense flag.
+    Tree,
+}
+
+
+
+struct Waiters {
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Waiters {
+    fn new() -> Self {
+        Waiters {
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Park until `ready()` holds. `ready` is re-checked under the mutex,
+    /// and release happens under the same mutex, so wakeups are not lost.
+    fn park_until(&self, ready: impl Fn() -> bool) {
+        let guard = self.mutex.lock().unwrap();
+        let _unused = self.cv.wait_while(guard, |_| !ready()).unwrap();
+    }
+
+    fn release(&self) {
+        let _guard = self.mutex.lock().unwrap();
+        self.cv.notify_all();
+    }
+}
+
+fn spin_then_park(waiters: &Waiters, ready: impl Fn() -> bool) {
+    let budget = crate::spin::long_budget();
+    let mut spins = 0u32;
+    while !ready() {
+        if spins < budget {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            waiters.park_until(&ready);
+            return;
+        }
+    }
+}
+
+/// A reusable barrier for a fixed-size team.
+pub struct Barrier {
+    size: usize,
+    sense: AtomicBool,
+    waiters: Waiters,
+    algo: Algo,
+}
+
+enum Algo {
+    Central {
+        count: AtomicUsize,
+    },
+    Tree {
+        /// One arrival counter per tree node; node 0 is the root. A
+        /// thread's leaf node is `(size-1 + tid) / FANIN` in an implicit
+        /// heap layout over `ceil(size/FANIN)`-ary groups.
+        nodes: Vec<AtomicUsize>,
+    },
+}
+
+/// Fan-in of the combining tree.
+const FANIN: usize = 4;
+
+impl Barrier {
+    /// A barrier for `size` threads using `kind`'s algorithm.
+    pub fn new(kind: BarrierKind, size: usize) -> Self {
+        assert!(size >= 1, "barrier needs at least one participant");
+        let algo = match kind {
+            BarrierKind::Central => Algo::Central {
+                count: AtomicUsize::new(0),
+            },
+            BarrierKind::Tree => {
+                let leaves = size.div_ceil(FANIN);
+                // Internal nodes above the leaf layer, down to a single root.
+                let mut node_count = leaves;
+                let mut layer = leaves;
+                while layer > 1 {
+                    layer = layer.div_ceil(FANIN);
+                    node_count += layer;
+                }
+                Algo::Tree {
+                    nodes: (0..node_count.max(1)).map(|_| AtomicUsize::new(0)).collect(),
+                }
+            }
+        };
+        Barrier {
+            size,
+            sense: AtomicBool::new(false),
+            waiters: Waiters::new(),
+            algo,
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Wait until all `size` threads have called `wait` for this episode.
+    /// Reusable across episodes (sense reversal).
+    pub fn wait(&self, tid: usize) {
+        debug_assert!(tid < self.size);
+        let local_sense = !self.sense.load(Ordering::Relaxed);
+        let is_releaser = match &self.algo {
+            Algo::Central { count } => count.fetch_add(1, Ordering::AcqRel) + 1 == self.size,
+            Algo::Tree { nodes } => self.tree_arrive(nodes, tid),
+        };
+        if is_releaser {
+            if let Algo::Central { count } = &self.algo {
+                count.store(0, Ordering::Relaxed);
+            }
+            self.sense.store(local_sense, Ordering::Release);
+            self.waiters.release();
+        } else {
+            let sense = &self.sense;
+            spin_then_park(&self.waiters, || {
+                sense.load(Ordering::Acquire) == local_sense
+            });
+        }
+    }
+
+    /// Ascend the combining tree; returns whether this thread is the last
+    /// overall arrival (the releaser).
+    fn tree_arrive(&self, nodes: &[AtomicUsize], tid: usize) -> bool {
+        // Layer sizes from leaves up to the root.
+        let mut layer_sizes = Vec::new();
+        let mut layer = self.size;
+        loop {
+            layer = layer.div_ceil(FANIN);
+            layer_sizes.push(layer);
+            if layer <= 1 {
+                break;
+            }
+        }
+        // Node indices: leaves occupy the *end* of the flat vec, the root
+        // is index 0. Compute layer offsets root-first.
+        let mut offsets = vec![0usize; layer_sizes.len()];
+        {
+            let mut off = 0;
+            for (i, &sz) in layer_sizes.iter().enumerate().rev() {
+                offsets[i] = off;
+                off += sz;
+            }
+        }
+        let mut index_in_layer = tid;
+        let mut members = self.size; // members feeding into this layer
+        for (level, &layer_size) in layer_sizes.iter().enumerate() {
+            let node_in_layer = index_in_layer / FANIN;
+            // Fan-in of this specific node: last node may be partial.
+            let full = members / FANIN;
+            let fanin = if node_in_layer < full {
+                FANIN
+            } else {
+                members - full * FANIN
+            };
+            let fanin = if fanin == 0 { FANIN } else { fanin };
+            let node = &nodes[offsets[level] + node_in_layer];
+            let prev = node.fetch_add(1, Ordering::AcqRel);
+            if prev + 1 < fanin {
+                return false; // not the last into this node
+            }
+            node.store(0, Ordering::Relaxed); // reset for reuse
+            index_in_layer = node_in_layer;
+            members = layer_size;
+            if layer_size == 1 {
+                return true; // climbed out of the root
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for Barrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.algo {
+            Algo::Central { .. } => BarrierKind::Central,
+            Algo::Tree { .. } => BarrierKind::Tree,
+        };
+        f.debug_struct("Barrier")
+            .field("size", &self.size)
+            .field("kind", &kind)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn exercise(kind: BarrierKind, threads: usize, episodes: usize) {
+        let barrier = Arc::new(Barrier::new(kind, threads));
+        let phase = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let barrier = barrier.clone();
+                let phase = phase.clone();
+                std::thread::spawn(move || {
+                    for ep in 0..episodes {
+                        // Everyone must observe the same completed phase
+                        // count before entering episode `ep`.
+                        assert_eq!(phase.load(Ordering::SeqCst) / threads as u64, ep as u64);
+                        phase.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait(tid);
+                        // After the barrier, all arrivals of this episode
+                        // are visible.
+                        assert!(phase.load(Ordering::SeqCst) >= ((ep + 1) * threads) as u64);
+                        barrier.wait(tid); // separate episodes
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), (threads * episodes) as u64);
+    }
+
+    #[test]
+    fn central_barrier_synchronizes_and_reuses() {
+        exercise(BarrierKind::Central, 4, 50);
+    }
+
+    #[test]
+    fn tree_barrier_synchronizes_and_reuses() {
+        exercise(BarrierKind::Tree, 4, 50);
+    }
+
+    #[test]
+    fn tree_barrier_handles_odd_team_sizes() {
+        for threads in [1, 2, 3, 5, 6, 7, 9, 13] {
+            exercise(BarrierKind::Tree, threads, 10);
+        }
+    }
+
+    #[test]
+    fn central_barrier_handles_odd_team_sizes() {
+        for threads in [1, 2, 3, 5, 7] {
+            exercise(BarrierKind::Central, threads, 10);
+        }
+    }
+
+    #[test]
+    fn single_thread_barrier_is_a_no_op() {
+        let b = Barrier::new(BarrierKind::Central, 1);
+        for _ in 0..10 {
+            b.wait(0);
+        }
+        let b = Barrier::new(BarrierKind::Tree, 1);
+        for _ in 0..10 {
+            b.wait(0);
+        }
+    }
+
+    #[test]
+    fn parked_waiters_are_released() {
+        // Force parking by making one thread arrive long after the others.
+        let b = Arc::new(Barrier::new(BarrierKind::Central, 2));
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || b2.wait(1));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        b.wait(0);
+        h.join().unwrap();
+    }
+}

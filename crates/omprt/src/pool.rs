@@ -1,0 +1,275 @@
+//! The persistent worker pool and the fork/join work-publication protocol.
+//!
+//! "In our OpenMP implementation, all the threads survive (and are
+//! sleeping) in between non-nested parallel regions." (paper §IV-C1)
+//! Workers are created lazily at the first fork — after the fork event
+//! fires, matching the paper's `__ompc_event(OMP_EVENT_FORK)` placed just
+//! before `pthread_create()` — and then sleep on a doorbell between
+//! regions, in the idle state, raising begin/end-idle events around each
+//! region they participate in.
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use ora_core::event::Event;
+use ora_core::state::ThreadState;
+use psx::symtab::Ip;
+
+use crate::context::ParCtx;
+use crate::runtime::Shared;
+use crate::team::Team;
+
+
+
+/// A lifetime-erased reference to the master's region closure.
+///
+/// # Safety contract
+///
+/// The master constructs this from `&F` where `F: Fn(&ParCtx) + Sync`, and
+/// keeps `F` alive until every participating thread has arrived at the
+/// region-end barrier (the master itself waits at that barrier before
+/// returning). Workers only call through the pointer between observing the
+/// epoch and arriving at that barrier, so the reference never dangles.
+#[derive(Clone, Copy)]
+pub(crate) struct ErasedClosure {
+    data: *const (),
+    call: unsafe fn(*const (), &ParCtx<'_>),
+}
+
+unsafe impl Send for ErasedClosure {}
+unsafe impl Sync for ErasedClosure {}
+
+impl ErasedClosure {
+    /// Erase `f`'s lifetime. See the type-level safety contract.
+    pub(crate) fn new<F: Fn(&ParCtx<'_>) + Sync>(f: &F) -> Self {
+        unsafe fn call_impl<F: Fn(&ParCtx<'_>) + Sync>(data: *const (), ctx: &ParCtx<'_>) {
+            let f = unsafe { &*(data as *const F) };
+            f(ctx);
+        }
+        ErasedClosure {
+            data: f as *const F as *const (),
+            call: call_impl::<F>,
+        }
+    }
+
+    /// Invoke the closure.
+    ///
+    /// # Safety
+    /// Caller must be inside the fork/join window described on the type.
+    pub(crate) unsafe fn call(&self, ctx: &ParCtx<'_>) {
+        unsafe { (self.call)(self.data, ctx) }
+    }
+}
+
+/// The work published for one parallel region.
+#[derive(Clone)]
+pub(crate) struct Work {
+    pub team: Arc<Team>,
+    pub closure: ErasedClosure,
+    pub outlined: Ip,
+}
+
+/// The master↔worker rendezvous: an epoch counter, the published work, and
+/// a doorbell for parked workers.
+///
+/// Publication protocol: the master writes `work` and `team_size`, then
+/// increments `epoch` with release ordering and rings the doorbell.
+/// Workers acquire-load `epoch`; on a change they read `team_size` and —
+/// only if they participate (`gtid < team_size`) — the work cell. A
+/// participant cannot still be reading the cell when the next region is
+/// published, because publication only happens after the previous region's
+/// end barrier, which every participant reaches after its last read.
+/// Non-participants never touch the cell.
+pub(crate) struct TeamSlot {
+    epoch: AtomicU64,
+    team_size: AtomicUsize,
+    work: UnsafeCell<Option<Work>>,
+    bell_mutex: Mutex<()>,
+    bell: Condvar,
+}
+
+unsafe impl Sync for TeamSlot {}
+
+impl TeamSlot {
+    pub(crate) fn new() -> Self {
+        TeamSlot {
+            epoch: AtomicU64::new(0),
+            team_size: AtomicUsize::new(0),
+            work: UnsafeCell::new(None),
+            bell_mutex: Mutex::new(()),
+            bell: Condvar::new(),
+        }
+    }
+
+    /// Publish a region's work (master only; callers serialize via the
+    /// runtime's fork lock).
+    pub(crate) fn publish(&self, work: Work) {
+        let size = work.team.size;
+        // Safety: no worker reads the cell between the previous region's
+        // end barrier and this epoch increment (see type-level protocol).
+        unsafe { *self.work.get() = Some(work) };
+        self.team_size.store(size, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
+        let _guard = self.bell_mutex.lock().unwrap();
+        self.bell.notify_all();
+    }
+
+    /// Clear the published work after a region completes, dropping the
+    /// team reference (master only, after the end barrier).
+    pub(crate) fn retire(&self) {
+        unsafe { *self.work.get() = None };
+    }
+
+    /// Snapshot the published work. Only valid for participants inside the
+    /// fork/join window.
+    fn take(&self) -> Work {
+        unsafe { (*self.work.get()).clone().expect("work published") }
+    }
+
+    /// Current team size of the published region.
+    fn size(&self) -> usize {
+        self.team_size.load(Ordering::Relaxed)
+    }
+
+    /// Wake all parked workers (used at shutdown).
+    pub(crate) fn ring(&self) {
+        let _guard = self.bell_mutex.lock().unwrap();
+        self.bell.notify_all();
+    }
+
+    /// Block until the epoch differs from `last` or `shutdown` is set.
+    /// Returns the new epoch, or `None` on shutdown.
+    fn wait_change(&self, last: u64, shutdown: &AtomicBool) -> Option<u64> {
+        let budget = crate::spin::long_budget();
+        let mut spins = 0u32;
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            if e != last {
+                return Some(e);
+            }
+            if shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            if spins < budget {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                let guard = self.bell_mutex.lock().unwrap();
+                let _unused = self
+                    .bell
+                    .wait_while(guard, |_| {
+                        self.epoch.load(Ordering::Acquire) == last
+                            && !shutdown.load(Ordering::Relaxed)
+                    })
+                    .unwrap();
+            }
+        }
+    }
+}
+
+/// Body of a pool worker thread with global thread ID `gtid`.
+pub(crate) fn worker_main(shared: Arc<Shared>, gtid: usize) {
+    let desc = shared.descriptor(gtid);
+    crate::tls::bind(shared.instance, gtid, desc.clone());
+
+    // "As soon as the threads are created, they are set to be in the
+    // THR_IDLE_STATE and the event OMP_EVENT_THR_BEGIN_IDLE triggers a
+    // callback associated with that event." (paper §IV-C1)
+    desc.state.set(ThreadState::Idle);
+    shared.fire(Event::ThreadBeginIdle, gtid, 0, 0, 0);
+
+    let mut last_epoch = 0u64;
+    while let Some(epoch) = shared.slot.wait_change(last_epoch, &shared.shutdown) {
+        last_epoch = epoch;
+        if gtid >= shared.slot.size() {
+            continue; // not in this region's team; stay idle
+        }
+        let work = shared.slot.take();
+        let team = work.team.clone();
+
+        // The idle period is over before the end-idle event fires, so a
+        // state query from its callback sees the working state.
+        crate::tls::set_team(shared.instance, Some(team.clone()));
+        desc.state.set(ThreadState::Working);
+        shared.fire(
+            Event::ThreadEndIdle,
+            gtid,
+            team.region_id,
+            team.parent_region_id,
+            0,
+        );
+
+        {
+            let ctx = ParCtx::new(&shared, &team, &desc, gtid);
+            let frame = psx::enter(work.outlined);
+            // Safety: we are inside the fork/join window for this epoch.
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+                work.closure.call(&ctx)
+            }));
+            drop(frame);
+            if result.is_err() {
+                team.set_panicked();
+            }
+            // The implicit barrier every participant takes at region end.
+            ctx.implicit_barrier();
+        }
+
+        crate::tls::set_team(shared.instance, None);
+        desc.state.set(ThreadState::Idle);
+        shared.fire(Event::ThreadBeginIdle, gtid, 0, 0, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erased_closure_calls_through() {
+        // Exercise the erasure machinery without a full runtime by
+        // checking data-pointer round-tripping with a no-op context is
+        // well-formed at the type level; behavioural coverage comes from
+        // the runtime tests.
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        let f = |_ctx: &ParCtx<'_>| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        };
+        let erased = ErasedClosure::new(&f);
+        // A second erasure of the same closure points at the same data.
+        let erased2 = ErasedClosure::new(&f);
+        assert_eq!(erased.data, erased2.data);
+    }
+
+    #[test]
+    fn slot_epoch_and_doorbell() {
+        let slot = Arc::new(TeamSlot::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let s2 = slot.clone();
+        let sd2 = shutdown.clone();
+        let waiter = std::thread::spawn(move || s2.wait_change(0, &sd2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let f = |_: &ParCtx<'_>| {};
+        slot.publish(Work {
+            team: Team::solo(1, 0),
+            closure: ErasedClosure::new(&f),
+            outlined: Ip(0),
+        });
+        assert_eq!(waiter.join().unwrap(), Some(1));
+        slot.retire();
+    }
+
+    #[test]
+    fn slot_shutdown_releases_waiters() {
+        let slot = Arc::new(TeamSlot::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let s2 = slot.clone();
+        let sd2 = shutdown.clone();
+        let waiter = std::thread::spawn(move || s2.wait_change(0, &sd2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        shutdown.store(true, Ordering::Relaxed);
+        slot.ring();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

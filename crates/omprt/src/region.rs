@@ -1,0 +1,224 @@
+//! Parallel-region identity: the compiler-outlining analogue.
+//!
+//! An OpenMP compiler outlines each parallel construct into a nested
+//! procedure (`__ompdo_main_1` in the paper's Fig. 2) whose address is what
+//! a profiler sees on the stack. Programs written against `omprt` declare
+//! the same structure explicitly: a [`SourceFunction`] stands for a user
+//! function, and each [`RegionHandle`] created from it stands for one
+//! parallel construct, registered in the global [`psx`] symbol table as an
+//! outlined body parented to the function. The callstack a collector
+//! captures at a join event then symbolizes and reconstructs exactly like
+//! the paper's BFD + libunwind pipeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use psx::symtab::{Ip, SymbolDesc, SymbolTable};
+
+/// A user-level function that contains parallel constructs.
+#[derive(Debug, Clone)]
+pub struct SourceFunction {
+    name: String,
+    file: String,
+    ip: Ip,
+    /// Next free offset within the function's IP range, for call sites.
+    next_offset: Arc<AtomicU64>,
+}
+
+impl SourceFunction {
+    /// Declare a user function, registering it in the global symbol table.
+    pub fn new(name: impl Into<String>, file: impl Into<String>, line: u32) -> Self {
+        let name = name.into();
+        let file = file.into();
+        let ip = SymbolTable::global().register(SymbolDesc::user(&name, &file, line));
+        SourceFunction {
+            name,
+            file,
+            ip,
+            next_offset: Arc::new(AtomicU64::new(0x10)),
+        }
+    }
+
+    /// Register a call site at `line` inside this function: a distinct IP
+    /// within the function's range, resolved through the line table (the
+    /// BFD behaviour the paper's §IV-F mapping relies on). Frames pushed
+    /// with [`CallSite::frame`] symbolize to this exact line.
+    pub fn call_site(&self, line: u32) -> CallSite {
+        let offset = self.next_offset.fetch_add(0x10, Ordering::Relaxed);
+        SymbolTable::global().add_line(self.ip, offset, line);
+        CallSite {
+            ip: self.ip.at_offset(offset),
+        }
+    }
+
+    /// Push this function's frame on the calling thread's shadow stack;
+    /// call at the top of the function body.
+    pub fn frame(&self) -> psx::FrameGuard {
+        psx::enter(self.ip)
+    }
+
+    /// The function's base instruction pointer.
+    pub fn ip(&self) -> Ip {
+        self.ip
+    }
+
+    /// Declare a parallel construct at `line` inside this function. `tag`
+    /// distinguishes multiple constructs in one function (the compiler's
+    /// `_1`, `_2`, … suffixes).
+    pub fn region(&self, tag: &str, line: u32) -> RegionHandle {
+        let outlined_name = format!("__ompregion_{}_{}", self.name, tag);
+        let outlined = SymbolTable::global().register(SymbolDesc::outlined(
+            outlined_name.clone(),
+            self.file.clone(),
+            line,
+            self.ip,
+        ));
+        RegionHandle {
+            name: outlined_name,
+            outlined,
+        }
+    }
+
+    /// Like [`SourceFunction::region`] but for a worksharing-loop
+    /// construct (`#pragma omp parallel for`), which OpenUH names
+    /// `__ompdo_*`.
+    pub fn loop_region(&self, tag: &str, line: u32) -> RegionHandle {
+        let outlined_name = format!("__ompdo_{}_{}", self.name, tag);
+        let outlined = SymbolTable::global().register(SymbolDesc::outlined(
+            outlined_name.clone(),
+            self.file.clone(),
+            line,
+            self.ip,
+        ));
+        RegionHandle {
+            name: outlined_name,
+            outlined,
+        }
+    }
+}
+
+/// A specific call site (function + line) usable as a stack frame.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    ip: Ip,
+}
+
+impl CallSite {
+    /// Push a frame at this call site.
+    pub fn frame(&self) -> psx::FrameGuard {
+        psx::enter(self.ip)
+    }
+
+    /// The call site's IP.
+    pub fn ip(&self) -> Ip {
+        self.ip
+    }
+}
+
+/// One parallel construct: the handle passed to
+/// [`crate::runtime::OpenMp::parallel_region`].
+#[derive(Debug, Clone)]
+pub struct RegionHandle {
+    name: String,
+    pub(crate) outlined: Ip,
+}
+
+impl RegionHandle {
+    /// The outlined body's symbol name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The outlined body's instruction pointer (what appears in captured
+    /// callstacks while the region executes).
+    pub fn outlined_ip(&self) -> Ip {
+        self.outlined
+    }
+
+    /// The shared handle used by [`crate::runtime::OpenMp::parallel`] when
+    /// the caller does not care about source attribution.
+    pub fn anonymous() -> &'static RegionHandle {
+        static ANON: OnceLock<(SourceFunction, RegionHandle)> = OnceLock::new();
+        let (_, region) = ANON.get_or_init(|| {
+            let f = SourceFunction::new("<program>", "<unknown>", 0);
+            let r = f.region("anon", 0);
+            (f, r)
+        });
+        region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psx::symtab::FrameKind;
+
+    #[test]
+    fn region_symbols_are_outlined_children_of_their_function() {
+        let f = SourceFunction::new("solve_rt", "solver.c", 10);
+        let r = f.region("1", 14);
+        let info = SymbolTable::global().resolve(r.outlined_ip()).unwrap();
+        assert_eq!(info.kind, FrameKind::Outlined);
+        assert_eq!(info.parent, Some(f.ip()));
+        assert_eq!(info.line, 14);
+        assert!(r.name().starts_with("__ompregion_solve_rt"));
+    }
+
+    #[test]
+    fn loop_regions_use_the_ompdo_prefix() {
+        let f = SourceFunction::new("main_rt", "app.c", 1);
+        let r = f.loop_region("1", 4);
+        assert!(r.name().starts_with("__ompdo_main_rt"));
+    }
+
+    #[test]
+    fn function_frames_are_visible_to_capture() {
+        let f = SourceFunction::new("kernel_rt", "k.c", 2);
+        let _g = f.frame();
+        let bt = psx::capture();
+        let names: Vec<String> = bt
+            .resolve(SymbolTable::global())
+            .map(|s| s.unwrap().name.to_string())
+            .collect();
+        assert!(names.contains(&"kernel_rt".to_string()));
+    }
+
+    #[test]
+    fn call_sites_resolve_to_their_lines() {
+        let f = SourceFunction::new("caller_rt", "c.c", 100);
+        let site_a = f.call_site(105);
+        let site_b = f.call_site(112);
+        let t = SymbolTable::global();
+        let a = t.resolve(site_a.ip()).unwrap();
+        let b = t.resolve(site_b.ip()).unwrap();
+        assert_eq!(&*a.name, "caller_rt");
+        assert_eq!(a.line, 105);
+        assert_eq!(b.line, 112);
+        // The function's entry still resolves to its own line.
+        assert_eq!(t.resolve(f.ip()).unwrap().line, 100);
+    }
+
+    #[test]
+    fn call_site_frames_symbolize_in_captures() {
+        let f = SourceFunction::new("site_frames_rt", "c.c", 1);
+        let site = f.call_site(42);
+        let _g = site.frame();
+        let bt = psx::capture();
+        let resolved: Vec<_> = bt
+            .resolve(SymbolTable::global())
+            .map(|s| s.unwrap())
+            .collect();
+        let frame = resolved
+            .iter()
+            .find(|s| &*s.name == "site_frames_rt")
+            .unwrap();
+        assert_eq!(frame.line, 42);
+    }
+
+    #[test]
+    fn anonymous_region_is_a_singleton() {
+        let a = RegionHandle::anonymous();
+        let b = RegionHandle::anonymous();
+        assert_eq!(a.outlined_ip(), b.outlined_ip());
+    }
+}

@@ -1,0 +1,601 @@
+//! The runtime instance: fork/join, master personas, ORA wiring.
+//!
+//! One [`OpenMp`] value corresponds to one loaded OpenMP runtime library:
+//! it owns the worker pool, the thread descriptors, the collector API
+//! instance it exports under `__omp_collector_api`, and the region-ID
+//! counters. Multiple instances can coexist in a process (the multi-zone
+//! simulation gives each rank its own), each exporting an
+//! instance-qualified symbol; the first instance also claims the canonical
+//! symbol name, like the single OpenMP runtime of a real process.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use parking_lot::{Mutex, RwLock};
+
+use ora_core::api::{CollectorApi, RuntimeInfoProvider};
+use ora_core::event::Event;
+use ora_core::registry::EventData;
+use ora_core::request::{OraError, OraResult};
+use ora_core::state::{ThreadState, WaitIdKind};
+use ora_core::COLLECTOR_API_SYMBOL;
+use psx::symtab::{Ip, SymbolDesc, SymbolTable};
+
+use crate::config::Config;
+use crate::context::ParCtx;
+use crate::descriptor::ThreadDescriptor;
+use crate::pool::{worker_main, ErasedClosure, TeamSlot, Work};
+use crate::region::RegionHandle;
+use crate::team::Team;
+use crate::tls;
+use crate::wordlock::WordLock;
+
+/// Synthetic IPs of the runtime's own entry points, so captured
+/// implementation-model callstacks contain the `__ompc_*` frames the
+/// paper's tools see (and user-model reconstruction strips).
+pub(crate) struct RuntimeSyms {
+    pub fork: Ip,
+    pub ibarrier: Ip,
+    pub ebarrier: Ip,
+    pub static_init: Ip,
+    pub dispatch: Ip,
+    pub reduction: Ip,
+    pub critical: Ip,
+    pub ordered: Ip,
+    pub lock: Ip,
+    pub master: Ip,
+    pub single: Ip,
+}
+
+/// The process-wide runtime symbol set, registered once.
+pub(crate) fn syms() -> &'static RuntimeSyms {
+    static SYMS: OnceLock<RuntimeSyms> = OnceLock::new();
+    SYMS.get_or_init(|| {
+        let t = SymbolTable::global();
+        let reg = |name: &str| t.register(SymbolDesc::runtime(name));
+        RuntimeSyms {
+            fork: reg("__ompc_fork"),
+            ibarrier: reg("__ompc_ibarrier"),
+            ebarrier: reg("__ompc_ebarrier"),
+            static_init: reg("__ompc_static_init_4"),
+            dispatch: reg("__ompc_dispatch_next"),
+            reduction: reg("__ompc_reduction"),
+            critical: reg("__ompc_critical"),
+            ordered: reg("__ompc_ordered"),
+            lock: reg("__ompc_lock"),
+            master: reg("__ompc_master"),
+            single: reg("__ompc_single"),
+        }
+    })
+}
+
+static INSTANCE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// State shared between the master API, the worker pool, and the collector
+/// provider.
+pub(crate) struct Shared {
+    pub instance: u64,
+    pub config: Config,
+    /// Mutable default team size (`omp_set_num_threads`); initialized
+    /// from `config.num_threads`.
+    pub default_threads: AtomicUsize,
+    pub api: Arc<CollectorApi>,
+    pub descriptors: RwLock<Vec<Arc<ThreadDescriptor>>>,
+    pub master_serial: Arc<ThreadDescriptor>,
+    pub slot: TeamSlot,
+    pub shutdown: AtomicBool,
+    region_counter: AtomicU64,
+    region_calls: AtomicU64,
+    criticals: Mutex<HashMap<String, Arc<WordLock>>>,
+}
+
+impl Shared {
+    /// Fire an ORA event through the fast path.
+    #[inline]
+    pub fn fire(&self, event: Event, gtid: usize, region_id: u64, parent: u64, wait_id: u64) {
+        self.api.event(&EventData {
+            event,
+            gtid,
+            region_id,
+            parent_region_id: parent,
+            wait_id,
+        });
+    }
+
+    /// Descriptor of thread `gtid`.
+    pub fn descriptor(&self, gtid: usize) -> Arc<ThreadDescriptor> {
+        self.descriptors.read()[gtid].clone()
+    }
+
+    /// The named critical region's compiler-generated lock.
+    pub fn critical_lock(&self, name: &str) -> Arc<WordLock> {
+        let mut map = self.criticals.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(WordLock::new()))
+            .clone()
+    }
+}
+
+/// Answers collector queries from the runtime's thread descriptors.
+struct Provider {
+    shared: std::sync::Weak<Shared>,
+}
+
+impl RuntimeInfoProvider for Provider {
+    fn thread_state(&self) -> (ThreadState, Option<(WaitIdKind, u64)>) {
+        let Some(shared) = self.shared.upgrade() else {
+            return (ThreadState::Unknown, None);
+        };
+        match tls::lookup(shared.instance) {
+            Some((_gtid, desc, _team)) => desc.query(),
+            // A thread the runtime has never seen executes serial code by
+            // definition.
+            None => (ThreadState::Serial, None),
+        }
+    }
+
+    fn current_region_id(&self) -> OraResult<u64> {
+        let shared = self.shared.upgrade().ok_or(OraError::Error)?;
+        match tls::lookup(shared.instance) {
+            Some((_, _, Some(team))) => Ok(team.region_id),
+            // "When a thread is outside a parallel region, it will return
+            // an error code indicating a request out of sequence and an ID
+            // with the value of zero." (paper §IV-E)
+            _ => Err(OraError::OutOfSequence),
+        }
+    }
+
+    fn parent_region_id(&self) -> OraResult<u64> {
+        let shared = self.shared.upgrade().ok_or(OraError::Error)?;
+        match tls::lookup(shared.instance) {
+            Some((_, _, Some(team))) => Ok(team.parent_region_id),
+            _ => Err(OraError::OutOfSequence),
+        }
+    }
+
+    fn supports_event(&self, event: Event) -> bool {
+        let atomic = matches!(
+            event,
+            Event::ThreadBeginAtomicWait | Event::ThreadEndAtomicWait
+        );
+        if !atomic {
+            return true;
+        }
+        self.shared
+            .upgrade()
+            .map(|s| s.config.atomic_events)
+            .unwrap_or(false)
+    }
+}
+
+/// An OpenMP runtime instance.
+///
+/// ```
+/// use omprt::OpenMp;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let rt = OpenMp::with_threads(4);
+/// let sum = AtomicU64::new(0);
+/// rt.parallel(|ctx| {
+///     ctx.for_each(0, 99, |i| {
+///         ctx.atomic_update(&sum, |v| v + i as u64);
+///     });
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 4950);
+/// ```
+pub struct OpenMp {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes forks from different OS threads; reentrant forks from
+    /// inside a region take the serialized-nesting path before reaching
+    /// this lock.
+    fork_lock: Mutex<()>,
+    symbol: String,
+    owns_canonical: bool,
+}
+
+impl Default for OpenMp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpenMp {
+    /// A runtime with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(Config::default())
+    }
+
+    /// A runtime with `n` threads and otherwise default configuration.
+    pub fn with_threads(n: usize) -> Self {
+        Self::with_config(Config::with_threads(n))
+    }
+
+    /// A runtime with an explicit configuration.
+    pub fn with_config(config: Config) -> Self {
+        let instance = INSTANCE_IDS.fetch_add(1, Ordering::Relaxed);
+        let api = Arc::new(CollectorApi::new());
+
+        // The master's two descriptors (paper §IV-C): the serial persona
+        // exists so a tool can query state even before the runtime's
+        // worker threads exist.
+        let master_parallel = Arc::new(ThreadDescriptor::new(0));
+        let master_serial = Arc::new(ThreadDescriptor::with_state(0, ThreadState::Serial));
+
+        let default_threads = config.num_threads;
+        let shared = Arc::new(Shared {
+            instance,
+            config,
+            default_threads: AtomicUsize::new(default_threads),
+            api: api.clone(),
+            descriptors: RwLock::new(vec![master_parallel]),
+            master_serial: master_serial.clone(),
+            slot: TeamSlot::new(),
+            shutdown: AtomicBool::new(false),
+            region_counter: AtomicU64::new(0),
+            region_calls: AtomicU64::new(0),
+            criticals: Mutex::new(HashMap::new()),
+        });
+
+        api.set_provider(Arc::new(Provider {
+            shared: Arc::downgrade(&shared),
+        }));
+
+        // Export the collector entry point. Every instance exports an
+        // instance-qualified name; the first also claims the canonical
+        // `__omp_collector_api`, as the sole runtime of a process would.
+        let symbol = format!("{COLLECTOR_API_SYMBOL}@{instance}");
+        let weak = Arc::downgrade(&shared);
+        let entry: psx::dynsym::CollectorEntry = Arc::new(move |buf: &mut [u8]| {
+            match weak.upgrade() {
+                Some(s) => s.api.handle_bytes(buf),
+                None => -1,
+            }
+        });
+        psx::dynsym::export(&symbol, entry.clone());
+        psx::dynsym::objects::export(&format!("{symbol}.api"), api.clone());
+        let owns_canonical = psx::dynsym::try_export(COLLECTOR_API_SYMBOL, entry);
+        if owns_canonical {
+            psx::dynsym::objects::export(&format!("{COLLECTOR_API_SYMBOL}.api"), api.clone());
+        }
+
+        // Bind the creating thread as the (serial) master.
+        tls::bind(instance, 0, master_serial);
+
+        OpenMp {
+            shared,
+            workers: Mutex::new(Vec::new()),
+            fork_lock: Mutex::new(()),
+            symbol,
+            owns_canonical,
+        }
+    }
+
+    /// The current default team size (`omp_get_max_threads`).
+    pub fn num_threads(&self) -> usize {
+        self.shared.default_threads.load(Ordering::Relaxed)
+    }
+
+    /// `omp_set_num_threads`: change the default team size used by
+    /// subsequent parallel regions.
+    pub fn set_num_threads(&self, n: usize) {
+        self.shared
+            .default_threads
+            .store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// The runtime's collector API (in-process collectors may use this
+    /// directly instead of symbol discovery).
+    pub fn collector_api(&self) -> Arc<CollectorApi> {
+        self.shared.api.clone()
+    }
+
+    /// The instance-qualified dynamic symbol this runtime exports.
+    pub fn symbol_name(&self) -> &str {
+        &self.symbol
+    }
+
+    /// Whether this instance also owns the canonical
+    /// `__omp_collector_api` export.
+    pub fn owns_canonical_symbol(&self) -> bool {
+        self.owns_canonical
+    }
+
+    /// How many parallel regions have been forked so far (the measurement
+    /// behind the paper's Tables I and II).
+    pub fn region_calls(&self) -> u64 {
+        self.shared.region_calls.load(Ordering::Relaxed)
+    }
+
+    /// Execute a parallel region with the default team size.
+    pub fn parallel<F: Fn(&ParCtx<'_>) + Sync>(&self, f: F) {
+        self.parallel_region_n(self.num_threads(), RegionHandle::anonymous(), f)
+    }
+
+    /// Execute a parallel region attributed to `region`.
+    pub fn parallel_region<F: Fn(&ParCtx<'_>) + Sync>(&self, region: &RegionHandle, f: F) {
+        self.parallel_region_n(self.num_threads(), region, f)
+    }
+
+    /// Execute a parallel region with an explicit team size.
+    pub fn parallel_n<F: Fn(&ParCtx<'_>) + Sync>(&self, n: usize, f: F) {
+        self.parallel_region_n(n, RegionHandle::anonymous(), f)
+    }
+
+    /// Execute a parallel region with an explicit team size, attributed to
+    /// `region`. This is the `__ompc_fork` entry point.
+    pub fn parallel_region_n<F: Fn(&ParCtx<'_>) + Sync>(
+        &self,
+        n: usize,
+        region: &RegionHandle,
+        f: F,
+    ) {
+        let shared = &self.shared;
+
+        // Nested parallel regions: serialized by default ("our compiler
+        // currently serializes nested parallel regions and because of
+        // this, we do not trigger a fork event for nested parallel
+        // regions", §IV-C1; IDs keep the outer region's values, §IV-E).
+        // With `Config::nested`, the "future releases" behaviour applies
+        // instead: a real sub-team, a fork event, and a live parent ID.
+        if tls::in_parallel(shared.instance) {
+            if shared.config.nested {
+                self.nested_parallel(n.max(1), region, &f);
+            } else {
+                let (_gtid, desc, team) = tls::lookup(shared.instance).expect("bound");
+                let outer = team.expect("in_parallel implies a team");
+                let solo = Team::new_at_level(
+                    outer.region_id,
+                    outer.parent_region_id,
+                    1,
+                    crate::barrier::BarrierKind::Central,
+                    outer.level + 1,
+                );
+                let ctx = ParCtx::new(shared, &solo, &desc, 0);
+                let _frame = psx::enter(region.outlined);
+                f(&ctx);
+            }
+            return;
+        }
+
+        let _fork_guard = self.fork_lock.lock();
+        let n = n.max(1);
+
+        // A thread that has never touched this runtime becomes its master.
+        if tls::lookup(shared.instance).is_none() {
+            tls::bind(shared.instance, 0, shared.master_serial.clone());
+        }
+
+        // Master enters the overhead state while it prepares the fork
+        // ("during this process, the master thread is considered to be in
+        // the overhead state", §IV-C1).
+        shared.master_serial.state.set(ThreadState::Overhead);
+        let fork_frame = psx::enter(syms().fork);
+
+        let region_id = shared.region_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.region_calls.fetch_add(1, Ordering::Relaxed);
+        let team = Team::new(region_id, 0, n, shared.config.barrier);
+
+        // The fork event fires before any worker is created or woken
+        // (paper: "just before the call pthread_create()").
+        shared.fire(Event::Fork, 0, region_id, 0, 0);
+
+        self.ensure_workers(n);
+
+        // Publish the outlined procedure to the team.
+        let closure = ErasedClosure::new(&f);
+        shared.slot.publish(Work {
+            team: team.clone(),
+            closure,
+            outlined: region.outlined,
+        });
+
+        // Master switches to its parallel persona and runs its share.
+        let master_desc = shared.descriptor(0);
+        tls::swap_desc(shared.instance, 0, master_desc.clone());
+        tls::set_team(shared.instance, Some(team.clone()));
+        master_desc.state.set(ThreadState::Working);
+
+        // The outlined frame covers the body, the closing implicit
+        // barrier (which lives inside the outlined procedure, paper
+        // Fig. 2), and the join event, so a callstack captured from the
+        // join callback attributes to this construct.
+        let outlined_frame = psx::enter(region.outlined);
+        let master_panic = {
+            let ctx = ParCtx::new(shared, &team, &master_desc, 0);
+            let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+            if result.is_err() {
+                team.set_panicked();
+            }
+            ctx.implicit_barrier();
+            result.err()
+        };
+
+        // "In the case of a join operation, the OMP_EVENT_JOIN is
+        // triggered and the state of the master thread is set to
+        // THR_OVHD_STATE as soon as it leaves the implicit barrier at the
+        // end of the parallel region." (§IV-C1)
+        master_desc.state.set(ThreadState::Overhead);
+        shared.fire(Event::Join, 0, region_id, 0, 0);
+
+        drop(outlined_frame);
+        shared.slot.retire();
+        tls::set_team(shared.instance, None);
+        tls::swap_desc(shared.instance, 0, shared.master_serial.clone());
+        shared.master_serial.state.set(ThreadState::Serial);
+        drop(fork_frame);
+
+        if let Some(payload) = master_panic {
+            resume_unwind(payload);
+        }
+        if team.has_panicked() {
+            panic!("a worker thread panicked inside the parallel region");
+        }
+    }
+
+    /// Fork a real nested sub-team (the `Config::nested` path): ephemeral
+    /// scoped threads join an inner team whose parent region ID is the
+    /// enclosing region's ID. "In the case of a nested parallel region,
+    /// it will return the current parallel region ID of the parent team
+    /// that spawned the new team of threads." (§IV-E)
+    fn nested_parallel<F: Fn(&ParCtx<'_>) + Sync>(&self, n: usize, region: &RegionHandle, f: &F) {
+        let shared = &self.shared;
+        let (outer_gtid, outer_desc, outer_team) =
+            tls::lookup(shared.instance).expect("bound");
+        let outer = outer_team.expect("in_parallel implies a team");
+
+        let region_id = shared.region_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.region_calls.fetch_add(1, Ordering::Relaxed);
+        let team = Team::new_at_level(
+            region_id,
+            outer.region_id,
+            n,
+            shared.config.barrier,
+            outer.level + 1,
+        );
+
+        let fork_frame = psx::enter(syms().fork);
+        // The inner master is in the overhead state while forking, and the
+        // fork event precedes thread creation, as at the outer level.
+        let prev_state = outer_desc.state.replace(ThreadState::Overhead);
+        shared.fire(Event::Fork, outer_gtid, region_id, outer.region_id, 0);
+
+        // The inner master reuses its descriptor; inner workers get fresh
+        // ephemeral descriptors (they exist only for this region).
+        tls::set_team(shared.instance, Some(team.clone()));
+        outer_desc.state.set(ThreadState::Working);
+
+        std::thread::scope(|scope| {
+            for inner_gtid in 1..n {
+                let team = team.clone();
+                let shared = shared.clone();
+                let f = &f;
+                let region = region.clone();
+                scope.spawn(move || {
+                    let desc = Arc::new(ThreadDescriptor::new(inner_gtid));
+                    tls::bind(shared.instance, inner_gtid, desc.clone());
+                    tls::set_team(shared.instance, Some(team.clone()));
+                    desc.state.set(ThreadState::Working);
+                    {
+                        let ctx = ParCtx::new(&shared, &team, &desc, inner_gtid);
+                        let frame = psx::enter(region.outlined);
+                        let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                        drop(frame);
+                        if result.is_err() {
+                            team.set_panicked();
+                        }
+                        ctx.implicit_barrier();
+                    }
+                    tls::unbind(shared.instance);
+                });
+            }
+
+            let ctx = ParCtx::new(shared, &team, &outer_desc, 0);
+            let frame = psx::enter(region.outlined);
+            let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+            drop(frame);
+            if result.is_err() {
+                team.set_panicked();
+            }
+            ctx.implicit_barrier();
+        });
+
+        // Join: fired by the inner master as it leaves the inner barrier.
+        outer_desc.state.set(ThreadState::Overhead);
+        shared.fire(Event::Join, outer_gtid, region_id, outer.region_id, 0);
+        drop(fork_frame);
+
+        // Restore the outer team binding and state.
+        tls::set_team(shared.instance, Some(outer));
+        outer_desc.state.set(prev_state);
+
+        if team.has_panicked() {
+            panic!("a thread panicked inside the nested parallel region");
+        }
+    }
+
+    /// Convenience: `#pragma omp parallel for reduction(+:sum)` over
+    /// `lo..=hi` — the paper's Fig. 1 in one call. Returns the sum.
+    pub fn parallel_for_sum<F: Fn(i64) -> f64 + Sync>(
+        &self,
+        region: &RegionHandle,
+        lo: i64,
+        hi: i64,
+        f: F,
+    ) -> f64 {
+        let acc = AtomicU64::new(0f64.to_bits());
+        self.parallel_region(region, |ctx| {
+            ctx.for_reduce_sum(lo, hi, &f, &acc);
+        });
+        f64::from_bits(acc.load(Ordering::Relaxed))
+    }
+
+    /// Make sure descriptors and worker threads exist for a team of `n`.
+    fn ensure_workers(&self, n: usize) {
+        {
+            let mut descs = self.shared.descriptors.write();
+            while descs.len() < n {
+                // Descriptors are created (in the overhead state) before
+                // their thread exists, so state queries during creation
+                // have an answer (paper §IV-D).
+                let gtid = descs.len();
+                descs.push(Arc::new(ThreadDescriptor::new(gtid)));
+            }
+        }
+        let mut workers = self.workers.lock();
+        while workers.len() + 1 < n {
+            let gtid = workers.len() + 1;
+            let shared = self.shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("omprt-{}-w{}", self.shared.instance, gtid))
+                .spawn(move || worker_main(shared, gtid))
+                .expect("spawn worker");
+            workers.push(handle);
+        }
+    }
+
+    /// Number of live worker threads (excluding the master).
+    pub fn spawned_workers(&self) -> usize {
+        self.workers.lock().len()
+    }
+
+    /// Internal shared state, for sibling modules (locks).
+    pub(crate) fn shared_arc(&self) -> Arc<Shared> {
+        self.shared.clone()
+    }
+
+    /// This runtime instance's ID (keys the thread-local bindings).
+    pub(crate) fn instance_id(&self) -> u64 {
+        self.shared.instance
+    }
+}
+
+impl Drop for OpenMp {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.slot.ring();
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+        psx::dynsym::unexport(&self.symbol);
+        psx::dynsym::objects::unexport(&format!("{}.api", self.symbol));
+        if self.owns_canonical {
+            psx::dynsym::unexport(COLLECTOR_API_SYMBOL);
+            psx::dynsym::objects::unexport(&format!("{COLLECTOR_API_SYMBOL}.api"));
+        }
+        tls::unbind(self.shared.instance);
+    }
+}
+
+impl std::fmt::Debug for OpenMp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenMp")
+            .field("instance", &self.shared.instance)
+            .field("num_threads", &self.shared.config.num_threads)
+            .field("region_calls", &self.region_calls())
+            .finish()
+    }
+}

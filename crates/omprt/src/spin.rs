@@ -1,0 +1,55 @@
+//! Adaptive spin budgets.
+//!
+//! Spin-then-park waiting only pays off when the thread being waited on
+//! can make progress on another core. On a single-core host (or when the
+//! process is heavily oversubscribed) spinning just burns the timeslice
+//! the *other* thread needs, so all runtime wait loops consult this budget
+//! and park (or yield) immediately when there is no parallelism to spin
+//! against.
+
+use std::sync::OnceLock;
+
+/// Spin iterations to attempt before parking in short waits (locks).
+pub fn short_budget() -> u32 {
+    if multicore() {
+        64
+    } else {
+        0
+    }
+}
+
+/// Spin iterations to attempt before parking in long waits (barriers,
+/// idle workers).
+pub fn long_budget() -> u32 {
+    if multicore() {
+        2_000
+    } else {
+        0
+    }
+}
+
+/// Whether the host has more than one hardware thread.
+pub fn multicore() -> bool {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }) > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_are_consistent_with_core_count() {
+        if multicore() {
+            assert!(short_budget() > 0);
+            assert!(long_budget() > short_budget());
+        } else {
+            assert_eq!(short_budget(), 0);
+            assert_eq!(long_budget(), 0);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Explicit tasks — the OpenMP 3.0 construct the paper names as future
+//! work ("More work will be needed to extend the interface to handle the
+//! constructs in the recent OpenMP 3.0 standard", §VI).
+//!
+//! Tasks created inside a parallel region are queued on the team and may
+//! be executed by any team thread. `taskwait` (and the implicit barrier at
+//! region/worksharing end, which subsumes one) drains the queue, executing
+//! tasks while waiting. The ORA extension events `TaskBegin`/`TaskEnd` and
+//! `TaskWaitBegin`/`TaskWaitEnd` plus the `THR_TSKWT_STATE` state make the
+//! construct observable to collectors in the same begin/end style as the
+//! white-paper events.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// A lifetime-erased queued task.
+///
+/// # Safety contract
+/// Tasks may borrow from the enclosing parallel region's environment. The
+/// runtime guarantees every queued task is executed (or dropped) before
+/// any team thread passes the region-end implicit barrier — each thread
+/// drains the queue to empty *and quiescent* before arriving — so the
+/// erased borrows never outlive their referents.
+pub(crate) struct ErasedTask {
+    f: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl ErasedTask {
+    /// Erase `f`'s lifetime. See the type-level safety contract.
+    ///
+    /// # Safety
+    /// Caller must ensure the task runs before the borrows in `f` expire
+    /// (the team drains at every barrier, which is sufficient for tasks
+    /// created inside a region).
+    pub(crate) unsafe fn new<'e, F: FnOnce() + Send + 'e>(f: F) -> Self {
+        let boxed: Box<dyn FnOnce() + Send + 'e> = Box::new(f);
+        // SAFETY: lifetime erasure justified by the drain-before-barrier
+        // protocol documented on the type.
+        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        ErasedTask { f: boxed }
+    }
+
+    pub(crate) fn run(self) {
+        (self.f)()
+    }
+}
+
+/// The team's shared task queue.
+pub(crate) struct TaskPool {
+    queue: Mutex<VecDeque<ErasedTask>>,
+    /// Tasks queued or currently executing.
+    outstanding: AtomicUsize,
+    /// Monotonic task IDs (carried in the TaskBegin/TaskEnd wait-ID field).
+    next_id: AtomicU64,
+    /// Cheap flag so regions that never create tasks skip the drain.
+    ever_used: AtomicBool,
+}
+
+impl TaskPool {
+    pub(crate) fn new() -> Self {
+        TaskPool {
+            queue: Mutex::new(VecDeque::new()),
+            outstanding: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            ever_used: AtomicBool::new(false),
+        }
+    }
+
+    /// Queue a task; returns its ID.
+    pub(crate) fn push(&self, task: ErasedTask) -> u64 {
+        self.ever_used.store(true, Ordering::Relaxed);
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue.lock().push_back(task);
+        id
+    }
+
+    /// Pop one task if any is queued.
+    pub(crate) fn try_pop(&self) -> Option<ErasedTask> {
+        self.queue.lock().pop_front()
+    }
+
+    /// Mark one popped task finished.
+    pub(crate) fn complete(&self) {
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Queued-or-running task count.
+    pub(crate) fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Whether any task was ever queued in this region.
+    pub(crate) fn used(&self) -> bool {
+        self.ever_used.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pool_tracks_outstanding_counts() {
+        let pool = TaskPool::new();
+        assert!(!pool.used());
+        assert_eq!(pool.outstanding(), 0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let id = pool.push(unsafe {
+            ErasedTask::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert_eq!(id, 1);
+        assert!(pool.used());
+        assert_eq!(pool.outstanding(), 1);
+        let t = pool.try_pop().unwrap();
+        assert_eq!(pool.outstanding(), 1, "running still counts");
+        t.run();
+        pool.complete();
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(pool.try_pop().is_none());
+    }
+
+    #[test]
+    fn tasks_run_in_fifo_order_when_drained_serially() {
+        let pool = TaskPool::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let order = order.clone();
+            pool.push(unsafe {
+                ErasedTask::new(move || {
+                    order.lock().push(i);
+                })
+            });
+        }
+        while let Some(t) = pool.try_pop() {
+            t.run();
+            pool.complete();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tasks_may_borrow_locals_when_drained_in_scope() {
+        let data = [1, 2, 3];
+        let sum = AtomicUsize::new(0);
+        let pool = TaskPool::new();
+        pool.push(unsafe {
+            ErasedTask::new(|| {
+                sum.fetch_add(data.iter().sum::<usize>(), Ordering::SeqCst);
+            })
+        });
+        while let Some(t) = pool.try_pop() {
+            t.run();
+            pool.complete();
+        }
+        assert_eq!(sum.load(Ordering::SeqCst), 6);
+    }
+}

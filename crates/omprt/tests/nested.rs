@@ -1,0 +1,223 @@
+//! True nested parallelism (`Config::nested`) — the behaviour the paper
+//! promises for future compiler releases: nested regions fork real teams,
+//! fire fork/join events, and report live parent region IDs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use omprt::{Config, OpenMp};
+use ora_core::event::Event;
+use ora_core::registry::EventData;
+use ora_core::request::{Request, Response};
+
+fn nested_rt(outer: usize) -> OpenMp {
+    OpenMp::with_config(Config {
+        num_threads: outer,
+        nested: true,
+        ..Config::default()
+    })
+}
+
+#[test]
+fn nested_region_forks_a_real_team() {
+    let rt = nested_rt(2);
+    let inner_threads = Arc::new(AtomicUsize::new(0));
+    let it = inner_threads.clone();
+    rt.parallel(|ctx| {
+        if ctx.is_master() {
+            rt.parallel_n(3, |inner| {
+                assert_eq!(inner.num_threads(), 3);
+                it.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(inner_threads.load(Ordering::SeqCst), 3);
+    // Outer + one nested region.
+    assert_eq!(rt.region_calls(), 2);
+}
+
+#[test]
+fn nested_fork_events_carry_parent_region_ids() {
+    let rt = nested_rt(2);
+    let api = rt.collector_api();
+    api.handle_request(Request::Start).unwrap();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for e in [Event::Fork, Event::Join] {
+        let log = log.clone();
+        api.register_callback(
+            e,
+            Arc::new(move |d: &EventData| {
+                log.lock().unwrap().push(*d);
+            }),
+        )
+        .unwrap();
+    }
+
+    rt.parallel(|ctx| {
+        if ctx.is_master() {
+            rt.parallel_n(2, |_| {});
+        }
+    });
+
+    let log = log.lock().unwrap();
+    let forks: Vec<&EventData> = log.iter().filter(|d| d.event == Event::Fork).collect();
+    assert_eq!(forks.len(), 2, "outer fork + nested fork");
+    let outer = forks[0];
+    let nested = forks[1];
+    assert_eq!(outer.parent_region_id, 0);
+    assert_eq!(
+        nested.parent_region_id, outer.region_id,
+        "nested parent is the spawning team's region"
+    );
+    assert!(nested.region_id > outer.region_id);
+    // Joins mirror the forks.
+    let joins: Vec<&EventData> = log.iter().filter(|d| d.event == Event::Join).collect();
+    assert_eq!(joins.len(), 2);
+}
+
+#[test]
+fn parent_prid_query_works_inside_nested_regions() {
+    let rt = nested_rt(2);
+    let api = rt.collector_api();
+    api.handle_request(Request::Start).unwrap();
+    let observed = Arc::new(Mutex::new(Vec::new()));
+    let obs = observed.clone();
+    let api2 = api.clone();
+
+    rt.parallel(|ctx| {
+        let outer_region = ctx.region_id();
+        if ctx.is_master() {
+            let api3 = api2.clone();
+            let obs = obs.clone();
+            rt.parallel_n(2, move |inner| {
+                assert_eq!(inner.parent_region_id(), outer_region);
+                let cur = api3.handle_request(Request::QueryCurrentPrid).unwrap();
+                let parent = api3.handle_request(Request::QueryParentPrid).unwrap();
+                obs.lock().unwrap().push((cur, parent, outer_region));
+            });
+        }
+    });
+
+    let observed = observed.lock().unwrap();
+    assert_eq!(observed.len(), 2);
+    for (cur, parent, outer_region) in observed.iter() {
+        assert_eq!(*parent, Response::RegionId(*outer_region));
+        if let Response::RegionId(id) = cur {
+            assert!(*id > *outer_region);
+        } else {
+            panic!("expected region id");
+        }
+    }
+}
+
+#[test]
+fn doubly_nested_regions_chain_parent_ids() {
+    let rt = nested_rt(1);
+    let chain = Arc::new(Mutex::new(Vec::new()));
+    let c = chain.clone();
+    rt.parallel(|outer| {
+        let outer_id = outer.region_id();
+        rt.parallel_n(1, |mid| {
+            let mid_id = mid.region_id();
+            assert_eq!(mid.parent_region_id(), outer_id);
+            rt.parallel_n(1, |inner| {
+                assert_eq!(inner.parent_region_id(), mid_id);
+                c.lock().unwrap().push((outer_id, mid_id, inner.region_id()));
+            });
+        });
+    });
+    let chain = chain.lock().unwrap();
+    assert_eq!(chain.len(), 1);
+    let (a, b, c) = chain[0];
+    assert!(a < b && b < c);
+}
+
+#[test]
+fn nesting_levels_count_both_serialized_and_real() {
+    // Real nesting.
+    let rt = nested_rt(1);
+    rt.parallel(|outer| {
+        assert_eq!(outer.level(), 1);
+        rt.parallel_n(1, |mid| {
+            assert_eq!(mid.level(), 2);
+            rt.parallel_n(1, |inner| {
+                assert_eq!(inner.level(), 3);
+            });
+        });
+    });
+
+    // Serialized nesting also increments the level (omp_get_level counts
+    // nested regions whether or not they got their own team).
+    let rt = OpenMp::with_threads(2);
+    rt.parallel(|outer| {
+        assert_eq!(outer.level(), 1);
+        rt.parallel(|inner| {
+            assert_eq!(inner.level(), 2);
+            assert_eq!(inner.num_threads(), 1);
+        });
+    });
+}
+
+#[test]
+fn serialized_default_is_unchanged() {
+    // Without the flag, nesting still serializes with no fork events.
+    let rt = OpenMp::with_threads(2);
+    rt.parallel(|ctx| {
+        rt.parallel_n(4, |inner| {
+            assert_eq!(inner.num_threads(), 1);
+            assert_eq!(inner.region_id(), ctx.region_id());
+        });
+    });
+    assert_eq!(rt.region_calls(), 1);
+}
+
+#[test]
+fn sibling_nested_regions_fork_concurrently() {
+    // Every outer-team thread opens its own nested region.
+    let rt = nested_rt(3);
+    let total_inner = Arc::new(AtomicUsize::new(0));
+    let t = total_inner.clone();
+    rt.parallel(|_ctx| {
+        let t = t.clone();
+        rt.parallel_n(2, move |_| {
+            t.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    assert_eq!(total_inner.load(Ordering::SeqCst), 6);
+    assert_eq!(rt.region_calls(), 4, "1 outer + 3 nested");
+}
+
+#[test]
+fn nested_worksharing_partitions_within_inner_team() {
+    let rt = nested_rt(2);
+    let sum = Arc::new(AtomicUsize::new(0));
+    let s = sum.clone();
+    rt.parallel(|ctx| {
+        if ctx.is_master() {
+            let s = s.clone();
+            rt.parallel_n(3, move |inner| {
+                let mut local = 0usize;
+                inner.for_each(0, 299, |i| local += i as usize);
+                s.fetch_add(local, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(sum.load(Ordering::SeqCst), 299 * 300 / 2);
+}
+
+#[test]
+fn nested_panic_propagates() {
+    let rt = nested_rt(1);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.parallel(|_| {
+            rt.parallel_n(2, |inner| {
+                if inner.thread_num() == 1 {
+                    panic!("inner boom");
+                }
+            });
+        });
+    }));
+    assert!(result.is_err());
+    // Runtime survives.
+    rt.parallel(|_| {});
+}

@@ -1,0 +1,153 @@
+//! A process-global dynamic-symbol table.
+//!
+//! The real collector/runtime handshake goes through the dynamic linker:
+//! the runtime library exports `__omp_collector_api`, and "the collector
+//! may then query the dynamic linker to determine whether the symbol is
+//! present" (paper §IV). We reproduce that decoupling with a global name →
+//! entry-point table: the runtime exports a function value under the
+//! canonical name, and a collector that knows only the name (and the
+//! `ora-core` message format) can discover and drive it.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+/// The type of an exported collector entry point: the byte-protocol
+/// function `int __omp_collector_api(void *arg)`.
+pub type CollectorEntry = Arc<dyn Fn(&mut [u8]) -> i32 + Send + Sync>;
+
+fn table() -> &'static Mutex<HashMap<String, CollectorEntry>> {
+    static TABLE: OnceLock<Mutex<HashMap<String, CollectorEntry>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Export `entry` under `name`, replacing any previous export (like a
+/// library being reloaded). Returns whether a previous export existed.
+pub fn export(name: &str, entry: CollectorEntry) -> bool {
+    table().lock().insert(name.to_string(), entry).is_some()
+}
+
+/// Export `entry` under `name` only if the name is free — the atomic
+/// "first runtime in the process claims the canonical symbol" operation.
+/// Returns whether the export was installed.
+pub fn try_export(name: &str, entry: CollectorEntry) -> bool {
+    let mut t = table().lock();
+    if t.contains_key(name) {
+        false
+    } else {
+        t.insert(name.to_string(), entry);
+        true
+    }
+}
+
+/// Look up an exported entry point — the `dlsym` analogue. Returns `None`
+/// when no OpenMP runtime in the process exports the symbol, which is how
+/// a collector detects it has nothing to attach to.
+pub fn lookup(name: &str) -> Option<CollectorEntry> {
+    table().lock().get(name).cloned()
+}
+
+/// Remove an export (library unloaded). Returns whether it existed.
+pub fn unexport(name: &str) -> bool {
+    table().lock().remove(name).is_some()
+}
+
+/// Whether `name` is currently exported.
+pub fn is_exported(name: &str) -> bool {
+    table().lock().contains_key(name)
+}
+
+/// Typed-object exports.
+///
+/// The C interface passes raw function pointers inside request payloads;
+/// a Rust collector instead interns its closures with the runtime's
+/// `CollectorApi` and sends the returned token over the wire. To keep the
+/// collector decoupled from the runtime crate, the runtime exports its API
+/// object here under `<symbol>.api`, and the collector downcasts it.
+pub mod objects {
+    use super::*;
+    use std::any::Any;
+
+    fn object_table() -> &'static Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>> {
+        static TABLE: OnceLock<Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>> =
+            OnceLock::new();
+        TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Export a shared object under `name`, replacing any previous export.
+    pub fn export(name: &str, obj: Arc<dyn Any + Send + Sync>) -> bool {
+        object_table().lock().insert(name.to_string(), obj).is_some()
+    }
+
+    /// Look up and downcast an exported object.
+    pub fn lookup<T: Any + Send + Sync>(name: &str) -> Option<Arc<T>> {
+        object_table()
+            .lock()
+            .get(name)
+            .cloned()
+            .and_then(|obj| obj.downcast::<T>().ok())
+    }
+
+    /// Remove an export. Returns whether it existed.
+    pub fn unexport(name: &str) -> bool {
+        object_table().lock().remove(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_of_missing_symbol_is_none() {
+        assert!(lookup("__no_such_symbol__").is_none());
+        assert!(!is_exported("__no_such_symbol__"));
+    }
+
+    #[test]
+    fn export_lookup_unexport_cycle() {
+        let name = "__dynsym_test_cycle";
+        assert!(!export(name, Arc::new(|_| 7)));
+        let entry = lookup(name).expect("exported");
+        let mut buf = [0u8; 4];
+        assert_eq!(entry(&mut buf), 7);
+        assert!(unexport(name));
+        assert!(lookup(name).is_none());
+        assert!(!unexport(name));
+    }
+
+    #[test]
+    fn reexport_replaces_previous_entry() {
+        let name = "__dynsym_test_replace";
+        export(name, Arc::new(|_| 1));
+        assert!(export(name, Arc::new(|_| 2)));
+        let entry = lookup(name).unwrap();
+        assert_eq!(entry(&mut []), 2);
+        unexport(name);
+    }
+
+    #[test]
+    fn object_exports_round_trip_with_downcast() {
+        let name = "__dynsym_test_object";
+        assert!(objects::lookup::<u64>(name).is_none());
+        objects::export(name, Arc::new(42u64));
+        assert_eq!(*objects::lookup::<u64>(name).unwrap(), 42);
+        // Wrong type downcasts to None.
+        assert!(objects::lookup::<String>(name).is_none());
+        assert!(objects::unexport(name));
+        assert!(objects::lookup::<u64>(name).is_none());
+    }
+
+    #[test]
+    fn entries_are_callable_from_other_threads() {
+        let name = "__dynsym_test_threads";
+        export(name, Arc::new(|buf| buf.len() as i32));
+        let handle = std::thread::spawn(move || {
+            let entry = lookup(name).unwrap();
+            entry(&mut [0u8; 16])
+        });
+        assert_eq!(handle.join().unwrap(), 16);
+        unexport(name);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-thread implementation-model call stacks.
+//!
+//! Real libpsx unwinds the machine stack with libunwind. Our synthetic
+//! programs instead *maintain* an explicit frame stack per thread: every
+//! annotated function entry pushes its IP via an RAII [`FrameGuard`], and
+//! capture ([`crate::unwind`]) copies the stack. This reproduces both the
+//! information content (a vector of IPs, root first) and the cost shape
+//! (capture cost linear in depth) of in-process unwinding.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+use crate::symtab::Ip;
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one stack frame. Created by [`enter`]; popping happens on
+/// drop, so early returns and panics unwind the shadow stack correctly.
+///
+/// Not `Send`: a frame belongs to the thread that pushed it.
+#[must_use = "dropping the guard pops the frame immediately"]
+#[derive(Debug)]
+pub struct FrameGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Push a frame for the function at `ip` onto the calling thread's stack.
+#[inline]
+pub fn enter(ip: Ip) -> FrameGuard {
+    STACK.with(|s| s.borrow_mut().push(ip.0));
+    FrameGuard {
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for FrameGuard {
+    #[inline]
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let popped = s.borrow_mut().pop();
+            debug_assert!(popped.is_some(), "frame stack underflow");
+        });
+    }
+}
+
+/// Current depth of the calling thread's shadow stack.
+pub fn depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// Copy the calling thread's stack (root first) into `out`, reusing its
+/// allocation. This is the capture primitive [`crate::unwind`] builds on.
+#[inline]
+pub fn snapshot_into(out: &mut Vec<u64>) {
+    STACK.with(|s| {
+        let stack = s.borrow();
+        out.clear();
+        out.extend_from_slice(&stack);
+    });
+}
+
+/// The IP of the innermost frame, if any.
+pub fn innermost() -> Option<Ip> {
+    STACK.with(|s| s.borrow().last().copied().map(Ip))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_nest_and_unwind() {
+        assert_eq!(depth(), 0);
+        {
+            let _a = enter(Ip(0x1000));
+            assert_eq!(depth(), 1);
+            {
+                let _b = enter(Ip(0x2000));
+                assert_eq!(depth(), 2);
+                assert_eq!(innermost(), Some(Ip(0x2000)));
+            }
+            assert_eq!(depth(), 1);
+            assert_eq!(innermost(), Some(Ip(0x1000)));
+        }
+        assert_eq!(depth(), 0);
+        assert_eq!(innermost(), None);
+    }
+
+    #[test]
+    fn snapshot_copies_root_first() {
+        let _a = enter(Ip(1));
+        let _b = enter(Ip(2));
+        let _c = enter(Ip(3));
+        let mut out = Vec::new();
+        snapshot_into(&mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn snapshot_reuses_allocation() {
+        let _a = enter(Ip(1));
+        let mut out = Vec::with_capacity(64);
+        let cap = out.capacity();
+        snapshot_into(&mut out);
+        assert_eq!(out, vec![1]);
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn stacks_are_thread_local() {
+        let _a = enter(Ip(7));
+        let other_depth = std::thread::spawn(depth).join().unwrap();
+        assert_eq!(other_depth, 0);
+        assert_eq!(depth(), 1);
+    }
+
+    #[test]
+    fn guard_pops_on_panic() {
+        let _outer = enter(Ip(1));
+        let result = std::panic::catch_unwind(|| {
+            let _inner = enter(Ip(2));
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert_eq!(depth(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # psx — PerfSuite-style callstack support (the `libpsx` analogue)
+//!
+//! The paper extends PerfSuite with an auxiliary library, `libpsx`, that
+//! gives ORA collectors two capabilities (paper §IV-F):
+//!
+//! * **call-stack retrieval** (via libunwind): instruction-pointer values
+//!   for each stack frame at the point of inquiry — here, per-thread
+//!   shadow stacks ([`frame`]) captured by [`unwind`];
+//! * **IP → source mapping** (via GNU BFD): here, the synthetic
+//!   [`symtab::SymbolTable`] with per-function IP ranges and line tables.
+//!
+//! On top of those, [`usermodel`] implements the offline reconstruction of
+//! the *user-model* callstack — stripping runtime frames and re-attributing
+//! compiler-outlined region bodies to the construct in their parent
+//! function — and an aggregated [`usermodel::CallTree`] profile.
+//!
+//! [`dynsym`] provides the process-global symbol table through which a
+//! runtime exports `__omp_collector_api` and a collector discovers it,
+//! preserving the paper's "neither entity need know any details of the
+//! other" property.
+
+#![warn(missing_docs)]
+
+pub mod dynsym;
+pub mod frame;
+pub mod symtab;
+pub mod unwind;
+pub mod usermodel;
+
+pub use frame::{depth, enter, FrameGuard};
+pub use symtab::{FrameKind, Ip, SymbolDesc, SymbolInfo, SymbolTable};
+pub use unwind::{capture, capture_into, Backtrace};
+pub use usermodel::{reconstruct, CallTree, UserFrame};

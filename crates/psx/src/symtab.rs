@@ -1,0 +1,330 @@
+//! Symbol table: mapping instruction pointers to source locations.
+//!
+//! The paper's `libpsx` uses the GNU BFD library to map instruction-pointer
+//! values to source code locations. Our programs are not compiled C, so we
+//! substitute a registry of *synthetic* IP ranges: each registered function
+//! is assigned a range, call sites inside it map to offsets, and a small
+//! line table resolves offsets to line numbers — the same query surface BFD
+//! provides (`function`, `file`, `line` for an arbitrary IP).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+/// A synthetic instruction pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ip(pub u64);
+
+impl Ip {
+    /// The IP `offset` bytes into the function that starts at `self`.
+    /// Used to model distinct call sites within one function.
+    pub fn at_offset(self, offset: u64) -> Ip {
+        Ip(self.0 + offset)
+    }
+}
+
+/// What kind of code a symbol represents. Drives user-model reconstruction:
+/// runtime frames are stripped; outlined frames are re-attributed to the
+/// construct in their parent function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Ordinary user code.
+    User,
+    /// OpenMP runtime internals (`__ompc_*`); invisible in the user model.
+    Runtime,
+    /// A compiler-outlined parallel-region body (`__ompdo_*`); shown in the
+    /// user model as its parent function plus the construct annotation.
+    Outlined,
+}
+
+/// How a function was registered.
+#[derive(Debug, Clone)]
+pub struct SymbolDesc {
+    /// Function name as it would appear in the binary.
+    pub name: String,
+    /// Source file.
+    pub file: String,
+    /// Line of the function definition (or of the construct for outlined
+    /// bodies).
+    pub line: u32,
+    /// Frame classification.
+    pub kind: FrameKind,
+    /// For [`FrameKind::Outlined`]: the IP of the user function containing
+    /// the parallel construct, so reconstruction can re-attach the frame.
+    pub parent: Option<Ip>,
+}
+
+impl SymbolDesc {
+    /// A user-code symbol.
+    pub fn user(name: impl Into<String>, file: impl Into<String>, line: u32) -> Self {
+        SymbolDesc {
+            name: name.into(),
+            file: file.into(),
+            line,
+            kind: FrameKind::User,
+            parent: None,
+        }
+    }
+
+    /// A runtime-internal symbol.
+    pub fn runtime(name: impl Into<String>) -> Self {
+        SymbolDesc {
+            name: name.into(),
+            file: "omprt".into(),
+            line: 0,
+            kind: FrameKind::Runtime,
+            parent: None,
+        }
+    }
+
+    /// An outlined parallel-region body nested in `parent`.
+    pub fn outlined(
+        name: impl Into<String>,
+        file: impl Into<String>,
+        line: u32,
+        parent: Ip,
+    ) -> Self {
+        SymbolDesc {
+            name: name.into(),
+            file: file.into(),
+            line,
+            kind: FrameKind::Outlined,
+            parent: Some(parent),
+        }
+    }
+}
+
+/// A resolved symbol: what `resolve` returns for an IP inside the range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolInfo {
+    /// Base IP of the containing function.
+    pub base: Ip,
+    /// Function name.
+    pub name: Arc<str>,
+    /// Source file.
+    pub file: Arc<str>,
+    /// Resolved line for the queried IP (line table aware).
+    pub line: u32,
+    /// Frame classification.
+    pub kind: FrameKind,
+    /// Parent function for outlined bodies.
+    pub parent: Option<Ip>,
+}
+
+struct Record {
+    name: Arc<str>,
+    file: Arc<str>,
+    line: u32,
+    kind: FrameKind,
+    parent: Option<Ip>,
+    size: u64,
+    /// (offset, line) pairs, sorted by offset — a miniature DWARF line
+    /// table for resolving call sites inside the function.
+    line_table: Vec<(u64, u32)>,
+}
+
+/// Size of every synthetic function's IP range.
+pub const FUNCTION_RANGE: u64 = 0x1000;
+
+struct Inner {
+    by_base: BTreeMap<u64, Record>,
+    next_base: u64,
+}
+
+/// The symbol registry. Usually accessed through [`SymbolTable::global`],
+/// mirroring a process's single symbol namespace, but independently
+/// instantiable for tests.
+pub struct SymbolTable {
+    inner: RwLock<Inner>,
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SymbolTable {
+    /// An empty table. IPs start above zero so `Ip(0)` is always invalid.
+    pub fn new() -> Self {
+        SymbolTable {
+            inner: RwLock::new(Inner {
+                by_base: BTreeMap::new(),
+                next_base: FUNCTION_RANGE,
+            }),
+        }
+    }
+
+    /// The process-wide table (the analogue of the loaded binary's symbol
+    /// and debug sections).
+    pub fn global() -> &'static SymbolTable {
+        static GLOBAL: OnceLock<SymbolTable> = OnceLock::new();
+        GLOBAL.get_or_init(SymbolTable::new)
+    }
+
+    /// Register a function and allocate its IP range; returns the base IP.
+    pub fn register(&self, desc: SymbolDesc) -> Ip {
+        let mut inner = self.inner.write();
+        let base = inner.next_base;
+        inner.next_base += FUNCTION_RANGE;
+        inner.by_base.insert(
+            base,
+            Record {
+                name: desc.name.into(),
+                file: desc.file.into(),
+                line: desc.line,
+                kind: desc.kind,
+                parent: desc.parent,
+                size: FUNCTION_RANGE,
+                line_table: Vec::new(),
+            },
+        );
+        Ip(base)
+    }
+
+    /// Add a line-table entry: IPs at or after `offset` (until the next
+    /// entry) resolve to `line`.
+    pub fn add_line(&self, base: Ip, offset: u64, line: u32) {
+        let mut inner = self.inner.write();
+        if let Some(rec) = inner.by_base.get_mut(&base.0) {
+            let pos = rec
+                .line_table
+                .binary_search_by_key(&offset, |&(o, _)| o)
+                .unwrap_or_else(|p| p);
+            rec.line_table.insert(pos, (offset, line));
+        }
+    }
+
+    /// Resolve an IP to its symbol, or `None` for unmapped addresses.
+    pub fn resolve(&self, ip: Ip) -> Option<SymbolInfo> {
+        let inner = self.inner.read();
+        let (&base, rec) = inner.by_base.range(..=ip.0).next_back()?;
+        let offset = ip.0 - base;
+        if offset >= rec.size {
+            return None;
+        }
+        let line = rec
+            .line_table
+            .iter()
+            .take_while(|&&(o, _)| o <= offset)
+            .last()
+            .map(|&(_, l)| l)
+            .unwrap_or(rec.line);
+        Some(SymbolInfo {
+            base: Ip(base),
+            name: rec.name.clone(),
+            file: rec.file.clone(),
+            line,
+            kind: rec.kind,
+            parent: rec.parent,
+        })
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_base.len()
+    }
+
+    /// Whether the table has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let t = SymbolTable::new();
+        let main = t.register(SymbolDesc::user("main", "app.c", 10));
+        let info = t.resolve(main).unwrap();
+        assert_eq!(&*info.name, "main");
+        assert_eq!(&*info.file, "app.c");
+        assert_eq!(info.line, 10);
+        assert_eq!(info.kind, FrameKind::User);
+        assert_eq!(info.base, main);
+    }
+
+    #[test]
+    fn offsets_stay_within_function() {
+        let t = SymbolTable::new();
+        let f = t.register(SymbolDesc::user("f", "a.c", 1));
+        let g = t.register(SymbolDesc::user("g", "a.c", 50));
+        assert_eq!(&*t.resolve(f.at_offset(FUNCTION_RANGE - 1)).unwrap().name, "f");
+        assert_eq!(&*t.resolve(g).unwrap().name, "g");
+        // g starts exactly where f's range ends.
+        assert_eq!(g.0, f.0 + FUNCTION_RANGE);
+    }
+
+    #[test]
+    fn unmapped_ips_resolve_to_none() {
+        let t = SymbolTable::new();
+        assert_eq!(t.resolve(Ip(0)), None);
+        assert_eq!(t.resolve(Ip(5)), None);
+        let f = t.register(SymbolDesc::user("f", "a.c", 1));
+        assert_eq!(t.resolve(Ip(f.0 + FUNCTION_RANGE)), None);
+    }
+
+    #[test]
+    fn line_table_resolves_call_sites() {
+        let t = SymbolTable::new();
+        let f = t.register(SymbolDesc::user("f", "a.c", 100));
+        t.add_line(f, 0x10, 103);
+        t.add_line(f, 0x20, 107);
+        assert_eq!(t.resolve(f).unwrap().line, 100); // before first entry
+        assert_eq!(t.resolve(f.at_offset(0x10)).unwrap().line, 103);
+        assert_eq!(t.resolve(f.at_offset(0x1f)).unwrap().line, 103);
+        assert_eq!(t.resolve(f.at_offset(0x20)).unwrap().line, 107);
+        assert_eq!(t.resolve(f.at_offset(0xfff)).unwrap().line, 107);
+    }
+
+    #[test]
+    fn outlined_symbols_remember_their_parent() {
+        let t = SymbolTable::new();
+        let main = t.register(SymbolDesc::user("main", "app.c", 5));
+        let outlined = t.register(SymbolDesc::outlined("__ompdo_main_1", "app.c", 12, main));
+        let info = t.resolve(outlined).unwrap();
+        assert_eq!(info.kind, FrameKind::Outlined);
+        assert_eq!(info.parent, Some(main));
+    }
+
+    #[test]
+    fn runtime_symbols_are_marked() {
+        let t = SymbolTable::new();
+        let f = t.register(SymbolDesc::runtime("__ompc_fork"));
+        assert_eq!(t.resolve(f).unwrap().kind, FrameKind::Runtime);
+    }
+
+    #[test]
+    fn global_table_is_a_singleton() {
+        let a = SymbolTable::global() as *const _;
+        let b = SymbolTable::global() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_registration_allocates_disjoint_ranges() {
+        let t = std::sync::Arc::new(SymbolTable::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|j| t.register(SymbolDesc::user(format!("f{i}_{j}"), "x.c", 1)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut bases: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .map(|ip| ip.0)
+            .collect();
+        bases.sort_unstable();
+        bases.dedup();
+        assert_eq!(bases.len(), 800);
+    }
+}

@@ -1,0 +1,112 @@
+//! Callstack capture — the libunwind analogue.
+//!
+//! "New API entry points, callable by the collector, provide instruction
+//! pointer values for each stack frame at the point of inquiry, allowing
+//! reconstruction of the call graph." (paper §IV-F)
+
+use crate::frame;
+use crate::symtab::{Ip, SymbolInfo, SymbolTable};
+
+/// A captured callstack: raw IPs, root frame first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Backtrace {
+    ips: Vec<u64>,
+}
+
+impl Backtrace {
+    /// An empty backtrace.
+    pub fn new() -> Self {
+        Backtrace::default()
+    }
+
+    /// Build from explicit IPs (root first) — used by tests and replay.
+    pub fn from_ips(ips: Vec<u64>) -> Self {
+        Backtrace { ips }
+    }
+
+    /// The frames, root first.
+    pub fn frames(&self) -> impl Iterator<Item = Ip> + '_ {
+        self.ips.iter().copied().map(Ip)
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// Whether no frames were captured.
+    pub fn is_empty(&self) -> bool {
+        self.ips.is_empty()
+    }
+
+    /// Resolve every frame against `table` (unresolvable IPs yield `None`).
+    pub fn resolve<'a>(
+        &'a self,
+        table: &'a SymbolTable,
+    ) -> impl Iterator<Item = Option<SymbolInfo>> + 'a {
+        self.frames().map(move |ip| table.resolve(ip))
+    }
+}
+
+/// Capture the calling thread's current implementation-model callstack.
+#[inline]
+pub fn capture() -> Backtrace {
+    let mut bt = Backtrace::new();
+    capture_into(&mut bt);
+    bt
+}
+
+/// Capture into an existing backtrace, reusing its allocation — the form
+/// collectors use from event callbacks to avoid per-event allocation.
+#[inline]
+pub fn capture_into(out: &mut Backtrace) {
+    frame::snapshot_into(&mut out.ips);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symtab::SymbolDesc;
+
+    #[test]
+    fn capture_reflects_current_frames() {
+        let t = SymbolTable::new();
+        let main = t.register(SymbolDesc::user("main", "m.c", 1));
+        let f = t.register(SymbolDesc::user("f", "m.c", 20));
+
+        let _a = frame::enter(main);
+        let _b = frame::enter(f);
+        let bt = capture();
+        assert_eq!(bt.len(), 2);
+        let names: Vec<String> = bt
+            .resolve(&t)
+            .map(|s| s.unwrap().name.to_string())
+            .collect();
+        assert_eq!(names, vec!["main", "f"]);
+    }
+
+    #[test]
+    fn capture_on_empty_stack_is_empty() {
+        let bt = capture();
+        assert!(bt.is_empty());
+        assert_eq!(bt.len(), 0);
+    }
+
+    #[test]
+    fn capture_into_reuses_buffer() {
+        let _a = frame::enter(Ip(0x1000));
+        let mut bt = Backtrace::from_ips(Vec::with_capacity(128));
+        let cap = bt.ips.capacity();
+        capture_into(&mut bt);
+        assert_eq!(bt.len(), 1);
+        assert_eq!(bt.ips.capacity(), cap);
+    }
+
+    #[test]
+    fn unresolvable_frames_come_back_as_none() {
+        let t = SymbolTable::new();
+        let bt = Backtrace::from_ips(vec![0xdead_beef]);
+        let resolved: Vec<_> = bt.resolve(&t).collect();
+        assert_eq!(resolved, vec![None]);
+    }
+}

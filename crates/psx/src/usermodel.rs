@@ -1,0 +1,394 @@
+//! User-model callstack reconstruction.
+//!
+//! Performance data is collected against the *implementation model*: the
+//! stack a worker thread actually runs contains runtime internals
+//! (`__ompc_fork`, barrier calls, …) and compiler-outlined region bodies
+//! (`__ompdo_main_1`), and on slave threads it does not even reach back to
+//! `main`. The paper's PerfSuite extensions reconstruct the *user model* —
+//! the stack as the programmer wrote it — offline, after the application
+//! finishes (paper §IV, §IV-F). The rules implemented here:
+//!
+//! 1. runtime frames are stripped;
+//! 2. an outlined frame is re-attributed to its parent user function,
+//!    annotated with the construct (and the construct's source line);
+//! 3. if the parent frame is missing below an outlined frame (slave
+//!    threads start executing directly at the outlined body), the parent
+//!    chain is synthesized from the symbol table's parent links.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::symtab::{FrameKind, SymbolTable};
+use crate::unwind::Backtrace;
+
+/// One frame of a reconstructed user-model stack.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UserFrame {
+    /// User function name.
+    pub name: String,
+    /// Source file.
+    pub file: String,
+    /// Source line (the construct's line for re-attributed frames).
+    pub line: u32,
+    /// The OpenMP construct executing in this frame, if the frame came
+    /// from an outlined body (e.g. `"parallel"`).
+    pub construct: Option<String>,
+}
+
+impl UserFrame {
+    fn label(&self) -> String {
+        match &self.construct {
+            Some(c) => format!("{} [{}@{}:{}]", self.name, c, self.file, self.line),
+            None => format!("{} ({}:{})", self.name, self.file, self.line),
+        }
+    }
+}
+
+/// Reconstruct the user-model stack from an implementation-model capture.
+///
+/// Frames come back root first. Unresolvable IPs are dropped (they carry
+/// no user meaning — matching what a BFD-based tool does with stripped
+/// code).
+pub fn reconstruct(bt: &Backtrace, table: &SymbolTable) -> Vec<UserFrame> {
+    let mut out: Vec<UserFrame> = Vec::new();
+    for ip in bt.frames() {
+        let Some(info) = table.resolve(ip) else {
+            continue;
+        };
+        match info.kind {
+            FrameKind::Runtime => continue,
+            FrameKind::User => out.push(UserFrame {
+                name: info.name.to_string(),
+                file: info.file.to_string(),
+                line: info.line,
+                construct: None,
+            }),
+            FrameKind::Outlined => {
+                // Synthesize the parent chain if the capture starts at the
+                // outlined body (worker threads).
+                let mut chain = Vec::new();
+                let mut parent = info.parent;
+                while let Some(pip) = parent {
+                    let Some(pinfo) = table.resolve(pip) else {
+                        break;
+                    };
+                    let already_present = out
+                        .iter()
+                        .any(|f| f.name == *pinfo.name && f.construct.is_none());
+                    if already_present {
+                        break;
+                    }
+                    chain.push(UserFrame {
+                        name: pinfo.name.to_string(),
+                        file: pinfo.file.to_string(),
+                        line: pinfo.line,
+                        construct: None,
+                    });
+                    parent = pinfo.parent;
+                }
+                // The chain was collected innermost-parent first; the user
+                // model wants root first.
+                out.extend(chain.into_iter().rev());
+                let construct = construct_of(&info.name);
+                let parent_name = info
+                    .parent
+                    .and_then(|p| table.resolve(p))
+                    .map(|p| p.name.to_string())
+                    .unwrap_or_else(|| info.name.to_string());
+                out.push(UserFrame {
+                    name: parent_name,
+                    file: info.file.to_string(),
+                    line: info.line,
+                    construct: Some(construct),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Derive a construct label from an outlined symbol name. The OpenUH
+/// convention names outlined bodies `__ompdo_<parent>_<n>` for loops and
+/// `__ompregion_<parent>_<n>` for plain regions; anything else is labelled
+/// `parallel`.
+fn construct_of(name: &str) -> String {
+    if name.starts_with("__ompdo_") {
+        "parallel for".to_string()
+    } else {
+        // `__ompregion_*` and anything unrecognized: a plain region.
+        "parallel".to_string()
+    }
+}
+
+/// An aggregated, weighted call tree over user-model stacks — the offline
+/// profile a collector assembles after the run.
+#[derive(Debug, Default)]
+pub struct CallTree {
+    roots: BTreeMap<String, Node>,
+    total: f64,
+}
+
+#[derive(Debug)]
+struct Node {
+    frame: UserFrame,
+    inclusive: f64,
+    samples: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl CallTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        CallTree::default()
+    }
+
+    /// Add one stack with a weight (e.g. elapsed ticks of the region the
+    /// stack was captured for).
+    pub fn add(&mut self, stack: &[UserFrame], weight: f64) {
+        self.total += weight;
+        let mut level = &mut self.roots;
+        for frame in stack {
+            let node = level.entry(frame.label()).or_insert_with(|| Node {
+                frame: frame.clone(),
+                inclusive: 0.0,
+                samples: 0,
+                children: BTreeMap::new(),
+            });
+            node.inclusive += weight;
+            node.samples += 1;
+            level = &mut node.children;
+        }
+    }
+
+    /// Total weight added.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of root frames.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Inclusive weight of the root frame with the given function name.
+    pub fn inclusive_of(&self, name: &str) -> f64 {
+        self.roots
+            .values()
+            .filter(|n| n.frame.name == name)
+            .map(|n| n.inclusive)
+            .sum()
+    }
+
+    /// Render an indented text profile, children sorted by label, with
+    /// inclusive weight and sample counts per node.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for node in self.roots.values() {
+            Self::render_node(node, 0, &mut out);
+        }
+        out
+    }
+
+    /// Render in the "folded stacks" format consumed by flamegraph
+    /// tooling: one line per unique stack, `frame;frame;... weight`
+    /// (weights scaled to integer microseconds).
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        let mut prefix = Vec::new();
+        for node in self.roots.values() {
+            Self::folded_node(node, &mut prefix, &mut out);
+        }
+        out
+    }
+
+    fn folded_node(node: &Node, prefix: &mut Vec<String>, out: &mut String) {
+        prefix.push(node.frame.label());
+        // Exclusive weight of this node = inclusive minus children.
+        let child_sum: f64 = node.children.values().map(|c| c.inclusive).sum();
+        let exclusive = (node.inclusive - child_sum).max(0.0);
+        let micros = (exclusive * 1e6).round() as u64;
+        if micros > 0 || node.children.is_empty() {
+            let _ = writeln!(out, "{} {}", prefix.join(";"), micros);
+        }
+        for child in node.children.values() {
+            Self::folded_node(child, prefix, out);
+        }
+        prefix.pop();
+    }
+
+    fn render_node(node: &Node, depth: usize, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "{:indent$}{}  incl={:.3} samples={}",
+            "",
+            node.frame.label(),
+            node.inclusive,
+            node.samples,
+            indent = depth * 2
+        );
+        for child in node.children.values() {
+            Self::render_node(child, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame;
+    use crate::symtab::{SymbolDesc, SymbolTable};
+    use crate::unwind::capture;
+
+    fn demo_table() -> (SymbolTable, crate::symtab::Ip, crate::symtab::Ip, crate::symtab::Ip) {
+        let t = SymbolTable::new();
+        let main = t.register(SymbolDesc::user("main", "app.c", 3));
+        let fork = t.register(SymbolDesc::runtime("__ompc_fork"));
+        let outlined = t.register(SymbolDesc::outlined("__ompdo_main_1", "app.c", 12, main));
+        (t, main, fork, outlined)
+    }
+
+    #[test]
+    fn master_thread_stack_reconstructs_in_place() {
+        let (t, main, fork, outlined) = demo_table();
+        let _m = frame::enter(main);
+        let _f = frame::enter(fork);
+        let _o = frame::enter(outlined);
+        let user = reconstruct(&capture(), &t);
+        assert_eq!(user.len(), 2);
+        assert_eq!(user[0].name, "main");
+        assert_eq!(user[0].construct, None);
+        assert_eq!(user[1].name, "main");
+        assert_eq!(user[1].construct.as_deref(), Some("parallel for"));
+        assert_eq!(user[1].line, 12);
+    }
+
+    #[test]
+    fn slave_thread_stack_synthesizes_parent_chain() {
+        let (t, _main, _fork, outlined) = demo_table();
+        // Slave threads start directly at the outlined body.
+        let _o = frame::enter(outlined);
+        let user = reconstruct(&capture(), &t);
+        assert_eq!(user.len(), 2);
+        assert_eq!(user[0].name, "main");
+        assert_eq!(user[0].construct, None);
+        assert_eq!(user[1].construct.as_deref(), Some("parallel for"));
+    }
+
+    #[test]
+    fn runtime_frames_never_appear() {
+        let (t, main, fork, outlined) = demo_table();
+        let barrier = t.register(SymbolDesc::runtime("__ompc_ibarrier"));
+        let _m = frame::enter(main);
+        let _f = frame::enter(fork);
+        let _o = frame::enter(outlined);
+        let _b = frame::enter(barrier);
+        let user = reconstruct(&capture(), &t);
+        assert!(user.iter().all(|f| !f.name.starts_with("__ompc")));
+    }
+
+    #[test]
+    fn unresolvable_ips_are_dropped() {
+        let (t, main, ..) = demo_table();
+        let bt = crate::unwind::Backtrace::from_ips(vec![main.0, 0xdddd_dddd_dddd]);
+        let user = reconstruct(&bt, &t);
+        assert_eq!(user.len(), 1);
+    }
+
+    #[test]
+    fn nested_user_calls_survive() {
+        let t = SymbolTable::new();
+        let main = t.register(SymbolDesc::user("main", "app.c", 1));
+        let solver = t.register(SymbolDesc::user("solve", "solver.c", 40));
+        let outlined = t.register(SymbolDesc::outlined("__ompregion_solve_1", "solver.c", 44, solver));
+        let _m = frame::enter(main);
+        let _s = frame::enter(solver);
+        let _o = frame::enter(outlined);
+        let user = reconstruct(&capture(), &t);
+        let names: Vec<&str> = user.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["main", "solve", "solve"]);
+        assert_eq!(user[2].construct.as_deref(), Some("parallel"));
+    }
+
+    #[test]
+    fn call_tree_aggregates_weights() {
+        let (t, main, _fork, outlined) = demo_table();
+        let stack = {
+            let _m = frame::enter(main);
+            let _o = frame::enter(outlined);
+            reconstruct(&capture(), &t)
+        };
+        let mut tree = CallTree::new();
+        tree.add(&stack, 10.0);
+        tree.add(&stack, 5.0);
+        assert_eq!(tree.total(), 15.0);
+        assert_eq!(tree.root_count(), 1);
+        assert_eq!(tree.inclusive_of("main"), 15.0);
+        let text = tree.render();
+        assert!(text.contains("main"));
+        assert!(text.contains("samples=2"));
+    }
+
+    #[test]
+    fn folded_output_has_semicolon_stacks_and_weights() {
+        let mut tree = CallTree::new();
+        let root = UserFrame {
+            name: "main".into(),
+            file: "a.c".into(),
+            line: 1,
+            construct: None,
+        };
+        let leaf = UserFrame {
+            name: "kernel".into(),
+            file: "a.c".into(),
+            line: 9,
+            construct: Some("parallel".into()),
+        };
+        tree.add(&[root.clone(), leaf.clone()], 2e-3); // 2000 us at the leaf
+        tree.add(std::slice::from_ref(&root), 1e-3); // 1000 us exclusive at main
+        let folded = tree.folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 2, "{folded}");
+        assert!(lines[0].starts_with("main (a.c:1) 1000"), "{folded}");
+        assert!(lines[1].contains("main (a.c:1);kernel [parallel@a.c:9] 2000"), "{folded}");
+    }
+
+    #[test]
+    fn folded_weights_sum_to_total() {
+        let mut tree = CallTree::new();
+        let a = UserFrame { name: "a".into(), file: "f".into(), line: 1, construct: None };
+        let b = UserFrame { name: "b".into(), file: "f".into(), line: 2, construct: None };
+        tree.add(&[a.clone(), b.clone()], 0.5);
+        tree.add(std::slice::from_ref(&a), 0.25);
+        tree.add(std::slice::from_ref(&b), 0.25);
+        let total_micros: u64 = tree
+            .folded()
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total_micros, 1_000_000);
+    }
+
+    #[test]
+    fn call_tree_renders_nesting_by_indentation() {
+        let mut tree = CallTree::new();
+        let root = UserFrame {
+            name: "main".into(),
+            file: "a.c".into(),
+            line: 1,
+            construct: None,
+        };
+        let leaf = UserFrame {
+            name: "kernel".into(),
+            file: "a.c".into(),
+            line: 9,
+            construct: Some("parallel".into()),
+        };
+        tree.add(&[root.clone(), leaf], 1.0);
+        tree.add(&[root], 1.0);
+        let text = tree.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("main"));
+        assert!(lines[1].starts_with("  kernel"));
+    }
+}

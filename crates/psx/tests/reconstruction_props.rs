@@ -1,0 +1,152 @@
+//! Property tests on user-model reconstruction: whatever the
+//! implementation-model stack looks like, the reconstructed user view is
+//! clean (no runtime frames, outlined bodies re-attributed, parents
+//! synthesized exactly when missing).
+
+use proptest::prelude::*;
+use psx::symtab::{FrameKind, Ip, SymbolDesc, SymbolTable};
+use psx::unwind::Backtrace;
+
+/// Build a world of `n_funcs` user functions, one runtime symbol set, and
+/// one outlined body per user function.
+struct World {
+    table: SymbolTable,
+    users: Vec<Ip>,
+    runtimes: Vec<Ip>,
+    outlined: Vec<Ip>,
+}
+
+fn world(n_funcs: usize) -> World {
+    let table = SymbolTable::new();
+    let users: Vec<Ip> = (0..n_funcs)
+        .map(|i| table.register(SymbolDesc::user(format!("user{i}"), "w.c", 10 * i as u32 + 1)))
+        .collect();
+    let runtimes: Vec<Ip> = ["__ompc_fork", "__ompc_ibarrier", "__ompc_static_init_4"]
+        .iter()
+        .map(|n| table.register(SymbolDesc::runtime(*n)))
+        .collect();
+    let outlined: Vec<Ip> = users
+        .iter()
+        .enumerate()
+        .map(|(i, &parent)| {
+            table.register(SymbolDesc::outlined(
+                format!("__ompregion_user{i}_1"),
+                "w.c",
+                10 * i as u32 + 5,
+                parent,
+            ))
+        })
+        .collect();
+    World {
+        table,
+        users,
+        runtimes,
+        outlined,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FramePick {
+    User(usize),
+    Runtime(usize),
+    Outlined(usize),
+    Garbage(u64),
+}
+
+fn arb_frame(n_funcs: usize) -> impl Strategy<Value = FramePick> {
+    prop_oneof![
+        (0..n_funcs).prop_map(FramePick::User),
+        (0..3usize).prop_map(FramePick::Runtime),
+        (0..n_funcs).prop_map(FramePick::Outlined),
+        (0u64..1000).prop_map(FramePick::Garbage),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Reconstruction output never contains runtime frames or unresolved
+    /// garbage, every outlined frame becomes a construct-annotated frame
+    /// named after a user function, and plain user frames pass through
+    /// verbatim in order.
+    #[test]
+    fn reconstruction_is_clean(
+        picks in proptest::collection::vec(arb_frame(4), 0..12),
+    ) {
+        let w = world(4);
+        let ips: Vec<u64> = picks
+            .iter()
+            .map(|p| match p {
+                FramePick::User(i) => w.users[*i].0,
+                FramePick::Runtime(i) => w.runtimes[*i].0,
+                FramePick::Outlined(i) => w.outlined[*i].0,
+                FramePick::Garbage(g) => *g, // below the first allocation
+            })
+            .collect();
+        let bt = Backtrace::from_ips(ips);
+        let user = psx::reconstruct(&bt, &w.table);
+
+        // 1. No runtime names, no garbage placeholders.
+        for f in &user {
+            prop_assert!(!f.name.starts_with("__ompc"), "{f:?}");
+            prop_assert!(f.name.starts_with("user"), "{f:?}");
+        }
+
+        // 2. Construct-annotated frames appear exactly once per outlined
+        //    pick (parents may add extra un-annotated frames).
+        let constructs = user.iter().filter(|f| f.construct.is_some()).count();
+        let outlined_picks = picks
+            .iter()
+            .filter(|p| matches!(p, FramePick::Outlined(_)))
+            .count();
+        prop_assert_eq!(constructs, outlined_picks);
+
+        // 3. The subsequence of plain user frames contains the user picks
+        //    in their original order.
+        let plain: Vec<&str> = user
+            .iter()
+            .filter(|f| f.construct.is_none())
+            .map(|f| f.name.as_str())
+            .collect();
+        let expected_user_picks: Vec<String> = picks
+            .iter()
+            .filter_map(|p| match p {
+                FramePick::User(i) => Some(format!("user{i}")),
+                _ => None,
+            })
+            .collect();
+        // expected_user_picks must be a subsequence of `plain`.
+        let mut it = plain.iter();
+        for want in &expected_user_picks {
+            prop_assert!(
+                it.any(|got| got == want),
+                "user frame {want} lost or reordered: {plain:?}"
+            );
+        }
+    }
+
+    /// A worker-style stack (outlined frame only) always reconstructs to
+    /// parent + construct.
+    #[test]
+    fn lone_outlined_frames_get_parents(idx in 0usize..4) {
+        let w = world(4);
+        let bt = Backtrace::from_ips(vec![w.outlined[idx].0]);
+        let user = psx::reconstruct(&bt, &w.table);
+        prop_assert_eq!(user.len(), 2);
+        let expected = format!("user{idx}");
+        prop_assert_eq!(&user[0].name, &expected);
+        prop_assert!(user[0].construct.is_none());
+        prop_assert_eq!(&user[1].name, &expected);
+        prop_assert!(user[1].construct.is_some());
+    }
+
+    /// Resolution is stable: any IP within a registered function's range
+    /// resolves to that function.
+    #[test]
+    fn in_range_ips_resolve(offset in 0u64..0x1000) {
+        let w = world(1);
+        let info = w.table.resolve(w.users[0].at_offset(offset)).unwrap();
+        prop_assert_eq!(&*info.name, "user0");
+        prop_assert_eq!(info.kind, FrameKind::User);
+    }
+}

@@ -1,0 +1,119 @@
+//! Shared-array plumbing for the synthetic kernels.
+
+use std::cell::UnsafeCell;
+
+/// A fixed-length `f64` array writable concurrently at *disjoint* indices.
+///
+/// The worksharing schedules partition iteration spaces exactly (each
+/// index claimed by one thread — property-tested in `omprt::schedule`), so
+/// kernels can update `u[i]` from the thread that owns `i` without
+/// synchronization, like the plain C arrays of the original benchmarks.
+/// Elements are individual `UnsafeCell`s, so no whole-slice reference is
+/// ever formed across threads.
+///
+/// # Safety contract
+/// Callers must only write an index from the thread that owns it in the
+/// current worksharing construct, and must separate writer/reader phases
+/// with a barrier (the runtime's implicit region-end barrier suffices).
+pub struct SharedVec {
+    data: Box<[UnsafeCell<f64>]>,
+}
+
+unsafe impl Sync for SharedVec {}
+
+impl SharedVec {
+    /// A zero-filled array of length `n` (at least 1).
+    pub fn zeros(n: usize) -> Self {
+        SharedVec {
+            data: (0..n.max(1)).map(|_| UnsafeCell::new(0.0)).collect(),
+        }
+    }
+
+    /// Length of the array.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty (never true; length is clamped to 1).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn cell(&self, i: usize) -> &UnsafeCell<f64> {
+        // The kernels index with modular arithmetic; the clamp is a belt
+        // and braces guard, not an API.
+        &self.data[i.min(self.data.len() - 1)]
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// No concurrent writer to `i` (see the type-level contract).
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> f64 {
+        unsafe { *self.cell(i).get() }
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// The calling thread owns `i` in the current worksharing construct.
+    #[inline]
+    pub unsafe fn set(&self, i: usize, v: f64) {
+        unsafe { *self.cell(i).get() = v }
+    }
+
+    /// Serial sum (call only between parallel phases).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|c| unsafe { *c.get() }).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let v = SharedVec::zeros(8);
+        assert_eq!(v.len(), 8);
+        assert!(!v.is_empty());
+        assert_eq!(v.sum(), 0.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let v = SharedVec::zeros(4);
+        unsafe {
+            v.set(0, 1.5);
+            v.set(3, 2.5);
+            assert_eq!(v.get(0), 1.5);
+            assert_eq!(v.get(3), 2.5);
+        }
+        assert_eq!(v.sum(), 4.0);
+    }
+
+    #[test]
+    fn out_of_range_indices_clamp() {
+        let v = SharedVec::zeros(4);
+        unsafe {
+            v.set(100, 9.0);
+            assert_eq!(v.get(100), 9.0);
+            assert_eq!(v.get(3), 9.0);
+        }
+    }
+
+    #[test]
+    fn disjoint_parallel_writes_are_all_visible() {
+        use omprt::OpenMp;
+        let rt = OpenMp::with_threads(4);
+        let v = SharedVec::zeros(1000);
+        rt.parallel(|ctx| {
+            ctx.for_each(0, 999, |i| unsafe {
+                v.set(i as usize, 1.0);
+            });
+        });
+        assert_eq!(v.sum(), 1000.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Build a collector from scratch against the raw byte protocol —
+//! no `collector` crate, just the `ora-core` message format and the
+//! dynamic-symbol lookup, exactly the position a third-party tool vendor
+//! is in. Also demonstrates the protocol's error semantics ("out of sync"
+//! on double-start, out-of-sequence region queries).
+//!
+//! ```text
+//! cargo run --release --example custom_collector
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use omp_profiling::omprt::OpenMp;
+use omp_profiling::ora::message::RequestBatch;
+use omp_profiling::ora::{Event, OraError, Request};
+
+fn main() {
+    let rt = OpenMp::with_threads(2);
+
+    // 1. Discovery: resolve the exported entry point by name only.
+    let symbol = rt.symbol_name().to_string();
+    let entry = omp_profiling::psx::dynsym::lookup(&symbol)
+        .expect("runtime must export its collector symbol");
+    println!("resolved {symbol}");
+
+    // Callback "function pointers" are interned through the exported API
+    // object (the in-process stand-in for passing a pointer in the
+    // payload).
+    let api = omp_profiling::psx::dynsym::objects::lookup::<
+        omp_profiling::ora::api::CollectorApi,
+    >(&format!("{symbol}.api"))
+    .expect("api object exported");
+    let forks = Arc::new(AtomicU64::new(0));
+    let f = forks.clone();
+    let token = api.intern_callback(Arc::new(move |_| {
+        f.fetch_add(1, Ordering::Relaxed);
+    }));
+
+    // 2. One byte batch: start + register, like the Fig. 3 sequence.
+    let mut batch = RequestBatch::new(&[
+        Request::Start,
+        Request::Register {
+            event: Event::Fork,
+            token,
+        },
+        Request::QueryState,
+    ]);
+    let served = entry(batch.as_mut_bytes());
+    println!("served {served} records");
+    for (i, resp) in batch.responses().into_iter().enumerate() {
+        println!("  record {i}: {resp:?}");
+    }
+
+    // 3. Error semantics: a second Start without a Stop is out of sync...
+    let mut again = RequestBatch::new(&[Request::Start]);
+    entry(again.as_mut_bytes());
+    assert_eq!(again.response(0), Err(OraError::OutOfSequence));
+    println!("double start  -> {:?}", again.response(0));
+
+    // ...and a region-ID query outside any region is out of sequence too.
+    let mut prid = RequestBatch::new(&[Request::QueryCurrentPrid]);
+    entry(prid.as_mut_bytes());
+    println!("prid outside  -> {:?}", prid.response(0));
+
+    // 4. Run some regions; our raw callback counts forks.
+    for _ in 0..5 {
+        rt.parallel(|_| {});
+    }
+    println!("fork callbacks observed: {}", forks.load(Ordering::Relaxed));
+    assert_eq!(forks.load(Ordering::Relaxed), 5);
+
+    // 5. Pause / resume windows.
+    let mut pause = RequestBatch::new(&[Request::Pause]);
+    entry(pause.as_mut_bytes());
+    rt.parallel(|_| {});
+    let mut resume = RequestBatch::new(&[Request::Resume]);
+    entry(resume.as_mut_bytes());
+    rt.parallel(|_| {});
+    println!(
+        "after pause window: {} (one region was hidden)",
+        forks.load(Ordering::Relaxed)
+    );
+    assert_eq!(forks.load(Ordering::Relaxed), 6);
+
+    // 6. Stop.
+    let mut stop = RequestBatch::new(&[Request::Stop]);
+    entry(stop.as_mut_bytes());
+    println!("stopped");
+}

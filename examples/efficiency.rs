@@ -1,0 +1,72 @@
+//! A parallel-efficiency report from thread states: how much of each
+//! thread's time is useful work vs barriers, waits, idling, and runtime
+//! overhead — the analysis the thread-state machinery exists for
+//! ("distinguish [when] a thread is doing useful work or executing
+//! OpenMP overheads", paper §IV).
+//!
+//! Runs the same computation twice: once well balanced and once badly
+//! imbalanced, and shows the state-time profile exposing the difference.
+//!
+//! ```text
+//! cargo run --release --example efficiency
+//! ```
+
+use omp_profiling::collector::{RuntimeHandle, StateTimer};
+use omp_profiling::omprt::{OpenMp, Schedule};
+use omp_profiling::ora::ThreadState;
+
+fn spin_work(units: u64) -> u64 {
+    let mut x = 0u64;
+    for i in 0..units * 8_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    x
+}
+
+fn run_case(name: &str, schedule: Schedule, skewed: bool) {
+    let rt = OpenMp::with_config(omp_profiling::omprt::Config {
+        num_threads: 4,
+        schedule,
+        ..Default::default()
+    });
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+    let timer = StateTimer::attach(handle).unwrap();
+
+    for _ in 0..3 {
+        rt.parallel(|ctx| {
+            let mut acc = 0u64;
+            ctx.for_each(0, 63, |i| {
+                // Skewed: iteration cost grows with index, so the static
+                // schedule lands all the heavy work on the last thread.
+                let units = if skewed { 1 + (i as u64) / 4 } else { 8 };
+                acc = acc.wrapping_add(spin_work(units));
+            });
+            std::hint::black_box(acc);
+            ctx.implicit_barrier();
+        });
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let profile = timer.finish();
+
+    println!("=== {name} ===");
+    println!("{}", profile.render());
+    let work = profile.total_secs(ThreadState::Working);
+    let bar = profile.total_secs(ThreadState::ImplicitBarrier)
+        + profile.total_secs(ThreadState::ExplicitBarrier);
+    println!("aggregate: work {work:.4}s, barrier wait {bar:.4}s\n");
+}
+
+fn main() {
+    run_case("balanced (static schedule, uniform work)", Schedule::StaticEven, false);
+    run_case("imbalanced (static schedule, skewed work)", Schedule::StaticEven, true);
+    run_case(
+        "rebalanced (dynamic schedule, skewed work)",
+        Schedule::Dynamic(2),
+        true,
+    );
+    println!(
+        "the imbalanced case shows its skew as barrier-wait time; the\n\
+         dynamic schedule claws most of it back — all visible purely\n\
+         through ORA state queries, no source instrumentation"
+    );
+}

@@ -1,0 +1,51 @@
+//! The hybrid MPI+OpenMP scenario: run SP-MZ over simulated ranks at two
+//! decompositions, with each rank's own runtime profiled by its own
+//! collector — the setup behind the paper's Fig. 6 and Table II.
+//!
+//! ```text
+//! cargo run --release --example multizone
+//! ```
+
+use omp_profiling::collector::report;
+use omp_profiling::workloads::{CollectMode, MzBenchmark, NpbClass};
+
+fn main() {
+    let bench = MzBenchmark::sp_mz();
+    println!(
+        "{}: {} total zone-step region calls (class B-sim), {} zones\n",
+        bench.name, bench.total_calls_b, bench.zones
+    );
+
+    // Table II row for this benchmark.
+    println!(
+        "{}",
+        report::table(
+            &["decomposition", "region calls per process (B-sim)"],
+            [1usize, 2, 4, 8].into_iter().map(|p| {
+                vec![
+                    format!("{} x {}", p, 8 / p),
+                    bench.table2_calls(p).to_string(),
+                ]
+            }),
+        )
+    );
+
+    // Run at class S for two decompositions, with and without collection.
+    for (procs, threads) in [(1, 4), (2, 2)] {
+        let base = bench.run(procs, threads, NpbClass::S, CollectMode::Off);
+        let prof = bench.run(procs, threads, NpbClass::S, CollectMode::Profile);
+        println!(
+            "{} x {}: per-rank calls {:?}",
+            procs, threads, base.per_rank_calls
+        );
+        println!(
+            "  baseline {:.4}s, profiled {:.4}s ({} join samples across ranks)",
+            base.wall_secs, prof.wall_secs, prof.join_samples
+        );
+        assert_eq!(
+            prof.join_samples,
+            prof.per_rank_calls.iter().sum::<u64>(),
+            "every rank's profiler saw every region"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! The paper's §II argument, live: the same program monitored through
+//! POMP-style source instrumentation and through ORA, side by side.
+//!
+//! ```text
+//! cargo run --release --example pomp_compare
+//! ```
+//!
+//! Shows the three structural differences the paper claims for ORA:
+//! 1. no cost in user code when no tool is attached;
+//! 2. the runtime's truth (serialized nested regions fire no fork);
+//! 3. attribution to runtime region IDs instead of source descriptors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use omp_profiling::collector::{clock, Profiler, RuntimeHandle};
+use omp_profiling::omprt::OpenMp;
+use omp_profiling::pomp::{self, hooks, ConstructKind, PompMonitor};
+
+fn workload(rt: &OpenMp, pomp_region: Option<u32>) {
+    for _ in 0..200 {
+        if let Some(r) = pomp_region {
+            hooks::pomp_parallel_begin(r, 0);
+        }
+        rt.parallel(|ctx| {
+            let mut x = 0u64;
+            ctx.for_each(0, 511, |i| x = x.wrapping_add(i as u64));
+            std::hint::black_box(x);
+        });
+        if let Some(r) = pomp_region {
+            hooks::pomp_parallel_end(r, 0);
+        }
+    }
+}
+
+fn main() {
+    let region = pomp::register_region(ConstructKind::Parallel, "compare.c", 10, 18);
+    let rt = OpenMp::with_threads(2);
+    rt.parallel(|_| {}); // warm the pool
+
+    // --- 1. Dormant cost: no tool attached on either side --------------
+    let (_, bare) = clock::time(|| workload(&rt, None));
+    let (_, pomp_dormant) = clock::time(|| workload(&rt, Some(region)));
+    println!("no tool attached:");
+    println!("  uninstrumented      {:>9.3} ms", clock::to_secs(bare) * 1e3);
+    println!(
+        "  POMP hooks in code  {:>9.3} ms  ({} dormant hook executions so far)",
+        clock::to_secs(pomp_dormant) * 1e3,
+        pomp::dormant_calls()
+    );
+    println!("  ORA                 (identical to uninstrumented — nothing in user code)\n");
+
+    // --- 2. Monitored cost ---------------------------------------------
+    let monitor = PompMonitor::attach();
+    let (_, pomp_on) = clock::time(|| workload(&rt, Some(region)));
+    let report = monitor.finish();
+
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+    let profiler = Profiler::attach_default(handle).unwrap();
+    let (_, ora_on) = clock::time(|| workload(&rt, None));
+    let profile = profiler.finish();
+
+    println!("tool attached:");
+    println!("  POMP monitoring     {:>9.3} ms", clock::to_secs(pomp_on) * 1e3);
+    println!("  ORA profiling       {:>9.3} ms", clock::to_secs(ora_on) * 1e3);
+    let pomp_entry = &report[region as usize];
+    println!(
+        "  POMP saw {} enters of source region {}:{}-{}",
+        pomp_entry.enters,
+        pomp_entry.descriptor.file,
+        pomp_entry.descriptor.begin_line,
+        pomp_entry.descriptor.end_line
+    );
+    println!(
+        "  ORA saw {} runtime regions with join callstacks\n",
+        profile.region_count()
+    );
+
+    // --- 3. The nesting truth ------------------------------------------
+    let inner = pomp::register_region(ConstructKind::Parallel, "compare.c", 12, 15);
+    let forks = Arc::new(AtomicU64::new(0));
+    let api = rt.collector_api();
+    api.handle_request(omp_profiling::ora::Request::Start).unwrap();
+    let f = forks.clone();
+    api.register_callback(
+        omp_profiling::ora::Event::Fork,
+        Arc::new(move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        }),
+    )
+    .unwrap();
+    let monitor = PompMonitor::attach();
+    rt.parallel(|ctx| {
+        hooks::pomp_parallel_begin(inner, ctx.thread_num());
+        rt.parallel(|_| {}); // serialized by the runtime
+        hooks::pomp_parallel_end(inner, ctx.thread_num());
+    });
+    let report = monitor.finish();
+    println!("serialized nested region:");
+    println!(
+        "  POMP counted {} executions of the nested 'parallel region'",
+        report[inner as usize].enters
+    );
+    println!(
+        "  ORA fired {} fork(s) — the runtime's truth: it never forked",
+        forks.load(Ordering::SeqCst)
+    );
+}

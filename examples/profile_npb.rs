@@ -1,0 +1,71 @@
+//! Profile two NAS kernels with opposite region structure — CG (15
+//! regions, moderate call count) and LU-HP (16 regions, the paper's
+//! worst-case ~300k calls at full scale) — and show why LU-HP dominates
+//! the collection-overhead figure.
+//!
+//! ```text
+//! cargo run --release --example profile_npb [-- --class w]
+//! ```
+
+use omp_profiling::collector::{clock, Profiler, RuntimeHandle, StateSampler};
+use omp_profiling::omprt::OpenMp;
+use omp_profiling::ora::{Event, Request};
+use omp_profiling::workloads::{NpbClass, NpbKernel};
+
+fn main() {
+    let class = if std::env::args().any(|a| a == "--class" || a == "w") {
+        NpbClass::W
+    } else {
+        NpbClass::S
+    };
+
+    for kernel in [NpbKernel::cg(), NpbKernel::lu_hp()] {
+        println!("=== {} (class {:?}) ===", kernel.name, class);
+        println!(
+            "structure: {} regions, {} region calls",
+            kernel.region_count(),
+            kernel.region_calls(class)
+        );
+
+        let rt = OpenMp::with_threads(4);
+        let handle = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+
+        // Baseline run.
+        let (checksum, base_ticks) = clock::time(|| kernel.run(&rt, class));
+
+        // Profiled run, with state sampling at implicit barriers.
+        let profiler = Profiler::attach_default(handle.clone()).unwrap();
+        let sampler = StateSampler::new(handle.clone());
+        sampler
+            .sample_on(&[Event::ThreadBeginExplicitBarrier])
+            .ok();
+        let (_, prof_ticks) = clock::time(|| kernel.run(&rt, class));
+        let profile = profiler.finish();
+
+        println!("checksum: {checksum:.6}");
+        println!(
+            "baseline {:.3}s, profiled {:.3}s, overhead {:.1}%",
+            clock::to_secs(base_ticks),
+            clock::to_secs(prof_ticks),
+            (clock::to_secs(prof_ticks) / clock::to_secs(base_ticks) - 1.0) * 100.0
+        );
+        println!(
+            "regions profiled: {}, join callstack samples: {}, events observed: {}",
+            profile.region_count(),
+            profile.join_samples,
+            profile.events_observed
+        );
+
+        // The offline user-model view: every region re-attributed to the
+        // kernel's driver function and its constructs.
+        println!("\nuser-model call tree (top of report):");
+        for line in profile.call_tree.render().lines().take(8) {
+            println!("  {line}");
+        }
+
+        // Where did the threads spend their time?
+        let serial = handle.request_one(Request::QueryState).unwrap();
+        println!("\nmaster state now: {:?}", serial.state().unwrap());
+        println!();
+    }
+}

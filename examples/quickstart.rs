@@ -1,0 +1,67 @@
+//! Quickstart: the paper's Fig. 1 program profiled through the paper's
+//! Fig. 3 handshake.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! A runtime executes `#pragma omp parallel for reduction(+:sum)`; a
+//! collector — knowing nothing about the runtime but the exported
+//! `__omp_collector_api` symbol — starts collection, registers fork/join
+//! callbacks, queries thread state and region IDs, and prints a profile.
+
+use std::sync::Arc;
+
+use omp_profiling::collector::{Profiler, RuntimeHandle};
+use omp_profiling::omprt::{OpenMp, SourceFunction};
+use omp_profiling::ora::{Event, Request};
+
+fn main() {
+    // --- the application & runtime side -----------------------------
+    // int main() { #pragma omp parallel for reduction(+:sum) ... }
+    let main_fn = SourceFunction::new("main", "quickstart.c", 3);
+    let region = main_fn.loop_region("1", 5); // __ompdo_main_1
+    let rt = OpenMp::with_threads(4);
+    println!("runtime exports symbol: {}", rt.symbol_name());
+    println!("owns canonical __omp_collector_api: {}\n", rt.owns_canonical_symbol());
+
+    // --- the collector side ------------------------------------------
+    // "query the dynamic linker to determine whether the symbol is
+    // present" — a real tool would use the canonical name; we use the
+    // instance-qualified one so the example is robust inside any process.
+    let handle = RuntimeHandle::discover_named(rt.symbol_name())
+        .expect("no ORA-capable OpenMP runtime found");
+
+    // Attach the prototype tool (fork/join/implicit-barrier callbacks),
+    // plus one raw callback of our own on an event the tool doesn't use,
+    // to show the low-level registration path.
+    let profiler = Profiler::attach_default(handle.clone()).unwrap();
+    handle
+        .register(
+            Event::ThreadEndIdle,
+            Arc::new(|d| {
+                println!(
+                    "  [collector] worker {} leaves idle for region {}",
+                    d.gtid, d.region_id
+                );
+            }),
+        )
+        .unwrap();
+
+    // --- run the program ---------------------------------------------
+    let n = 1_000_000;
+    let sum = {
+        let _frame = main_fn.frame();
+        rt.parallel_for_sum(&region, 0, n - 1, |_i| 1.0)
+    };
+    println!("\nsum = {sum} (expected {n})");
+    assert_eq!(sum, n as f64);
+
+    // Query the calling thread's state through the byte protocol.
+    let state = handle.request_one(Request::QueryState).unwrap();
+    println!("master state outside the region: {:?}", state.state().unwrap());
+
+    // --- offline profile ----------------------------------------------
+    let profile = profiler.finish();
+    println!("\n=== profile ===\n{}", profile.render());
+}

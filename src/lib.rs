@@ -1,0 +1,33 @@
+//! # omp-profiling — open-source support for the OpenMP Runtime API for Profiling
+//!
+//! A full-stack Rust reproduction of *"Open Source Software Support for
+//! the OpenMP Runtime API for Profiling"* (ICPP 2009): the ORA/collector
+//! interface, an OpenMP-style runtime implementing it, PerfSuite-style
+//! callstack support, a prototype collector tool, and the paper's entire
+//! evaluation harness.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`ora`] (`ora-core`) — the collector API: events, states, the byte
+//!   protocol, callback registry, lifecycle state machine;
+//! * [`omprt`] — the OpenMP runtime substrate (fork/join, worksharing,
+//!   barriers, locks, reductions) with ORA wired into every runtime call;
+//! * [`psx`] — callstack capture, symbolization, user-model
+//!   reconstruction, and the dynamic-symbol table used for discovery;
+//! * [`collector`] — profiler / tracer / state-sampler tools that attach
+//!   through the discovered symbol;
+//! * [`workloads`] — EPCC syncbench and synthetic NPB / NPB-MZ suites
+//!   with the paper's exact parallel-region structure;
+//! * [`pomp`] — the POMP-style source-instrumentation baseline the
+//!   paper's related work compares ORA against.
+//!
+//! See `examples/quickstart.rs` for the end-to-end Fig. 3 handshake.
+
+#![warn(missing_docs)]
+
+pub use collector;
+pub use omprt;
+pub use pomp;
+pub use ora_core as ora;
+pub use psx;
+pub use workloads;

@@ -1,0 +1,119 @@
+//! The paper's Fig. 3 sequence, end to end across all crates: a collector
+//! that discovers the runtime, initializes, registers events, queries
+//! state and region IDs, pauses/resumes/stops — all through the byte
+//! protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use omp_profiling::collector::RuntimeHandle;
+use omp_profiling::omprt::OpenMp;
+use omp_profiling::ora::{Event, OraError, Request, Response, ThreadState};
+
+#[test]
+fn figure_3_interaction_sequence() {
+    let rt = OpenMp::with_threads(2);
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+
+    // 1. Collector initiates communications: OMP_REQ_START.
+    assert_eq!(handle.request_one(Request::Start), Ok(Response::Ack));
+
+    // 2. Register fork + join callbacks.
+    let forks = Arc::new(AtomicU64::new(0));
+    let joins = Arc::new(AtomicU64::new(0));
+    {
+        let f = forks.clone();
+        handle
+            .register(Event::Fork, Arc::new(move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        let j = joins.clone();
+        handle
+            .register(Event::Join, Arc::new(move |_| {
+                j.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+    }
+
+    // 3. Query thread state before any region: serial.
+    let state = handle.request_one(Request::QueryState).unwrap();
+    assert_eq!(state.state(), Some(ThreadState::Serial));
+
+    // 4. Region IDs outside a region: out of sequence.
+    assert_eq!(
+        handle.request_one(Request::QueryCurrentPrid),
+        Err(OraError::OutOfSequence)
+    );
+
+    // 5. Application runs; events flow.
+    rt.parallel(|_| {});
+    rt.parallel(|_| {});
+    assert_eq!(forks.load(Ordering::SeqCst), 2);
+    assert_eq!(joins.load(Ordering::SeqCst), 2);
+
+    // 6. Pause: generation suspends, states keep tracking.
+    handle.request_one(Request::Pause).unwrap();
+    rt.parallel(|_| {});
+    assert_eq!(forks.load(Ordering::SeqCst), 2);
+    assert_eq!(
+        handle
+            .request_one(Request::QueryState)
+            .unwrap()
+            .state(),
+        Some(ThreadState::Serial)
+    );
+
+    // 7. Resume: generation continues.
+    handle.request_one(Request::Resume).unwrap();
+    rt.parallel(|_| {});
+    assert_eq!(forks.load(Ordering::SeqCst), 3);
+
+    // 8. Stop: de-initialize; registrations cleared; restart is legal.
+    handle.request_one(Request::Stop).unwrap();
+    rt.parallel(|_| {});
+    assert_eq!(forks.load(Ordering::SeqCst), 3);
+    assert_eq!(handle.request_one(Request::Start), Ok(Response::Ack));
+    rt.parallel(|_| {});
+    assert_eq!(forks.load(Ordering::SeqCst), 3, "stop cleared callbacks");
+    handle.request_one(Request::Stop).unwrap();
+}
+
+#[test]
+fn region_ids_inside_regions_via_byte_protocol() {
+    let rt = OpenMp::with_threads(2);
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+    handle.request_one(Request::Start).unwrap();
+
+    let seen = Arc::new(AtomicU64::new(0));
+    let h = handle.clone();
+    let s = seen.clone();
+    rt.parallel(move |ctx| {
+        let cur = h.request_one(Request::QueryCurrentPrid).unwrap();
+        let parent = h.request_one(Request::QueryParentPrid).unwrap();
+        assert_eq!(cur, Response::RegionId(ctx.region_id()));
+        assert_eq!(parent, Response::RegionId(0));
+        s.fetch_add(1, Ordering::SeqCst);
+    });
+    assert_eq!(seen.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn collector_survives_runtime_teardown() {
+    // The exported entry captures only a weak reference; after the
+    // runtime drops, calls fail cleanly rather than crashing.
+    let (handle, symbol) = {
+        let rt = OpenMp::with_threads(2);
+        let symbol = rt.symbol_name().to_string();
+        let handle = RuntimeHandle::discover_named(&symbol).unwrap();
+        handle.request_one(Request::Start).unwrap();
+        rt.parallel(|_| {});
+        (handle, symbol)
+    }; // rt dropped here
+
+    // The symbol is gone from the table...
+    assert!(RuntimeHandle::discover_named(&symbol).is_none());
+    // ...and the stale handle reports failure instead of crashing.
+    let results = handle.request(&[Request::QueryState]);
+    assert!(results[0].is_err());
+}

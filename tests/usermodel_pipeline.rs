@@ -1,0 +1,102 @@
+//! The full user-model pipeline of §IV-F: implementation-model capture at
+//! join events → symbolization → offline reconstruction → call tree, over
+//! a program with nested user functions and multiple constructs.
+
+use omp_profiling::collector::{Profiler, RuntimeHandle};
+use omp_profiling::omprt::{OpenMp, SourceFunction};
+use omp_profiling::psx;
+
+#[test]
+fn nested_user_functions_reconstruct_fully() {
+    // main → solver() → two parallel constructs; plus a construct directly
+    // in main.
+    let main_fn = SourceFunction::new("um_main", "app.rs", 1);
+    let solver_fn = SourceFunction::new("um_solver", "solver.rs", 10);
+    let main_region = main_fn.region("1", 4);
+    let sweep = solver_fn.loop_region("sweep", 14);
+    let norm = solver_fn.region("norm", 22);
+
+    let rt = OpenMp::with_threads(2);
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+    let profiler = Profiler::attach_default(handle).unwrap();
+
+    {
+        let _m = main_fn.frame();
+        rt.parallel_region(&main_region, |_| {});
+        {
+            let _s = solver_fn.frame();
+            for _ in 0..3 {
+                rt.parallel_region(&sweep, |ctx| {
+                    ctx.for_each(0, 63, |i| {
+                        std::hint::black_box(i);
+                    });
+                });
+            }
+            rt.parallel_region(&norm, |_| {});
+        }
+    }
+
+    let profile = profiler.finish();
+    assert_eq!(profile.join_samples, 5);
+
+    let rendered = profile.call_tree.render();
+    // One root: um_main.
+    assert_eq!(profile.call_tree.root_count(), 1, "{rendered}");
+    // The solver frames nest under main; constructs are annotated; no
+    // runtime internals leak.
+    assert!(rendered.contains("um_main"), "{rendered}");
+    assert!(rendered.contains("um_solver"), "{rendered}");
+    assert!(rendered.contains("parallel for"), "{rendered}");
+    assert!(!rendered.contains("__ompc"), "{rendered}");
+    // The sweep construct was sampled three times.
+    assert!(rendered.contains("samples=3"), "{rendered}");
+}
+
+#[test]
+fn worker_side_capture_synthesizes_parents() {
+    // Capture from a *worker* thread mid-region: the implementation stack
+    // starts at the outlined body, and reconstruction must synthesize the
+    // parent chain.
+    let func = SourceFunction::new("wm_driver", "w.rs", 1);
+    let region = func.region("r", 6);
+    let rt = OpenMp::with_threads(2);
+
+    let stacks = std::sync::Mutex::new(Vec::new());
+    rt.parallel_region(&region, |ctx| {
+        if ctx.thread_num() == 1 {
+            stacks.lock().unwrap().push(psx::capture());
+        }
+    });
+
+    let stacks = stacks.into_inner().unwrap();
+    assert_eq!(stacks.len(), 1);
+    let user = psx::reconstruct(&stacks[0], psx::SymbolTable::global());
+    let names: Vec<&str> = user.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, vec!["wm_driver", "wm_driver"]);
+    assert_eq!(user[1].construct.as_deref(), Some("parallel"));
+}
+
+#[test]
+fn call_tree_weights_accumulate_by_construct() {
+    let func = SourceFunction::new("wt_driver", "wt.rs", 1);
+    let fast = func.region("fast", 3);
+    let slow = func.region("slow", 9);
+    let rt = OpenMp::with_threads(2);
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
+    let profiler = Profiler::attach_default(handle).unwrap();
+
+    {
+        let _f = func.frame();
+        rt.parallel_region(&fast, |_| {});
+        rt.parallel_region(&slow, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        });
+    }
+
+    let profile = profiler.finish();
+    let tree = &profile.call_tree;
+    // The driver's inclusive time covers both constructs and is dominated
+    // by the slow one.
+    let total = tree.inclusive_of("wt_driver");
+    assert!(total >= 0.020, "total {total}");
+}
