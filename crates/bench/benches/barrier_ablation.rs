@@ -2,8 +2,9 @@
 //! of the ORA events added to the implicit/explicit barrier runtime calls
 //! (the events are two of the three the paper's tool registers).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omprt::{Barrier, BarrierKind, Config, OpenMp};
+use ora_bench::microbench::{BenchmarkId, Criterion};
+use ora_bench::{criterion_group, criterion_main};
 use ora_core::event::Event;
 use ora_core::request::Request;
 use std::sync::Arc;

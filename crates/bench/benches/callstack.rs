@@ -4,7 +4,8 @@
 //! overhead to be selective about ("we want to avoid doing so for
 //! insignificant events and small parallel regions").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ora_bench::microbench::{BenchmarkId, Criterion};
+use ora_bench::{criterion_group, criterion_main};
 use psx::symtab::{SymbolDesc, SymbolTable};
 use psx::unwind::Backtrace;
 

@@ -8,7 +8,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ora_bench::microbench::Criterion;
+use ora_bench::{criterion_group, criterion_main};
 use ora_core::api::CollectorApi;
 use ora_core::event::Event;
 use ora_core::registry::EventData;
@@ -31,12 +32,14 @@ fn bench_dispatch(c: &mut Criterion) {
     {
         let api = CollectorApi::new();
         api.handle_request(Request::Start).unwrap();
-        api.register_callback(Event::Fork, Arc::new(|_| {})).unwrap();
+        api.register_callback(Event::Fork, Arc::new(|_| {}))
+            .unwrap();
         api.handle_request(Request::Stop).unwrap();
         // Stop cleared registrations; re-register without start to model
         // "registered entry, inactive API" via start/register/pause path.
         api.handle_request(Request::Start).unwrap();
-        api.register_callback(Event::Fork, Arc::new(|_| {})).unwrap();
+        api.register_callback(Event::Fork, Arc::new(|_| {}))
+            .unwrap();
         api.handle_request(Request::Pause).unwrap();
         g.bench_function("registered_paused", |b| {
             b.iter(|| api.event(std::hint::black_box(&data)))
@@ -48,7 +51,8 @@ fn bench_dispatch(c: &mut Criterion) {
     {
         let api = CollectorApi::new();
         api.handle_request(Request::Start).unwrap();
-        api.register_callback(Event::Fork, Arc::new(|_| {})).unwrap();
+        api.register_callback(Event::Fork, Arc::new(|_| {}))
+            .unwrap();
         g.bench_function("registered_active", |b| {
             b.iter(|| api.event(std::hint::black_box(&data)))
         });

@@ -3,9 +3,10 @@
 //! this bench gives statistically tracked per-directive pairs for the
 //! heavily-used directives the paper calls out.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use collector::{Profiler, ProfilerConfig, RuntimeHandle};
 use omprt::OpenMp;
+use ora_bench::microbench::{BenchmarkId, Criterion};
+use ora_bench::{criterion_group, criterion_main};
 use workloads::epcc::{self, Directive, EpccConfig};
 
 fn cfg() -> EpccConfig {
@@ -20,7 +21,12 @@ fn bench_fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_epcc");
     g.sample_size(10);
 
-    for directive in [Directive::Parallel, Directive::ParallelFor, Directive::Reduction, Directive::Barrier] {
+    for directive in [
+        Directive::Parallel,
+        Directive::ParallelFor,
+        Directive::Reduction,
+        Directive::Barrier,
+    ] {
         g.bench_with_input(
             BenchmarkId::new("base", format!("{directive:?}")),
             &directive,

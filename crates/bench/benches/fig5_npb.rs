@@ -2,16 +2,21 @@
 //! at class S (the `fig5_npb` binary prints the full matrix at larger
 //! scales). CG and LU-HP bracket the region-call spectrum.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use collector::{Profiler, ProfilerConfig, RuntimeHandle};
 use omprt::OpenMp;
+use ora_bench::microbench::{BenchmarkId, Criterion};
+use ora_bench::{criterion_group, criterion_main};
 use workloads::{NpbClass, NpbKernel};
 
 fn bench_fig5(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_npb");
     g.sample_size(10);
 
-    for kernel_fn in [NpbKernel::cg as fn() -> NpbKernel, NpbKernel::lu_hp, NpbKernel::ep] {
+    for kernel_fn in [
+        NpbKernel::cg as fn() -> NpbKernel,
+        NpbKernel::lu_hp,
+        NpbKernel::ep,
+    ] {
         let kernel = kernel_fn();
         let name = kernel.name;
         g.bench_with_input(BenchmarkId::new("base", name), &kernel, |b, k| {

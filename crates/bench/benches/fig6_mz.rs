@@ -1,7 +1,8 @@
 //! Criterion form of Figure 6: LU-MZ (the smallest hybrid) across collect
 //! modes at class S. The `fig6_npb_mz` binary prints the full P×T matrix.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ora_bench::microbench::{BenchmarkId, Criterion};
+use ora_bench::{criterion_group, criterion_main};
 use workloads::{CollectMode, MzBenchmark, NpbClass};
 
 fn bench_fig6(c: &mut Criterion) {

@@ -3,9 +3,10 @@
 //! the no-tool baseline each system imposes (ORA's is a runtime-internal
 //! flag check; POMP's instrumentation executes in user code regardless).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use collector::{Profiler, ProfilerConfig, RuntimeHandle};
 use omprt::OpenMp;
+use ora_bench::microbench::Criterion;
+use ora_bench::{criterion_group, criterion_main};
 use pomp::{hooks, ConstructKind, PompMonitor};
 
 fn workload(rt: &OpenMp) {

@@ -1,7 +1,8 @@
 //! Wire-protocol costs: encoding request batches and serving them through
 //! the byte-array entry point (the round trip behind every Fig. 3 arrow).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ora_bench::microbench::{BenchmarkId, Criterion};
+use ora_bench::{criterion_group, criterion_main};
 use ora_core::api::CollectorApi;
 use ora_core::event::Event;
 use ora_core::message::RequestBatch;

@@ -2,8 +2,9 @@
 //! fixed worksharing loop, measuring the schedule-computation overhead the
 //! runtime accounts to the OVHD state.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omprt::{schedule, Config, OpenMp, Schedule};
+use ora_bench::microbench::{BenchmarkId, Criterion};
+use ora_bench::{criterion_group, criterion_main};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn bench_schedule_math(c: &mut Criterion) {

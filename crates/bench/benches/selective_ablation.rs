@@ -5,11 +5,12 @@
 //! paper predicts from "distinguishing between … the same parallel region
 //! or the calling context".
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use collector::{
     Mode, Profiler, ProfilerConfig, RuntimeHandle, SelectivePolicy, SelectiveProfiler,
 };
 use omprt::{OpenMp, SourceFunction};
+use ora_bench::microbench::Criterion;
+use ora_bench::{criterion_group, criterion_main};
 
 fn workload(rt: &OpenMp, region: &omprt::RegionHandle) {
     for _ in 0..200 {

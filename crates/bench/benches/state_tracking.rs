@@ -7,7 +7,8 @@
 //! alternative the paper rejected (a conditional check before every
 //! update) and against the wait-ID increment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ora_bench::microbench::Criterion;
+use ora_bench::{criterion_group, criterion_main};
 use ora_core::state::{StateCell, ThreadState, WaitId};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -37,7 +38,9 @@ fn bench_state_tracking(c: &mut Criterion) {
     });
 
     let wait = WaitId::new();
-    g.bench_function("wait_id_next", |b| b.iter(|| std::hint::black_box(wait.next())));
+    g.bench_function("wait_id_next", |b| {
+        b.iter(|| std::hint::black_box(wait.next()))
+    });
 
     g.finish();
 }

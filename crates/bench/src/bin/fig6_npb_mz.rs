@@ -34,8 +34,11 @@ fn main() {
             let mut collected = f64::INFINITY;
             for _ in 0..scale.reps() {
                 base = base.min(bench.run(procs, threads, class, CollectMode::Off).wall_secs);
-                collected = collected
-                    .min(bench.run(procs, threads, class, CollectMode::Profile).wall_secs);
+                collected = collected.min(
+                    bench
+                        .run(procs, threads, class, CollectMode::Profile)
+                        .wall_secs,
+                );
             }
             let pct = ((collected - base) / base * 100.0).max(0.0);
             row.push(fmt_pct(pct));

@@ -122,8 +122,8 @@ fn main() {
             println!("\n{}", profile.render());
         }
         "suite" => {
-            let t = collector::ToolSuite::attach(handle, collector::SuiteConfig::default())
-                .unwrap();
+            let t =
+                collector::ToolSuite::attach(handle, collector::SuiteConfig::default()).unwrap();
             run_workload(&rt, &workload, class);
             std::thread::sleep(std::time::Duration::from_millis(100));
             println!("\n{}", t.finish().render());

@@ -12,12 +12,16 @@
 //! | `breakdown`      | §V-B       | measurement vs communication overhead split |
 //!
 //! All binaries accept `--scale smoke|quick|paper` (default `quick`).
-//! Criterion benches (`cargo bench -p ora-bench`) cover the micro costs
-//! the paper argues about: event-dispatch fast path, always-on state
-//! stores, callstack capture, wire protocol, and the barrier/schedule
-//! ablations.
+//! Micro-benches (`cargo bench -p ora-bench --features bench`) cover the
+//! micro costs the paper argues about: event-dispatch fast path,
+//! always-on state stores, callstack capture, wire protocol, and the
+//! barrier/schedule ablations. They run on the dependency-free
+//! [`microbench`] harness and are gated behind the off-by-default
+//! `bench` feature so default builds stay hermetic.
 
 #![warn(missing_docs)]
+
+pub mod microbench;
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -264,9 +264,9 @@ mod tests {
     #[test]
     fn unpaired_events_are_ignored_gracefully() {
         let t = trace_from_records(vec![
-            rec(10, 0, Event::Join, 9, 0),                         // join without fork
-            rec(20, 0, Event::ThreadEndExplicitBarrier, 1, 1),     // end without begin
-            rec(30, 0, Event::ThreadBeginExplicitBarrier, 1, 2),   // begin without end
+            rec(10, 0, Event::Join, 9, 0),                     // join without fork
+            rec(20, 0, Event::ThreadEndExplicitBarrier, 1, 1), // end without begin
+            rec(30, 0, Event::ThreadBeginExplicitBarrier, 1, 2), // begin without end
         ]);
         let a = analyze(&t);
         assert!(a.regions.is_empty());

@@ -61,6 +61,6 @@ pub use ompt::{Endpoint, MutexKind, OmptAdapter, OmptRecord, SyncRegionKind};
 pub use profiler::{Mode, Profile, Profiler, ProfilerConfig, RegionProfile, ThreadProfile};
 pub use sampler::StateSampler;
 pub use selective::{SelectivePolicy, SelectiveProfiler, SelectiveReport};
-pub use suite::{SuiteConfig, SuiteReport, ToolSuite};
 pub use state_timer::{StateProfile, StateTimer, ThreadStateTimes};
+pub use suite::{SuiteConfig, SuiteReport, ToolSuite};
 pub use tracer::{Trace, TraceRecord, Tracer};

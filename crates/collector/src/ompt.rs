@@ -131,29 +131,37 @@ impl OmptAdapter {
             (Event::Join, |d| OmptRecord::ParallelEnd {
                 parallel_id: d.region_id,
             }),
-            (Event::ThreadBeginImplicitBarrier, |d| OmptRecord::SyncRegion {
-                kind: SyncRegionKind::BarrierImplicit,
-                endpoint: Endpoint::Begin,
-                thread: d.gtid,
-                parallel_id: d.region_id,
+            (Event::ThreadBeginImplicitBarrier, |d| {
+                OmptRecord::SyncRegion {
+                    kind: SyncRegionKind::BarrierImplicit,
+                    endpoint: Endpoint::Begin,
+                    thread: d.gtid,
+                    parallel_id: d.region_id,
+                }
             }),
-            (Event::ThreadEndImplicitBarrier, |d| OmptRecord::SyncRegion {
-                kind: SyncRegionKind::BarrierImplicit,
-                endpoint: Endpoint::End,
-                thread: d.gtid,
-                parallel_id: d.region_id,
+            (Event::ThreadEndImplicitBarrier, |d| {
+                OmptRecord::SyncRegion {
+                    kind: SyncRegionKind::BarrierImplicit,
+                    endpoint: Endpoint::End,
+                    thread: d.gtid,
+                    parallel_id: d.region_id,
+                }
             }),
-            (Event::ThreadBeginExplicitBarrier, |d| OmptRecord::SyncRegion {
-                kind: SyncRegionKind::BarrierExplicit,
-                endpoint: Endpoint::Begin,
-                thread: d.gtid,
-                parallel_id: d.region_id,
+            (Event::ThreadBeginExplicitBarrier, |d| {
+                OmptRecord::SyncRegion {
+                    kind: SyncRegionKind::BarrierExplicit,
+                    endpoint: Endpoint::Begin,
+                    thread: d.gtid,
+                    parallel_id: d.region_id,
+                }
             }),
-            (Event::ThreadEndExplicitBarrier, |d| OmptRecord::SyncRegion {
-                kind: SyncRegionKind::BarrierExplicit,
-                endpoint: Endpoint::End,
-                thread: d.gtid,
-                parallel_id: d.region_id,
+            (Event::ThreadEndExplicitBarrier, |d| {
+                OmptRecord::SyncRegion {
+                    kind: SyncRegionKind::BarrierExplicit,
+                    endpoint: Endpoint::End,
+                    thread: d.gtid,
+                    parallel_id: d.region_id,
+                }
             }),
             (Event::TaskWaitBegin, |d| OmptRecord::SyncRegion {
                 kind: SyncRegionKind::Taskwait,
@@ -177,20 +185,26 @@ impl OmptAdapter {
                 thread: d.gtid,
                 wait_id: d.wait_id,
             }),
-            (Event::ThreadBeginCriticalWait, |d| OmptRecord::MutexAcquire {
-                kind: MutexKind::Critical,
-                thread: d.gtid,
-                wait_id: d.wait_id,
+            (Event::ThreadBeginCriticalWait, |d| {
+                OmptRecord::MutexAcquire {
+                    kind: MutexKind::Critical,
+                    thread: d.gtid,
+                    wait_id: d.wait_id,
+                }
             }),
-            (Event::ThreadEndCriticalWait, |d| OmptRecord::MutexAcquired {
-                kind: MutexKind::Critical,
-                thread: d.gtid,
-                wait_id: d.wait_id,
+            (Event::ThreadEndCriticalWait, |d| {
+                OmptRecord::MutexAcquired {
+                    kind: MutexKind::Critical,
+                    thread: d.gtid,
+                    wait_id: d.wait_id,
+                }
             }),
-            (Event::ThreadBeginOrderedWait, |d| OmptRecord::MutexAcquire {
-                kind: MutexKind::Ordered,
-                thread: d.gtid,
-                wait_id: d.wait_id,
+            (Event::ThreadBeginOrderedWait, |d| {
+                OmptRecord::MutexAcquire {
+                    kind: MutexKind::Ordered,
+                    thread: d.gtid,
+                    wait_id: d.wait_id,
+                }
             }),
             (Event::ThreadEndOrderedWait, |d| OmptRecord::MutexAcquired {
                 kind: MutexKind::Ordered,

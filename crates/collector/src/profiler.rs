@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ora_core::sync::Mutex;
 
 use ora_core::event::Event;
 use ora_core::registry::EventData;
@@ -325,7 +325,9 @@ impl Profile {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&report::table(
-            &["region", "calls", "total(s)", "mean(us)", "min(us)", "max(us)"],
+            &[
+                "region", "calls", "total(s)", "mean(us)", "min(us)", "max(us)",
+            ],
             self.regions.iter().map(|r| {
                 vec![
                     r.region_id.to_string(),

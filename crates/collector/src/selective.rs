@@ -20,7 +20,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ora_core::sync::Mutex;
 
 use ora_core::event::Event;
 use ora_core::registry::EventData;

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ora_core::sync::Mutex;
 
 use ora_core::event::ALL_EVENTS;
 use ora_core::request::{OraError, OraResult, Request, Response};
@@ -70,8 +70,9 @@ impl StateTimer {
                     if d.gtid >= MAX_THREADS {
                         return;
                     }
-                    let Ok(Response::State { state: now_state, .. }) =
-                        h.request_one(Request::QueryState)
+                    let Ok(Response::State {
+                        state: now_state, ..
+                    }) = h.request_one(Request::QueryState)
                     else {
                         return;
                     };
@@ -173,11 +174,7 @@ impl StateProfile {
             &header_refs,
             self.threads.iter().map(|t| {
                 let mut row = vec![t.gtid.to_string()];
-                row.extend(
-                    active_states
-                        .iter()
-                        .map(|s| format!("{:.6}", t.secs(*s))),
-                );
+                row.extend(active_states.iter().map(|s| format!("{:.6}", t.secs(*s))));
                 row.push(format!("{:.1}%", t.efficiency() * 100.0));
                 row
             }),

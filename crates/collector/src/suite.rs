@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ora_core::sync::Mutex;
 
 use ora_core::event::{Event, ALL_EVENTS, EVENT_COUNT};
 use ora_core::registry::EventData;
@@ -90,7 +90,9 @@ impl ToolSuite {
     pub fn attach(handle: RuntimeHandle, cfg: SuiteConfig) -> OraResult<ToolSuite> {
         handle.request_one(Request::Start)?;
         let supported: Vec<Event> = match handle.request_one(Request::QueryCapabilities) {
-            Ok(resp) => resp.supported_events().unwrap_or_else(|| ALL_EVENTS.to_vec()),
+            Ok(resp) => resp
+                .supported_events()
+                .unwrap_or_else(|| ALL_EVENTS.to_vec()),
             Err(_) => ALL_EVENTS.to_vec(),
         };
 
@@ -187,9 +189,7 @@ impl ToolSuite {
                     t.last_state?;
                     Some(ThreadStateTimes {
                         gtid,
-                        secs_per_state: std::array::from_fn(|i| {
-                            clock::to_secs(t.state_ticks[i])
-                        }),
+                        secs_per_state: std::array::from_fn(|i| clock::to_secs(t.state_ticks[i])),
                     })
                 })
                 .collect(),
@@ -265,8 +265,7 @@ impl SuiteState {
 
         // State-timer lane: sample the firing thread's state.
         if self.cfg.state_times && d.gtid < MAX_THREADS {
-            if let Ok(Response::State { state, .. }) =
-                self.handle.request_one(Request::QueryState)
+            if let Ok(Response::State { state, .. }) = self.handle.request_one(Request::QueryState)
             {
                 let mut t = self.threads[d.gtid].lock();
                 if let Some(prev) = t.last_state {

@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ora_core::sync::Mutex;
 
 use ora_core::event::{Event, ALL_EVENTS, EVENT_COUNT};
 use ora_core::registry::EventData;
@@ -68,7 +68,9 @@ impl Tracer {
         // Plan registrations from the capabilities bitmap when available
         // (one round trip instead of per-event UNSUPPORTED probing).
         let supported: Vec<Event> = match handle.request_one(Request::QueryCapabilities) {
-            Ok(resp) => resp.supported_events().unwrap_or_else(|| ALL_EVENTS.to_vec()),
+            Ok(resp) => resp
+                .supported_events()
+                .unwrap_or_else(|| ALL_EVENTS.to_vec()),
             Err(_) => ALL_EVENTS.to_vec(),
         };
         for event in supported {
@@ -239,7 +241,11 @@ impl Trace {
             let _ = writeln!(
                 out,
                 "{:>12} t{:<3} {:<34} region={} wait={}",
-                r.tick, r.gtid, r.event.name(), r.region_id, r.wait_id
+                r.tick,
+                r.gtid,
+                r.event.name(),
+                r.region_id,
+                r.wait_id
             );
         }
         out

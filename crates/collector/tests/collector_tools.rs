@@ -186,9 +186,7 @@ fn wait_ids_flow_through_state_queries_in_wait_states() {
         .register(
             Event::ThreadBeginImplicitBarrier,
             Arc::new(move |d| {
-                if let Ok(Response::State { state, wait_id }) =
-                    h.request_one(Request::QueryState)
-                {
+                if let Ok(Response::State { state, wait_id }) = h.request_one(Request::QueryState) {
                     assert_eq!(state, ThreadState::ImplicitBarrier);
                     let (kind, id) = wait_id.expect("barrier state carries a wait id");
                     assert_eq!(kind, ora_core::state::WaitIdKind::Barrier);

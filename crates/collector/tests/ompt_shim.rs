@@ -30,7 +30,10 @@ fn parallel_begin_end_pairs_with_ids() {
     let begins: Vec<u64> = log
         .iter()
         .filter_map(|r| match r {
-            OmptRecord::ParallelBegin { parallel_id, parent_parallel_id } => {
+            OmptRecord::ParallelBegin {
+                parallel_id,
+                parent_parallel_id,
+            } => {
                 assert_eq!(*parent_parallel_id, 0);
                 Some(*parallel_id)
             }
@@ -98,14 +101,33 @@ fn mutex_callbacks_fire_on_contended_critical() {
     let log = log.lock().unwrap();
     let acquires = log
         .iter()
-        .filter(|r| matches!(r, OmptRecord::MutexAcquire { kind: MutexKind::Critical, .. }))
+        .filter(|r| {
+            matches!(
+                r,
+                OmptRecord::MutexAcquire {
+                    kind: MutexKind::Critical,
+                    ..
+                }
+            )
+        })
         .count();
     let acquireds = log
         .iter()
-        .filter(|r| matches!(r, OmptRecord::MutexAcquired { kind: MutexKind::Critical, .. }))
+        .filter(|r| {
+            matches!(
+                r,
+                OmptRecord::MutexAcquired {
+                    kind: MutexKind::Critical,
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(acquires, acquireds);
-    assert!(acquires >= 1, "4 threads in a sleeping critical must contend");
+    assert!(
+        acquires >= 1,
+        "4 threads in a sleeping critical must contend"
+    );
 }
 
 #[test]
@@ -118,11 +140,27 @@ fn work_callbacks_bracket_loops() {
     let log = log.lock().unwrap();
     let begins = log
         .iter()
-        .filter(|r| matches!(r, OmptRecord::Work { endpoint: Endpoint::Begin, .. }))
+        .filter(|r| {
+            matches!(
+                r,
+                OmptRecord::Work {
+                    endpoint: Endpoint::Begin,
+                    ..
+                }
+            )
+        })
         .count();
     let ends = log
         .iter()
-        .filter(|r| matches!(r, OmptRecord::Work { endpoint: Endpoint::End, .. }))
+        .filter(|r| {
+            matches!(
+                r,
+                OmptRecord::Work {
+                    endpoint: Endpoint::End,
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(begins, 2, "one loop per thread");
     assert_eq!(ends, 2);

@@ -1,101 +1,107 @@
-//! Property tests on the trace export/analysis pipeline.
+//! Property tests on the trace export/analysis pipeline. Record streams
+//! are drawn from a fixed-seed PRNG so runs are deterministic and offline.
 
 use collector::analysis::{analyze, trace_from_records};
 use collector::{Trace, TraceRecord};
 use ora_core::event::{Event, ALL_EVENTS};
-use proptest::prelude::*;
+use ora_core::testutil::XorShift64;
 
-fn arb_record() -> impl Strategy<Value = TraceRecord> {
-    (
-        any::<u32>(),
-        0usize..16,
-        0usize..ALL_EVENTS.len(),
-        any::<u32>(),
-        any::<u32>(),
-    )
-        .prop_map(|(tick, gtid, ev, region, wait)| TraceRecord {
-            tick: tick as u64,
-            gtid,
-            event: ALL_EVENTS[ev],
-            region_id: region as u64,
-            wait_id: wait as u64,
-        })
+fn arb_record(rng: &mut XorShift64) -> TraceRecord {
+    TraceRecord {
+        tick: rng.next_u32() as u64,
+        gtid: rng.range_usize(0, 16),
+        event: ALL_EVENTS[rng.range_usize(0, ALL_EVENTS.len())],
+        region_id: rng.next_u32() as u64,
+        wait_id: rng.next_u32() as u64,
+    }
 }
 
-proptest! {
-    /// CSV export/import is lossless for arbitrary record streams.
-    #[test]
-    fn csv_round_trips_arbitrary_traces(
-        records in proptest::collection::vec(arb_record(), 0..64)
-    ) {
+fn arb_records(rng: &mut XorShift64, max: usize) -> Vec<TraceRecord> {
+    let len = rng.range_usize(0, max);
+    (0..len).map(|_| arb_record(rng)).collect()
+}
+
+/// CSV export/import is lossless for arbitrary record streams.
+#[test]
+fn csv_round_trips_arbitrary_traces() {
+    let mut rng = XorShift64::new(0x7ace_0001);
+    for _case in 0..256 {
+        let records = arb_records(&mut rng, 64);
         let trace = trace_from_records(records);
         let parsed = Trace::from_csv(&trace.to_csv()).unwrap();
-        prop_assert_eq!(&parsed.records, &trace.records);
-        prop_assert_eq!(parsed.counts, trace.counts);
+        assert_eq!(&parsed.records, &trace.records);
+        assert_eq!(parsed.counts, trace.counts);
         // Idempotent: a second round trip is byte-identical.
-        prop_assert_eq!(parsed.to_csv(), trace.to_csv());
+        assert_eq!(parsed.to_csv(), trace.to_csv());
     }
+}
 
-    /// Analysis never panics and its aggregates are internally
-    /// consistent for arbitrary (even nonsensical) record streams.
-    #[test]
-    fn analysis_is_total_and_consistent(
-        records in proptest::collection::vec(arb_record(), 0..128)
-    ) {
+/// Analysis never panics and its aggregates are internally
+/// consistent for arbitrary (even nonsensical) record streams.
+#[test]
+fn analysis_is_total_and_consistent() {
+    let mut rng = XorShift64::new(0x7ace_0002);
+    for _case in 0..256 {
+        let records = arb_records(&mut rng, 128);
         let trace = trace_from_records(records);
         let a = analyze(&trace);
         // Regions pair forks with joins: there can be at most as many
         // intervals as the rarer of the two events.
         let forks = trace.count(Event::Fork) as usize;
         let joins = trace.count(Event::Join) as usize;
-        prop_assert!(a.regions.len() <= forks.min(joins).max(forks));
+        assert!(a.regions.len() <= forks.min(joins).max(forks));
         // Every interval is well formed.
         for r in &a.regions {
-            prop_assert!(r.end >= r.start);
-            prop_assert!(r.secs() >= 0.0);
+            assert!(r.end >= r.start);
+            assert!(r.secs() >= 0.0);
         }
         for w in &a.waits {
-            prop_assert!(w.end >= w.start);
-            prop_assert!(w.begin.is_begin());
+            assert!(w.end >= w.start);
+            assert!(w.begin.is_begin());
         }
-        prop_assert!(a.span_secs >= 0.0);
-        prop_assert!(a.peak_region_concurrency() <= a.regions.len());
+        assert!(a.span_secs >= 0.0);
+        assert!(a.peak_region_concurrency() <= a.regions.len());
         // total region time can't exceed span × concurrency bound.
         if !a.regions.is_empty() {
             let bound = a.span_secs * a.regions.len() as f64 + 1e-9;
-            prop_assert!(a.total_region_secs() <= bound);
+            assert!(a.total_region_secs() <= bound);
         }
     }
+}
 
-    /// Pairing checks are consistent: a trace made of perfectly nested
-    /// begin/end pairs per thread has zero unmatched begins.
-    #[test]
-    fn balanced_pairs_have_no_unmatched_begins(
-        threads in 1usize..4,
-        pairs_per_thread in 0usize..10,
-    ) {
+/// Pairing checks are consistent: a trace made of perfectly nested
+/// begin/end pairs per thread has zero unmatched begins.
+#[test]
+fn balanced_pairs_have_no_unmatched_begins() {
+    let mut rng = XorShift64::new(0x7ace_0003);
+    for _case in 0..256 {
+        let threads = rng.range_usize(1, 4);
+        let pairs_per_thread = rng.range_usize(0, 10);
         let mut records = Vec::new();
         let mut tick = 0u64;
         for gtid in 0..threads {
             for wait in 0..pairs_per_thread as u64 {
                 records.push(TraceRecord {
-                    tick, gtid, event: Event::ThreadBeginImplicitBarrier,
-                    region_id: 1, wait_id: wait,
+                    tick,
+                    gtid,
+                    event: Event::ThreadBeginImplicitBarrier,
+                    region_id: 1,
+                    wait_id: wait,
                 });
                 tick += 1;
                 records.push(TraceRecord {
-                    tick, gtid, event: Event::ThreadEndImplicitBarrier,
-                    region_id: 1, wait_id: wait,
+                    tick,
+                    gtid,
+                    event: Event::ThreadEndImplicitBarrier,
+                    region_id: 1,
+                    wait_id: wait,
                 });
                 tick += 1;
             }
         }
         let trace = trace_from_records(records);
-        prop_assert_eq!(
-            trace.unmatched_begins(Event::ThreadBeginImplicitBarrier),
-            0
-        );
+        assert_eq!(trace.unmatched_begins(Event::ThreadBeginImplicitBarrier), 0);
         let a = analyze(&trace);
-        prop_assert_eq!(a.waits.len(), threads * pairs_per_thread);
+        assert_eq!(a.waits.len(), threads * pairs_per_thread);
     }
 }

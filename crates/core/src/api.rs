@@ -12,13 +12,12 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
-
 use crate::event::Event;
 use crate::message;
 use crate::registry::{Callback, CallbackRegistry, EventData};
 use crate::request::{CallbackToken, OraError, OraResult, Request, Response};
 use crate::state::{ThreadState, WaitIdKind};
+use crate::sync::{Mutex, RwLock};
 
 /// What the runtime must answer on behalf of the API.
 ///
@@ -669,8 +668,8 @@ mod tests {
         let dist = api.queue_distribution();
         let total: u64 = dist.iter().sum();
         assert_eq!(total, 8 * 50 + 1); // +1 for the Start
-        // More than one shard should have been used by 8 distinct threads
-        // (collisions can happen, but all-in-one is effectively impossible).
+                                       // More than one shard should have been used by 8 distinct threads
+                                       // (collisions can happen, but all-in-one is effectively impossible).
         let used = dist.iter().filter(|&&c| c > 0).count();
         assert!(used > 1, "all requests landed in one shard: {dist:?}");
     }

@@ -13,9 +13,9 @@
 //!   stop), **event registrations** with callbacks, and **queries** for the
 //!   calling thread's state (+ wait ID) and the current/parent parallel
 //!   region IDs ([`request`]);
-//! * the runtime fires **events** ([`event`]) through a shared callback
-//!   table with per-entry locks ([`registry`]) and tracks **thread states**
-//!   ([`state`]) at one relaxed store per transition.
+//! * the runtime fires **events** ([`event`]) through a shared lock-free
+//!   callback table ([`registry`], RCU publication via [`rcu`]) and tracks
+//!   **thread states** ([`state`]) at one relaxed store per transition.
 //!
 //! The [`api::CollectorApi`] ties these together; an OpenMP runtime embeds
 //! one instance and exposes [`api::CollectorApi::handle_bytes`] as its
@@ -49,9 +49,12 @@
 pub mod api;
 pub mod event;
 pub mod message;
+pub mod rcu;
 pub mod registry;
 pub mod request;
 pub mod state;
+pub mod sync;
+pub mod testutil;
 
 pub use api::{ApiStats, CollectorApi, Phase, RuntimeInfoProvider};
 pub use event::{Event, ALL_EVENTS, EVENT_COUNT};

@@ -44,11 +44,13 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 }
 
 fn read_u32(buf: &[u8], off: usize) -> Option<u32> {
-    buf.get(off..off + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    buf.get(off..off + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
 }
 
 fn read_u64(buf: &[u8], off: usize) -> Option<u64> {
-    buf.get(off..off + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    buf.get(off..off + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
 }
 
 fn write_u32(buf: &mut [u8], off: usize, v: u32) {
@@ -482,72 +484,91 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod seeded_props {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testutil::XorShift64;
 
-    fn arb_event() -> impl Strategy<Value = Event> {
-        (1u32..=crate::event::EVENT_COUNT as u32).prop_map(|r| Event::from_u32(r).unwrap())
+    fn arb_event(rng: &mut XorShift64) -> Event {
+        Event::from_u32(rng.range_i64(1, crate::event::EVENT_COUNT as i64 + 1) as u32).unwrap()
     }
 
-    fn arb_request() -> impl Strategy<Value = Request> {
-        prop_oneof![
-            Just(Request::Start),
-            Just(Request::Stop),
-            Just(Request::Pause),
-            Just(Request::Resume),
-            (arb_event(), any::<u64>()).prop_map(|(event, t)| Request::Register {
-                event,
-                token: CallbackToken(t)
-            }),
-            arb_event().prop_map(|event| Request::Unregister { event }),
-            Just(Request::QueryState),
-            Just(Request::QueryCurrentPrid),
-            Just(Request::QueryParentPrid),
-            Just(Request::QueryCapabilities),
-        ]
+    fn arb_request(rng: &mut XorShift64) -> Request {
+        match rng.below(10) {
+            0 => Request::Start,
+            1 => Request::Stop,
+            2 => Request::Pause,
+            3 => Request::Resume,
+            4 => {
+                let event = arb_event(rng);
+                let token = CallbackToken(rng.next_u64());
+                Request::Register { event, token }
+            }
+            5 => Request::Unregister {
+                event: arb_event(rng),
+            },
+            6 => Request::QueryState,
+            7 => Request::QueryCurrentPrid,
+            8 => Request::QueryParentPrid,
+            _ => Request::QueryCapabilities,
+        }
     }
 
-    proptest! {
-        /// Every encodable batch decodes to exactly the requests encoded,
-        /// in order, and every record gets served.
-        #[test]
-        fn round_trip_requests(reqs in proptest::collection::vec(arb_request(), 0..16)) {
+    /// Every encodable batch decodes to exactly the requests encoded, in
+    /// order, and every record gets served.
+    #[test]
+    fn round_trip_requests() {
+        let mut rng = XorShift64::new(0x6d65_7373_0001);
+        for _ in 0..256 {
+            let len = rng.range_usize(0, 16);
+            let reqs: Vec<Request> = (0..len).map(|_| arb_request(&mut rng)).collect();
             let mut batch = RequestBatch::new(&reqs);
             let mut seen = Vec::new();
             let n = serve_batch(batch.as_mut_bytes(), |r| {
                 seen.push(r);
                 Ok(Response::Ack)
             });
-            prop_assert_eq!(n as usize, reqs.len());
-            prop_assert_eq!(seen, reqs);
+            assert_eq!(n as usize, reqs.len());
+            assert_eq!(seen, reqs);
         }
+    }
 
-        /// State responses round-trip for every state/wait-ID combination.
-        #[test]
-        fn round_trip_state_response(
-            raw_state in 0u32..crate::state::STATE_COUNT as u32,
-            id in any::<u64>(),
-        ) {
-            let state = ThreadState::from_u32(raw_state).unwrap();
-            let wait_id = state.wait_id_kind().map(|k| (k, id));
-            let mut batch = RequestBatch::new(&[Request::QueryState]);
-            serve_batch(batch.as_mut_bytes(), |_| Ok(Response::State { state, wait_id }));
-            prop_assert_eq!(batch.response(0), Ok(Response::State { state, wait_id }));
+    /// State responses round-trip for every state/wait-ID combination.
+    #[test]
+    fn round_trip_state_response() {
+        let mut rng = XorShift64::new(0x6d65_7373_0002);
+        for raw_state in 0..crate::state::STATE_COUNT as u32 {
+            for _ in 0..32 {
+                let id = rng.next_u64();
+                let state = ThreadState::from_u32(raw_state).unwrap();
+                let wait_id = state.wait_id_kind().map(|k| (k, id));
+                let mut batch = RequestBatch::new(&[Request::QueryState]);
+                serve_batch(batch.as_mut_bytes(), |_| {
+                    Ok(Response::State { state, wait_id })
+                });
+                assert_eq!(batch.response(0), Ok(Response::State { state, wait_id }));
+            }
         }
+    }
 
-        /// Region-ID responses round-trip for arbitrary IDs.
-        #[test]
-        fn round_trip_region_id(id in any::<u64>()) {
+    /// Region-ID responses round-trip for arbitrary IDs.
+    #[test]
+    fn round_trip_region_id() {
+        let mut rng = XorShift64::new(0x6d65_7373_0003);
+        for _ in 0..256 {
+            let id = rng.next_u64();
             let mut batch = RequestBatch::new(&[Request::QueryCurrentPrid]);
             serve_batch(batch.as_mut_bytes(), |_| Ok(Response::RegionId(id)));
-            prop_assert_eq!(batch.response(0), Ok(Response::RegionId(id)));
+            assert_eq!(batch.response(0), Ok(Response::RegionId(id)));
         }
+    }
 
-        /// Serving never panics on arbitrary garbage buffers.
-        #[test]
-        fn serve_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-            let mut bytes = bytes;
+    /// Serving never panics on arbitrary garbage buffers.
+    #[test]
+    fn serve_is_total_on_garbage() {
+        let mut rng = XorShift64::new(0x6d65_7373_0004);
+        for _ in 0..512 {
+            let len = rng.range_usize(0, 256);
+            let mut bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             let _ = serve_batch(&mut bytes, |_| Ok(Response::Ack));
         }
     }

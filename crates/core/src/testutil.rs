@@ -1,0 +1,124 @@
+//! Deterministic pseudo-randomness for tests and synthetic workloads.
+//!
+//! The workspace's property-style tests run offline with no `proptest` /
+//! `rand` dependency; they draw their cases from this tiny xorshift
+//! generator instead. Every test fixes its seed, so failures reproduce
+//! exactly and `cargo test` is bit-for-bit deterministic across runs and
+//! machines.
+
+/// A 64-bit xorshift PRNG (Marsaglia's `xorshift64` triple 13/7/17).
+///
+/// Not cryptographic and not statistically strong — just fast, seedable,
+/// and good enough to spray test inputs across a state space.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// A generator seeded with `seed` (a zero seed is remapped, since the
+    /// all-zero state is a fixed point of xorshift).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// The next value as `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A value uniformly-ish distributed in `[0, n)`. `n` must be > 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// A `usize` in `[lo, hi)`. The range must be non-empty.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// An `i64` in `[lo, hi)`. The range must be non-empty.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// A uniformly chosen element of `items` (which must be non-empty).
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            let u = r.range_usize(3, 17);
+            assert!((3..17).contains(&u));
+            let i = r.range_i64(-50, 50);
+            assert!((-50..50).contains(&i));
+            assert!(r.below(5) < 5);
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = XorShift64::new(9);
+        let items = [0usize, 1, 2, 3];
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[*r.choose(&items)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

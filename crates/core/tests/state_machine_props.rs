@@ -1,5 +1,6 @@
-//! Property tests: the collector-API lifecycle under arbitrary request
-//! sequences always maintains its invariants.
+//! Property-style tests: the collector-API lifecycle under arbitrary
+//! request sequences always maintains its invariants. Cases are drawn
+//! from a fixed-seed PRNG so runs are deterministic and offline.
 
 use std::sync::Arc;
 
@@ -7,7 +8,7 @@ use ora_core::api::{CollectorApi, Phase};
 use ora_core::event::{Event, ALL_EVENTS};
 use ora_core::registry::EventData;
 use ora_core::request::{OraError, Request};
-use proptest::prelude::*;
+use ora_core::testutil::XorShift64;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -21,21 +22,26 @@ enum Op {
     QueryState,
 }
 
-fn arb_event() -> impl Strategy<Value = Event> {
-    (0..ALL_EVENTS.len()).prop_map(|i| ALL_EVENTS[i])
+fn arb_event(rng: &mut XorShift64) -> Event {
+    ALL_EVENTS[rng.range_usize(0, ALL_EVENTS.len())]
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Start),
-        Just(Op::Stop),
-        Just(Op::Pause),
-        Just(Op::Resume),
-        arb_event().prop_map(Op::Register),
-        arb_event().prop_map(Op::Unregister),
-        arb_event().prop_map(Op::Fire),
-        Just(Op::QueryState),
-    ]
+fn arb_op(rng: &mut XorShift64) -> Op {
+    match rng.below(8) {
+        0 => Op::Start,
+        1 => Op::Stop,
+        2 => Op::Pause,
+        3 => Op::Resume,
+        4 => Op::Register(arb_event(rng)),
+        5 => Op::Unregister(arb_event(rng)),
+        6 => Op::Fire(arb_event(rng)),
+        _ => Op::QueryState,
+    }
+}
+
+fn arb_ops(rng: &mut XorShift64, max: usize) -> Vec<Op> {
+    let len = rng.range_usize(0, max);
+    (0..len).map(|_| arb_op(rng)).collect()
 }
 
 /// A reference model of the lifecycle.
@@ -46,14 +52,14 @@ enum ModelPhase {
     Paused,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The API's phase always matches a simple reference model, callbacks
-    /// fire exactly when the model says events are deliverable, and no
-    /// request sequence can wedge or crash the API.
-    #[test]
-    fn lifecycle_matches_reference_model(ops in proptest::collection::vec(arb_op(), 0..64)) {
+/// The API's phase always matches a simple reference model, callbacks
+/// fire exactly when the model says events are deliverable, and no
+/// request sequence can wedge or crash the API.
+#[test]
+fn lifecycle_matches_reference_model() {
+    let mut rng = XorShift64::new(0x11fe_c3c1_e001);
+    for _case in 0..128 {
+        let ops = arb_ops(&mut rng, 64);
         let api = CollectorApi::new();
         let fired = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let mut model = ModelPhase::Inactive;
@@ -65,38 +71,38 @@ proptest! {
                 Op::Start => {
                     let r = api.handle_request(Request::Start);
                     if model == ModelPhase::Inactive {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         model = ModelPhase::Active;
                     } else {
-                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                        assert_eq!(r, Err(OraError::OutOfSequence));
                     }
                 }
                 Op::Stop => {
                     let r = api.handle_request(Request::Stop);
                     if model != ModelPhase::Inactive {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         model = ModelPhase::Inactive;
                         registered.clear(); // stop clears the table
                     } else {
-                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                        assert_eq!(r, Err(OraError::OutOfSequence));
                     }
                 }
                 Op::Pause => {
                     let r = api.handle_request(Request::Pause);
                     if model == ModelPhase::Active {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         model = ModelPhase::Paused;
                     } else {
-                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                        assert_eq!(r, Err(OraError::OutOfSequence));
                     }
                 }
                 Op::Resume => {
                     let r = api.handle_request(Request::Resume);
                     if model == ModelPhase::Paused {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         model = ModelPhase::Active;
                     } else {
-                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                        assert_eq!(r, Err(OraError::OutOfSequence));
                     }
                 }
                 Op::Register(e) => {
@@ -106,18 +112,18 @@ proptest! {
                     }));
                     let r = api.handle_request(Request::Register { event: *e, token });
                     if model == ModelPhase::Inactive {
-                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                        assert_eq!(r, Err(OraError::OutOfSequence));
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         registered.insert(*e);
                     }
                 }
                 Op::Unregister(e) => {
                     let r = api.handle_request(Request::Unregister { event: *e });
                     if model == ModelPhase::Inactive {
-                        prop_assert_eq!(r, Err(OraError::OutOfSequence));
+                        assert_eq!(r, Err(OraError::OutOfSequence));
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         registered.remove(e);
                     }
                 }
@@ -131,7 +137,7 @@ proptest! {
                     // No provider installed: the query fails with Error,
                     // regardless of phase, and never panics.
                     let r = api.handle_request(Request::QueryState);
-                    prop_assert_eq!(r, Err(OraError::Error));
+                    assert_eq!(r, Err(OraError::Error));
                 }
             }
             // Phase agreement after every step.
@@ -141,20 +147,25 @@ proptest! {
                 ModelPhase::Active => Phase::Active,
                 ModelPhase::Paused => Phase::Paused,
             };
-            prop_assert_eq!(api_phase, expected);
-            prop_assert_eq!(api.is_active(), model == ModelPhase::Active);
+            assert_eq!(api_phase, expected);
+            assert_eq!(api.is_active(), model == ModelPhase::Active);
         }
 
-        prop_assert_eq!(
+        assert_eq!(
             fired.load(std::sync::atomic::Ordering::SeqCst),
-            expected_fires
+            expected_fires,
+            "case ops: {ops:?}"
         );
     }
+}
 
-    /// Stats counters are consistent with the request stream: total
-    /// requests equals the number of requests sent.
-    #[test]
-    fn stats_count_every_request(ops in proptest::collection::vec(arb_op(), 0..64)) {
+/// Stats counters are consistent with the request stream: total requests
+/// equals the number of requests sent.
+#[test]
+fn stats_count_every_request() {
+    let mut rng = XorShift64::new(0x11fe_c3c1_e002);
+    for _case in 0..128 {
+        let ops = arb_ops(&mut rng, 64);
         let api = CollectorApi::new();
         let mut sent = 0u64;
         for op in &ops {
@@ -171,6 +182,6 @@ proptest! {
                 sent += 1;
             }
         }
-        prop_assert_eq!(api.stats().requests, sent);
+        assert_eq!(api.stats().requests, sent);
     }
 }

@@ -23,8 +23,6 @@ pub enum BarrierKind {
     Tree,
 }
 
-
-
 struct Waiters {
     mutex: Mutex<()>,
     cv: Condvar,
@@ -106,7 +104,9 @@ impl Barrier {
                     node_count += layer;
                 }
                 Algo::Tree {
-                    nodes: (0..node_count.max(1)).map(|_| AtomicUsize::new(0)).collect(),
+                    nodes: (0..node_count.max(1))
+                        .map(|_| AtomicUsize::new(0))
+                        .collect(),
                 }
             }
         };

@@ -197,9 +197,9 @@ impl<'a> ParCtx<'a> {
             }
             Schedule::Dynamic(_) | Schedule::Guided(_) => {
                 let nthreads = self.team.size;
-                let shared_loop = self.team.dynamic_loop(seq, || {
-                    DynamicLoop::new(lo, hi, stride, schedule, nthreads)
-                });
+                let shared_loop = self
+                    .team
+                    .dynamic_loop(seq, || DynamicLoop::new(lo, hi, stride, schedule, nthreads));
                 loop {
                     let claimed = {
                         let _frame = psx::enter(syms().dispatch);

@@ -116,7 +116,10 @@ mod tests {
 
         let lid = d.lock_wait_id.next();
         d.state.set(ThreadState::LockWait);
-        assert_eq!(d.query(), (ThreadState::LockWait, Some((WaitIdKind::Lock, lid))));
+        assert_eq!(
+            d.query(),
+            (ThreadState::LockWait, Some((WaitIdKind::Lock, lid)))
+        );
 
         d.state.set(ThreadState::Working);
         assert_eq!(d.query(), (ThreadState::Working, None));

@@ -21,8 +21,6 @@ use crate::context::ParCtx;
 use crate::runtime::Shared;
 use crate::team::Team;
 
-
-
 /// A lifetime-erased reference to the master's region closure.
 ///
 /// # Safety contract
@@ -205,9 +203,7 @@ pub(crate) fn worker_main(shared: Arc<Shared>, gtid: usize) {
             let ctx = ParCtx::new(&shared, &team, &desc, gtid);
             let frame = psx::enter(work.outlined);
             // Safety: we are inside the fork/join window for this epoch.
-            let result = catch_unwind(AssertUnwindSafe(|| unsafe {
-                work.closure.call(&ctx)
-            }));
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { work.closure.call(&ctx) }));
             drop(frame);
             if result.is_err() {
                 team.set_panicked();

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
-use parking_lot::{Mutex, RwLock};
+use ora_core::sync::{Mutex, RwLock};
 
 use ora_core::api::{CollectorApi, RuntimeInfoProvider};
 use ora_core::event::Event;
@@ -249,12 +249,11 @@ impl OpenMp {
         // `__omp_collector_api`, as the sole runtime of a process would.
         let symbol = format!("{COLLECTOR_API_SYMBOL}@{instance}");
         let weak = Arc::downgrade(&shared);
-        let entry: psx::dynsym::CollectorEntry = Arc::new(move |buf: &mut [u8]| {
-            match weak.upgrade() {
+        let entry: psx::dynsym::CollectorEntry =
+            Arc::new(move |buf: &mut [u8]| match weak.upgrade() {
                 Some(s) => s.api.handle_bytes(buf),
                 None => -1,
-            }
-        });
+            });
         psx::dynsym::export(&symbol, entry.clone());
         psx::dynsym::objects::export(&format!("{symbol}.api"), api.clone());
         let owns_canonical = psx::dynsym::try_export(COLLECTOR_API_SYMBOL, entry);
@@ -443,8 +442,7 @@ impl OpenMp {
     /// that spawned the new team of threads." (§IV-E)
     fn nested_parallel<F: Fn(&ParCtx<'_>) + Sync>(&self, n: usize, region: &RegionHandle, f: &F) {
         let shared = &self.shared;
-        let (outer_gtid, outer_desc, outer_team) =
-            tls::lookup(shared.instance).expect("bound");
+        let (outer_gtid, outer_desc, outer_team) = tls::lookup(shared.instance).expect("bound");
         let outer = outer_team.expect("in_parallel implies a team");
 
         let region_id = shared.region_counter.fetch_add(1, Ordering::Relaxed) + 1;

@@ -216,7 +216,10 @@ mod tests {
     fn static_even_with_stride() {
         // Iterations 0,3,6,9,12 over 2 threads → 3 + 2.
         assert_eq!(static_even(0, 12, 3, 0, 2).unwrap(), Chunk { lo: 0, hi: 6 });
-        assert_eq!(static_even(0, 12, 3, 1, 2).unwrap(), Chunk { lo: 9, hi: 12 });
+        assert_eq!(
+            static_even(0, 12, 3, 1, 2).unwrap(),
+            Chunk { lo: 9, hi: 12 }
+        );
     }
 
     #[test]
@@ -307,109 +310,123 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod seeded_props {
+    //! Property-style tests over seeded-random loop shapes; deterministic
+    //! and offline (no proptest).
     use super::*;
-    use proptest::prelude::*;
+    use ora_core::testutil::XorShift64;
 
-    fn loop_params() -> impl Strategy<Value = (i64, i64, i64, usize)> {
-        // lo, iteration count, stride, nthreads
-        (-1000i64..1000, 0i64..500, 1i64..7, 1usize..17).prop_map(|(lo, n, stride, nt)| {
-            let hi = if n == 0 { lo - 1 } else { lo + (n - 1) * stride };
-            (lo, hi, stride, nt)
-        })
+    /// lo, hi, stride, nthreads — hi derived so the space has `n` points.
+    fn loop_params(rng: &mut XorShift64) -> (i64, i64, i64, usize) {
+        let lo = rng.range_i64(-1000, 1000);
+        let n = rng.range_i64(0, 500);
+        let stride = rng.range_i64(1, 7);
+        let nt = rng.range_usize(1, 17);
+        let hi = if n == 0 {
+            lo - 1
+        } else {
+            lo + (n - 1) * stride
+        };
+        (lo, hi, stride, nt)
     }
 
-    proptest! {
-        /// Static-even chunks from all threads partition the iteration
-        /// space exactly: full coverage, no duplicates, and contiguous
-        /// per-thread blocks in thread order.
-        #[test]
-        fn static_even_is_an_exact_partition((lo, hi, stride, nt) in loop_params()) {
+    fn expected_space(lo: i64, hi: i64, stride: i64) -> Vec<i64> {
+        (0..trip_count(lo, hi, stride))
+            .map(|i| lo + i as i64 * stride)
+            .collect()
+    }
+
+    /// Static-even chunks from all threads partition the iteration
+    /// space exactly: full coverage, no duplicates, and contiguous
+    /// per-thread blocks in thread order.
+    #[test]
+    fn static_even_is_an_exact_partition() {
+        let mut rng = XorShift64::new(0x5c4e_d001);
+        for _ in 0..256 {
+            let (lo, hi, stride, nt) = loop_params(&mut rng);
             let mut all = Vec::new();
             let mut last_hi: Option<i64> = None;
             for tid in 0..nt {
                 if let Some(c) = static_even(lo, hi, stride, tid, nt) {
-                    prop_assert!(c.lo <= c.hi);
+                    assert!(c.lo <= c.hi);
                     if let Some(prev) = last_hi {
-                        prop_assert!(c.lo > prev, "blocks must be ordered by tid");
+                        assert!(c.lo > prev, "blocks must be ordered by tid");
                     }
                     last_hi = Some(c.hi);
                     all.extend(c.values(stride));
                 }
             }
             all.sort_unstable();
-            let expected: Vec<i64> = (0..trip_count(lo, hi, stride))
-                .map(|i| lo + i as i64 * stride)
-                .collect();
-            prop_assert_eq!(all, expected);
+            assert_eq!(all, expected_space(lo, hi, stride));
         }
+    }
 
-        /// Static-even block sizes differ by at most one iteration.
-        #[test]
-        fn static_even_is_balanced((lo, hi, stride, nt) in loop_params()) {
+    /// Static-even block sizes differ by at most one iteration.
+    #[test]
+    fn static_even_is_balanced() {
+        let mut rng = XorShift64::new(0x5c4e_d002);
+        for _ in 0..256 {
+            let (lo, hi, stride, nt) = loop_params(&mut rng);
             let sizes: Vec<u64> = (0..nt)
                 .map(|tid| static_even(lo, hi, stride, tid, nt).map_or(0, |c| c.len(stride)))
                 .collect();
             let max = *sizes.iter().max().unwrap();
             let min = *sizes.iter().min().unwrap();
-            prop_assert!(max - min <= 1, "sizes {:?}", sizes);
+            assert!(max - min <= 1, "sizes {sizes:?}");
         }
+    }
 
-        /// Static chunked scheduling also partitions exactly, for any
-        /// chunk size.
-        #[test]
-        fn static_chunked_is_an_exact_partition(
-            (lo, hi, stride, nt) in loop_params(),
-            chunk in 1usize..20,
-        ) {
+    /// Static chunked scheduling also partitions exactly, for any
+    /// chunk size.
+    #[test]
+    fn static_chunked_is_an_exact_partition() {
+        let mut rng = XorShift64::new(0x5c4e_d003);
+        for _ in 0..256 {
+            let (lo, hi, stride, nt) = loop_params(&mut rng);
+            let chunk = rng.range_usize(1, 20);
             let mut all = Vec::new();
             for tid in 0..nt {
                 for c in static_chunks(lo, hi, stride, chunk, tid, nt) {
-                    prop_assert!(c.len(stride) <= chunk as u64);
+                    assert!(c.len(stride) <= chunk as u64);
                     all.extend(c.values(stride));
                 }
             }
             all.sort_unstable();
-            let expected: Vec<i64> = (0..trip_count(lo, hi, stride))
-                .map(|i| lo + i as i64 * stride)
-                .collect();
-            prop_assert_eq!(all, expected);
+            assert_eq!(all, expected_space(lo, hi, stride));
         }
+    }
 
-        /// Serial draining of a dynamic loop yields an exact partition.
-        #[test]
-        fn dynamic_claims_partition(
-            (lo, hi, stride, nt) in loop_params(),
-            chunk in 1usize..20,
-        ) {
+    /// Serial draining of a dynamic loop yields an exact partition.
+    #[test]
+    fn dynamic_claims_partition() {
+        let mut rng = XorShift64::new(0x5c4e_d004);
+        for _ in 0..256 {
+            let (lo, hi, stride, nt) = loop_params(&mut rng);
+            let chunk = rng.range_usize(1, 20);
             let l = DynamicLoop::new(lo, hi, stride, Schedule::Dynamic(chunk), nt);
             let mut all = Vec::new();
             while let Some(c) = l.claim() {
                 all.extend(c.values(stride));
             }
             all.sort_unstable();
-            let expected: Vec<i64> = (0..trip_count(lo, hi, stride))
-                .map(|i| lo + i as i64 * stride)
-                .collect();
-            prop_assert_eq!(all, expected);
+            assert_eq!(all, expected_space(lo, hi, stride));
         }
+    }
 
-        /// Guided claims partition exactly and respect the minimum chunk.
-        #[test]
-        fn guided_claims_partition(
-            (lo, hi, stride, nt) in loop_params(),
-            min_chunk in 1usize..10,
-        ) {
+    /// Guided claims partition exactly and respect the minimum chunk.
+    #[test]
+    fn guided_claims_partition() {
+        let mut rng = XorShift64::new(0x5c4e_d005);
+        for _ in 0..256 {
+            let (lo, hi, stride, nt) = loop_params(&mut rng);
+            let min_chunk = rng.range_usize(1, 10);
             let l = DynamicLoop::new(lo, hi, stride, Schedule::Guided(min_chunk), nt);
             let mut all = Vec::new();
             while let Some(c) = l.claim() {
                 all.extend(c.values(stride));
             }
             all.sort_unstable();
-            let expected: Vec<i64> = (0..trip_count(lo, hi, stride))
-                .map(|i| lo + i as i64 * stride)
-                .collect();
-            prop_assert_eq!(all, expected);
+            assert_eq!(all, expected_space(lo, hi, stride));
         }
     }
 }

@@ -13,7 +13,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use ora_core::sync::Mutex;
 
 /// A lifetime-erased queued task.
 ///

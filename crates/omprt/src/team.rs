@@ -15,13 +15,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use ora_core::sync::Mutex;
 
 use crate::barrier::{Barrier, BarrierKind};
 use crate::schedule::DynamicLoop;
-use crate::task::TaskPool;
 #[cfg(test)]
 use crate::schedule::Schedule;
+use crate::task::TaskPool;
 use crate::wordlock::WordLock;
 
 /// Turn counter of one ordered loop.
@@ -135,11 +135,7 @@ impl Team {
 
     /// The shared claim state of the dynamic/guided loop with per-thread
     /// sequence number `seq`; first arrival creates it via `init`.
-    pub fn dynamic_loop(
-        &self,
-        seq: u64,
-        init: impl FnOnce() -> DynamicLoop,
-    ) -> Arc<DynamicLoop> {
+    pub fn dynamic_loop(&self, seq: u64, init: impl FnOnce() -> DynamicLoop) -> Arc<DynamicLoop> {
         let mut loops = self.dyn_loops.lock();
         loops
             .entry(seq)

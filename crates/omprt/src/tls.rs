@@ -53,11 +53,7 @@ pub fn unbind(instance: u64) {
 /// Set (or clear) the current team for the calling thread in `instance`.
 pub fn set_team(instance: u64, team: Option<Arc<Team>>) {
     ENTRIES.with(|e| {
-        if let Some(en) = e
-            .borrow_mut()
-            .iter_mut()
-            .find(|en| en.instance == instance)
-        {
+        if let Some(en) = e.borrow_mut().iter_mut().find(|en| en.instance == instance) {
             en.team = team;
         }
     });

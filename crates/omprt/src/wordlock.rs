@@ -21,8 +21,6 @@ const UNLOCKED: u32 = 0;
 const LOCKED: u32 = 1;
 const CONTENDED: u32 = 2;
 
-
-
 /// A word-sized mutex with an observable contended path.
 ///
 /// This deliberately does not hand out RAII guards over protected data —

@@ -1,7 +1,8 @@
 //! Property tests over random construct sequences: whatever program shape
 //! a region executes, the event stream a collector sees is well formed —
 //! begins pair with ends per thread, wait IDs are monotone, and fork/join
-//! bracket everything.
+//! bracket everything. Programs are drawn from a fixed-seed PRNG so runs
+//! are deterministic and offline.
 
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
@@ -10,7 +11,7 @@ use omprt::{Config, OpenMp, Schedule};
 use ora_core::event::{Event, ALL_EVENTS};
 use ora_core::registry::EventData;
 use ora_core::request::Request;
-use proptest::prelude::*;
+use ora_core::testutil::XorShift64;
 
 #[derive(Debug, Clone, Copy)]
 enum Construct {
@@ -25,18 +26,21 @@ enum Construct {
     Master,
 }
 
-fn arb_construct() -> impl Strategy<Value = Construct> {
-    prop_oneof![
-        Just(Construct::Barrier),
-        Just(Construct::ForStatic),
-        Just(Construct::ForDynamic),
-        Just(Construct::Single),
-        Just(Construct::Critical),
-        Just(Construct::Reduction),
-        Just(Construct::Ordered),
-        Just(Construct::Task),
-        Just(Construct::Master),
-    ]
+const ALL_CONSTRUCTS: [Construct; 9] = [
+    Construct::Barrier,
+    Construct::ForStatic,
+    Construct::ForDynamic,
+    Construct::Single,
+    Construct::Critical,
+    Construct::Reduction,
+    Construct::Ordered,
+    Construct::Task,
+    Construct::Master,
+];
+
+fn arb_program(rng: &mut XorShift64) -> Vec<Construct> {
+    let len = rng.range_usize(0, 8);
+    (0..len).map(|_| *rng.choose(&ALL_CONSTRUCTS)).collect()
 }
 
 fn run_program(threads: usize, program: &[Construct]) -> Vec<EventData> {
@@ -125,24 +129,22 @@ fn unmatched(log: &[EventData], begin: Event) -> i64 {
     violations + per_thread.values().sum::<i64>()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn event_stream_is_well_formed(
-        threads in 1usize..4,
-        program in proptest::collection::vec(arb_construct(), 0..8),
-    ) {
+#[test]
+fn event_stream_is_well_formed() {
+    let mut rng = XorShift64::new(0xc025_7ac7_0001);
+    for _case in 0..24 {
+        let threads = rng.range_usize(1, 4);
+        let program = arb_program(&mut rng);
         let log = run_program(threads, &program);
 
         // Exactly one fork and one join, both from the master.
         let forks: Vec<&EventData> = log.iter().filter(|d| d.event == Event::Fork).collect();
         let joins: Vec<&EventData> = log.iter().filter(|d| d.event == Event::Join).collect();
-        prop_assert_eq!(forks.len(), 1);
-        prop_assert_eq!(joins.len(), 1);
-        prop_assert_eq!(forks[0].gtid, 0);
-        prop_assert_eq!(joins[0].gtid, 0);
-        prop_assert_eq!(forks[0].region_id, joins[0].region_id);
+        assert_eq!(forks.len(), 1);
+        assert_eq!(joins.len(), 1);
+        assert_eq!(forks[0].gtid, 0);
+        assert_eq!(joins[0].gtid, 0);
+        assert_eq!(forks[0].region_id, joins[0].region_id);
 
         // Every paired begin/end event type balances per thread. (The log
         // is in per-thread program order for a given gtid because Vec
@@ -158,13 +160,10 @@ proptest! {
             Event::TaskWaitBegin,
             Event::LoopBegin,
         ] {
-            prop_assert_eq!(
+            assert_eq!(
                 unmatched(&log, begin),
                 0,
-                "unbalanced {:?} in {:?} (threads={})",
-                begin,
-                program,
-                threads
+                "unbalanced {begin:?} in {program:?} (threads={threads})"
             );
         }
 
@@ -181,7 +180,7 @@ proptest! {
                 })
                 .map(|d| d.wait_id)
                 .collect();
-            prop_assert!(
+            assert!(
                 ids.windows(2).all(|w| w[1] > w[0]),
                 "barrier ids not monotone for gtid {gtid}: {ids:?}"
             );
@@ -195,7 +194,7 @@ proptest! {
                 .map(|d| d.wait_id)
                 .collect();
             let expected: Vec<u64> = (0..seqs.len() as u64).collect();
-            prop_assert_eq!(seqs, expected, "gtid {}", gtid);
+            assert_eq!(seqs, expected, "gtid {gtid}");
         }
 
         // All in-region events carry the region's ID.
@@ -205,8 +204,8 @@ proptest! {
                 d.event,
                 Event::ThreadBeginExplicitBarrier | Event::ThreadBeginSingle | Event::LoopBegin
             ) {
-                prop_assert_eq!(d.region_id, region_id);
-                prop_assert_eq!(d.parent_region_id, 0);
+                assert_eq!(d.region_id, region_id);
+                assert_eq!(d.parent_region_id, 0);
             }
         }
     }

@@ -122,7 +122,9 @@ fn doubly_nested_regions_chain_parent_ids() {
             assert_eq!(mid.parent_region_id(), outer_id);
             rt.parallel_n(1, |inner| {
                 assert_eq!(inner.parent_region_id(), mid_id);
-                c.lock().unwrap().push((outer_id, mid_id, inner.region_id()));
+                c.lock()
+                    .unwrap()
+                    .push((outer_id, mid_id, inner.region_id()));
             });
         });
     });

@@ -236,9 +236,7 @@ fn region_id_queries_follow_the_paper_semantics() {
     rt.parallel(move |ctx| {
         let cur = api2.handle_request(Request::QueryCurrentPrid).unwrap();
         let parent = api2.handle_request(Request::QueryParentPrid).unwrap();
-        ids2.lock()
-            .unwrap()
-            .push((ctx.thread_num(), cur, parent));
+        ids2.lock().unwrap().push((ctx.thread_num(), cur, parent));
     });
     for (_, cur, parent) in ids.lock().unwrap().iter() {
         assert_eq!(*cur, Response::RegionId(1));
@@ -454,9 +452,7 @@ fn atomic_events_rejected_by_default_accepted_when_enabled() {
 fn capabilities_query_reflects_runtime_support() {
     let rt = OpenMp::with_threads(2);
     let api = rt.collector_api();
-    let resp = api
-        .handle_request(Request::QueryCapabilities)
-        .unwrap();
+    let resp = api.handle_request(Request::QueryCapabilities).unwrap();
     let supported = resp.supported_events().expect("capabilities response");
     // Everything except atomic-wait events (paper §IV-C7 default).
     assert!(supported.contains(&Event::Fork));

@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock};
+use ora_core::sync::{Mutex, RwLock};
 
 /// The construct kinds POMP instruments (a subset sufficient for the
 /// comparison; full POMP covers every OpenMP construct).
@@ -264,7 +264,7 @@ mod tests {
 
     // The POMP runtime is process-global with a single monitor slot, so
     // tests that attach/detach must not interleave.
-    fn test_lock() -> parking_lot::MutexGuard<'static, ()> {
+    fn test_lock() -> ora_core::sync::MutexGuard<'static, ()> {
         static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
         LOCK.get_or_init(|| Mutex::new(())).lock()
     }

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
+use ora_core::sync::Mutex;
 
 /// The type of an exported collector entry point: the byte-protocol
 /// function `int __omp_collector_api(void *arg)`.
@@ -77,7 +77,10 @@ pub mod objects {
 
     /// Export a shared object under `name`, replacing any previous export.
     pub fn export(name: &str, obj: Arc<dyn Any + Send + Sync>) -> bool {
-        object_table().lock().insert(name.to_string(), obj).is_some()
+        object_table()
+            .lock()
+            .insert(name.to_string(), obj)
+            .is_some()
     }
 
     /// Look up and downcast an exported object.

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::RwLock;
+use ora_core::sync::RwLock;
 
 /// A synthetic instruction pointer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -253,7 +253,10 @@ mod tests {
         let t = SymbolTable::new();
         let f = t.register(SymbolDesc::user("f", "a.c", 1));
         let g = t.register(SymbolDesc::user("g", "a.c", 50));
-        assert_eq!(&*t.resolve(f.at_offset(FUNCTION_RANGE - 1)).unwrap().name, "f");
+        assert_eq!(
+            &*t.resolve(f.at_offset(FUNCTION_RANGE - 1)).unwrap().name,
+            "f"
+        );
         assert_eq!(&*t.resolve(g).unwrap().name, "g");
         // g starts exactly where f's range ends.
         assert_eq!(g.0, f.0 + FUNCTION_RANGE);

@@ -239,7 +239,12 @@ mod tests {
     use crate::symtab::{SymbolDesc, SymbolTable};
     use crate::unwind::capture;
 
-    fn demo_table() -> (SymbolTable, crate::symtab::Ip, crate::symtab::Ip, crate::symtab::Ip) {
+    fn demo_table() -> (
+        SymbolTable,
+        crate::symtab::Ip,
+        crate::symtab::Ip,
+        crate::symtab::Ip,
+    ) {
         let t = SymbolTable::new();
         let main = t.register(SymbolDesc::user("main", "app.c", 3));
         let fork = t.register(SymbolDesc::runtime("__ompc_fork"));
@@ -299,7 +304,12 @@ mod tests {
         let t = SymbolTable::new();
         let main = t.register(SymbolDesc::user("main", "app.c", 1));
         let solver = t.register(SymbolDesc::user("solve", "solver.c", 40));
-        let outlined = t.register(SymbolDesc::outlined("__ompregion_solve_1", "solver.c", 44, solver));
+        let outlined = t.register(SymbolDesc::outlined(
+            "__ompregion_solve_1",
+            "solver.c",
+            44,
+            solver,
+        ));
         let _m = frame::enter(main);
         let _s = frame::enter(solver);
         let _o = frame::enter(outlined);
@@ -349,14 +359,27 @@ mod tests {
         let lines: Vec<&str> = folded.lines().collect();
         assert_eq!(lines.len(), 2, "{folded}");
         assert!(lines[0].starts_with("main (a.c:1) 1000"), "{folded}");
-        assert!(lines[1].contains("main (a.c:1);kernel [parallel@a.c:9] 2000"), "{folded}");
+        assert!(
+            lines[1].contains("main (a.c:1);kernel [parallel@a.c:9] 2000"),
+            "{folded}"
+        );
     }
 
     #[test]
     fn folded_weights_sum_to_total() {
         let mut tree = CallTree::new();
-        let a = UserFrame { name: "a".into(), file: "f".into(), line: 1, construct: None };
-        let b = UserFrame { name: "b".into(), file: "f".into(), line: 2, construct: None };
+        let a = UserFrame {
+            name: "a".into(),
+            file: "f".into(),
+            line: 1,
+            construct: None,
+        };
+        let b = UserFrame {
+            name: "b".into(),
+            file: "f".into(),
+            line: 2,
+            construct: None,
+        };
         tree.add(&[a.clone(), b.clone()], 0.5);
         tree.add(std::slice::from_ref(&a), 0.25);
         tree.add(std::slice::from_ref(&b), 0.25);

@@ -1,9 +1,10 @@
 //! Property tests on user-model reconstruction: whatever the
 //! implementation-model stack looks like, the reconstructed user view is
 //! clean (no runtime frames, outlined bodies re-attributed, parents
-//! synthesized exactly when missing).
+//! synthesized exactly when missing). Stacks are drawn from a fixed-seed
+//! PRNG so runs are deterministic and offline.
 
-use proptest::prelude::*;
+use ora_core::testutil::XorShift64;
 use psx::symtab::{FrameKind, Ip, SymbolDesc, SymbolTable};
 use psx::unwind::Backtrace;
 
@@ -19,7 +20,13 @@ struct World {
 fn world(n_funcs: usize) -> World {
     let table = SymbolTable::new();
     let users: Vec<Ip> = (0..n_funcs)
-        .map(|i| table.register(SymbolDesc::user(format!("user{i}"), "w.c", 10 * i as u32 + 1)))
+        .map(|i| {
+            table.register(SymbolDesc::user(
+                format!("user{i}"),
+                "w.c",
+                10 * i as u32 + 1,
+            ))
+        })
         .collect();
     let runtimes: Vec<Ip> = ["__ompc_fork", "__ompc_ibarrier", "__ompc_static_init_4"]
         .iter()
@@ -53,26 +60,29 @@ enum FramePick {
     Garbage(u64),
 }
 
-fn arb_frame(n_funcs: usize) -> impl Strategy<Value = FramePick> {
-    prop_oneof![
-        (0..n_funcs).prop_map(FramePick::User),
-        (0..3usize).prop_map(FramePick::Runtime),
-        (0..n_funcs).prop_map(FramePick::Outlined),
-        (0u64..1000).prop_map(FramePick::Garbage),
-    ]
+fn arb_frame(rng: &mut XorShift64, n_funcs: usize) -> FramePick {
+    match rng.below(4) {
+        0 => FramePick::User(rng.range_usize(0, n_funcs)),
+        1 => FramePick::Runtime(rng.range_usize(0, 3)),
+        2 => FramePick::Outlined(rng.range_usize(0, n_funcs)),
+        _ => FramePick::Garbage(rng.range_i64(0, 1000) as u64),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_picks(rng: &mut XorShift64, n_funcs: usize, max: usize) -> Vec<FramePick> {
+    let len = rng.range_usize(0, max);
+    (0..len).map(|_| arb_frame(rng, n_funcs)).collect()
+}
 
-    /// Reconstruction output never contains runtime frames or unresolved
-    /// garbage, every outlined frame becomes a construct-annotated frame
-    /// named after a user function, and plain user frames pass through
-    /// verbatim in order.
-    #[test]
-    fn reconstruction_is_clean(
-        picks in proptest::collection::vec(arb_frame(4), 0..12),
-    ) {
+/// Reconstruction output never contains runtime frames or unresolved
+/// garbage, every outlined frame becomes a construct-annotated frame
+/// named after a user function, and plain user frames pass through
+/// verbatim in order.
+#[test]
+fn reconstruction_is_clean() {
+    let mut rng = XorShift64::new(0x9ec0_0001);
+    for _case in 0..256 {
+        let picks = arb_picks(&mut rng, 4, 12);
         let w = world(4);
         let ips: Vec<u64> = picks
             .iter()
@@ -88,8 +98,8 @@ proptest! {
 
         // 1. No runtime names, no garbage placeholders.
         for f in &user {
-            prop_assert!(!f.name.starts_with("__ompc"), "{f:?}");
-            prop_assert!(f.name.starts_with("user"), "{f:?}");
+            assert!(!f.name.starts_with("__ompc"), "{f:?}");
+            assert!(f.name.starts_with("user"), "{f:?}");
         }
 
         // 2. Construct-annotated frames appear exactly once per outlined
@@ -99,7 +109,7 @@ proptest! {
             .iter()
             .filter(|p| matches!(p, FramePick::Outlined(_)))
             .count();
-        prop_assert_eq!(constructs, outlined_picks);
+        assert_eq!(constructs, outlined_picks);
 
         // 3. The subsequence of plain user frames contains the user picks
         //    in their original order.
@@ -118,35 +128,41 @@ proptest! {
         // expected_user_picks must be a subsequence of `plain`.
         let mut it = plain.iter();
         for want in &expected_user_picks {
-            prop_assert!(
+            assert!(
                 it.any(|got| got == want),
                 "user frame {want} lost or reordered: {plain:?}"
             );
         }
     }
+}
 
-    /// A worker-style stack (outlined frame only) always reconstructs to
-    /// parent + construct.
-    #[test]
-    fn lone_outlined_frames_get_parents(idx in 0usize..4) {
+/// A worker-style stack (outlined frame only) always reconstructs to
+/// parent + construct.
+#[test]
+fn lone_outlined_frames_get_parents() {
+    for idx in 0..4 {
         let w = world(4);
         let bt = Backtrace::from_ips(vec![w.outlined[idx].0]);
         let user = psx::reconstruct(&bt, &w.table);
-        prop_assert_eq!(user.len(), 2);
+        assert_eq!(user.len(), 2);
         let expected = format!("user{idx}");
-        prop_assert_eq!(&user[0].name, &expected);
-        prop_assert!(user[0].construct.is_none());
-        prop_assert_eq!(&user[1].name, &expected);
-        prop_assert!(user[1].construct.is_some());
+        assert_eq!(&user[0].name, &expected);
+        assert!(user[0].construct.is_none());
+        assert_eq!(&user[1].name, &expected);
+        assert!(user[1].construct.is_some());
     }
+}
 
-    /// Resolution is stable: any IP within a registered function's range
-    /// resolves to that function.
-    #[test]
-    fn in_range_ips_resolve(offset in 0u64..0x1000) {
+/// Resolution is stable: any IP within a registered function's range
+/// resolves to that function.
+#[test]
+fn in_range_ips_resolve() {
+    let mut rng = XorShift64::new(0x9ec0_0003);
+    for _case in 0..256 {
+        let offset = rng.range_i64(0, 0x1000) as u64;
         let w = world(1);
         let info = w.table.resolve(w.users[0].at_offset(offset)).unwrap();
-        prop_assert_eq!(&*info.name, "user0");
-        prop_assert_eq!(info.kind, FrameKind::User);
+        assert_eq!(&*info.name, "user0");
+        assert_eq!(info.kind, FrameKind::User);
     }
 }

@@ -108,8 +108,7 @@ pub fn measure(rt: &OpenMp, clause: DataClause, size: usize, cfg: &ArrayConfig) 
         }
     });
 
-    let per_region =
-        (clock::to_secs(test_ticks) - clock::to_secs(ref_ticks)) / reps as f64;
+    let per_region = (clock::to_secs(test_ticks) - clock::to_secs(ref_ticks)) / reps as f64;
     ArrayPoint {
         clause,
         size,

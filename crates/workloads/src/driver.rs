@@ -68,8 +68,8 @@ pub fn measure_overhead(
 
     let base_secs = best_of(reps, || workload(rt));
 
-    let handle = RuntimeHandle::discover_named(rt.symbol_name())
-        .ok_or(ora_core::OraError::Error)?;
+    let handle =
+        RuntimeHandle::discover_named(rt.symbol_name()).ok_or(ora_core::OraError::Error)?;
     let profiler = Profiler::attach(
         handle,
         ProfilerConfig {
@@ -137,8 +137,8 @@ pub fn measure_breakdown(
     rt.parallel(|_| {});
     let base_secs = best_of(reps, || workload(rt));
 
-    let handle = RuntimeHandle::discover_named(rt.symbol_name())
-        .ok_or(ora_core::OraError::Error)?;
+    let handle =
+        RuntimeHandle::discover_named(rt.symbol_name()).ok_or(ora_core::OraError::Error)?;
     let p = Profiler::attach(
         handle.clone(),
         ProfilerConfig {

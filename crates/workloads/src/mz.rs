@@ -118,9 +118,7 @@ impl MzBenchmark {
         let procs = procs.max(1) as u64;
         let base = total / procs;
         let extra = total % procs;
-        (0..procs)
-            .map(|r| base + u64::from(r < extra))
-            .collect()
+        (0..procs).map(|r| base + u64::from(r < extra)).collect()
     }
 
     /// The Table II entry for `procs` processes: the maximum per-rank call
@@ -159,7 +157,7 @@ impl MzBenchmark {
         let mut senders = Vec::with_capacity(procs);
         let mut receivers = Vec::with_capacity(procs);
         for _ in 0..procs {
-            let (tx, rx) = crossbeam::channel::unbounded::<f64>();
+            let (tx, rx) = std::sync::mpsc::channel::<f64>();
             senders.push(tx);
             receivers.push(Some(rx));
         }

@@ -281,8 +281,19 @@ impl NpbKernel {
             RegionSpec::new("init_rhs", 1, WorkKind::Init, 1.0),
         ];
         const HP_TAGS: [&str; 13] = [
-            "jacld_hp1", "blts_hp1", "jacld_hp2", "blts_hp2", "jacu_hp1", "buts_hp1",
-            "jacu_hp2", "buts_hp2", "rhs_hp1", "rhs_hp2", "rhs_hp3", "rhs_hp4", "add_hp",
+            "jacld_hp1",
+            "blts_hp1",
+            "jacld_hp2",
+            "blts_hp2",
+            "jacu_hp1",
+            "buts_hp1",
+            "jacu_hp2",
+            "buts_hp2",
+            "rhs_hp1",
+            "rhs_hp2",
+            "rhs_hp3",
+            "rhs_hp4",
+            "add_hp",
         ];
         for tag in HP_TAGS {
             specs.push(RegionSpec::new(tag, 22_996, WorkKind::Wavefront, 0.03125));
@@ -470,7 +481,9 @@ fn run_region(
             rt.parallel_region(handle, |ctx| {
                 let mut local = 0u64;
                 ctx.for_each(0, hi, |i| {
-                    let mut s = (i as u64 + 1).wrapping_mul(6364136223846793005).wrapping_add(call);
+                    let mut s = (i as u64 + 1)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(call);
                     s ^= s >> 33;
                     let x = (s & 0xFFFF_FFFF) as f64 / u32::MAX as f64;
                     s = s.wrapping_mul(0x2545F4914F6CDD1D);

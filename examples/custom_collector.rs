@@ -27,9 +27,9 @@ fn main() {
     // Callback "function pointers" are interned through the exported API
     // object (the in-process stand-in for passing a pointer in the
     // payload).
-    let api = omp_profiling::psx::dynsym::objects::lookup::<
-        omp_profiling::ora::api::CollectorApi,
-    >(&format!("{symbol}.api"))
+    let api = omp_profiling::psx::dynsym::objects::lookup::<omp_profiling::ora::api::CollectorApi>(
+        &format!("{symbol}.api"),
+    )
     .expect("api object exported");
     let forks = Arc::new(AtomicU64::new(0));
     let f = forks.clone();

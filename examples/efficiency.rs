@@ -57,8 +57,16 @@ fn run_case(name: &str, schedule: Schedule, skewed: bool) {
 }
 
 fn main() {
-    run_case("balanced (static schedule, uniform work)", Schedule::StaticEven, false);
-    run_case("imbalanced (static schedule, skewed work)", Schedule::StaticEven, true);
+    run_case(
+        "balanced (static schedule, uniform work)",
+        Schedule::StaticEven,
+        false,
+    );
+    run_case(
+        "imbalanced (static schedule, skewed work)",
+        Schedule::StaticEven,
+        true,
+    );
     run_case(
         "rebalanced (dynamic schedule, skewed work)",
         Schedule::Dynamic(2),

@@ -42,7 +42,10 @@ fn main() {
     let (_, bare) = clock::time(|| workload(&rt, None));
     let (_, pomp_dormant) = clock::time(|| workload(&rt, Some(region)));
     println!("no tool attached:");
-    println!("  uninstrumented      {:>9.3} ms", clock::to_secs(bare) * 1e3);
+    println!(
+        "  uninstrumented      {:>9.3} ms",
+        clock::to_secs(bare) * 1e3
+    );
     println!(
         "  POMP hooks in code  {:>9.3} ms  ({} dormant hook executions so far)",
         clock::to_secs(pomp_dormant) * 1e3,
@@ -61,8 +64,14 @@ fn main() {
     let profile = profiler.finish();
 
     println!("tool attached:");
-    println!("  POMP monitoring     {:>9.3} ms", clock::to_secs(pomp_on) * 1e3);
-    println!("  ORA profiling       {:>9.3} ms", clock::to_secs(ora_on) * 1e3);
+    println!(
+        "  POMP monitoring     {:>9.3} ms",
+        clock::to_secs(pomp_on) * 1e3
+    );
+    println!(
+        "  ORA profiling       {:>9.3} ms",
+        clock::to_secs(ora_on) * 1e3
+    );
     let pomp_entry = &report[region as usize];
     println!(
         "  POMP saw {} enters of source region {}:{}-{}",
@@ -80,7 +89,8 @@ fn main() {
     let inner = pomp::register_region(ConstructKind::Parallel, "compare.c", 12, 15);
     let forks = Arc::new(AtomicU64::new(0));
     let api = rt.collector_api();
-    api.handle_request(omp_profiling::ora::Request::Start).unwrap();
+    api.handle_request(omp_profiling::ora::Request::Start)
+        .unwrap();
     let f = forks.clone();
     api.register_callback(
         omp_profiling::ora::Event::Fork,

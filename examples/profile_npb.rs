@@ -36,9 +36,7 @@ fn main() {
         // Profiled run, with state sampling at implicit barriers.
         let profiler = Profiler::attach_default(handle.clone()).unwrap();
         let sampler = StateSampler::new(handle.clone());
-        sampler
-            .sample_on(&[Event::ThreadBeginExplicitBarrier])
-            .ok();
+        sampler.sample_on(&[Event::ThreadBeginExplicitBarrier]).ok();
         let (_, prof_ticks) = clock::time(|| kernel.run(&rt, class));
         let profile = profiler.finish();
 

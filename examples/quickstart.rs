@@ -23,7 +23,10 @@ fn main() {
     let region = main_fn.loop_region("1", 5); // __ompdo_main_1
     let rt = OpenMp::with_threads(4);
     println!("runtime exports symbol: {}", rt.symbol_name());
-    println!("owns canonical __omp_collector_api: {}\n", rt.owns_canonical_symbol());
+    println!(
+        "owns canonical __omp_collector_api: {}\n",
+        rt.owns_canonical_symbol()
+    );
 
     // --- the collector side ------------------------------------------
     // "query the dynamic linker to determine whether the symbol is
@@ -59,7 +62,10 @@ fn main() {
 
     // Query the calling thread's state through the byte protocol.
     let state = handle.request_one(Request::QueryState).unwrap();
-    println!("master state outside the region: {:?}", state.state().unwrap());
+    println!(
+        "master state outside the region: {:?}",
+        state.state().unwrap()
+    );
 
     // --- offline profile ----------------------------------------------
     let profile = profiler.finish();

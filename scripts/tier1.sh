@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the hermetic build-and-test gate (see ROADMAP.md).
+#
+# Runs fully offline — the workspace has no registry dependencies, so
+# `--offline` both works and enforces that nobody reintroduces one.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
+echo "tier1: OK"

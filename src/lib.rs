@@ -27,7 +27,7 @@
 
 pub use collector;
 pub use omprt;
-pub use pomp;
 pub use ora_core as ora;
+pub use pomp;
 pub use psx;
 pub use workloads;

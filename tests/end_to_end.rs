@@ -91,8 +91,7 @@ fn epcc_suite_runs_with_collection_attached() {
         delay_len: 16,
     };
     let handle = RuntimeHandle::discover_named(rt.symbol_name()).unwrap();
-    let profiler =
-        omp_profiling::collector::Profiler::attach_default(handle).unwrap();
+    let profiler = omp_profiling::collector::Profiler::attach_default(handle).unwrap();
     let results = epcc::run_all(&rt, &cfg);
     assert_eq!(results.len(), 10);
     let profile = profiler.finish();

@@ -3,9 +3,7 @@
 //! verification, the OMPT adapter over nested parallelism, and trace CSV
 //! round-trips through offline analysis.
 
-use omp_profiling::collector::{
-    self, analyze, RuntimeHandle, SuiteConfig, ToolSuite, Trace,
-};
+use omp_profiling::collector::{self, analyze, RuntimeHandle, SuiteConfig, ToolSuite, Trace};
 use omp_profiling::omprt::{Config, OpenMp, Schedule};
 use omp_profiling::workloads::{npb::Verification, NpbClass, NpbKernel};
 

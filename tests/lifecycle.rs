@@ -24,15 +24,21 @@ fn figure_3_interaction_sequence() {
     {
         let f = forks.clone();
         handle
-            .register(Event::Fork, Arc::new(move |_| {
-                f.fetch_add(1, Ordering::SeqCst);
-            }))
+            .register(
+                Event::Fork,
+                Arc::new(move |_| {
+                    f.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
             .unwrap();
         let j = joins.clone();
         handle
-            .register(Event::Join, Arc::new(move |_| {
-                j.fetch_add(1, Ordering::SeqCst);
-            }))
+            .register(
+                Event::Join,
+                Arc::new(move |_| {
+                    j.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
             .unwrap();
     }
 
@@ -57,10 +63,7 @@ fn figure_3_interaction_sequence() {
     rt.parallel(|_| {});
     assert_eq!(forks.load(Ordering::SeqCst), 2);
     assert_eq!(
-        handle
-            .request_one(Request::QueryState)
-            .unwrap()
-            .state(),
+        handle.request_one(Request::QueryState).unwrap().state(),
         Some(ThreadState::Serial)
     );
 
