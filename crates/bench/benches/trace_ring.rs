@@ -1,0 +1,156 @@
+//! Micro-costs of the `ora-trace` streaming pipeline.
+//!
+//! The tentpole claim: recording an event into a lock-free ring costs no
+//! lock and no allocation, and at least matches the old mutex-shard
+//! `Vec` push it replaced. These benches measure each pipeline stage:
+//!
+//! * `record/ring` — one reserve/commit pair into a per-thread ring;
+//! * `record/mutex_shard` — the legacy `Mutex<Vec>` shard push (the
+//!   pre-`ora-trace` `collector::tracer` hot path), for comparison;
+//! * `record/ring_contended` — two producers colliding on one lane;
+//! * `drain` — steady-state drainer throughput (pop per record);
+//! * `encode` / `decode` — binary format throughput per record.
+
+use std::sync::Arc;
+
+use ora_bench::microbench::{BenchmarkId, Criterion};
+use ora_bench::{criterion_group, criterion_main};
+use ora_core::sync::Mutex;
+use ora_trace::format;
+use ora_trace::{DropPolicy, RawRecord, Ring};
+
+fn sample_record(i: u64) -> RawRecord {
+    RawRecord {
+        tick: 1_000_000 + i * 30,
+        seq: 0,
+        event: 1 + (i % 26) as u32,
+        gtid: (i % 8) as u32,
+        region_id: i / 100,
+        wait_id: i % 3,
+    }
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("record");
+
+    // The new hot path: reserve/commit into a ring sized so it never
+    // fills (the drainer's steady state in a real run).
+    {
+        let ring = Ring::new(1 << 20);
+        let mut i = 0u64;
+        g.bench_function("ring", |b| {
+            b.iter(|| {
+                ring.record(sample_record(i), DropPolicy::Newest);
+                i += 1;
+                if i & ((1 << 19) - 1) == 0 {
+                    // Periodically empty the ring so the bench measures
+                    // the push, not the drop path.
+                    while ring.try_pop().is_some() {}
+                }
+            })
+        });
+    }
+
+    // The old hot path this PR replaced: lock a shard mutex, push into
+    // its Vec (amortized-allocating), checking a capacity first.
+    {
+        let shard: Mutex<Vec<RawRecord>> = Mutex::new(Vec::new());
+        let cap = 1 << 20;
+        let mut i = 0u64;
+        g.bench_function("mutex_shard", |b| {
+            b.iter(|| {
+                let mut guard = shard.lock();
+                if guard.len() < cap {
+                    guard.push(sample_record(i));
+                } else {
+                    guard.clear();
+                }
+                i += 1;
+            })
+        });
+    }
+
+    // Two producers hammering the same lane: the worst case of the
+    // gtid-collision fallback (per-thread lanes make this rare).
+    {
+        let ring = Arc::new(Ring::new(1 << 20));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let contender = {
+            let ring = ring.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    ring.record(sample_record(i), DropPolicy::Newest);
+                    i += 1;
+                    while ring.try_pop().is_some() {}
+                }
+            })
+        };
+        let mut i = 0u64;
+        g.bench_function("ring_contended", |b| {
+            b.iter(|| {
+                ring.record(sample_record(i), DropPolicy::Newest);
+                i += 1;
+            })
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        contender.join().unwrap();
+    }
+
+    g.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("drain");
+    let ring = Ring::new(1 << 16);
+    let mut scratch = Vec::with_capacity(4096);
+    let mut i = 0u64;
+    // Steady state: 64 pushes then a batched drain, measured per record.
+    g.bench_function("pop_batched_64", |b| {
+        b.iter(|| {
+            ring.record(sample_record(i), DropPolicy::Newest);
+            i += 1;
+            if i % 64 == 0 {
+                scratch.clear();
+                ring.drain_into(&mut scratch, 4096);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for &n in &[64usize, 4096] {
+        let records: Vec<RawRecord> = (0..n as u64)
+            .map(|i| RawRecord {
+                seq: i,
+                ..sample_record(i)
+            })
+            .collect();
+        let mut encoded = Vec::new();
+        format::encode_chunk(&mut encoded, 0, 0, &records);
+        let bytes_per_record = encoded.len() as f64 / n as f64;
+        println!("codec/chunk_{n}: {bytes_per_record:.2} bytes/record");
+
+        let mut buf = Vec::with_capacity(encoded.len());
+        g.bench_with_input(BenchmarkId::new("encode_chunk", n), &records, |b, recs| {
+            b.iter(|| {
+                buf.clear();
+                format::encode_chunk(&mut buf, 0, 0, recs);
+                buf.len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("decode_chunk", n), &encoded, |b, enc| {
+            b.iter(|| {
+                let mut pos = 0usize;
+                format::decode_chunk(enc, &mut pos).unwrap().1.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_record, bench_drain, bench_codec);
+criterion_main!(benches);

@@ -8,11 +8,24 @@
 //! omp_prof --workload sp --tool selective
 //! omp_prof --workload epcc --tool profile
 //! ```
+//!
+//! The `trace` subcommand exposes the `ora-trace` streaming pipeline:
+//! record a workload's full event stream to a binary trace file, then
+//! query it offline — no re-run needed:
+//!
+//! ```text
+//! omp_prof trace record --workload epcc --threads 2 --out run.oratrace
+//! omp_prof trace report --in run.oratrace
+//! omp_prof trace report --in run.oratrace --thread 1 --head 20
+//! omp_prof trace report --in run.oratrace --region 3 --from-us 100 --to-us 900
+//! ```
 
 use collector::{
-    report, Profiler, RuntimeHandle, SelectivePolicy, SelectiveProfiler, StateTimer, Tracer,
+    report, Profiler, RuntimeHandle, SelectivePolicy, SelectiveProfiler, StateTimer,
+    StreamingTracer, Tracer,
 };
 use omprt::OpenMp;
+use ora_trace::{DropPolicy, FileSink, TraceConfig, TraceEvent, TraceReader};
 use workloads::epcc::{self, EpccConfig};
 use workloads::{NpbClass, NpbKernel};
 
@@ -74,15 +87,152 @@ fn run_workload(rt: &OpenMp, workload: &str, class: NpbClass) {
     }
 }
 
-fn main() {
-    let workload = arg("--workload", "cg");
-    let tool = arg("--tool", "profile");
+/// `trace record`: run a workload with a streaming tracer writing the
+/// full event stream to a binary trace file.
+fn trace_record() {
+    let workload = arg("--workload", "epcc");
     let threads: usize = arg("--threads", "2").parse().unwrap_or(2);
-    let class = match arg("--class", "s").as_str() {
+    let class = npb_class(&arg("--class", "s"));
+    let out = arg("--out", "run.oratrace");
+    let policy = match arg("--policy", "newest").as_str() {
+        "oldest" => DropPolicy::Oldest,
+        "block" => DropPolicy::Block,
+        _ => DropPolicy::Newest,
+    };
+    let config = TraceConfig {
+        policy,
+        ..TraceConfig::default()
+    };
+
+    let rt = OpenMp::with_threads(threads);
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).expect("runtime symbol");
+    let sink = FileSink::create(&out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        std::process::exit(1);
+    });
+    let tracer = StreamingTracer::attach(handle, config, sink).expect("attach tracer");
+    run_workload(&rt, &workload, class);
+    // Workers fire trailing end-of-barrier events asynchronously.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let region_calls = tracer.region_calls();
+    let (sink, stats) = tracer.finish().expect("finish trace");
+    drop(sink.into_file().expect("flush trace file"));
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!("trace written: {out}");
+    println!(
+        "  region calls {} | records {} | dropped {} | chunks {} | {} bytes ({:.1} B/record)",
+        region_calls,
+        stats.drained(),
+        stats.dropped(),
+        stats.chunks,
+        size,
+        size as f64 / stats.drained().max(1) as f64,
+    );
+}
+
+/// `trace report`: query a recorded binary trace offline.
+fn trace_report() {
+    let input = arg("--in", "run.oratrace");
+    let head: usize = arg("--head", "30").parse().unwrap_or(30);
+    let reader = TraceReader::open(&input).unwrap_or_else(|e| {
+        eprintln!("cannot read {input}: {e}");
+        std::process::exit(1);
+    });
+
+    let micros = |ticks: u64| collector::clock::to_micros(ticks);
+    let has = |name: &str| std::env::args().any(|a| a == name);
+    let records: Vec<TraceEvent> = if has("--thread") {
+        let gtid: usize = arg("--thread", "0").parse().unwrap_or(0);
+        reader.for_thread(gtid)
+    } else if has("--region") {
+        let region: u64 = arg("--region", "0").parse().unwrap_or(0);
+        reader.for_region(region)
+    } else if has("--from-us") || has("--to-us") {
+        let lo = (arg("--from-us", "0").parse().unwrap_or(0.0) * 1e3) as u64;
+        let hi = (arg("--to-us", &f64::MAX.to_string())
+            .parse()
+            .unwrap_or(f64::MAX)
+            .min(u64::MAX as f64 * 1e-3)
+            * 1e3) as u64;
+        reader.time_range(lo, hi)
+    } else {
+        reader.records()
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("trace is damaged: {e}");
+        std::process::exit(1);
+    });
+
+    let footer = reader.footer();
+    println!("trace: {input}");
+    println!(
+        "  persisted {} records in {} chunks | dropped {} | lanes {}",
+        reader.record_count(),
+        footer.chunks.len(),
+        reader.dropped(),
+        footer.lanes.len(),
+    );
+    if reader.dropped() > 0 {
+        let lossy = footer.lanes.iter().filter(|l| l.dropped() > 0).count();
+        println!("  loss detail: {lossy} lane(s) dropped records (see footer counters)");
+    }
+    println!("  query matched {} records\n", records.len());
+
+    let mut counts: std::collections::BTreeMap<&str, u64> = Default::default();
+    for r in &records {
+        *counts.entry(r.event.name()).or_insert(0) += 1;
+    }
+    println!(
+        "{}",
+        report::table(
+            &["event", "count"],
+            counts
+                .iter()
+                .map(|(name, n)| vec![name.to_string(), n.to_string()]),
+        )
+    );
+
+    println!("first {} records:", head.min(records.len()));
+    for r in records.iter().take(head) {
+        println!(
+            "{:>12.3} us  t{:<3} {:<34} region={} wait={}",
+            micros(r.tick),
+            r.gtid,
+            r.event.name(),
+            r.region_id,
+            r.wait_id
+        );
+    }
+}
+
+fn npb_class(s: &str) -> NpbClass {
+    match s {
         "w" | "W" => NpbClass::W,
         "b" | "B" => NpbClass::Bsim,
         _ => NpbClass::S,
-    };
+    }
+}
+
+fn main() {
+    // Subcommand style: `omp_prof trace record ...` / `omp_prof trace report ...`
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("trace") {
+        match argv.get(2).map(String::as_str) {
+            Some("record") => return trace_record(),
+            Some("report") => return trace_report(),
+            other => {
+                eprintln!(
+                    "unknown trace subcommand {other:?} — use `trace record` or `trace report`"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let workload = arg("--workload", "cg");
+    let tool = arg("--tool", "profile");
+    let threads: usize = arg("--threads", "2").parse().unwrap_or(2);
+    let class = npb_class(&arg("--class", "s"));
 
     let rt = OpenMp::with_threads(threads);
     let handle = RuntimeHandle::discover_named(rt.symbol_name()).expect("runtime symbol");

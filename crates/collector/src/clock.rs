@@ -4,6 +4,29 @@
 //! counter" in each event callback. This module provides that counter: a
 //! monotonic tick source read with one call and no allocation, plus
 //! conversions for reporting.
+//!
+//! # Monotonicity and cross-thread comparability
+//!
+//! All threads read the **same** process-wide clock: [`ticks`] is the
+//! elapsed time since one shared [`Instant`] epoch (initialized on first
+//! use). `Instant` is documented to be monotonic and, on every platform
+//! std supports, measures against a single system-wide monotonic clock
+//! (`CLOCK_MONOTONIC` on Linux), not a per-CPU or per-thread counter.
+//! Two guarantees follow, and the trace pipeline leans on both:
+//!
+//! 1. **Per-thread monotonicity** — successive [`ticks`] calls on one
+//!    thread never decrease, so each thread's trace records carry
+//!    non-decreasing ticks and per-ring streams are near-sorted.
+//! 2. **Cross-thread comparability** — ticks taken on different threads
+//!    are samples of the same clock, so merging per-thread records by
+//!    `(tick, gtid, seq)` yields a globally meaningful order: if thread
+//!    A observably happened-before thread B (e.g. via a message), A's
+//!    tick is ≤ B's.
+//!
+//! Ties are possible (the clock is sampled at nanosecond granularity
+//! but successive events can land on the same nanosecond); consumers
+//! must break them with `(gtid, seq)`, which is exactly what
+//! `ora-trace`'s merge key does.
 
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -60,5 +83,65 @@ mod tests {
         assert_eq!(to_secs(1_000_000_000), 1.0);
         assert_eq!(to_micros(1_000), 1.0);
         assert!((to_secs(500_000_000) - 0.5).abs() < 1e-12);
+    }
+
+    /// Ticks sampled on many threads doing seeded, randomly-sized bursts
+    /// of work are (a) non-decreasing within each thread and (b) safely
+    /// comparable across threads after a merge — the property the trace
+    /// merge key `(tick, gtid, seq)` depends on.
+    #[test]
+    fn per_thread_tick_sequences_are_non_decreasing_and_mergeable() {
+        use ora_core::testutil::XorShift64;
+
+        let threads = 8;
+        let samples_per_thread = 500;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut rng = XorShift64::new(0xc10c_4000 + t as u64);
+                    let mut out = Vec::with_capacity(samples_per_thread);
+                    let mut sink = 0u64;
+                    for _ in 0..samples_per_thread {
+                        out.push(ticks());
+                        // Seeded, variable-length busywork between samples.
+                        for _ in 0..rng.range_usize(0, 64) {
+                            sink = sink.wrapping_add(rng.next_u64());
+                        }
+                    }
+                    std::hint::black_box(sink);
+                    out
+                })
+            })
+            .collect();
+        let sequences: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        for (t, seq) in sequences.iter().enumerate() {
+            assert!(
+                seq.windows(2).all(|w| w[0] <= w[1]),
+                "thread {t}: tick sequence decreased"
+            );
+        }
+        // Merged across threads, every tick stays within the bounds the
+        // spawning thread observed: samples taken after all threads
+        // joined dominate every in-thread sample.
+        let after = ticks();
+        let all_max = sequences.iter().flatten().copied().max().unwrap();
+        assert!(all_max <= after, "cross-thread ticks are one clock");
+    }
+
+    /// Happens-before across threads implies tick order: a tick taken
+    /// before sending a message is ≤ any tick taken after receiving it.
+    #[test]
+    fn cross_thread_causality_preserves_tick_order() {
+        for _ in 0..100 {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let sender = std::thread::spawn(move || {
+                tx.send(ticks()).unwrap();
+            });
+            let sent_at = rx.recv().unwrap();
+            let received_at = ticks();
+            sender.join().unwrap();
+            assert!(sent_at <= received_at);
+        }
     }
 }

@@ -12,7 +12,8 @@
 //!   user-model reconstruction, and the callbacks-only mode used by the
 //!   §V-B overhead breakdown;
 //! * [`tracer`] — full event tracing with per-event counters (measures
-//!   the region-call counts of Tables I/II);
+//!   the region-call counts of Tables I/II), recording through
+//!   `ora-trace`'s lock-free rings and streaming pipeline;
 //! * [`sampler`] — `OMP_REQ_STATE` sampling and state histograms;
 //! * [`state_timer`] — per-thread time-in-state accounting built on the
 //!   event + state-query machinery;
@@ -63,4 +64,4 @@ pub use sampler::StateSampler;
 pub use selective::{SelectivePolicy, SelectiveProfiler, SelectiveReport};
 pub use state_timer::{StateProfile, StateTimer, ThreadStateTimes};
 pub use suite::{SuiteConfig, SuiteReport, ToolSuite};
-pub use tracer::{Trace, TraceRecord, Tracer};
+pub use tracer::{StreamError, StreamingTracer, Trace, TraceRecord, Tracer};

@@ -1,20 +1,32 @@
-//! Full event tracing.
+//! Full event tracing — a thin adapter over the `ora-trace` pipeline.
 //!
 //! The optional ORA events exist "to support tracing"; this collector
 //! registers for every event the runtime supports and records timestamped
-//! records into per-thread buffers, merged by time at the end. It also
-//! keeps per-event counters — which is how the `table1_regions` harness
-//! measures the parallel-region call counts of the paper's Tables I and II
-//! (one fork event per region call).
+//! records into `ora-trace`'s per-thread lock-free rings (one
+//! reserve/commit pair per event — no mutex, no allocation on the hot
+//! path). A background drainer epoch-flushes the rings into the binary
+//! trace format; [`Tracer::finish`] decodes the encoded trace back into
+//! the in-memory [`Trace`], merged **stably** by `(tick, gtid, per-ring
+//! seq)` so records with colliding ticks still order deterministically.
+//! The adapter also keeps per-event counters — which is how the
+//! `table1_regions` harness measures the parallel-region call counts of
+//! the paper's Tables I and II (one fork event per region call).
+//!
+//! [`StreamingTracer`] is the production entry point: it takes any
+//! [`TraceSink`] (e.g. [`ora_trace::FileSink`]) and never materializes
+//! the trace in memory — the `omp_prof trace record` subcommand is a
+//! `StreamingTracer` writing to a file.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ora_core::sync::Mutex;
-
 use ora_core::event::{Event, ALL_EVENTS, EVENT_COUNT};
 use ora_core::registry::EventData;
-use ora_core::request::{OraResult, Request};
+use ora_core::request::{OraError, OraResult, Request};
+use ora_trace::{
+    MemorySink, RawRecord, Recorder, RecordingStats, TraceConfig, TraceError, TraceReader,
+    TraceSink,
+};
 
 use crate::clock;
 use crate::discovery::RuntimeHandle;
@@ -30,39 +42,70 @@ pub struct TraceRecord {
     pub event: Event,
     /// Region the thread was executing (0 outside regions).
     pub region_id: u64,
-    /// Wait ID for wait events.
+    /// Wait ID for wait events, else 0.
     pub wait_id: u64,
 }
 
-/// Buffers sharded by thread ID to keep recording contention-free.
-const SHARDS: usize = 64;
+/// Why a streaming tracer could not attach or finish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The ORA handshake or registration failed.
+    Ora(OraError),
+    /// The trace pipeline failed (I/O, encoding).
+    Trace(TraceError),
+}
 
-struct TraceState {
-    shards: Vec<Mutex<Vec<TraceRecord>>>,
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Ora(e) => write!(f, "collector API error: {e:?}"),
+            StreamError::Trace(e) => write!(f, "trace pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<OraError> for StreamError {
+    fn from(e: OraError) -> Self {
+        StreamError::Ora(e)
+    }
+}
+
+impl From<TraceError> for StreamError {
+    fn from(e: TraceError) -> Self {
+        StreamError::Trace(e)
+    }
+}
+
+/// Per-event counters shared with the callbacks (Table I/II live here).
+struct CountState {
     counts: [AtomicU64; EVENT_COUNT],
-    /// Per-shard cap; recording stops silently past it.
-    cap_per_shard: usize,
-    dropped: AtomicU64,
 }
 
-/// An attached tracer.
-pub struct Tracer {
+/// A tracer streaming encoded chunks into an arbitrary [`TraceSink`].
+pub struct StreamingTracer<S: TraceSink + 'static> {
     handle: RuntimeHandle,
-    state: Arc<TraceState>,
+    counts: Arc<CountState>,
+    recorder: Recorder<S>,
 }
 
-impl Tracer {
+impl<S: TraceSink + 'static> StreamingTracer<S> {
     /// Attach to a runtime, start collection, and register every event
     /// the runtime supports (unsupported registrations are skipped — the
     /// paper's runtime rejects atomic-wait events, for instance).
-    /// `capacity` bounds the total records kept.
-    pub fn attach(handle: RuntimeHandle, capacity: usize) -> OraResult<Tracer> {
+    /// Events stream into `sink` via the `ora-trace` drainer under
+    /// `config`.
+    pub fn attach(
+        handle: RuntimeHandle,
+        config: TraceConfig,
+        sink: S,
+    ) -> Result<StreamingTracer<S>, StreamError> {
         handle.request_one(Request::Start)?;
-        let state = Arc::new(TraceState {
-            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        let recorder = Recorder::start(config, sink)?;
+        let rings = recorder.rings();
+        let counts = Arc::new(CountState {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            cap_per_shard: (capacity / SHARDS).max(1),
-            dropped: AtomicU64::new(0),
         });
 
         // Plan registrations from the capabilities bitmap when available
@@ -74,39 +117,41 @@ impl Tracer {
             Err(_) => ALL_EVENTS.to_vec(),
         };
         for event in supported {
-            let s = state.clone();
+            let rings = rings.clone();
+            let counts = counts.clone();
             let result = handle.register(
                 event,
                 Arc::new(move |d: &EventData| {
-                    s.counts[d.event.index()].fetch_add(1, Ordering::Relaxed);
-                    let mut shard = s.shards[d.gtid % SHARDS].lock();
-                    if shard.len() < s.cap_per_shard {
-                        shard.push(TraceRecord {
-                            tick: clock::ticks(),
-                            gtid: d.gtid,
-                            event: d.event,
-                            region_id: d.region_id,
-                            wait_id: d.wait_id,
-                        });
-                    } else {
-                        s.dropped.fetch_add(1, Ordering::Relaxed);
-                    }
+                    counts.counts[d.event.index()].fetch_add(1, Ordering::Relaxed);
+                    rings.record(RawRecord {
+                        tick: clock::ticks(),
+                        seq: 0, // assigned by the ring
+                        event: d.event as u32,
+                        gtid: d.gtid as u32,
+                        region_id: d.region_id,
+                        wait_id: d.wait_id,
+                    });
                 }),
             );
             // Unsupported optional events are fine; anything else is not.
             if let Err(e) = result {
-                if e != ora_core::request::OraError::UnsupportedEvent {
-                    return Err(e);
+                if e != OraError::UnsupportedEvent {
+                    return Err(e.into());
                 }
             }
         }
 
-        Ok(Tracer { handle, state })
+        Ok(StreamingTracer {
+            handle,
+            counts,
+            recorder,
+        })
     }
 
-    /// Occurrences of `event` so far.
+    /// Occurrences of `event` so far (counted even when the record
+    /// itself was dropped by backpressure).
     pub fn count(&self, event: Event) -> u64 {
-        self.state.counts[event.index()].load(Ordering::Relaxed)
+        self.counts.counts[event.index()].load(Ordering::Relaxed)
     }
 
     /// Parallel-region calls observed (fork events).
@@ -114,28 +159,71 @@ impl Tracer {
         self.count(Event::Fork)
     }
 
-    /// Stop collection and return the merged, time-ordered trace.
-    pub fn finish(self) -> Trace {
+    /// Stop collection, drain everything in flight, write the footer,
+    /// and hand back the sink plus the recording's loss accounting.
+    pub fn finish(self) -> Result<(S, RecordingStats), StreamError> {
         let _ = self.handle.request_one(Request::Stop);
-        let mut records: Vec<TraceRecord> = self
-            .state
-            .shards
-            .iter()
-            .flat_map(|s| s.lock().clone())
-            .collect();
-        records.sort_by_key(|r| r.tick);
-        Trace {
-            records,
-            counts: std::array::from_fn(|i| self.state.counts[i].load(Ordering::Relaxed)),
-            dropped: self.state.dropped.load(Ordering::Relaxed),
+        Ok(self.recorder.finish()?)
+    }
+
+    /// Snapshot of the per-event counters, indexed by [`Event::index`].
+    fn counts_snapshot(&self) -> [u64; EVENT_COUNT] {
+        std::array::from_fn(|i| self.counts.counts[i].load(Ordering::Relaxed))
+    }
+}
+
+/// An attached tracer accumulating in memory (the legacy API — tools
+/// that want a file on disk should use [`StreamingTracer`] with an
+/// [`ora_trace::FileSink`]).
+pub struct Tracer {
+    inner: StreamingTracer<MemorySink>,
+}
+
+impl Tracer {
+    /// Attach to a runtime, start collection, and register every event
+    /// the runtime supports. `capacity` bounds the total records kept;
+    /// past it the newest records are dropped (and counted). The
+    /// drainer's epoch is effectively disabled so the bound applies to
+    /// the whole run, exactly like the old mutex-shard tracer.
+    pub fn attach(handle: RuntimeHandle, capacity: usize) -> OraResult<Tracer> {
+        let config = TraceConfig {
+            // Retain-at-most-`capacity` semantics: no mid-run draining.
+            epoch: std::time::Duration::from_secs(3600),
+            ..TraceConfig::with_total_capacity(capacity)
+        };
+        match StreamingTracer::attach(handle, config, MemorySink::new()) {
+            Ok(inner) => Ok(Tracer { inner }),
+            Err(StreamError::Ora(e)) => Err(e),
+            Err(StreamError::Trace(e)) => unreachable!("memory sink cannot fail: {e}"),
         }
+    }
+
+    /// Occurrences of `event` so far.
+    pub fn count(&self, event: Event) -> u64 {
+        self.inner.count(event)
+    }
+
+    /// Parallel-region calls observed (fork events).
+    pub fn region_calls(&self) -> u64 {
+        self.inner.region_calls()
+    }
+
+    /// Stop collection and return the merged trace, stably ordered by
+    /// `(tick, gtid, per-ring seq)`.
+    pub fn finish(self) -> Trace {
+        let counts = self.inner.counts_snapshot();
+        let (sink, stats) = self.inner.finish().expect("memory sink cannot fail");
+        let mut trace = Trace::from_encoded(sink.bytes()).expect("self-encoded trace decodes");
+        trace.counts = counts;
+        trace.dropped = stats.dropped();
+        trace
     }
 }
 
 /// A finished trace.
 #[derive(Debug, Clone)]
 pub struct Trace {
-    /// Time-ordered records.
+    /// Records stably ordered by `(tick, gtid, per-ring seq)`.
     pub records: Vec<TraceRecord>,
     /// Total occurrences per event (indexed by [`Event::index`]), counting
     /// records dropped past the capacity too.
@@ -145,6 +233,34 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Decode a binary `ora-trace` file into an in-memory trace. Counts
+    /// are rebuilt from the persisted records; `dropped` comes from the
+    /// footer's per-lane drop counters, so loss stays observable.
+    pub fn from_encoded(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let reader = TraceReader::from_bytes(bytes.to_vec())?;
+        let dropped = reader.dropped();
+        let mut counts = [0u64; EVENT_COUNT];
+        let records = reader
+            .records()?
+            .into_iter()
+            .map(|e| {
+                counts[e.event.index()] += 1;
+                TraceRecord {
+                    tick: e.tick,
+                    gtid: e.gtid,
+                    event: e.event,
+                    region_id: e.region_id,
+                    wait_id: e.wait_id,
+                }
+            })
+            .collect();
+        Ok(Trace {
+            records,
+            counts,
+            dropped,
+        })
+    }
+
     /// Occurrences of `event`.
     pub fn count(&self, event: Event) -> u64 {
         self.counts[event.index()]
@@ -255,6 +371,7 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ora_trace::RingSet;
 
     fn sample_trace() -> Trace {
         let records = vec![
@@ -325,5 +442,75 @@ mod tests {
         let t = Trace::from_csv("tick,gtid,event,region_id,wait_id\n").unwrap();
         assert!(t.records.is_empty());
         assert_eq!(t.counts.iter().sum::<u64>(), 0);
+    }
+
+    /// Record a batch through the real ring→drain→encode→decode path.
+    fn round_trip(records: &[RawRecord], lanes: usize) -> Trace {
+        let cfg = TraceConfig {
+            lanes,
+            epoch: std::time::Duration::from_secs(3600),
+            ..TraceConfig::default()
+        };
+        let recorder = Recorder::start(cfg, MemorySink::new()).unwrap();
+        let rings: Arc<RingSet> = recorder.rings();
+        for r in records {
+            rings.record(*r);
+        }
+        let (sink, _) = recorder.finish().unwrap();
+        Trace::from_encoded(sink.bytes()).unwrap()
+    }
+
+    /// Regression: records with *colliding ticks* must come out in a
+    /// deterministic order — the merge is keyed by `(tick, gtid, seq)`,
+    /// not tick alone (the old `sort_by_key(tick)` left equal-tick
+    /// ordering to the sorting algorithm and shard iteration order).
+    #[test]
+    fn equal_tick_records_order_deterministically() {
+        // Interleave two threads, every record at the same tick, plus a
+        // same-thread run of identical ticks to exercise the seq key.
+        let mut batch = Vec::new();
+        for i in 0..20u32 {
+            batch.push(RawRecord {
+                tick: 500,
+                gtid: i % 2,
+                event: Event::Fork as u32,
+                region_id: u64::from(i),
+                ..RawRecord::default()
+            });
+        }
+        let first = round_trip(&batch, 4);
+        assert_eq!(first.records.len(), 20);
+        // Deterministic: ten more encode/decode round trips agree exactly.
+        for _ in 0..10 {
+            let again = round_trip(&batch, 4);
+            assert_eq!(again.records, first.records);
+        }
+        // And the order is the documented key: gtid ascending at equal
+        // ticks, per-thread arrival (seq) order within a gtid.
+        for w in first.records.windows(2) {
+            assert!(w[0].gtid <= w[1].gtid);
+        }
+        let t0: Vec<u64> = first
+            .records
+            .iter()
+            .filter(|r| r.gtid == 0)
+            .map(|r| r.region_id)
+            .collect();
+        assert_eq!(t0, (0..20u64).filter(|i| i % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_encoded_rebuilds_counts_and_drops() {
+        let batch: Vec<RawRecord> = (0..50)
+            .map(|i| RawRecord {
+                tick: 1000 + i,
+                gtid: 0,
+                event: Event::Join as u32,
+                ..RawRecord::default()
+            })
+            .collect();
+        let trace = round_trip(&batch, 1);
+        assert_eq!(trace.count(Event::Join), 50);
+        assert_eq!(trace.dropped, 0);
     }
 }

@@ -1,0 +1,335 @@
+//! The background drainer: epoch-flushes rings into a sink.
+//!
+//! A [`Recorder`] owns a [`RingSet`] shared with the event callbacks and
+//! one drainer thread. Every `epoch` the drainer sweeps all lanes,
+//! encodes whatever each lane accumulated as one chunk, and appends it
+//! to the sink. [`Recorder::finish`] stops the thread, performs a final
+//! sweep (so nothing in-flight is lost), writes the footer with the
+//! per-lane drop counters, and hands the sink back.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::format::{self, ChunkMeta, Footer, LaneStats};
+use crate::ring::{DropPolicy, RawRecord, RingSet};
+use crate::sink::TraceSink;
+use crate::TraceError;
+
+/// Tuning for a recording session.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Ring lanes (threads map to lanes by `gtid % lanes`).
+    pub lanes: usize,
+    /// Records each lane buffers before backpressure.
+    pub capacity_per_lane: usize,
+    /// What a full lane does to its producer.
+    pub policy: DropPolicy,
+    /// How often the drainer sweeps the lanes.
+    pub epoch: Duration,
+    /// Largest record count per encoded chunk (bounds decode memory).
+    pub max_chunk_records: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            lanes: 64,
+            capacity_per_lane: 1 << 14,
+            policy: DropPolicy::Newest,
+            epoch: Duration::from_millis(5),
+            max_chunk_records: 1 << 12,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A config sized so all lanes together buffer about
+    /// `total_capacity` records (the legacy `Tracer::attach` contract).
+    pub fn with_total_capacity(total_capacity: usize) -> TraceConfig {
+        let cfg = TraceConfig::default();
+        let per_lane = (total_capacity / cfg.lanes).max(2);
+        TraceConfig {
+            capacity_per_lane: per_lane,
+            ..cfg
+        }
+    }
+}
+
+/// Result accounting for a finished recording.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingStats {
+    /// Per-lane counters, as persisted in the footer.
+    pub lanes: Vec<LaneStats>,
+    /// Chunks written.
+    pub chunks: usize,
+}
+
+impl RecordingStats {
+    /// Records persisted.
+    pub fn drained(&self) -> u64 {
+        self.lanes.iter().map(|l| l.drained).sum()
+    }
+
+    /// Records lost to backpressure.
+    pub fn dropped(&self) -> u64 {
+        self.lanes.iter().map(|l| l.dropped()).sum()
+    }
+}
+
+struct DrainState<S: TraceSink> {
+    sink: S,
+    /// Bytes written so far (chunk offsets key the footer index).
+    offset: u64,
+    index: Vec<ChunkMeta>,
+    drained_per_lane: Vec<u64>,
+    scratch: Vec<RawRecord>,
+    encode_buf: Vec<u8>,
+}
+
+impl<S: TraceSink> DrainState<S> {
+    /// Sweep every lane once; encode and append one chunk per non-empty
+    /// lane (splitting at `max_chunk_records`).
+    fn sweep(&mut self, rings: &RingSet, max_chunk_records: usize) -> Result<(), TraceError> {
+        for lane in 0..rings.lane_count() {
+            loop {
+                self.scratch.clear();
+                rings
+                    .lane(lane)
+                    .drain_into(&mut self.scratch, max_chunk_records);
+                if self.scratch.is_empty() {
+                    break;
+                }
+                self.encode_buf.clear();
+                let meta = format::encode_chunk(
+                    &mut self.encode_buf,
+                    self.offset,
+                    lane as u64,
+                    &self.scratch,
+                );
+                self.sink.write_all(&self.encode_buf)?;
+                self.offset += self.encode_buf.len() as u64;
+                self.drained_per_lane[lane] += self.scratch.len() as u64;
+                self.index.push(meta);
+                if self.scratch.len() < max_chunk_records {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An active recording: rings + drainer thread + sink.
+pub struct Recorder<S: TraceSink + 'static> {
+    rings: Arc<RingSet>,
+    stop: Arc<AtomicBool>,
+    drainer: Option<JoinHandle<Result<DrainState<S>, TraceError>>>,
+    max_chunk_records: usize,
+}
+
+impl<S: TraceSink + 'static> Recorder<S> {
+    /// Start recording into `sink` under `config`. The file header is
+    /// written immediately; the drainer thread starts sweeping at
+    /// `config.epoch` cadence.
+    pub fn start(config: TraceConfig, mut sink: S) -> Result<Recorder<S>, TraceError> {
+        let rings = Arc::new(RingSet::new(
+            config.lanes,
+            config.capacity_per_lane,
+            config.policy,
+        ));
+        let mut header = Vec::new();
+        format::encode_header(&mut header);
+        sink.write_all(&header)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut state = DrainState {
+            sink,
+            offset: header.len() as u64,
+            index: Vec::new(),
+            drained_per_lane: vec![0; rings.lane_count()],
+            scratch: Vec::with_capacity(config.max_chunk_records),
+            encode_buf: Vec::new(),
+        };
+        let drainer = {
+            let rings = rings.clone();
+            let stop = stop.clone();
+            let epoch = config.epoch;
+            let max = config.max_chunk_records;
+            std::thread::Builder::new()
+                .name("ora-trace-drain".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::park_timeout(epoch);
+                        state.sweep(&rings, max)?;
+                    }
+                    Ok(state)
+                })
+                .expect("spawn drainer thread")
+        };
+        Ok(Recorder {
+            rings,
+            stop,
+            drainer: Some(drainer),
+            max_chunk_records: config.max_chunk_records,
+        })
+    }
+
+    /// The ring set event callbacks record into. Cloning the `Arc` is
+    /// cheap; the callbacks hold one clone for the recording's lifetime.
+    pub fn rings(&self) -> Arc<RingSet> {
+        self.rings.clone()
+    }
+
+    /// Stop the drainer, run a final sweep, write the footer, and
+    /// return the sink plus the session's accounting.
+    pub fn finish(mut self) -> Result<(S, RecordingStats), TraceError> {
+        let drainer = self.drainer.take().expect("finish called once");
+        self.stop.store(true, Ordering::Release);
+        drainer.thread().unpark();
+        let mut state = drainer.join().expect("drainer thread panicked")?;
+
+        // Final sweep: catch records committed after the thread exited.
+        state.sweep(&self.rings, self.max_chunk_records)?;
+
+        let lanes: Vec<LaneStats> = (0..self.rings.lane_count())
+            .map(|i| {
+                let s = self.rings.lane(i).stats();
+                LaneStats {
+                    written: s.written,
+                    dropped_newest: s.dropped_newest,
+                    dropped_oldest: s.dropped_oldest,
+                    drained: state.drained_per_lane[i],
+                }
+            })
+            .collect();
+        let footer = Footer {
+            lanes: lanes.clone(),
+            chunks: state.index.clone(),
+        };
+        let mut tail = Vec::new();
+        format::encode_footer(&mut tail, &footer);
+        state.sink.write_all(&tail)?;
+        state.sink.flush()?;
+        Ok((
+            state.sink,
+            RecordingStats {
+                lanes,
+                chunks: state.index.len(),
+            },
+        ))
+    }
+}
+
+impl<S: TraceSink + 'static> Drop for Recorder<S> {
+    fn drop(&mut self) {
+        // `finish` not called: stop the thread and discard the trace.
+        if let Some(drainer) = self.drainer.take() {
+            self.stop.store(true, Ordering::Release);
+            drainer.thread().unpark();
+            let _ = drainer.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::TraceReader;
+    use crate::sink::MemorySink;
+
+    fn rec(tick: u64, gtid: u32) -> RawRecord {
+        RawRecord {
+            tick,
+            gtid,
+            event: 1,
+            ..RawRecord::default()
+        }
+    }
+
+    #[test]
+    fn records_survive_start_to_finish() {
+        let recorder = Recorder::start(TraceConfig::default(), MemorySink::new()).unwrap();
+        let rings = recorder.rings();
+        for i in 0..1_000 {
+            rings.record(rec(i, (i % 4) as u32));
+        }
+        let (sink, stats) = recorder.finish().unwrap();
+        assert_eq!(stats.drained(), 1_000);
+        assert_eq!(stats.dropped(), 0);
+        let reader = TraceReader::from_bytes(sink.into_bytes()).unwrap();
+        assert_eq!(reader.footer().total_drained(), 1_000);
+        assert_eq!(reader.records().unwrap().len(), 1_000);
+    }
+
+    #[test]
+    fn final_sweep_catches_late_records() {
+        // A long epoch means the background thread likely never sweeps:
+        // everything must come out in finish()'s final sweep.
+        let cfg = TraceConfig {
+            epoch: Duration::from_secs(3600),
+            ..TraceConfig::default()
+        };
+        let recorder = Recorder::start(cfg, MemorySink::new()).unwrap();
+        let rings = recorder.rings();
+        for i in 0..100 {
+            rings.record(rec(i, 0));
+        }
+        let (sink, stats) = recorder.finish().unwrap();
+        assert_eq!(stats.drained(), 100);
+        let reader = TraceReader::from_bytes(sink.into_bytes()).unwrap();
+        assert_eq!(reader.records().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn chunks_split_at_max_records() {
+        let cfg = TraceConfig {
+            epoch: Duration::from_secs(3600),
+            max_chunk_records: 16,
+            lanes: 1,
+            ..TraceConfig::default()
+        };
+        let recorder = Recorder::start(cfg, MemorySink::new()).unwrap();
+        let rings = recorder.rings();
+        for i in 0..100 {
+            rings.record(rec(i, 0));
+        }
+        let (sink, stats) = recorder.finish().unwrap();
+        assert!(stats.chunks >= 100 / 16);
+        let reader = TraceReader::from_bytes(sink.into_bytes()).unwrap();
+        assert!(reader.footer().chunks.iter().all(|c| c.count <= 16));
+        assert_eq!(reader.records().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn dropped_records_are_observable_in_stats() {
+        let cfg = TraceConfig {
+            epoch: Duration::from_secs(3600),
+            lanes: 1,
+            capacity_per_lane: 16,
+            ..TraceConfig::default()
+        };
+        let recorder = Recorder::start(cfg, MemorySink::new()).unwrap();
+        let rings = recorder.rings();
+        for i in 0..100 {
+            rings.record(rec(i, 0));
+        }
+        let (sink, stats) = recorder.finish().unwrap();
+        assert_eq!(stats.drained(), 16);
+        assert_eq!(stats.dropped(), 84);
+        let footer = TraceReader::from_bytes(sink.into_bytes())
+            .unwrap()
+            .footer()
+            .clone();
+        assert_eq!(footer.total_dropped(), 84);
+        assert_eq!(footer.lanes[0].written, 16);
+    }
+
+    #[test]
+    fn drop_without_finish_is_clean() {
+        let recorder = Recorder::start(TraceConfig::default(), MemorySink::new()).unwrap();
+        recorder.rings().record(rec(1, 0));
+        drop(recorder); // must not hang or panic
+    }
+}

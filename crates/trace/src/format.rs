@@ -1,0 +1,607 @@
+//! The `ora-trace` binary on-disk format.
+//!
+//! A trace file is a header, a sequence of self-describing chunks, and a
+//! footer, all little-endian, with every variable-length integer LEB128
+//! ("varint") encoded and every signed delta zigzag-mapped first:
+//!
+//! ```text
+//! file   := header chunk* footer
+//! header := magic "ORATRC" (6 bytes) | version u16 LE
+//! chunk  := tag 0x01
+//!         | varint lane            — ring the records came from
+//!         | varint count           — records in the chunk
+//!         | varint payload_len     — payload bytes that follow
+//!         | payload                — delta-encoded records (below)
+//!         | crc32 u32 LE           — IEEE CRC of the payload bytes
+//! footer := tag 0x02
+//!         | footer_payload         — lane stats + chunk index (below)
+//!         | crc32 u32 LE           — IEEE CRC of footer_payload
+//!         | footer_len u32 LE      — bytes in footer_payload
+//!         | magic "ORAFTR" (6 bytes)
+//! ```
+//!
+//! **Chunk payload.** The first record stores its `tick` and `seq`
+//! absolutely; every later record stores zigzag-varint *deltas* against
+//! its predecessor (ticks and sequence numbers are near-monotonic within
+//! a lane, so the common delta fits one byte). `region_id` is also
+//! delta-encoded (regions repeat, so the common delta is 0 — one byte),
+//! while `event`, `gtid` and `wait_id` are plain varints:
+//!
+//! ```text
+//! record[0]  := varint tick | varint seq | varint event | varint gtid
+//!             | varint region_id | varint wait_id
+//! record[i]  := zigzag Δtick | zigzag Δseq | varint event | varint gtid
+//!             | zigzag Δregion_id | varint wait_id
+//! ```
+//!
+//! **Footer payload.** Per-lane counters make loss *observable* — a
+//! reader can always prove how many records the file is missing — and
+//! the chunk index makes time-range / per-region queries seekable
+//! without scanning payloads:
+//!
+//! ```text
+//! footer_payload := varint lane_count
+//!                 | lane_count × (varint written | varint dropped_newest
+//!                                 | varint dropped_oldest | varint drained)
+//!                 | varint chunk_count
+//!                 | chunk_count × (varint offset    — chunk tag position
+//!                                  | varint lane | varint count
+//!                                  | varint min_tick | varint max_tick
+//!                                  | varint region_mask — bit (id % 64) set
+//!                                    for every region in the chunk)
+//! ```
+//!
+//! Readers locate the footer from the trailing magic + length (so a
+//! file can be mapped without scanning), verify both CRCs, and use the
+//! index to decode only the chunks a query needs. A truncated or
+//! bit-flipped file yields a typed [`TraceError`], never a panic.
+
+use crate::ring::RawRecord;
+use crate::TraceError;
+
+/// File magic: starts every trace file.
+pub const FILE_MAGIC: &[u8; 6] = b"ORATRC";
+/// Footer magic: ends every complete trace file.
+pub const FOOTER_MAGIC: &[u8; 6] = b"ORAFTR";
+/// Format version this crate reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+/// Chunk tag byte.
+pub const TAG_CHUNK: u8 = 0x01;
+/// Footer tag byte.
+pub const TAG_FOOTER: u8 = 0x02;
+
+// ---------------------------------------------------------------------
+// varint / zigzag
+// ---------------------------------------------------------------------
+
+/// Append `v` LEB128-encoded.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 varint at `*pos`, advancing it.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(TraceError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(TraceError::Malformed("varint overflows u64"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Map a signed delta to an unsigned varint-friendly value.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib polynomial), byte-at-a-time table
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+// ---------------------------------------------------------------------
+// Chunks
+// ---------------------------------------------------------------------
+
+/// One entry of the footer's chunk index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Byte offset of the chunk tag in the file.
+    pub offset: u64,
+    /// Ring lane the records came from.
+    pub lane: u64,
+    /// Records in the chunk.
+    pub count: u64,
+    /// Smallest tick in the chunk.
+    pub min_tick: u64,
+    /// Largest tick in the chunk.
+    pub max_tick: u64,
+    /// Coarse region filter: bit `region_id % 64` is set for every
+    /// region that appears in the chunk (queries skip chunks whose bit
+    /// is clear; a set bit may still be a false positive).
+    pub region_mask: u64,
+}
+
+impl ChunkMeta {
+    /// Whether a record with `region_id` could be in this chunk.
+    #[inline]
+    pub fn may_contain_region(&self, region_id: u64) -> bool {
+        self.region_mask & (1u64 << (region_id % 64)) != 0
+    }
+
+    /// Whether the chunk's tick range intersects `[lo, hi]`.
+    #[inline]
+    pub fn overlaps_ticks(&self, lo: u64, hi: u64) -> bool {
+        self.min_tick <= hi && self.max_tick >= lo
+    }
+}
+
+/// Encode `records` as one chunk appended to `out` (which is at byte
+/// `offset` of the file) and return its index entry. `records` must be
+/// non-empty.
+pub fn encode_chunk(out: &mut Vec<u8>, offset: u64, lane: u64, records: &[RawRecord]) -> ChunkMeta {
+    debug_assert!(!records.is_empty());
+    let mut payload = Vec::with_capacity(records.len() * 8);
+    let mut min_tick = u64::MAX;
+    let mut max_tick = 0u64;
+    let mut region_mask = 0u64;
+    let mut prev: Option<&RawRecord> = None;
+    for r in records {
+        match prev {
+            None => {
+                put_varint(&mut payload, r.tick);
+                put_varint(&mut payload, r.seq);
+            }
+            Some(p) => {
+                put_varint(&mut payload, zigzag(r.tick.wrapping_sub(p.tick) as i64));
+                put_varint(&mut payload, zigzag(r.seq.wrapping_sub(p.seq) as i64));
+            }
+        }
+        put_varint(&mut payload, u64::from(r.event));
+        put_varint(&mut payload, u64::from(r.gtid));
+        let prev_region = prev.map_or(0, |p| p.region_id);
+        put_varint(
+            &mut payload,
+            zigzag(r.region_id.wrapping_sub(prev_region) as i64),
+        );
+        put_varint(&mut payload, r.wait_id);
+        min_tick = min_tick.min(r.tick);
+        max_tick = max_tick.max(r.tick);
+        region_mask |= 1u64 << (r.region_id % 64);
+        prev = Some(r);
+    }
+
+    out.push(TAG_CHUNK);
+    put_varint(out, lane);
+    put_varint(out, records.len() as u64);
+    put_varint(out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+
+    ChunkMeta {
+        offset,
+        lane,
+        count: records.len() as u64,
+        min_tick,
+        max_tick,
+        region_mask,
+    }
+}
+
+/// Decode the chunk whose tag byte is at `*pos`, advancing `*pos` past
+/// it. The payload CRC is verified before any record is produced.
+pub fn decode_chunk(buf: &[u8], pos: &mut usize) -> Result<(u64, Vec<RawRecord>), TraceError> {
+    let tag = *buf.get(*pos).ok_or(TraceError::Truncated)?;
+    if tag != TAG_CHUNK {
+        return Err(TraceError::Malformed("expected chunk tag"));
+    }
+    *pos += 1;
+    let lane = get_varint(buf, pos)?;
+    let count = get_varint(buf, pos)?;
+    let payload_len = get_varint(buf, pos)? as usize;
+    let payload = buf
+        .get(*pos..*pos + payload_len)
+        .ok_or(TraceError::Truncated)?;
+    *pos += payload_len;
+    let crc_bytes = buf.get(*pos..*pos + 4).ok_or(TraceError::Truncated)?;
+    *pos += 4;
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(TraceError::CrcMismatch {
+            expected: stored,
+            actual,
+        });
+    }
+
+    let mut records = Vec::with_capacity(count as usize);
+    let mut p = 0usize;
+    let mut prev: Option<RawRecord> = None;
+    for _ in 0..count {
+        let (tick, seq) = match &prev {
+            None => (get_varint(payload, &mut p)?, get_varint(payload, &mut p)?),
+            Some(pr) => {
+                let dt = unzigzag(get_varint(payload, &mut p)?);
+                let ds = unzigzag(get_varint(payload, &mut p)?);
+                (
+                    pr.tick.wrapping_add(dt as u64),
+                    pr.seq.wrapping_add(ds as u64),
+                )
+            }
+        };
+        let event = get_varint(payload, &mut p)?;
+        let gtid = get_varint(payload, &mut p)?;
+        let prev_region = prev.as_ref().map_or(0, |pr| pr.region_id);
+        let dr = unzigzag(get_varint(payload, &mut p)?);
+        let region_id = prev_region.wrapping_add(dr as u64);
+        let wait_id = get_varint(payload, &mut p)?;
+        let event = u32::try_from(event).map_err(|_| TraceError::UnknownEvent(u32::MAX))?;
+        let gtid = u32::try_from(gtid).map_err(|_| TraceError::Malformed("gtid overflows u32"))?;
+        let rec = RawRecord {
+            tick,
+            seq,
+            event,
+            gtid,
+            region_id,
+            wait_id,
+        };
+        records.push(rec);
+        prev = Some(rec);
+    }
+    if p != payload.len() {
+        return Err(TraceError::Malformed("chunk payload has trailing bytes"));
+    }
+    Ok((lane, records))
+}
+
+// ---------------------------------------------------------------------
+// Header / footer
+// ---------------------------------------------------------------------
+
+/// Per-lane accounting persisted in the footer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Records committed into the lane's ring.
+    pub written: u64,
+    /// Records discarded under [`crate::DropPolicy::Newest`].
+    pub dropped_newest: u64,
+    /// Records reclaimed under [`crate::DropPolicy::Oldest`].
+    pub dropped_oldest: u64,
+    /// Records the drainer persisted into chunks.
+    pub drained: u64,
+}
+
+impl LaneStats {
+    /// Total records lost to backpressure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_newest + self.dropped_oldest
+    }
+}
+
+/// Everything the footer carries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footer {
+    /// Per-lane counters (index = lane number).
+    pub lanes: Vec<LaneStats>,
+    /// The chunk index, in file order.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+impl Footer {
+    /// Records persisted across all lanes.
+    pub fn total_drained(&self) -> u64 {
+        self.lanes.iter().map(|l| l.drained).sum()
+    }
+
+    /// Records lost to backpressure across all lanes.
+    pub fn total_dropped(&self) -> u64 {
+        self.lanes.iter().map(|l| l.dropped()).sum()
+    }
+}
+
+/// Append the 8-byte file header.
+pub fn encode_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(FILE_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+}
+
+/// Parse the file header; returns the offset of the first chunk.
+pub fn decode_header(buf: &[u8]) -> Result<usize, TraceError> {
+    if buf.len() < 8 {
+        return Err(TraceError::Truncated);
+    }
+    if &buf[..6] != FILE_MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = u16::from_le_bytes([buf[6], buf[7]]);
+    if version != FORMAT_VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    Ok(8)
+}
+
+/// Append the footer (tag, payload, CRC, length, trailing magic).
+pub fn encode_footer(out: &mut Vec<u8>, footer: &Footer) {
+    let mut payload = Vec::new();
+    put_varint(&mut payload, footer.lanes.len() as u64);
+    for l in &footer.lanes {
+        put_varint(&mut payload, l.written);
+        put_varint(&mut payload, l.dropped_newest);
+        put_varint(&mut payload, l.dropped_oldest);
+        put_varint(&mut payload, l.drained);
+    }
+    put_varint(&mut payload, footer.chunks.len() as u64);
+    for c in &footer.chunks {
+        put_varint(&mut payload, c.offset);
+        put_varint(&mut payload, c.lane);
+        put_varint(&mut payload, c.count);
+        put_varint(&mut payload, c.min_tick);
+        put_varint(&mut payload, c.max_tick);
+        put_varint(&mut payload, c.region_mask);
+    }
+    out.push(TAG_FOOTER);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(FOOTER_MAGIC);
+}
+
+/// Locate, CRC-check, and parse the footer of a complete trace file.
+pub fn decode_footer(buf: &[u8]) -> Result<Footer, TraceError> {
+    // magic(6) + len(4) + crc(4) + tag(1) is the minimum tail.
+    if buf.len() < 15 {
+        return Err(TraceError::Truncated);
+    }
+    if &buf[buf.len() - 6..] != FOOTER_MAGIC {
+        return Err(TraceError::MissingFooter);
+    }
+    let len_at = buf.len() - 10;
+    let payload_len = u32::from_le_bytes(buf[len_at..len_at + 4].try_into().unwrap()) as usize;
+    let crc_at = len_at.checked_sub(4).ok_or(TraceError::Truncated)?;
+    let payload_at = crc_at
+        .checked_sub(payload_len)
+        .ok_or(TraceError::Truncated)?;
+    if payload_at == 0 || buf[payload_at - 1] != TAG_FOOTER {
+        return Err(TraceError::Malformed("expected footer tag"));
+    }
+    let payload = &buf[payload_at..crc_at];
+    let stored = u32::from_le_bytes(buf[crc_at..crc_at + 4].try_into().unwrap());
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(TraceError::CrcMismatch {
+            expected: stored,
+            actual,
+        });
+    }
+
+    let mut pos = 0usize;
+    let lane_count = get_varint(payload, &mut pos)? as usize;
+    if lane_count > payload.len() {
+        return Err(TraceError::Malformed("footer lane count too large"));
+    }
+    let mut lanes = Vec::with_capacity(lane_count);
+    for _ in 0..lane_count {
+        lanes.push(LaneStats {
+            written: get_varint(payload, &mut pos)?,
+            dropped_newest: get_varint(payload, &mut pos)?,
+            dropped_oldest: get_varint(payload, &mut pos)?,
+            drained: get_varint(payload, &mut pos)?,
+        });
+    }
+    let chunk_count = get_varint(payload, &mut pos)? as usize;
+    if chunk_count > payload.len() {
+        return Err(TraceError::Malformed("footer chunk count too large"));
+    }
+    let mut chunks = Vec::with_capacity(chunk_count);
+    for _ in 0..chunk_count {
+        chunks.push(ChunkMeta {
+            offset: get_varint(payload, &mut pos)?,
+            lane: get_varint(payload, &mut pos)?,
+            count: get_varint(payload, &mut pos)?,
+            min_tick: get_varint(payload, &mut pos)?,
+            max_tick: get_varint(payload, &mut pos)?,
+            region_mask: get_varint(payload, &mut pos)?,
+        });
+    }
+    if pos != payload.len() {
+        return Err(TraceError::Malformed("footer payload has trailing bytes"));
+    }
+    Ok(Footer { lanes, chunks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        assert_eq!(get_varint(&[0x80], &mut 0), Err(TraceError::Truncated));
+        let over = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(matches!(
+            get_varint(&over, &mut 0),
+            Err(TraceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn chunk_round_trips() {
+        let recs: Vec<RawRecord> = (0..100)
+            .map(|i| RawRecord {
+                tick: 1_000 + i * 3,
+                seq: i,
+                event: 1 + (i % 26) as u32,
+                gtid: (i % 4) as u32,
+                region_id: i / 10,
+                wait_id: i % 2,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        let meta = encode_chunk(&mut buf, 0, 7, &recs);
+        assert_eq!(meta.lane, 7);
+        assert_eq!(meta.count, 100);
+        assert_eq!(meta.min_tick, 1_000);
+        assert_eq!(meta.max_tick, 1_000 + 99 * 3);
+        let mut pos = 0;
+        let (lane, got) = decode_chunk(&buf, &mut pos).unwrap();
+        assert_eq!(lane, 7);
+        assert_eq!(got, recs);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn chunk_crc_detects_corruption() {
+        let recs = vec![RawRecord {
+            tick: 5,
+            ..RawRecord::default()
+        }];
+        let mut buf = Vec::new();
+        encode_chunk(&mut buf, 0, 0, &recs);
+        let flip_at = buf.len() - 6; // inside the payload
+        buf[flip_at] ^= 0x40;
+        assert!(matches!(
+            decode_chunk(&buf, &mut 0),
+            Err(TraceError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn footer_round_trips() {
+        let footer = Footer {
+            lanes: vec![
+                LaneStats {
+                    written: 10,
+                    dropped_newest: 1,
+                    dropped_oldest: 2,
+                    drained: 7,
+                },
+                LaneStats::default(),
+            ],
+            chunks: vec![ChunkMeta {
+                offset: 8,
+                lane: 0,
+                count: 7,
+                min_tick: 3,
+                max_tick: 99,
+                region_mask: 0b1010,
+            }],
+        };
+        let mut buf = Vec::new();
+        encode_footer(&mut buf, &footer);
+        assert_eq!(decode_footer(&buf).unwrap(), footer);
+    }
+
+    #[test]
+    fn footer_magic_and_crc_are_checked() {
+        let mut buf = Vec::new();
+        encode_footer(&mut buf, &Footer::default());
+        assert!(matches!(
+            decode_footer(&buf[..buf.len() - 1]),
+            Err(TraceError::MissingFooter) | Err(TraceError::Truncated)
+        ));
+        let mut corrupt = buf.clone();
+        corrupt[1] ^= 1; // inside the payload
+        assert!(matches!(
+            decode_footer(&corrupt),
+            Err(TraceError::CrcMismatch { .. }) | Err(TraceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn region_mask_filters() {
+        let m = ChunkMeta {
+            offset: 0,
+            lane: 0,
+            count: 0,
+            min_tick: 10,
+            max_tick: 20,
+            region_mask: 1 << 5,
+        };
+        assert!(m.may_contain_region(5));
+        assert!(m.may_contain_region(69)); // 69 % 64 == 5: false positive by design
+        assert!(!m.may_contain_region(6));
+        assert!(m.overlaps_ticks(0, 10));
+        assert!(m.overlaps_ticks(20, 30));
+        assert!(!m.overlaps_ticks(21, 30));
+    }
+}

@@ -1,0 +1,280 @@
+//! # ora-trace — always-on streaming event traces
+//!
+//! The paper's position is that ORA event callbacks are cheap enough to
+//! leave enabled in production. This crate supplies the pipeline that
+//! makes the *data* production-grade too:
+//!
+//! * [`ring`] — per-thread lock-free bounded rings the event callback
+//!   records into with one reserve/commit pair (no mutex, no allocation
+//!   on the hot path), with configurable [`DropPolicy`] backpressure and
+//!   per-ring drop counters so loss is always observable;
+//! * [`drain`] — a background drainer thread that epoch-flushes rings
+//!   into chunks through a [`TraceSink`];
+//! * [`format`] — the compact self-describing binary on-disk format
+//!   (varint deltas, CRC-validated chunks, a footer carrying drop
+//!   counters and a chunk index);
+//! * [`sink`] — the [`TraceSink`] trait with file and in-memory
+//!   implementations;
+//! * [`reader`] — offline querying: CRC-checked decode, time-range /
+//!   per-thread / per-region queries driven by the chunk index, a
+//!   stable `(tick, gtid, seq)` k-way merge, and a multi-rank merge for
+//!   ProcSim (`workloads::mz`) runs.
+//!
+//! `collector::tracer` delegates to this crate; the `omp_prof` CLI
+//! exposes it as `trace record` / `trace report`. Like the rest of the
+//! workspace, the crate is std-only (see DESIGN.md §4).
+//!
+//! ```
+//! use ora_trace::{MemorySink, RawRecord, Recorder, TraceConfig, TraceReader};
+//!
+//! let recorder = Recorder::start(TraceConfig::default(), MemorySink::new()).unwrap();
+//! let rings = recorder.rings();
+//! rings.record(RawRecord { tick: 42, gtid: 0, event: 1, ..Default::default() });
+//! let (sink, stats) = recorder.finish().unwrap();
+//! assert_eq!(stats.drained(), 1);
+//! let reader = TraceReader::from_bytes(sink.into_bytes()).unwrap();
+//! assert_eq!(reader.records().unwrap()[0].tick, 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod drain;
+pub mod format;
+pub mod reader;
+pub mod ring;
+pub mod sink;
+
+pub use drain::{Recorder, RecordingStats, TraceConfig};
+pub use format::{ChunkMeta, Footer, LaneStats};
+pub use reader::{merge_ranks, RankedEvent, TraceEvent, TraceReader};
+pub use ring::{DropPolicy, RawRecord, Ring, RingSet, RingStats};
+pub use sink::{FileSink, MemorySink, TraceSink};
+
+/// Everything that can go wrong encoding, writing, or reading a trace.
+///
+/// Corrupt or truncated input always surfaces as one of these variants —
+/// never a panic — so tools can distinguish "file damaged" from "file
+/// from a different format version" from plain I/O failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An underlying I/O operation failed (message preserved).
+    Io(String),
+    /// The file does not start with the `ORATRC` magic.
+    BadMagic,
+    /// The file is a trace but of an unsupported format version.
+    BadVersion(u16),
+    /// The input ended mid-structure.
+    Truncated,
+    /// A chunk or footer CRC did not match its payload.
+    CrcMismatch {
+        /// CRC stored in the file.
+        expected: u32,
+        /// CRC computed over the payload read.
+        actual: u32,
+    },
+    /// The file ends without a valid footer (e.g. the recording process
+    /// died before `finish`).
+    MissingFooter,
+    /// A record carries an event discriminant this build does not know.
+    UnknownEvent(u32),
+    /// A structural invariant failed (reason attached).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(msg) => write!(f, "trace I/O error: {msg}"),
+            TraceError::BadMagic => write!(f, "not an ora-trace file (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace format version {v}"),
+            TraceError::Truncated => write!(f, "trace data is truncated"),
+            TraceError::CrcMismatch { expected, actual } => write!(
+                f,
+                "trace chunk corrupt: crc {expected:#010x} stored, {actual:#010x} computed"
+            ),
+            TraceError::MissingFooter => write!(f, "trace has no footer (incomplete recording?)"),
+            TraceError::UnknownEvent(e) => write!(f, "trace record has unknown event {e}"),
+            TraceError::Malformed(why) => write!(f, "malformed trace: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ora_core::event::Event;
+
+    fn sample_trace_bytes() -> Vec<u8> {
+        let cfg = TraceConfig {
+            lanes: 4,
+            epoch: std::time::Duration::from_secs(3600),
+            ..TraceConfig::default()
+        };
+        let recorder = Recorder::start(cfg, MemorySink::new()).unwrap();
+        let rings = recorder.rings();
+        for i in 0u64..200 {
+            rings.record(RawRecord {
+                tick: 1_000 + i * 10,
+                gtid: (i % 8) as u32,
+                event: if i % 2 == 0 {
+                    Event::Fork as u32
+                } else {
+                    Event::Join as u32
+                },
+                region_id: i / 50,
+                wait_id: 0,
+                seq: 0,
+            });
+        }
+        let (sink, _) = recorder.finish().unwrap();
+        sink.into_bytes()
+    }
+
+    #[test]
+    fn reader_merges_by_tick_gtid_seq() {
+        let reader = TraceReader::from_bytes(sample_trace_bytes()).unwrap();
+        let records = reader.records().unwrap();
+        assert_eq!(records.len(), 200);
+        for w in records.windows(2) {
+            assert!(w[0].key() <= w[1].key(), "merge order violated");
+        }
+    }
+
+    #[test]
+    fn time_range_query_is_inclusive_and_exact() {
+        let reader = TraceReader::from_bytes(sample_trace_bytes()).unwrap();
+        let all = reader.records().unwrap();
+        let lo = 1_500;
+        let hi = 2_000;
+        let got = reader.time_range(lo, hi).unwrap();
+        let want: Vec<_> = all
+            .iter()
+            .copied()
+            .filter(|r| (lo..=hi).contains(&r.tick))
+            .collect();
+        assert!(!want.is_empty());
+        assert_eq!(got, want);
+        assert!(reader.time_range(0, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn per_thread_query_matches_filter() {
+        let reader = TraceReader::from_bytes(sample_trace_bytes()).unwrap();
+        let all = reader.records().unwrap();
+        for gtid in 0..8 {
+            let got = reader.for_thread(gtid).unwrap();
+            let want: Vec<_> = all.iter().copied().filter(|r| r.gtid == gtid).collect();
+            assert_eq!(got, want);
+            // Per-thread sequences come out tick-ordered.
+            assert!(got.windows(2).all(|w| w[0].tick <= w[1].tick));
+        }
+        assert!(reader.for_thread(99).unwrap().is_empty());
+    }
+
+    #[test]
+    fn per_region_query_matches_filter() {
+        let reader = TraceReader::from_bytes(sample_trace_bytes()).unwrap();
+        let all = reader.records().unwrap();
+        for region in 0..4 {
+            let got = reader.for_region(region).unwrap();
+            let want: Vec<_> = all
+                .iter()
+                .copied()
+                .filter(|r| r.region_id == region)
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn event_counts_sum_to_record_count() {
+        let reader = TraceReader::from_bytes(sample_trace_bytes()).unwrap();
+        let counts = reader.event_counts().unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 200);
+        assert_eq!(counts[Event::Fork.index()], 100);
+        assert_eq!(counts[Event::Join.index()], 100);
+    }
+
+    #[test]
+    fn multi_rank_merge_is_deterministic_and_rank_keyed() {
+        let a = TraceReader::from_bytes(sample_trace_bytes()).unwrap();
+        let b = TraceReader::from_bytes(sample_trace_bytes()).unwrap();
+        let merged = merge_ranks(&[a, b]).unwrap();
+        assert_eq!(merged.len(), 400);
+        for w in merged.windows(2) {
+            let ka = (
+                w[0].record.tick,
+                w[0].rank,
+                w[0].record.gtid,
+                w[0].record.seq,
+            );
+            let kb = (
+                w[1].record.tick,
+                w[1].rank,
+                w[1].record.gtid,
+                w[1].record.seq,
+            );
+            assert!(ka <= kb, "rank merge order violated");
+        }
+        // Identical ticks across ranks: rank 0 always precedes rank 1.
+        for pair in merged.chunks(2) {
+            assert_eq!(pair[0].record.tick, pair[1].record.tick);
+            assert_eq!(pair[0].rank, 0);
+            assert_eq!(pair[1].rank, 1);
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_yield_typed_errors() {
+        assert_eq!(
+            TraceReader::from_bytes(Vec::new()).unwrap_err(),
+            TraceError::Truncated
+        );
+        assert_eq!(
+            TraceReader::from_bytes(b"NOTATRACEFILE---".to_vec()).unwrap_err(),
+            TraceError::BadMagic
+        );
+        let mut bytes = sample_trace_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(
+            TraceReader::from_bytes(bytes).unwrap_err(),
+            TraceError::MissingFooter
+        );
+    }
+
+    #[test]
+    fn unknown_event_is_a_typed_error() {
+        let cfg = TraceConfig {
+            lanes: 1,
+            epoch: std::time::Duration::from_secs(3600),
+            ..TraceConfig::default()
+        };
+        let recorder = Recorder::start(cfg, MemorySink::new()).unwrap();
+        recorder.rings().record(RawRecord {
+            event: 999,
+            ..RawRecord::default()
+        });
+        let (sink, _) = recorder.finish().unwrap();
+        let reader = TraceReader::from_bytes(sink.into_bytes()).unwrap();
+        assert_eq!(reader.records().unwrap_err(), TraceError::UnknownEvent(999));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let s = TraceError::CrcMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .to_string();
+        assert!(s.contains("corrupt"), "{s}");
+        assert!(TraceError::BadVersion(9).to_string().contains('9'));
+    }
+}

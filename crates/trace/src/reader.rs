@@ -1,0 +1,243 @@
+//! Offline trace querying.
+//!
+//! A [`TraceReader`] validates a complete trace file (header, footer,
+//! CRCs) up front, keeps the chunk index in memory, and decodes chunk
+//! payloads lazily — a time-range or per-region query touches only the
+//! chunks whose index entry can match. Cross-thread ordering is a
+//! stable k-way merge keyed by `(tick, gtid, seq)`; multi-rank runs
+//! (one trace file per simulated MPI rank) merge the same way with the
+//! rank as a tie-break component.
+
+use std::path::Path;
+
+use ora_core::event::{Event, EVENT_COUNT};
+
+use crate::format::{self, ChunkMeta, Footer};
+use crate::ring::RawRecord;
+use crate::TraceError;
+
+/// One decoded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event time in clock ticks.
+    pub tick: u64,
+    /// Global thread ID of the recording thread.
+    pub gtid: usize,
+    /// Per-lane record sequence number (third merge-key component).
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+    /// Parallel-region ID (0 outside regions).
+    pub region_id: u64,
+    /// Wait ID for wait events, else 0.
+    pub wait_id: u64,
+}
+
+impl TraceEvent {
+    /// The total-order merge key: `(tick, gtid, seq)`.
+    #[inline]
+    pub fn key(&self) -> (u64, usize, u64) {
+        (self.tick, self.gtid, self.seq)
+    }
+
+    fn from_raw(raw: &RawRecord) -> Result<TraceEvent, TraceError> {
+        Ok(TraceEvent {
+            tick: raw.tick,
+            gtid: raw.gtid as usize,
+            seq: raw.seq,
+            event: Event::from_u32(raw.event).ok_or(TraceError::UnknownEvent(raw.event))?,
+            region_id: raw.region_id,
+            wait_id: raw.wait_id,
+        })
+    }
+}
+
+/// An open trace file, index in memory, payloads decoded on demand.
+#[derive(Debug)]
+pub struct TraceReader {
+    bytes: Vec<u8>,
+    footer: Footer,
+}
+
+impl TraceReader {
+    /// Open an encoded trace from bytes, validating header and footer.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<TraceReader, TraceError> {
+        format::decode_header(&bytes)?;
+        let footer = format::decode_footer(&bytes)?;
+        for c in &footer.chunks {
+            if c.offset as usize >= bytes.len() {
+                return Err(TraceError::Malformed("chunk index offset out of range"));
+            }
+        }
+        Ok(TraceReader { bytes, footer })
+    }
+
+    /// Open a trace file from disk.
+    pub fn open(path: impl AsRef<Path>) -> Result<TraceReader, TraceError> {
+        TraceReader::from_bytes(std::fs::read(path)?)
+    }
+
+    /// The footer: per-lane drop accounting and the chunk index.
+    pub fn footer(&self) -> &Footer {
+        &self.footer
+    }
+
+    /// Total records persisted in the file.
+    pub fn record_count(&self) -> u64 {
+        self.footer.total_drained()
+    }
+
+    /// Records lost to backpressure during recording (observable loss).
+    pub fn dropped(&self) -> u64 {
+        self.footer.total_dropped()
+    }
+
+    /// Decode one indexed chunk, verifying its CRC.
+    pub fn decode_chunk(&self, meta: &ChunkMeta) -> Result<Vec<TraceEvent>, TraceError> {
+        let mut pos = meta.offset as usize;
+        let (lane, raws) = format::decode_chunk(&self.bytes, &mut pos)?;
+        if lane != meta.lane || raws.len() as u64 != meta.count {
+            return Err(TraceError::Malformed(
+                "chunk disagrees with its index entry",
+            ));
+        }
+        raws.iter().map(TraceEvent::from_raw).collect()
+    }
+
+    /// Decode the chunks selected by `keep`, merge them into one stream
+    /// stably ordered by `(tick, gtid, seq)`.
+    fn merged_where(
+        &self,
+        keep: impl Fn(&ChunkMeta) -> bool,
+    ) -> Result<Vec<TraceEvent>, TraceError> {
+        // Group chunk records per lane: within a lane the drainer wrote
+        // chunks in pop order, so the concatenated lane stream is
+        // seq-ordered; sorting each lane stream (near-sorted — ticks can
+        // invert only when threads share a lane) then k-way merging
+        // yields a deterministic global order.
+        let mut per_lane: Vec<Vec<TraceEvent>> = Vec::new();
+        for meta in self.footer.chunks.iter().filter(|m| keep(m)) {
+            let lane = meta.lane as usize;
+            if per_lane.len() <= lane {
+                per_lane.resize_with(lane + 1, Vec::new);
+            }
+            per_lane[lane].extend(self.decode_chunk(meta)?);
+        }
+        for lane in &mut per_lane {
+            lane.sort_by_key(TraceEvent::key);
+        }
+        Ok(kway_merge(per_lane))
+    }
+
+    /// All records, stably ordered by `(tick, gtid, seq)`.
+    pub fn records(&self) -> Result<Vec<TraceEvent>, TraceError> {
+        self.merged_where(|_| true)
+    }
+
+    /// Records with `lo <= tick <= hi`, in merge order. Chunks whose
+    /// tick range misses `[lo, hi]` are never decoded.
+    pub fn time_range(&self, lo: u64, hi: u64) -> Result<Vec<TraceEvent>, TraceError> {
+        let mut out = self.merged_where(|m| m.overlaps_ticks(lo, hi))?;
+        out.retain(|r| (lo..=hi).contains(&r.tick));
+        Ok(out)
+    }
+
+    /// Records of one thread, in merge order. Only that thread's lane's
+    /// chunks are decoded.
+    pub fn for_thread(&self, gtid: usize) -> Result<Vec<TraceEvent>, TraceError> {
+        let lanes = self.footer.lanes.len().max(1);
+        let lane = (gtid % lanes) as u64;
+        let mut out = self.merged_where(|m| m.lane == lane)?;
+        out.retain(|r| r.gtid == gtid);
+        Ok(out)
+    }
+
+    /// Records of one parallel region, in merge order. Chunks whose
+    /// region mask excludes the region are never decoded.
+    pub fn for_region(&self, region_id: u64) -> Result<Vec<TraceEvent>, TraceError> {
+        let mut out = self.merged_where(|m| m.may_contain_region(region_id))?;
+        out.retain(|r| r.region_id == region_id);
+        Ok(out)
+    }
+
+    /// Per-event occurrence counts over the persisted records.
+    pub fn event_counts(&self) -> Result<[u64; EVENT_COUNT], TraceError> {
+        let mut counts = [0u64; EVENT_COUNT];
+        for meta in &self.footer.chunks {
+            for r in self.decode_chunk(meta)? {
+                counts[r.event.index()] += 1;
+            }
+        }
+        Ok(counts)
+    }
+}
+
+/// A record attributed to a rank of a multi-process run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankedEvent {
+    /// Index of the trace (rank) the record came from.
+    pub rank: usize,
+    /// The record.
+    pub record: TraceEvent,
+}
+
+/// Merge per-rank traces (e.g. one file per ProcSim rank of an
+/// `workloads::mz` run) into one stream ordered by
+/// `(tick, rank, gtid, seq)` — deterministic even when ranks' ticks
+/// collide.
+pub fn merge_ranks(readers: &[TraceReader]) -> Result<Vec<RankedEvent>, TraceError> {
+    let mut streams = Vec::with_capacity(readers.len());
+    for reader in readers {
+        streams.push(reader.records()?);
+    }
+    // Each stream is already (tick, gtid, seq)-sorted; merge with the
+    // rank breaking tick ties ahead of gtid/seq, so colliding ticks
+    // across ranks still order deterministically.
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let mut best: Option<(usize, (u64, usize, usize, u64))> = None;
+        for (rank, stream) in streams.iter().enumerate() {
+            if let Some(e) = stream.get(cursors[rank]) {
+                let k = (e.tick, rank, e.gtid, e.seq);
+                if best.map_or(true, |(_, bk)| k < bk) {
+                    best = Some((rank, k));
+                }
+            }
+        }
+        let (rank, _) = best.expect("non-empty stream exists while out < total");
+        out.push(RankedEvent {
+            rank,
+            record: streams[rank][cursors[rank]],
+        });
+        cursors[rank] += 1;
+    }
+    Ok(out)
+}
+
+/// Stable k-way merge of per-lane streams already sorted by
+/// [`TraceEvent::key`].
+fn kway_merge(lanes: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let total: usize = lanes.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; lanes.len()];
+    let mut out = Vec::with_capacity(total);
+    // Lane counts are small (≤ configured lanes); a linear scan per pop
+    // beats heap overhead for the typical 64-lane case and is trivially
+    // stable (lowest lane index wins ties).
+    while out.len() < total {
+        let mut best: Option<(usize, (u64, usize, u64))> = None;
+        for (i, lane) in lanes.iter().enumerate() {
+            if let Some(e) = lane.get(cursors[i]) {
+                let k = e.key();
+                if best.map_or(true, |(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        let (i, _) = best.expect("non-empty lane exists while out < total");
+        out.push(lanes[i][cursors[i]]);
+        cursors[i] += 1;
+    }
+    out
+}

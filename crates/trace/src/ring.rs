@@ -1,0 +1,412 @@
+//! Lock-free bounded rings for the event hot path.
+//!
+//! Each OpenMP thread records into "its" ring (rings are assigned by
+//! `gtid % lanes`), so the common case is a single producer per ring and
+//! the drainer thread is the single consumer. The slots carry their own
+//! sequence numbers (Vyukov's bounded-queue discipline), which keeps the
+//! ring correct even when two threads collide on a lane and — more
+//! importantly — lets the *producer* reclaim a slot under the
+//! drop-oldest policy without ever taking a lock.
+//!
+//! The record path is exactly one **reserve/commit pair**: a
+//! compare-and-swap on the enqueue cursor reserves a slot (uncontended in
+//! the per-thread case), a release store of the slot sequence commits
+//! it. No mutex, no allocation, no `Arc` traffic — the same discipline
+//! as the RCU dispatch path in `ora_core::registry`.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a producer does when its ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Discard the incoming record and count it. The OpenMP worker is
+    /// never delayed; the newest data is lost. (Default.)
+    Newest,
+    /// Reclaim the oldest unconsumed record to make room, count it, and
+    /// record the incoming one. The worker pays one extra CAS; the
+    /// oldest data is lost.
+    Oldest,
+    /// Spin (with `yield_now`) until the drainer frees a slot. No data
+    /// is ever lost, but a stalled drainer stalls the worker — only for
+    /// runs where completeness beats latency.
+    Block,
+}
+
+/// A fixed-size trace record as it travels through the ring. Plain data
+/// so the hot path is a handful of stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RawRecord {
+    /// Event time in clock ticks.
+    pub tick: u64,
+    /// Per-ring record sequence number (assigned at record time; the
+    /// third component of the stable merge key).
+    pub seq: u64,
+    /// Event discriminant (`ora_core::event::Event as u32`).
+    pub event: u32,
+    /// Global thread ID of the recording thread.
+    pub gtid: u32,
+    /// Parallel-region ID (0 outside regions).
+    pub region_id: u64,
+    /// Wait ID for wait events, else 0.
+    pub wait_id: u64,
+}
+
+struct Slot {
+    /// Vyukov sequence: `pos` when free for the producer at cursor
+    /// `pos`, `pos + 1` once the record at `pos` is committed.
+    seq: AtomicU64,
+    rec: UnsafeCell<RawRecord>,
+}
+
+/// Per-ring counters, all updated with relaxed atomics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Records successfully committed into the ring.
+    pub written: u64,
+    /// Incoming records discarded by [`DropPolicy::Newest`].
+    pub dropped_newest: u64,
+    /// Buffered records reclaimed by [`DropPolicy::Oldest`].
+    pub dropped_oldest: u64,
+}
+
+impl RingStats {
+    /// Total records lost to backpressure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_newest + self.dropped_oldest
+    }
+}
+
+/// One bounded lock-free ring (a lane of the [`RingSet`]).
+pub struct Ring {
+    slots: Box<[Slot]>,
+    mask: u64,
+    enqueue: AtomicU64,
+    dequeue: AtomicU64,
+    /// Next record sequence number for this ring.
+    next_seq: AtomicU64,
+    written: AtomicU64,
+    dropped_newest: AtomicU64,
+    dropped_oldest: AtomicU64,
+}
+
+// SAFETY: slots are only written by the producer that reserved them via
+// the enqueue CAS and only read by the consumer that claimed them via
+// the dequeue CAS; the slot `seq` acquire/release handoff orders the
+// record data between the two.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    /// A ring holding up to `capacity` records (rounded up to a power of
+    /// two, minimum 2).
+    pub fn new(capacity: usize) -> Ring {
+        let cap = capacity.max(2).next_power_of_two();
+        Ring {
+            slots: (0..cap)
+                .map(|i| Slot {
+                    seq: AtomicU64::new(i as u64),
+                    rec: UnsafeCell::new(RawRecord::default()),
+                })
+                .collect(),
+            mask: cap as u64 - 1,
+            enqueue: AtomicU64::new(0),
+            dequeue: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            written: AtomicU64::new(0),
+            dropped_newest: AtomicU64::new(0),
+            dropped_oldest: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Reserve the next record sequence number. Separate from the slot
+    /// reservation so a record keeps its merge identity even when the
+    /// slot write has to retry under drop-oldest.
+    #[inline]
+    fn take_seq(&self) -> u64 {
+        self.next_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Try to commit one record; `Err(rec)` means the ring is full.
+    #[inline]
+    fn try_push(&self, rec: RawRecord) -> Result<(), RawRecord> {
+        let mut pos = self.enqueue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as i64 - pos as i64;
+            if diff == 0 {
+                // Reserve: claim cursor `pos`.
+                match self.enqueue.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave us exclusive write access
+                        // to this slot until the commit below publishes it.
+                        unsafe { *slot.rec.get() = rec };
+                        // Commit: publish the record to the consumer.
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        self.written.fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if diff < 0 {
+                return Err(rec); // full: slot not yet consumed
+            } else {
+                // Another producer on this lane raced past us.
+                pos = self.enqueue.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pop one record if available.
+    #[inline]
+    pub fn try_pop(&self) -> Option<RawRecord> {
+        let mut pos = self.dequeue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as i64 - (pos + 1) as i64;
+            if diff == 0 {
+                match self.dequeue.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave us exclusive read access.
+                        let rec = unsafe { *slot.rec.get() };
+                        // Mark the slot free for the producer one lap on.
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(rec);
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if diff < 0 {
+                return None; // empty
+            } else {
+                pos = self.dequeue.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record one event under `policy`. Never allocates; never blocks
+    /// unless `policy` is [`DropPolicy::Block`].
+    #[inline]
+    pub fn record(&self, mut rec: RawRecord, policy: DropPolicy) {
+        rec.seq = self.take_seq();
+        match policy {
+            DropPolicy::Newest => {
+                if self.try_push(rec).is_err() {
+                    self.dropped_newest.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            DropPolicy::Oldest => {
+                while self.try_push(rec).is_err() {
+                    // Reclaim the oldest unconsumed record (racing the
+                    // drainer is fine: whoever wins, a slot frees up).
+                    if self.try_pop().is_some() {
+                        self.dropped_oldest.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            DropPolicy::Block => {
+                let mut spins = 0u32;
+                while self.try_push(rec).is_err() {
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain up to `max` records into `out`. Returns how many were popped.
+    pub fn drain_into(&self, out: &mut Vec<RawRecord>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.try_pop() {
+                Some(rec) => {
+                    out.push(rec);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Snapshot of this ring's counters.
+    pub fn stats(&self) -> RingStats {
+        RingStats {
+            written: self.written.load(Ordering::Relaxed),
+            dropped_newest: self.dropped_newest.load(Ordering::Relaxed),
+            dropped_oldest: self.dropped_oldest.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The set of rings the collector records into: one lane per
+/// `gtid % lanes`.
+pub struct RingSet {
+    lanes: Vec<Ring>,
+    policy: DropPolicy,
+}
+
+impl RingSet {
+    /// `lanes` rings of `capacity_per_lane` records each.
+    pub fn new(lanes: usize, capacity_per_lane: usize, policy: DropPolicy) -> RingSet {
+        RingSet {
+            lanes: (0..lanes.max(1))
+                .map(|_| Ring::new(capacity_per_lane))
+                .collect(),
+            policy,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane thread `gtid` records into.
+    #[inline]
+    pub fn lane_of(&self, gtid: usize) -> usize {
+        gtid % self.lanes.len()
+    }
+
+    /// The ring for lane `lane`.
+    pub fn lane(&self, lane: usize) -> &Ring {
+        &self.lanes[lane]
+    }
+
+    /// The configured backpressure policy.
+    pub fn policy(&self) -> DropPolicy {
+        self.policy
+    }
+
+    /// Record one event from thread `rec.gtid`.
+    #[inline]
+    pub fn record(&self, rec: RawRecord) {
+        self.lanes[rec.gtid as usize % self.lanes.len()].record(rec, self.policy);
+    }
+
+    /// Counters summed over all lanes.
+    pub fn total_stats(&self) -> RingStats {
+        let mut total = RingStats::default();
+        for l in &self.lanes {
+            let s = l.stats();
+            total.written += s.written;
+            total.dropped_newest += s.dropped_newest;
+            total.dropped_oldest += s.dropped_oldest;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tick: u64, gtid: u32) -> RawRecord {
+        RawRecord {
+            tick,
+            gtid,
+            event: 1,
+            ..RawRecord::default()
+        }
+    }
+
+    #[test]
+    fn fifo_within_capacity() {
+        let r = Ring::new(8);
+        for i in 0..8 {
+            r.record(rec(i, 0), DropPolicy::Newest);
+        }
+        for i in 0..8 {
+            let got = r.try_pop().unwrap();
+            assert_eq!(got.tick, i);
+            assert_eq!(got.seq, i);
+        }
+        assert!(r.try_pop().is_none());
+        assert_eq!(r.stats().written, 8);
+        assert_eq!(r.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn drop_newest_counts_and_keeps_oldest() {
+        let r = Ring::new(4);
+        for i in 0..10 {
+            r.record(rec(i, 0), DropPolicy::Newest);
+        }
+        let s = r.stats();
+        assert_eq!(s.written, 4);
+        assert_eq!(s.dropped_newest, 6);
+        // The *first* four records survived.
+        assert_eq!(r.try_pop().unwrap().tick, 0);
+    }
+
+    #[test]
+    fn drop_oldest_counts_and_keeps_newest() {
+        let r = Ring::new(4);
+        for i in 0..10 {
+            r.record(rec(i, 0), DropPolicy::Oldest);
+        }
+        let s = r.stats();
+        assert_eq!(s.written, 10);
+        assert_eq!(s.dropped_oldest, 6);
+        // The *last* four records survived, in order.
+        assert_eq!(r.try_pop().unwrap().tick, 6);
+        assert_eq!(r.try_pop().unwrap().tick, 7);
+    }
+
+    #[test]
+    fn block_policy_waits_for_consumer() {
+        let r = std::sync::Arc::new(Ring::new(4));
+        let producer = {
+            let r = r.clone();
+            std::thread::spawn(move || {
+                for i in 0..1000 {
+                    r.record(rec(i, 0), DropPolicy::Block);
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < 1000 {
+            r.drain_into(&mut got, 64);
+        }
+        producer.join().unwrap();
+        assert_eq!(r.stats().dropped(), 0);
+        assert!(got.windows(2).all(|w| w[0].tick < w[1].tick));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(Ring::new(0).capacity(), 2);
+        assert_eq!(Ring::new(3).capacity(), 4);
+        assert_eq!(Ring::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn lanes_route_by_gtid_modulo() {
+        let set = RingSet::new(4, 8, DropPolicy::Newest);
+        assert_eq!(set.lane_of(0), 0);
+        assert_eq!(set.lane_of(5), 1);
+        set.record(rec(1, 6));
+        assert_eq!(set.lane(2).stats().written, 1);
+        assert_eq!(set.total_stats().written, 1);
+    }
+}

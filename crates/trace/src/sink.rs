@@ -1,0 +1,110 @@
+//! Where encoded trace bytes go.
+//!
+//! The drainer thread owns one [`TraceSink`] and appends encoded chunks
+//! to it as epochs flush; [`crate::Recorder::finish`] hands the sink
+//! back so callers can recover the bytes (memory sink) or ensure they
+//! are durable (file sink).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// An append-only byte destination for encoded trace data.
+///
+/// Implementations must be `Send`: the background drainer owns the sink
+/// for the lifetime of the recording.
+pub trait TraceSink: Send {
+    /// Append `bytes` to the trace.
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Flush buffered bytes toward durability.
+    fn flush(&mut self) -> io::Result<()>;
+}
+
+/// A sink writing to a buffered file.
+pub struct FileSink {
+    writer: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Create (truncating) `path` and sink trace bytes into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<FileSink> {
+        Ok(FileSink {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Flush and return the underlying file.
+    pub fn into_file(self) -> io::Result<File> {
+        self.writer.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl TraceSink for FileSink {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// An in-memory sink for tests and same-process analysis.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    bytes: Vec<u8>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// The bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume the sink, returning the encoded trace.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let mut s = MemorySink::new();
+        s.write_all(b"ab").unwrap();
+        s.write_all(b"cd").unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.bytes(), b"abcd");
+        assert_eq!(s.into_bytes(), b"abcd".to_vec());
+    }
+
+    #[test]
+    fn file_sink_writes_to_disk() {
+        let path = std::env::temp_dir().join("ora_trace_sink_test.bin");
+        let mut s = FileSink::create(&path).unwrap();
+        s.write_all(b"hello").unwrap();
+        s.flush().unwrap();
+        drop(s.into_file().unwrap());
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        let _ = std::fs::remove_file(&path);
+    }
+}

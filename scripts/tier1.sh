@@ -9,5 +9,8 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+# The micro-bench harness is feature-gated off by default; make sure the
+# measurement loops keep compiling too.
+cargo build -p ora-bench --features bench --offline
 
 echo "tier1: OK"

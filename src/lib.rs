@@ -16,6 +16,9 @@
 //!   reconstruction, and the dynamic-symbol table used for discovery;
 //! * [`collector`] — profiler / tracer / state-sampler tools that attach
 //!   through the discovered symbol;
+//! * [`trace`] (`ora-trace`) — the always-on streaming trace pipeline:
+//!   lock-free rings, background drainer, CRC-validated binary format,
+//!   and the offline query layer;
 //! * [`workloads`] — EPCC syncbench and synthetic NPB / NPB-MZ suites
 //!   with the paper's exact parallel-region structure;
 //! * [`pomp`] — the POMP-style source-instrumentation baseline the
@@ -28,6 +31,7 @@
 pub use collector;
 pub use omprt;
 pub use ora_core as ora;
+pub use ora_trace as trace;
 pub use pomp;
 pub use psx;
 pub use workloads;
