@@ -111,7 +111,7 @@ fn bench_drain(c: &mut Criterion) {
         b.iter(|| {
             ring.record(sample_record(i), DropPolicy::Newest);
             i += 1;
-            if i % 64 == 0 {
+            if i.is_multiple_of(64) {
                 scratch.clear();
                 ring.drain_into(&mut scratch, 4096);
             }

@@ -1,0 +1,343 @@
+//! Baseline comparison — the perf-regression gate.
+//!
+//! `compare(old, new, threshold)` walks every `(workload, configuration)`
+//! cell present in the baseline and decides whether the new run regressed
+//! it. The gated quantity is the **overhead ratio** (config median over
+//! absent median of the same run), not the absolute median: absolute
+//! repetition times move with the machine, so a baseline recorded on one
+//! box would spuriously fail on a faster or slower one, while the
+//! slowdown a collector configuration imposes is a property of the code.
+//!
+//! A cell regresses only when *both* hold:
+//!
+//! 1. the new overhead ratio exceeds the old by more than
+//!    `threshold_pct` percent (the practical-significance test), and
+//! 2. the move survives the most favorable reading of both confidence
+//!    intervals: the new ratio's CI low exceeds the old ratio's CI high
+//!    by more than the threshold. This implies the CIs are disjoint and
+//!    means a noisy run widens its CI and refuses to fire the gate
+//!    rather than producing a false alarm.
+//!
+//! A workload present in the baseline but missing from the new run is an
+//! [`Incomparable`](CompareError::Incomparable) error: silently dropping
+//! a workload is exactly how a regression hides.
+
+use super::schema::{BenchDoc, ConfigResult};
+
+/// One regressed `(workload, configuration)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Workload name.
+    pub workload: String,
+    /// Collector-configuration key.
+    pub config: String,
+    /// Baseline overhead ratio.
+    pub old_ratio: f64,
+    /// New overhead ratio.
+    pub new_ratio: f64,
+    /// Percent increase of the ratio.
+    pub pct_change: f64,
+}
+
+/// One cell that moved but did not meet both regression criteria (for
+/// report-only output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shift {
+    /// Workload name.
+    pub workload: String,
+    /// Collector-configuration key.
+    pub config: String,
+    /// Percent change of the overhead ratio (signed).
+    pub pct_change: f64,
+    /// Whether the ratio CIs overlapped (true ⇒ not significant).
+    pub ci_overlap: bool,
+}
+
+/// Outcome of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Cells failing both criteria — non-empty means *gate closed*.
+    pub regressions: Vec<Regression>,
+    /// Cells that moved past the threshold but with overlapping CIs, or
+    /// moved significantly but under the threshold. Informational.
+    pub shifts: Vec<Shift>,
+    /// Cells examined.
+    pub cells: usize,
+}
+
+impl CompareReport {
+    /// True when the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self, threshold_pct: f64) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "compared {} cells at threshold {threshold_pct}%: {} regression(s), {} shift(s)",
+            self.cells,
+            self.regressions.len(),
+            self.shifts.len()
+        );
+        for r in &self.regressions {
+            let _ = writeln!(
+                out,
+                "  REGRESSION {}/{}: overhead ratio {:.3} -> {:.3} (+{:.1}%, CIs disjoint)",
+                r.workload, r.config, r.old_ratio, r.new_ratio, r.pct_change
+            );
+        }
+        for s in &self.shifts {
+            let _ = writeln!(
+                out,
+                "  shift      {}/{}: {:+.1}%{}",
+                s.workload,
+                s.config,
+                s.pct_change,
+                if s.ci_overlap {
+                    " (CIs overlap — not significant)"
+                } else {
+                    ""
+                }
+            );
+        }
+        out
+    }
+}
+
+/// Why two documents cannot be compared at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareError {
+    /// The documents measure different suites or scales.
+    Mismatched {
+        /// What differs (`suite` / `scale`).
+        what: &'static str,
+        /// Baseline value.
+        old: String,
+        /// New value.
+        new: String,
+    },
+    /// A baseline workload or configuration is missing from the new run.
+    Incomparable {
+        /// Dotted `workload[.config]` that disappeared.
+        missing: String,
+    },
+}
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompareError::Mismatched { what, old, new } => {
+                write!(
+                    f,
+                    "documents differ in {what}: baseline {old:?} vs new {new:?}"
+                )
+            }
+            CompareError::Incomparable { missing } => write!(
+                f,
+                "baseline cell {missing:?} is missing from the new run — \
+                 dropped workloads can hide regressions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+fn ratio_cis_overlap(old: &ConfigResult, new: &ConfigResult) -> bool {
+    !(new.ratio_ci_lo > old.ratio_ci_hi || old.ratio_ci_lo > new.ratio_ci_hi)
+}
+
+/// Compare `new` against the `old` baseline at `threshold_pct`.
+pub fn compare(
+    old: &BenchDoc,
+    new: &BenchDoc,
+    threshold_pct: f64,
+) -> Result<CompareReport, CompareError> {
+    if old.suite != new.suite {
+        return Err(CompareError::Mismatched {
+            what: "suite",
+            old: old.suite.clone(),
+            new: new.suite.clone(),
+        });
+    }
+    if old.scale != new.scale {
+        return Err(CompareError::Mismatched {
+            what: "scale",
+            old: old.scale.clone(),
+            new: new.scale.clone(),
+        });
+    }
+
+    let mut report = CompareReport {
+        regressions: Vec::new(),
+        shifts: Vec::new(),
+        cells: 0,
+    };
+
+    for old_w in &old.workloads {
+        let Some(new_w) = new.workload(&old_w.name) else {
+            return Err(CompareError::Incomparable {
+                missing: old_w.name.clone(),
+            });
+        };
+        for old_c in &old_w.configs {
+            let Some(new_c) = new_w.config(&old_c.config) else {
+                return Err(CompareError::Incomparable {
+                    missing: format!("{}.{}", old_w.name, old_c.config),
+                });
+            };
+            report.cells += 1;
+            // The absent rung is the normalizer; its ratio is 1.0 by
+            // construction and carries no regression signal.
+            if old_c.config == "absent" {
+                continue;
+            }
+            if old_c.overhead_ratio <= 0.0 {
+                continue;
+            }
+            let pct_change =
+                (new_c.overhead_ratio - old_c.overhead_ratio) / old_c.overhead_ratio * 100.0;
+            let past_threshold = pct_change > threshold_pct;
+            let significant = !ratio_cis_overlap(old_c, new_c);
+            // Robustness: even pairing the new CI's low end with the old
+            // CI's high end, the ratio moved by more than the threshold.
+            let robust = new_c.ratio_ci_lo > old_c.ratio_ci_hi * (1.0 + threshold_pct / 100.0);
+            if past_threshold && robust {
+                report.regressions.push(Regression {
+                    workload: old_w.name.clone(),
+                    config: old_c.config.clone(),
+                    old_ratio: old_c.overhead_ratio,
+                    new_ratio: new_c.overhead_ratio,
+                    pct_change,
+                });
+            } else if past_threshold || (significant && pct_change.abs() > threshold_pct / 2.0) {
+                report.shifts.push(Shift {
+                    workload: old_w.name.clone(),
+                    config: old_c.config.clone(),
+                    pct_change,
+                    ci_overlap: !significant,
+                });
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::schema::{ConfigResult, WorkloadResult};
+    use crate::meter::stats::SampleStats;
+
+    fn cell(config: &str, ratio: f64, lo: f64, hi: f64) -> ConfigResult {
+        ConfigResult {
+            config: config.into(),
+            stats: SampleStats {
+                reps: 7,
+                rejected: 0,
+                median: ratio * 1e-3,
+                ci_lo: ratio * 0.95e-3,
+                ci_hi: ratio * 1.05e-3,
+                mad: 1e-5,
+                min: ratio * 0.9e-3,
+                max: ratio * 1.1e-3,
+            },
+            overhead_ratio: ratio,
+            ratio_ci_lo: lo,
+            ratio_ci_hi: hi,
+        }
+    }
+
+    fn doc(ratios: &[(&str, f64, f64, f64)]) -> BenchDoc {
+        BenchDoc {
+            suite: "epcc".into(),
+            scale: "quick".into(),
+            threads: 2,
+            warmup: 1,
+            target_reps: 7,
+            unit: "seconds/rep".into(),
+            workloads: vec![WorkloadResult {
+                name: "parallel".into(),
+                work_units: 96,
+                configs: ratios
+                    .iter()
+                    .map(|(k, r, lo, hi)| cell(k, *r, *lo, *hi))
+                    .collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let d = doc(&[("absent", 1.0, 1.0, 1.0), ("trace", 1.3, 1.2, 1.4)]);
+        let report = compare(&d, &d, 10.0).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.cells, 2);
+    }
+
+    #[test]
+    fn planted_regression_fires_when_cis_disjoint() {
+        let old = doc(&[("absent", 1.0, 1.0, 1.0), ("trace", 1.2, 1.15, 1.25)]);
+        let new = doc(&[("absent", 1.0, 1.0, 1.0), ("trace", 1.5, 1.4, 1.6)]);
+        let report = compare(&old, &new, 10.0).unwrap();
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert_eq!(r.config, "trace");
+        assert!(r.pct_change > 10.0);
+    }
+
+    #[test]
+    fn overlapping_cis_suppress_the_gate() {
+        // Ratio moved +25% but the intervals overlap: noisy, not a gate.
+        let old = doc(&[("absent", 1.0, 1.0, 1.0), ("trace", 1.2, 0.9, 1.6)]);
+        let new = doc(&[("absent", 1.0, 1.0, 1.0), ("trace", 1.5, 1.1, 1.9)]);
+        let report = compare(&old, &new, 10.0).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.shifts.len(), 1);
+        assert!(report.shifts[0].ci_overlap);
+    }
+
+    #[test]
+    fn sub_threshold_moves_pass() {
+        let old = doc(&[("absent", 1.0, 1.0, 1.0), ("trace", 1.20, 1.19, 1.21)]);
+        let new = doc(&[("absent", 1.0, 1.0, 1.0), ("trace", 1.25, 1.24, 1.26)]);
+        let report = compare(&old, &new, 10.0).unwrap();
+        assert!(report.passed(), "+4.2% is under the 10% threshold");
+    }
+
+    #[test]
+    fn missing_workload_is_incomparable() {
+        let old = doc(&[("absent", 1.0, 1.0, 1.0), ("trace", 1.2, 1.1, 1.3)]);
+        let mut new = old.clone();
+        new.workloads[0].name = "renamed".into();
+        assert!(matches!(
+            compare(&old, &new, 10.0).unwrap_err(),
+            CompareError::Incomparable { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_config_is_incomparable() {
+        let old = doc(&[("absent", 1.0, 1.0, 1.0), ("trace", 1.2, 1.1, 1.3)]);
+        let new = doc(&[("absent", 1.0, 1.0, 1.0)]);
+        match compare(&old, &new, 10.0).unwrap_err() {
+            CompareError::Incomparable { missing } => assert_eq!(missing, "parallel.trace"),
+            e => panic!("{e:?}"),
+        }
+    }
+
+    #[test]
+    fn suite_mismatch_is_rejected() {
+        let old = doc(&[("absent", 1.0, 1.0, 1.0)]);
+        let mut new = old.clone();
+        new.suite = "npb".into();
+        assert!(matches!(
+            compare(&old, &new, 10.0).unwrap_err(),
+            CompareError::Mismatched { what: "suite", .. }
+        ));
+    }
+}

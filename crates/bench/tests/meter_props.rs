@@ -1,0 +1,327 @@
+//! Seeded property tests for the `ora-meter` statistics and schema
+//! (drawn from `ora_core::testutil::XorShift64` — deterministic, offline,
+//! no proptest).
+
+use ora_bench::meter::schema::{BenchDoc, ConfigResult, SchemaError, WorkloadResult};
+use ora_bench::meter::stats::{
+    analyze, bootstrap_ci_median, median, reject_outliers, SampleStats, StatPolicy,
+};
+use ora_bench::meter::{compare, CompareError};
+use ora_core::testutil::XorShift64;
+
+/// Uniform f64 in [0, 1) from the shared deterministic generator.
+fn unit_f64(rng: &mut XorShift64) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A right-skewed synthetic "timing" sample: base + uniform jitter, with
+/// an occasional multiplicative spike — the shape real repetition
+/// timings have on a shared machine.
+fn synthetic_timing(rng: &mut XorShift64, base: f64, jitter: f64) -> f64 {
+    base + jitter * unit_f64(rng)
+}
+
+// ---------------------------------------------------------------------
+// Bootstrap CI properties
+// ---------------------------------------------------------------------
+
+/// On symmetric-ish synthetic distributions, the 95% bootstrap CI of the
+/// median should contain the *true* distribution median in well over 95%
+/// of trials at these sample sizes (percentile bootstrap is conservative
+/// here). We assert a loose 80% floor so the test is immune to seed luck
+/// while still catching a broken interval (which drops to ~0-20%).
+#[test]
+fn bootstrap_ci_contains_true_median_on_synthetic_distributions() {
+    let mut rng = XorShift64::new(0xC1_C1_C1);
+    let trials = 200;
+    for (base, jitter, n) in [(10.0, 2.0, 9), (1.0, 0.1, 15), (5.0, 5.0, 25)] {
+        let true_median = base + jitter * 0.5;
+        let mut contained = 0;
+        for trial in 0..trials {
+            let samples: Vec<f64> = (0..n)
+                .map(|_| synthetic_timing(&mut rng, base, jitter))
+                .collect();
+            let (lo, hi) = bootstrap_ci_median(&samples, 400, 1000 + trial);
+            assert!(lo <= hi);
+            if lo <= true_median && true_median <= hi {
+                contained += 1;
+            }
+        }
+        let rate = contained as f64 / trials as f64;
+        assert!(
+            rate >= 0.80,
+            "CI contained the true median in only {:.0}% of trials (base {base}, n {n})",
+            rate * 100.0
+        );
+    }
+}
+
+#[test]
+fn bootstrap_ci_brackets_the_sample_median_and_is_seed_stable() {
+    let mut rng = XorShift64::new(7);
+    for _ in 0..50 {
+        let n = 3 + (rng.next_u64() % 20) as usize;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| synthetic_timing(&mut rng, 2.0, 1.0))
+            .collect();
+        let med = median(&samples);
+        let (lo, hi) = bootstrap_ci_median(&samples, 300, 99);
+        assert!(
+            lo <= med && med <= hi,
+            "CI [{lo}, {hi}] excludes median {med}"
+        );
+        assert_eq!(
+            (lo, hi),
+            bootstrap_ci_median(&samples, 300, 99),
+            "not deterministic"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// MAD rejection properties
+// ---------------------------------------------------------------------
+
+/// Plant `k` large outliers in an otherwise tight sample: rejection must
+/// drop every planted spike. A tightly clustered draw may legitimately
+/// clip an edge inlier or two (the MAD fence shrinks with the cluster),
+/// so we allow a small inlier casualty count but zero surviving spikes.
+#[test]
+fn mad_rejection_drops_every_planted_outlier() {
+    let mut rng = XorShift64::new(0xBAD_CAFE);
+    for _ in 0..100 {
+        let n_inliers = 8 + (rng.next_u64() % 12) as usize;
+        let n_outliers = 1 + (rng.next_u64() % 3) as usize;
+        let base = 1.0 + unit_f64(&mut rng) * 10.0;
+        let mut samples: Vec<f64> = (0..n_inliers)
+            .map(|_| base * (1.0 + 0.01 * unit_f64(&mut rng)))
+            .collect();
+        for _ in 0..n_outliers {
+            // Spikes 8-20× the base: far outside any 3.5-MAD fence.
+            samples.push(base * (8.0 + 12.0 * unit_f64(&mut rng)));
+        }
+        let kept = reject_outliers(&samples, 3.5);
+        assert!(
+            kept.iter().all(|&s| s < base * 2.0),
+            "a planted spike survived rejection"
+        );
+        assert!(
+            kept.len() + 2 >= n_inliers,
+            "rejection clipped {} of {n_inliers} inliers",
+            n_inliers - kept.len()
+        );
+    }
+}
+
+#[test]
+fn analyze_never_reports_more_rejections_than_min_keep_allows() {
+    let mut rng = XorShift64::new(33);
+    let policy = StatPolicy::default();
+    for _ in 0..100 {
+        let n = 2 + (rng.next_u64() % 12) as usize;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.chance(1, 4) {
+                    100.0 + unit_f64(&mut rng)
+                } else {
+                    1.0 + 0.01 * unit_f64(&mut rng)
+                }
+            })
+            .collect();
+        let s = analyze(&samples, &policy);
+        // Either enough samples survived, or nothing was rejected at all.
+        assert!(
+            s.reps >= policy.min_keep || s.rejected == 0,
+            "min-repetition rule violated: reps {} rejected {}",
+            s.reps,
+            s.rejected
+        );
+        assert_eq!(s.reps + s.rejected, n);
+        assert!(s.ci_lo <= s.median && s.median <= s.ci_hi);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema round-trip properties
+// ---------------------------------------------------------------------
+
+fn random_stats(rng: &mut XorShift64) -> SampleStats {
+    let median = 1e-4 + unit_f64(rng) * 1e-2;
+    let spread = median * 0.1 * unit_f64(rng);
+    SampleStats {
+        reps: 3 + (rng.next_u64() % 20) as usize,
+        rejected: (rng.next_u64() % 3) as usize,
+        median,
+        ci_lo: median - spread,
+        ci_hi: median + spread,
+        mad: spread * 0.5,
+        min: median - 2.0 * spread,
+        max: median + 2.0 * spread,
+    }
+}
+
+fn random_doc(rng: &mut XorShift64) -> BenchDoc {
+    let n_workloads = 1 + (rng.next_u64() % 4) as usize;
+    let workloads = (0..n_workloads)
+        .map(|i| {
+            let configs = ["absent", "paused", "state", "trace"]
+                .iter()
+                .map(|key| {
+                    let ratio = 1.0 + unit_f64(rng);
+                    ConfigResult {
+                        config: key.to_string(),
+                        stats: random_stats(rng),
+                        overhead_ratio: ratio,
+                        ratio_ci_lo: ratio * 0.9,
+                        ratio_ci_hi: ratio * 1.1,
+                    }
+                })
+                .collect();
+            WorkloadResult {
+                name: format!("workload-{i}"),
+                work_units: 1 + rng.next_u64() % 10_000,
+                configs,
+            }
+        })
+        .collect();
+    BenchDoc {
+        suite: if rng.chance(1, 2) { "epcc" } else { "npb" }.to_string(),
+        scale: "quick".to_string(),
+        threads: 1 + (rng.next_u64() % 8) as usize,
+        warmup: (rng.next_u64() % 3) as usize,
+        target_reps: 3 + (rng.next_u64() % 20) as usize,
+        unit: "seconds/rep".to_string(),
+        workloads,
+    }
+}
+
+#[test]
+fn random_documents_round_trip_exactly() {
+    let mut rng = XorShift64::new(0x5EED);
+    for _ in 0..50 {
+        let doc = random_doc(&mut rng);
+        let json = doc.to_json();
+        let parsed = BenchDoc::from_json(&json).expect("own serialization parses");
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.to_json(), json, "canonical form is a fixed point");
+    }
+}
+
+/// Every strict prefix of a valid document must fail *typed* — either
+/// `Truncated` (ran out of input) or, for a handful of cut points that
+/// leave a syntactically complete-but-wrong prefix, `Syntax`/structural.
+/// It must never parse successfully and never panic.
+#[test]
+fn truncated_documents_always_fail_typed() {
+    let mut rng = XorShift64::new(0x7AC7);
+    let doc = random_doc(&mut rng);
+    let json = doc.to_json();
+    for cut in 0..json.len() - 1 {
+        if !json.is_char_boundary(cut) {
+            continue;
+        }
+        let err = BenchDoc::from_json(&json[..cut])
+            .expect_err("a strict prefix must not parse as a complete document");
+        match err {
+            SchemaError::Truncated { .. }
+            | SchemaError::Syntax { .. }
+            | SchemaError::MissingField(_)
+            | SchemaError::WrongType { .. } => {}
+            other => panic!("unexpected error class at cut {cut}: {other:?}"),
+        }
+    }
+}
+
+/// Corrupt single bytes all over the document: parsing must return a
+/// typed error or a structurally different document — never panic.
+#[test]
+fn corrupted_documents_never_panic() {
+    let mut rng = XorShift64::new(0xC0_44_07);
+    let doc = random_doc(&mut rng);
+    let json = doc.to_json();
+    let garbage = [b'@', b'}', b'{', b'[', b'"', b'x', b'9'];
+    for _ in 0..300 {
+        let pos = (rng.next_u64() as usize) % json.len();
+        if !json.is_char_boundary(pos) || pos + 1 >= json.len() {
+            continue;
+        }
+        let mut bytes = json.clone().into_bytes();
+        bytes[pos] = *rng.choose(&garbage);
+        let Ok(corrupted) = String::from_utf8(bytes) else {
+            continue;
+        };
+        // Must not panic; any Result is acceptable, but an Ok must be a
+        // real document (the mutation hit a value, not the structure).
+        let _ = BenchDoc::from_json(&corrupted);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compare properties over serialized documents
+// ---------------------------------------------------------------------
+
+#[test]
+fn self_compare_after_round_trip_always_passes() {
+    let mut rng = XorShift64::new(0xD1FF);
+    for _ in 0..20 {
+        let doc = random_doc(&mut rng);
+        let reparsed = BenchDoc::from_json(&doc.to_json()).unwrap();
+        let report = compare(&doc, &reparsed, 10.0).expect("comparable");
+        assert!(
+            report.passed(),
+            "self-compare regressed: {:?}",
+            report.regressions
+        );
+        assert_eq!(report.cells, doc.workloads.len() * 4);
+    }
+}
+
+#[test]
+fn planted_ratio_regression_is_always_caught() {
+    let mut rng = XorShift64::new(0x0DD);
+    for _ in 0..20 {
+        let old = random_doc(&mut rng);
+        let mut new = old.clone();
+        // Plant a 50% overhead-ratio regression with a clearly disjoint
+        // interval in one random non-absent cell.
+        let w = (rng.next_u64() as usize) % new.workloads.len();
+        let c = 1 + (rng.next_u64() as usize) % 3;
+        {
+            let cell = &mut new.workloads[w].configs[c];
+            cell.overhead_ratio *= 1.5;
+            cell.ratio_ci_lo = cell.overhead_ratio * 0.95;
+            cell.ratio_ci_hi = cell.overhead_ratio * 1.05;
+        }
+        {
+            let base = &mut old.clone();
+            let old_cell = &mut base.workloads[w].configs[c];
+            old_cell.ratio_ci_lo = old_cell.overhead_ratio * 0.95;
+            old_cell.ratio_ci_hi = old_cell.overhead_ratio * 1.05;
+            // Round-trip both through JSON so the gate sees what CI sees.
+            let old_doc = BenchDoc::from_json(&base.to_json()).unwrap();
+            let new_doc = BenchDoc::from_json(&new.to_json()).unwrap();
+            let report = compare(&old_doc, &new_doc, 10.0).expect("comparable");
+            assert!(
+                !report.passed(),
+                "planted +50% regression in {}/{} not caught",
+                old_doc.workloads[w].name,
+                old_doc.workloads[w].configs[c].config
+            );
+        }
+    }
+}
+
+#[test]
+fn dropping_a_workload_is_incomparable_not_a_pass() {
+    let mut rng = XorShift64::new(0xFADE);
+    let old = random_doc(&mut rng);
+    let mut new = old.clone();
+    new.workloads.pop();
+    if new.workloads.is_empty() {
+        return; // single-workload draw; nothing to drop
+    }
+    assert!(matches!(
+        compare(&old, &new, 10.0).unwrap_err(),
+        CompareError::Incomparable { .. }
+    ));
+}

@@ -19,6 +19,9 @@
 //!   event + state-query machinery;
 //! * [`selective`] — overhead-controlled collection (duration gating and
 //!   calling-context dedup, the paper's §VI plan);
+//! * [`modes`] — the four-rung collector-intrusiveness ladder the
+//!   `ora-meter` overhead experiment attaches (absent / registered-paused
+//!   / state-queries / streaming-trace);
 //! * [`suite`] — one-attachment multiplexer producing profile + trace +
 //!   state-times together (ORA has one callback slot per event);
 //! * [`analysis`] — offline trace analysis (region intervals, wait
@@ -46,6 +49,7 @@ pub mod analysis;
 pub mod clock;
 pub mod diff;
 pub mod discovery;
+pub mod modes;
 pub mod ompt;
 pub mod profiler;
 pub mod report;
@@ -58,6 +62,7 @@ pub mod tracer;
 pub use analysis::{analyze, RegionInterval, TraceAnalysis, WaitInterval};
 pub use diff::{diff, ProfileDiff, RegionDelta};
 pub use discovery::RuntimeHandle;
+pub use modes::{ActiveCollection, CollectionConfig, CollectionSummary};
 pub use ompt::{Endpoint, MutexKind, OmptAdapter, OmptRecord, SyncRegionKind};
 pub use profiler::{Mode, Profile, Profiler, ProfilerConfig, RegionProfile, ThreadProfile};
 pub use sampler::StateSampler;

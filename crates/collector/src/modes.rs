@@ -1,0 +1,270 @@
+//! The four collection configurations the overhead meter compares.
+//!
+//! The paper's evaluation (§V) reports workload slowdown for a ladder of
+//! collector intrusiveness, and `ora-meter` (in `crates/bench`) re-runs
+//! that ladder as an enforced CI experiment. This module is the collector
+//! side of that experiment: a [`CollectionConfig`] names one rung, and
+//! [`CollectionConfig::attach`] produces the corresponding live attachment
+//! so the measurement harness never hand-rolls tool setup. The rungs:
+//!
+//! 1. [`Absent`](CollectionConfig::Absent) — no collector; the bare
+//!    runtime fast path (the `ora-core` registry's unmonitored dispatch).
+//! 2. [`RegisteredPaused`](CollectionConfig::RegisteredPaused) — the
+//!    paper's tool attaches and registers fork/join/barrier callbacks,
+//!    then suspends event generation with `OMP_REQ_PAUSE`. Events are
+//!    gated off before callback invocation, so this isolates the cost of
+//!    *having* a registered collector (dispatch gating, state tracking)
+//!    from the cost of running its callbacks. (`OMP_REQ_STOP` would also
+//!    silence events, but it *unregisters* the callbacks and
+//!    de-initializes — pausing is the faithful "registered but quiescent"
+//!    configuration.)
+//! 3. [`StateQueries`](CollectionConfig::StateQueries) — collection
+//!    STARTed with the state-query machinery exercised on every event:
+//!    the [`StateTimer`] issues an `OMP_REQ_STATE` round trip per event
+//!    and accumulates per-thread time-in-state.
+//! 4. [`StreamingTrace`](CollectionConfig::StreamingTrace) — collection
+//!    STARTed with every supported event recorded through the `ora-trace`
+//!    lock-free ring + drainer pipeline (the `omp_prof trace record`
+//!    path, minus the file I/O: records stream into a [`MemorySink`] so
+//!    the measured cost is the pipeline, not the disk).
+
+use ora_trace::{MemorySink, TraceConfig};
+
+use crate::discovery::RuntimeHandle;
+use crate::profiler::{Profiler, ProfilerConfig};
+use crate::state_timer::StateTimer;
+use crate::tracer::{StreamError, StreamingTracer};
+
+/// One rung of the collector-intrusiveness ladder (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectionConfig {
+    /// No collector attached.
+    Absent,
+    /// Callbacks registered, event generation paused (`OMP_REQ_PAUSE`).
+    RegisteredPaused,
+    /// STARTed, per-event `OMP_REQ_STATE` queries (state-time profile).
+    StateQueries,
+    /// STARTed, every event streamed through the `ora-trace` pipeline.
+    StreamingTrace,
+}
+
+impl CollectionConfig {
+    /// All configurations, in increasing order of intrusiveness.
+    pub const ALL: [CollectionConfig; 4] = [
+        CollectionConfig::Absent,
+        CollectionConfig::RegisteredPaused,
+        CollectionConfig::StateQueries,
+        CollectionConfig::StreamingTrace,
+    ];
+
+    /// Stable machine-readable key (used by the `BENCH_*.json` schema).
+    pub const fn key(self) -> &'static str {
+        match self {
+            CollectionConfig::Absent => "absent",
+            CollectionConfig::RegisteredPaused => "paused",
+            CollectionConfig::StateQueries => "state",
+            CollectionConfig::StreamingTrace => "trace",
+        }
+    }
+
+    /// Parse a [`key`](Self::key) back into a configuration.
+    pub fn from_key(key: &str) -> Option<CollectionConfig> {
+        Self::ALL.into_iter().find(|c| c.key() == key)
+    }
+
+    /// One-line human description for reports.
+    pub const fn describe(self) -> &'static str {
+        match self {
+            CollectionConfig::Absent => "no collector attached",
+            CollectionConfig::RegisteredPaused => "callbacks registered, event generation paused",
+            CollectionConfig::StateQueries => "started, per-event OMP_REQ_STATE queries",
+            CollectionConfig::StreamingTrace => "started, streaming trace of every event",
+        }
+    }
+
+    /// Attach this configuration to the runtime behind `handle`.
+    ///
+    /// [`Absent`](CollectionConfig::Absent) performs no requests at all;
+    /// every other configuration sends `Start` and registers callbacks.
+    pub fn attach(self, handle: &RuntimeHandle) -> Result<ActiveCollection, StreamError> {
+        match self {
+            CollectionConfig::Absent => Ok(ActiveCollection::Absent),
+            CollectionConfig::RegisteredPaused => {
+                let profiler = Profiler::attach(handle.clone(), ProfilerConfig::default())?;
+                profiler.pause()?;
+                Ok(ActiveCollection::RegisteredPaused(profiler))
+            }
+            CollectionConfig::StateQueries => Ok(ActiveCollection::StateQueries(
+                StateTimer::attach(handle.clone())?,
+            )),
+            CollectionConfig::StreamingTrace => {
+                // Long drain epoch: the default 5 ms sweep makes the
+                // drainer thread time-share the CPU with the workload on
+                // small machines, turning its scheduling luck into
+                // bimodal timings. The ring has ample capacity to buffer
+                // a measurement repetition; the final sweep in `finish`
+                // drains whatever the epochs didn't.
+                let trace_cfg = TraceConfig {
+                    epoch: std::time::Duration::from_millis(25),
+                    ..TraceConfig::default()
+                };
+                let tracer = StreamingTracer::attach(handle.clone(), trace_cfg, MemorySink::new())?;
+                Ok(ActiveCollection::StreamingTrace(Box::new(tracer)))
+            }
+        }
+    }
+}
+
+/// A live attachment of one [`CollectionConfig`]. Always [`finish`]
+/// (never drop) an active collection, so the runtime's callback slots are
+/// released before the next configuration attaches.
+///
+/// [`finish`]: ActiveCollection::finish
+pub enum ActiveCollection {
+    /// Nothing attached.
+    Absent,
+    /// A paused profiler holding its registrations.
+    RegisteredPaused(Profiler),
+    /// A state-timer issuing per-event queries.
+    StateQueries(StateTimer),
+    /// A streaming tracer draining into memory.
+    StreamingTrace(Box<StreamingTracer<MemorySink>>),
+}
+
+/// What a finished collection observed — enough for the meter to sanity
+/// check that each configuration actually did its job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectionSummary {
+    /// Events the attached callbacks observed (0 for `Absent`, and 0 for
+    /// a correctly paused configuration).
+    pub events_observed: u64,
+    /// Trace records persisted (streaming configuration only).
+    pub records_drained: u64,
+    /// Trace records lost to backpressure (streaming configuration only).
+    pub records_dropped: u64,
+}
+
+impl ActiveCollection {
+    /// The configuration this attachment realizes.
+    pub fn config(&self) -> CollectionConfig {
+        match self {
+            ActiveCollection::Absent => CollectionConfig::Absent,
+            ActiveCollection::RegisteredPaused(_) => CollectionConfig::RegisteredPaused,
+            ActiveCollection::StateQueries(_) => CollectionConfig::StateQueries,
+            ActiveCollection::StreamingTrace(_) => CollectionConfig::StreamingTrace,
+        }
+    }
+
+    /// Detach: stop collection, release callback registrations, and
+    /// discard the collected data (the meter measures cost, not content).
+    pub fn finish(self) -> Result<CollectionSummary, StreamError> {
+        match self {
+            ActiveCollection::Absent => Ok(CollectionSummary::default()),
+            ActiveCollection::RegisteredPaused(profiler) => {
+                let events = profiler.events_observed();
+                let _ = profiler.finish();
+                Ok(CollectionSummary {
+                    events_observed: events,
+                    ..CollectionSummary::default()
+                })
+            }
+            ActiveCollection::StateQueries(timer) => {
+                let profile = timer.finish();
+                Ok(CollectionSummary {
+                    // The state timer has no event counter; report the
+                    // threads it saw so "did anything happen" stays
+                    // answerable.
+                    events_observed: profile.threads.len() as u64,
+                    ..CollectionSummary::default()
+                })
+            }
+            ActiveCollection::StreamingTrace(tracer) => {
+                let events = ora_core::event::ALL_EVENTS
+                    .iter()
+                    .map(|e| tracer.count(*e))
+                    .sum();
+                let (_sink, stats) = tracer.finish()?;
+                Ok(CollectionSummary {
+                    events_observed: events,
+                    records_drained: stats.drained(),
+                    records_dropped: stats.dropped(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omprt::OpenMp;
+
+    fn handle(rt: &OpenMp) -> RuntimeHandle {
+        RuntimeHandle::discover_named(rt.symbol_name()).expect("runtime symbol")
+    }
+
+    #[test]
+    fn keys_round_trip_and_are_unique() {
+        for c in CollectionConfig::ALL {
+            assert_eq!(CollectionConfig::from_key(c.key()), Some(c));
+        }
+        assert_eq!(CollectionConfig::from_key("nonsense"), None);
+        let mut keys: Vec<&str> = CollectionConfig::ALL.iter().map(|c| c.key()).collect();
+        keys.dedup();
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn absent_attaches_without_observing_anything() {
+        let rt = OpenMp::with_threads(2);
+        let active = CollectionConfig::Absent.attach(&handle(&rt)).unwrap();
+        rt.parallel(|_| {});
+        let summary = active.finish().unwrap();
+        assert_eq!(summary, CollectionSummary::default());
+    }
+
+    #[test]
+    fn paused_configuration_sees_no_events() {
+        let rt = OpenMp::with_threads(2);
+        let active = CollectionConfig::RegisteredPaused
+            .attach(&handle(&rt))
+            .unwrap();
+        for _ in 0..4 {
+            rt.parallel(|_| {});
+        }
+        let summary = active.finish().unwrap();
+        assert_eq!(
+            summary.events_observed, 0,
+            "paused dispatch must gate events off before the callbacks"
+        );
+    }
+
+    #[test]
+    fn streaming_configuration_records_events() {
+        let rt = OpenMp::with_threads(2);
+        let active = CollectionConfig::StreamingTrace
+            .attach(&handle(&rt))
+            .unwrap();
+        for _ in 0..4 {
+            rt.parallel(|_| {});
+        }
+        // Workers fire trailing end-of-barrier events asynchronously.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let summary = active.finish().unwrap();
+        assert!(summary.events_observed >= 8, "4 regions fork+join at least");
+        assert!(summary.records_drained > 0);
+    }
+
+    #[test]
+    fn each_config_attaches_and_detaches_cleanly_in_sequence() {
+        let rt = OpenMp::with_threads(2);
+        let h = handle(&rt);
+        for config in CollectionConfig::ALL {
+            let active = config.attach(&h).expect("attach");
+            assert_eq!(active.config(), config);
+            rt.parallel(|_| {});
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            active.finish().expect("finish");
+        }
+    }
+}

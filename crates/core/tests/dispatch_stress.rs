@@ -61,7 +61,7 @@ fn contended_dispatch_loses_and_duplicates_nothing() {
                         executed.fetch_add(1, Ordering::Relaxed);
                     }),
                 );
-                if i % 7 == 0 {
+                if i.is_multiple_of(7) {
                     registry.unregister(Event::Fork);
                 }
                 i += 1;

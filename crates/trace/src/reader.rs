@@ -201,7 +201,7 @@ pub fn merge_ranks(readers: &[TraceReader]) -> Result<Vec<RankedEvent>, TraceErr
         for (rank, stream) in streams.iter().enumerate() {
             if let Some(e) = stream.get(cursors[rank]) {
                 let k = (e.tick, rank, e.gtid, e.seq);
-                if best.map_or(true, |(_, bk)| k < bk) {
+                if best.is_none_or(|(_, bk)| k < bk) {
                     best = Some((rank, k));
                 }
             }
@@ -230,7 +230,7 @@ fn kway_merge(lanes: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
         for (i, lane) in lanes.iter().enumerate() {
             if let Some(e) = lane.get(cursors[i]) {
                 let k = e.key();
-                if best.map_or(true, |(_, bk)| k < bk) {
+                if best.is_none_or(|(_, bk)| k < bk) {
                     best = Some((i, k));
                 }
             }

@@ -151,9 +151,10 @@ fn footer_round_trips_and_rejects_corruption() {
         if corrupt == buf {
             continue;
         }
-        match decode_footer(&corrupt) {
-            Ok(got) => assert_ne!(got, footer, "corruption must not decode to the original"),
-            Err(_) => {} // typed rejection is the common outcome
+        // Typed rejection is the common outcome; a successful decode
+        // must at least not reproduce the original footer.
+        if let Ok(got) = decode_footer(&corrupt) {
+            assert_ne!(got, footer, "corruption must not decode to the original");
         }
     }
 }

@@ -1,0 +1,272 @@
+//! Deterministic, repetition-shaped workload units for `ora-meter`.
+//!
+//! The overhead meter (in `crates/bench`) needs two things from a
+//! workload that the figure harnesses never did:
+//!
+//! 1. **An iteration hook** — a call that performs *exactly one*
+//!    repetition of work, so the meter can time repetitions individually
+//!    and build per-repetition statistics (median, MAD, bootstrap CI)
+//!    instead of one best-of number.
+//! 2. **Deterministic work sizing** — a repetition must perform the same
+//!    work every time and across processes, so `BENCH_*.json` files from
+//!    different runs of the same scale are comparable and a committed
+//!    baseline stays meaningful.
+//!
+//! [`MeterWorkload`] packages both: construction fixes the sizing
+//! (per [`MeterScale`]) and [`MeterWorkload::run_rep`] is the hook.
+//! Only deterministic NPB kernels are included ([`crate::npb::NpbKernel::is_deterministic`]);
+//! LU-HP's partition-dependent wavefronts would make the checksum — and
+//! worse, the work distribution — depend on scheduling.
+
+use omprt::OpenMp;
+
+use crate::epcc::{self, Directive, EpccConfig};
+use crate::npb::{NpbClass, NpbKernel};
+
+/// Work sizing for meter runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeterScale {
+    /// Seconds-long total: CI smoke runs and PR gating.
+    Quick,
+    /// Minutes-long total: refreshing committed baselines.
+    Full,
+}
+
+impl MeterScale {
+    /// Stable key recorded in the `BENCH_*.json` schema.
+    pub const fn key(self) -> &'static str {
+        match self {
+            MeterScale::Quick => "quick",
+            MeterScale::Full => "full",
+        }
+    }
+
+    /// Parse a [`key`](Self::key) back.
+    pub fn from_key(key: &str) -> Option<MeterScale> {
+        match key {
+            "quick" => Some(MeterScale::Quick),
+            "full" => Some(MeterScale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Which benchmark family a workload belongs to (one `BENCH_<suite>.json`
+/// file per suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeterSuite {
+    /// EPCC syncbench directives.
+    Epcc,
+    /// Synthetic NPB kernels.
+    Npb,
+}
+
+impl MeterSuite {
+    /// Stable key (`epcc` / `npb`), also the `BENCH_<key>.json` stem.
+    pub const fn key(self) -> &'static str {
+        match self {
+            MeterSuite::Epcc => "epcc",
+            MeterSuite::Npb => "npb",
+        }
+    }
+
+    /// Parse a [`key`](Self::key) back.
+    pub fn from_key(key: &str) -> Option<MeterSuite> {
+        match key {
+            "epcc" => Some(MeterSuite::Epcc),
+            "npb" => Some(MeterSuite::Npb),
+            _ => None,
+        }
+    }
+}
+
+enum WorkUnit {
+    Epcc {
+        directive: Directive,
+        cfg: EpccConfig,
+    },
+    Npb {
+        kernel: NpbKernel,
+        class: NpbClass,
+        // Kernel invocations per repetition: a single small-class pass is
+        // sub-millisecond, too little signal for between-run stability.
+        passes: usize,
+    },
+}
+
+/// One deterministic workload unit exposed to the meter.
+pub struct MeterWorkload {
+    name: String,
+    suite: MeterSuite,
+    unit: WorkUnit,
+}
+
+impl MeterWorkload {
+    /// Workload name as recorded in the schema (e.g. `parallel`, `cg`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The suite this workload reports under.
+    pub fn suite(&self) -> MeterSuite {
+        self.suite
+    }
+
+    /// Directive instances (EPCC) or parallel-region calls (NPB) one
+    /// repetition performs — the denominator for per-unit costs, and a
+    /// self-check that two runs really did the same work.
+    pub fn work_units(&self) -> u64 {
+        match &self.unit {
+            WorkUnit::Epcc { cfg, .. } => cfg.inner_reps as u64,
+            WorkUnit::Npb {
+                kernel,
+                class,
+                passes,
+            } => kernel.region_calls(*class) * *passes as u64,
+        }
+    }
+
+    /// The iteration hook: perform exactly one repetition on `rt`.
+    /// Returns a checksum so the optimizer cannot elide the work (0.0 for
+    /// EPCC, whose delay loops are `black_box`ed internally).
+    pub fn run_rep(&self, rt: &OpenMp) -> f64 {
+        match &self.unit {
+            WorkUnit::Epcc { directive, cfg } => {
+                epcc::iterate(rt, *directive, cfg);
+                0.0
+            }
+            WorkUnit::Npb {
+                kernel,
+                class,
+                passes,
+            } => (0..*passes)
+                .map(|_| kernel.run(rt, *class))
+                .last()
+                .unwrap_or(0.0),
+        }
+    }
+}
+
+/// The EPCC directives the meter tracks: the heavily-used ones the paper
+/// highlights (parallel, parallel-for, reduction) plus barrier, the
+/// dominant synchronization cost.
+pub const METER_DIRECTIVES: [Directive; 4] = [
+    Directive::Parallel,
+    Directive::ParallelFor,
+    Directive::Barrier,
+    Directive::Reduction,
+];
+
+/// Build the meter's workload set for `suite` at `scale`. The returned
+/// sizing is deterministic: two processes constructing the same
+/// `(suite, scale)` perform identical work per repetition.
+pub fn meter_workloads(suite: MeterSuite, scale: MeterScale) -> Vec<MeterWorkload> {
+    match suite {
+        MeterSuite::Epcc => {
+            let cfg = match scale {
+                MeterScale::Quick => EpccConfig::meter_quick(),
+                MeterScale::Full => EpccConfig::meter_full(),
+            };
+            METER_DIRECTIVES
+                .iter()
+                .map(|&directive| MeterWorkload {
+                    name: directive.name().to_lowercase().replace(' ', "-"),
+                    suite: MeterSuite::Epcc,
+                    unit: WorkUnit::Epcc {
+                        directive,
+                        cfg: cfg.clone(),
+                    },
+                })
+                .collect()
+        }
+        MeterSuite::Npb => {
+            let (kernels, class, passes) = match scale {
+                MeterScale::Quick => (vec![NpbKernel::cg(), NpbKernel::ep()], NpbClass::S, 10),
+                MeterScale::Full => (
+                    vec![NpbKernel::cg(), NpbKernel::ep(), NpbKernel::ft()],
+                    NpbClass::W,
+                    4,
+                ),
+            };
+            kernels
+                .into_iter()
+                .map(|kernel| MeterWorkload {
+                    name: kernel.name.to_lowercase(),
+                    suite: MeterSuite::Npb,
+                    unit: WorkUnit::Npb {
+                        kernel,
+                        class,
+                        passes,
+                    },
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip() {
+        for s in [MeterScale::Quick, MeterScale::Full] {
+            assert_eq!(MeterScale::from_key(s.key()), Some(s));
+        }
+        for s in [MeterSuite::Epcc, MeterSuite::Npb] {
+            assert_eq!(MeterSuite::from_key(s.key()), Some(s));
+        }
+        assert_eq!(MeterScale::from_key("paper"), None);
+        assert_eq!(MeterSuite::from_key("mz"), None);
+    }
+
+    #[test]
+    fn quick_workload_set_is_stable() {
+        let epcc = meter_workloads(MeterSuite::Epcc, MeterScale::Quick);
+        let names: Vec<&str> = epcc.iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["parallel", "parallel-for", "barrier", "reduction"]);
+        let npb = meter_workloads(MeterSuite::Npb, MeterScale::Quick);
+        let names: Vec<&str> = npb.iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["cg", "ep"]);
+    }
+
+    #[test]
+    fn npb_meter_kernels_are_deterministic_only() {
+        for scale in [MeterScale::Quick, MeterScale::Full] {
+            for w in meter_workloads(MeterSuite::Npb, scale) {
+                assert_ne!(w.name(), "lu-hp", "partition-dependent kernel in meter set");
+            }
+        }
+    }
+
+    #[test]
+    fn work_units_are_deterministic_across_constructions() {
+        let a: Vec<u64> = meter_workloads(MeterSuite::Npb, MeterScale::Quick)
+            .iter()
+            .map(|w| w.work_units())
+            .collect();
+        let b: Vec<u64> = meter_workloads(MeterSuite::Npb, MeterScale::Quick)
+            .iter()
+            .map(|w| w.work_units())
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&u| u > 0));
+    }
+
+    #[test]
+    fn npb_rep_checksum_is_reproducible() {
+        let rt = OpenMp::with_threads(2);
+        let w = &meter_workloads(MeterSuite::Npb, MeterScale::Quick)[0];
+        let a = w.run_rep(&rt);
+        let b = w.run_rep(&rt);
+        assert_eq!(a.to_bits(), b.to_bits(), "deterministic kernel drifted");
+    }
+
+    #[test]
+    fn epcc_rep_runs() {
+        let rt = OpenMp::with_threads(2);
+        for w in meter_workloads(MeterSuite::Epcc, MeterScale::Quick) {
+            let _ = w.run_rep(&rt);
+        }
+    }
+}

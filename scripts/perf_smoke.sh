@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Perf smoke: run the quick ora-meter suites and gate against the
+# committed baselines in results/baselines/.
+#
+# Usage: scripts/perf_smoke.sh [report|enforce] [out_dir]
+#
+#   report  (default) — run + compare, print regressions, always exit 0
+#                       (PR mode: runner hardware differs from the
+#                       baseline machine, so a miss is a signal to a
+#                       human, not a merge blocker)
+#   enforce           — exit non-zero when `bench compare` finds a
+#                       regression past the threshold with disjoint CIs
+#                       (main-branch mode)
+#
+# The threshold (percent) can be overridden via PERF_THRESHOLD.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-report}"
+out="${2:-perf-smoke}"
+threshold="${PERF_THRESHOLD:-10}"
+
+mkdir -p "$out"
+cargo run --release --offline -p ora-bench --bin omp_prof -- \
+  bench run --quick --out-dir "$out"
+
+status=0
+for suite in epcc npb; do
+  base="results/baselines/BENCH_${suite}.json"
+  new="$out/BENCH_${suite}.json"
+  if [[ ! -f "$base" ]]; then
+    echo "perf-smoke: no baseline $base — skipping comparison" >&2
+    continue
+  fi
+  echo "== compare $suite (threshold ${threshold}%) =="
+  if ! cargo run --release --offline -p ora-bench --bin omp_prof -- \
+      bench compare "$base" "$new" --threshold "$threshold"; then
+    status=1
+  fi
+done
+
+if [[ $status -ne 0 ]]; then
+  if [[ "$mode" == "enforce" ]]; then
+    echo "perf-smoke: overhead regression past ${threshold}% — failing (enforce mode)" >&2
+    exit 1
+  fi
+  echo "perf-smoke: overhead regression past ${threshold}% — report-only mode, not failing" >&2
+fi
+echo "perf-smoke: OK (${mode} mode)"

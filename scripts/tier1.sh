@@ -7,10 +7,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 # The micro-bench harness is feature-gated off by default; make sure the
-# measurement loops keep compiling too.
+# measurement loops keep compiling too — and keep them lint-clean.
 cargo build -p ora-bench --features bench --offline
+cargo clippy -p ora-bench --features bench --all-targets --offline -- -D warnings
 
 echo "tier1: OK"
