@@ -33,13 +33,37 @@
 //!
 //! `bench compare` exits 0 when the gate passes, 1 on a regression, and
 //! 2 on unusable input (parse errors, mismatched documents).
+//!
+//! The `health` and `suite` subcommands are the fault-isolation harness:
+//! `health` runs a short diagnostic workload — optionally with injected
+//! collector faults — and reports the runtime's `OMP_REQ_HEALTH`
+//! counters plus the trace drainer's supervision state; `suite` runs
+//! every built-in workload under a streaming tracer and verifies that
+//! results stay correct even while the collector is failing:
+//!
+//! ```text
+//! omp_prof health
+//! omp_prof health --inject-panic-cb --kill-drainer --policy block
+//! omp_prof suite --threads 4 --inject-panic-cb --kill-drainer --policy block
+//! ```
+//!
+//! `health` exits 0 when no faults were recorded and 3 when faults were
+//! caught and isolated (the application still completed — that is the
+//! point). `suite` exits 0 as long as every workload completes with
+//! correct results, faults or not.
+
+use std::sync::Arc;
 
 use collector::{
-    report, Profiler, RuntimeHandle, SelectivePolicy, SelectiveProfiler, StateTimer,
+    report, Profiler, RuntimeHandle, SelectivePolicy, SelectiveProfiler, StateTimer, StreamError,
     StreamingTracer, Tracer,
 };
 use omprt::OpenMp;
-use ora_trace::{DropPolicy, FileSink, TraceConfig, TraceEvent, TraceReader};
+use ora_core::event::Event;
+use ora_trace::{
+    DropPolicy, FaultMode, FaultSink, FileSink, MemorySink, TraceConfig, TraceError, TraceEvent,
+    TraceReader, TraceSink,
+};
 use workloads::epcc::{self, EpccConfig};
 use workloads::{NpbClass, NpbKernel};
 
@@ -108,11 +132,7 @@ fn trace_record() {
     let threads: usize = arg("--threads", "2").parse().unwrap_or(2);
     let class = npb_class(&arg("--class", "s"));
     let out = arg("--out", "run.oratrace");
-    let policy = match arg("--policy", "newest").as_str() {
-        "oldest" => DropPolicy::Oldest,
-        "block" => DropPolicy::Block,
-        _ => DropPolicy::Newest,
-    };
+    let policy = drop_policy(&arg("--policy", "newest"));
     let config = TraceConfig {
         policy,
         ..TraceConfig::default()
@@ -340,6 +360,254 @@ fn trace_report() {
     }
 }
 
+/// Silence the default panic hook for *injected* faults only, so fault
+/// harness runs don't spew backtraces for panics that are the test.
+fn quiet_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str));
+        if msg.is_some_and(|m| m.contains("injected")) {
+            return;
+        }
+        prev(info);
+    }));
+}
+
+fn drop_policy(s: &str) -> DropPolicy {
+    match s {
+        "oldest" => DropPolicy::Oldest,
+        "block" => DropPolicy::Block,
+        _ => DropPolicy::Newest,
+    }
+}
+
+/// Shared fault-harness setup: attach a streaming tracer (with a
+/// drainer-killing sink when requested) and optionally register a
+/// permanently-panicking callback over the tracer's barrier slot.
+fn attach_fault_harness(
+    rt: &OpenMp,
+    policy: DropPolicy,
+    inject_panic_cb: bool,
+    kill_drainer: bool,
+) -> (RuntimeHandle, StreamingTracer<Box<dyn TraceSink>>) {
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).expect("runtime symbol");
+    let sink: Box<dyn TraceSink> = if kill_drainer {
+        // Budget covers exactly the 8-byte header `Recorder::start`
+        // writes on the caller thread; the drainer's first chunk flush
+        // then panics, killing it mid-recording.
+        Box::new(FaultSink::new(8, FaultMode::Panic))
+    } else {
+        Box::new(MemorySink::new())
+    };
+    let config = TraceConfig {
+        policy,
+        ..TraceConfig::default()
+    };
+    let tracer = StreamingTracer::attach(handle.clone(), config, sink).expect("attach tracer");
+    if inject_panic_cb {
+        // Replaces the tracer's callback in the single per-event slot —
+        // every implicit-barrier begin now panics until quarantined.
+        handle
+            .register(
+                Event::ThreadBeginImplicitBarrier,
+                Arc::new(|_| panic!("injected callback panic")),
+            )
+            .expect("inject panicking callback");
+    }
+    (handle, tracer)
+}
+
+/// `health`: run a short diagnostic workload (with optional injected
+/// collector faults) and report the runtime's fault-isolation counters.
+fn health() {
+    let has = |name: &str| std::env::args().any(|a| a == name);
+    let workload = arg("--workload", "epcc");
+    let threads: usize = arg("--threads", "2").parse().unwrap_or(2);
+    let class = npb_class(&arg("--class", "s"));
+    let inject = has("--inject-panic-cb");
+    let kill = has("--kill-drainer");
+    let policy = drop_policy(&arg("--policy", "newest"));
+    if inject || kill {
+        quiet_injected_panics();
+    }
+
+    let rt = OpenMp::with_threads(threads);
+    if let Ok(n) = arg("--quarantine", "3").parse() {
+        rt.set_quarantine_threshold(n);
+    }
+    let (handle, tracer) = attach_fault_harness(&rt, policy, inject, kill);
+    run_workload(&rt, &workload, class);
+    // Workers fire trailing end-of-barrier events asynchronously.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let drainer = tracer.health();
+    let finish = tracer.finish();
+    let api = handle.query_health().expect("OMP_REQ_HEALTH");
+
+    println!("\n=== runtime health (OMP_REQ_HEALTH) ===");
+    println!(
+        "{}",
+        report::table(
+            &["counter", "value"],
+            [
+                ("callback panics caught", api.callback_panics),
+                ("callbacks quarantined", api.callbacks_quarantined),
+                ("out-of-sequence requests", api.sequence_errors),
+                ("requests served", api.requests),
+            ]
+            .iter()
+            .map(|(k, v)| vec![k.to_string(), v.to_string()]),
+        )
+    );
+
+    println!("=== trace drainer ===");
+    println!(
+        "  alive {} | degraded {} | heartbeats {} | drained {}",
+        drainer.alive, drainer.degraded, drainer.heartbeats, drainer.drained
+    );
+    if let Some(err) = &drainer.error {
+        println!("  failure: {err}");
+    }
+    match finish {
+        Ok((_sink, stats)) => println!(
+            "  finish: clean ({} records drained, {} dropped)",
+            stats.drained(),
+            stats.dropped()
+        ),
+        Err(StreamError::Trace(TraceError::DrainerFailed {
+            reason,
+            drained,
+            dropped,
+        })) => {
+            println!("  finish: DEGRADED — {reason} ({drained} records drained, {dropped} dropped)")
+        }
+        Err(e) => {
+            eprintln!("  finish failed unexpectedly: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let faulted = api.faulted() || drainer.degraded;
+    println!(
+        "\nverdict: {}",
+        if faulted {
+            "FAULTED — collector faults were caught and isolated; the application completed"
+        } else {
+            "HEALTHY"
+        }
+    );
+    std::process::exit(if faulted { 3 } else { 0 });
+}
+
+/// `suite`: every built-in workload under a streaming tracer, verifying
+/// that application results stay correct even with injected collector
+/// faults. Exit 0 iff every workload completes with correct results.
+fn suite_run() {
+    let has = |name: &str| std::env::args().any(|a| a == name);
+    let threads: usize = arg("--threads", "2").parse().unwrap_or(2);
+    let class = npb_class(&arg("--class", "s"));
+    let inject = has("--inject-panic-cb");
+    let kill = has("--kill-drainer");
+    let policy = drop_policy(&arg("--policy", "newest"));
+    if inject || kill {
+        quiet_injected_panics();
+    }
+    println!(
+        "fault-isolation suite: {} thread(s), policy {:?}, inject-panic-cb {}, kill-drainer {}",
+        threads, policy, inject, kill
+    );
+
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    let workloads: Vec<String> = std::iter::once("epcc".to_string())
+        .chain(NpbKernel::all().into_iter().map(|k| k.name.to_string()))
+        .collect();
+    for name in &workloads {
+        let rt = OpenMp::with_threads(threads);
+        if let Ok(n) = arg("--quarantine", "3").parse() {
+            rt.set_quarantine_threshold(n);
+        }
+        let (handle, tracer) = attach_fault_harness(&rt, policy, inject, kill);
+
+        let result = if name == "epcc" {
+            let cfg = EpccConfig {
+                outer_reps: 2,
+                inner_reps: 64,
+                delay_len: 64,
+            };
+            let directives = epcc::run_all(&rt, &cfg).len();
+            format!("ok ({directives} directives)")
+        } else {
+            let kernel = NpbKernel::all()
+                .into_iter()
+                .find(|k| k.name == name)
+                .expect("known kernel");
+            kernel.run(&rt, class);
+            match kernel.verify(rt.num_threads(), class) {
+                workloads::npb::Verification::Successful { .. } => "ok (verified)".to_string(),
+                workloads::npb::Verification::NotApplicable => "ok".to_string(),
+                workloads::npb::Verification::Failed { expected, got } => {
+                    all_ok = false;
+                    format!("FAILED (expected {expected}, got {got})")
+                }
+            }
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+
+        let degraded = tracer.is_degraded();
+        let (drained, dropped) = match tracer.finish() {
+            Ok((_sink, stats)) => (stats.drained(), stats.dropped()),
+            Err(StreamError::Trace(TraceError::DrainerFailed {
+                drained, dropped, ..
+            })) => (drained, dropped),
+            Err(e) => {
+                eprintln!("{name}: trace finish failed unexpectedly: {e}");
+                all_ok = false;
+                (0, 0)
+            }
+        };
+        let api = handle.query_health().expect("OMP_REQ_HEALTH");
+        rows.push(vec![
+            name.clone(),
+            result,
+            drained.to_string(),
+            dropped.to_string(),
+            degraded.to_string(),
+            api.callback_panics.to_string(),
+            api.callbacks_quarantined.to_string(),
+        ]);
+    }
+
+    println!(
+        "\n{}",
+        report::table(
+            &[
+                "workload",
+                "result",
+                "drained",
+                "dropped",
+                "degraded",
+                "cb panics",
+                "quarantined",
+            ],
+            rows.into_iter(),
+        )
+    );
+    if all_ok {
+        println!(
+            "all {} workloads completed with correct results",
+            workloads.len()
+        );
+    } else {
+        eprintln!("FAILURE: at least one workload produced wrong results");
+        std::process::exit(1);
+    }
+}
+
 fn npb_class(s: &str) -> NpbClass {
     match s {
         "w" | "W" => NpbClass::W,
@@ -362,6 +630,12 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if argv.get(1).map(String::as_str) == Some("health") {
+        return health();
+    }
+    if argv.get(1).map(String::as_str) == Some("suite") {
+        return suite_run();
     }
     if argv.get(1).map(String::as_str) == Some("bench") {
         match argv.get(2).map(String::as_str) {

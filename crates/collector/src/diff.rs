@@ -147,6 +147,7 @@ mod tests {
             call_tree: psx::CallTree::new(),
             events_observed: 0,
             join_samples: 0,
+            api_health: Default::default(),
         }
     }
 

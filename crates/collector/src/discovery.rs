@@ -15,7 +15,7 @@ use std::sync::Arc;
 use ora_core::api::CollectorApi;
 use ora_core::message::RequestBatch;
 use ora_core::registry::Callback;
-use ora_core::request::{CallbackToken, OraError, OraResult, Request, Response};
+use ora_core::request::{ApiHealth, CallbackToken, OraError, OraResult, Request, Response};
 use ora_core::COLLECTOR_API_SYMBOL;
 use psx::dynsym::{self, CollectorEntry};
 
@@ -77,10 +77,39 @@ impl RuntimeHandle {
     }
 
     /// Convenience: intern and register `cb` for `event` in one step.
-    pub fn register(&self, event: ora_core::event::Event, cb: Callback) -> OraResult<()> {
+    /// Returns the token so the caller can later [`unregister`] the event
+    /// and [`forget_callback`] the interned entry — discarding it leaks
+    /// the registration for the life of the runtime.
+    ///
+    /// [`unregister`]: RuntimeHandle::unregister
+    /// [`forget_callback`]: RuntimeHandle::forget_callback
+    pub fn register(
+        &self,
+        event: ora_core::event::Event,
+        cb: Callback,
+    ) -> OraResult<CallbackToken> {
         let token = self.intern_callback(cb);
-        self.request_one(Request::Register { event, token })
-            .map(|_| ())
+        self.request_one(Request::Register { event, token })?;
+        Ok(token)
+    }
+
+    /// Remove the callback registered for `event`.
+    pub fn unregister(&self, event: ora_core::event::Event) -> OraResult<()> {
+        self.request_one(Request::Unregister { event }).map(|_| ())
+    }
+
+    /// Drop an interned callback token. Returns whether it was known.
+    pub fn forget_callback(&self, token: CallbackToken) -> bool {
+        self.api.forget_callback(token)
+    }
+
+    /// Query the runtime's fault-isolation counters (`OMP_REQ_HEALTH`,
+    /// answerable in every phase).
+    pub fn query_health(&self) -> OraResult<ApiHealth> {
+        match self.request_one(Request::QueryHealth)? {
+            Response::Health(h) => Ok(h),
+            _ => Err(OraError::Error),
+        }
     }
 }
 

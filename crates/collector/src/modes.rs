@@ -142,6 +142,9 @@ pub struct CollectionSummary {
     pub records_drained: u64,
     /// Trace records lost to backpressure (streaming configuration only).
     pub records_dropped: u64,
+    /// Whether the trace pipeline degraded mid-run (drainer death or sink
+    /// failure). The workload still completed; the trace is partial.
+    pub degraded: bool,
 }
 
 impl ActiveCollection {
@@ -183,12 +186,29 @@ impl ActiveCollection {
                     .iter()
                     .map(|e| tracer.count(*e))
                     .sum();
-                let (_sink, stats) = tracer.finish()?;
-                Ok(CollectionSummary {
-                    events_observed: events,
-                    records_drained: stats.drained(),
-                    records_dropped: stats.dropped(),
-                })
+                let degraded = tracer.is_degraded();
+                match tracer.finish() {
+                    Ok((_sink, stats)) => Ok(CollectionSummary {
+                        events_observed: events,
+                        records_drained: stats.drained(),
+                        records_dropped: stats.dropped(),
+                        degraded,
+                    }),
+                    // A dead drainer is a degraded collection, not a
+                    // failed run: the workload finished and the partial
+                    // accounting is right there in the error.
+                    Err(StreamError::Trace(ora_trace::TraceError::DrainerFailed {
+                        drained,
+                        dropped,
+                        ..
+                    })) => Ok(CollectionSummary {
+                        events_observed: events,
+                        records_drained: drained,
+                        records_dropped: dropped,
+                        degraded: true,
+                    }),
+                    Err(e) => Err(e),
+                }
             }
         }
     }

@@ -20,7 +20,7 @@ use ora_core::sync::Mutex;
 
 use ora_core::event::Event;
 use ora_core::registry::EventData;
-use ora_core::request::{OraResult, Request};
+use ora_core::request::{ApiHealth, OraResult, Request};
 use psx::unwind::Backtrace;
 
 use crate::clock;
@@ -216,6 +216,9 @@ impl Profiler {
     /// after the application finishes", paper §IV).
     pub fn finish(self) -> Profile {
         let _ = self.handle.request_one(Request::Stop);
+        // Health counters are lifetime totals and the query is answerable
+        // in every phase, so post-Stop is fine.
+        let api_health = self.handle.query_health().unwrap_or_default();
         let state = self.state;
 
         let mut regions: Vec<RegionProfile> = state
@@ -262,6 +265,7 @@ impl Profiler {
             call_tree: tree,
             events_observed: state.events.load(Ordering::Relaxed),
             join_samples: stacks.len() as u64,
+            api_health,
         }
     }
 }
@@ -308,6 +312,10 @@ pub struct Profile {
     pub events_observed: u64,
     /// Join callstack samples recorded.
     pub join_samples: u64,
+    /// The runtime's fault-isolation counters at finish time
+    /// (`OMP_REQ_HEALTH`): callback panics caught, callbacks
+    /// quarantined, sequence errors.
+    pub api_health: ApiHealth,
 }
 
 impl Profile {
@@ -355,6 +363,13 @@ impl Profile {
         if self.join_samples > 0 {
             out.push_str("\nuser-model call tree (inclusive seconds):\n");
             out.push_str(&self.call_tree.render());
+        }
+        if self.api_health.faulted() {
+            out.push_str(&format!(
+                "\nFAULTS: {} callback panic(s) caught, {} callback(s) quarantined \
+                 (profile may be partial; see `omp_prof health`)\n",
+                self.api_health.callback_panics, self.api_health.callbacks_quarantined
+            ));
         }
         out
     }

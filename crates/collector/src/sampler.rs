@@ -11,16 +11,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ora_core::event::Event;
-use ora_core::request::{OraResult, Request, Response};
+use ora_core::request::{CallbackToken, OraResult, Request, Response};
 use ora_core::state::{ThreadState, ALL_STATES, STATE_COUNT};
+use ora_core::sync::Mutex;
 
 use crate::discovery::RuntimeHandle;
 use crate::report;
 
 /// A histogram of observed thread states.
+///
+/// The sampler owns its event registrations: [`StateSampler::detach`]
+/// (called automatically on drop) unregisters every callback installed
+/// by [`StateSampler::sample_on`], so sampling callbacks never outlive
+/// the histogram they feed.
 pub struct StateSampler {
     handle: RuntimeHandle,
     counts: Arc<[AtomicU64; STATE_COUNT]>,
+    registrations: Mutex<Vec<(Event, CallbackToken)>>,
 }
 
 impl StateSampler {
@@ -31,6 +38,7 @@ impl StateSampler {
         StateSampler {
             handle,
             counts: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            registrations: Mutex::new(Vec::new()),
         }
     }
 
@@ -52,7 +60,7 @@ impl StateSampler {
         for &event in events {
             let handle = self.handle.clone();
             let counts = self.counts.clone();
-            self.handle.register(
+            let token = self.handle.register(
                 event,
                 Arc::new(move |_| {
                     if let Ok(Response::State { state, .. }) =
@@ -62,8 +70,23 @@ impl StateSampler {
                     }
                 }),
             )?;
+            self.registrations.lock().push((event, token));
         }
         Ok(())
+    }
+
+    /// Unregister every callback installed by [`StateSampler::sample_on`]
+    /// and release the interned tokens. Idempotent; returns how many
+    /// registrations were released. Errors from an already-stopped
+    /// runtime (which clears registrations itself) are ignored.
+    pub fn detach(&self) -> usize {
+        let regs: Vec<_> = std::mem::take(&mut *self.registrations.lock());
+        let n = regs.len();
+        for (event, token) in regs {
+            let _ = self.handle.unregister(event);
+            self.handle.forget_callback(token);
+        }
+        n
     }
 
     /// Samples observed for `state`.
@@ -85,5 +108,11 @@ impl StateSampler {
                 .filter(|s| self.count(**s) > 0)
                 .map(|s| vec![s.name().to_string(), self.count(*s).to_string()]),
         )
+    }
+}
+
+impl Drop for StateSampler {
+    fn drop(&mut self) {
+        self.detach();
     }
 }

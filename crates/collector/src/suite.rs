@@ -124,6 +124,7 @@ impl ToolSuite {
     /// Stop collection and assemble every configured report.
     pub fn finish(self) -> SuiteReport {
         let _ = self.handle.request_one(Request::Stop);
+        let api_health = self.handle.query_health().unwrap_or_default();
         let s = self.state;
 
         let profile = s.cfg.profile.then(|| {
@@ -166,6 +167,7 @@ impl ToolSuite {
                 call_tree: tree,
                 events_observed: s.events.load(Ordering::Relaxed),
                 join_samples: stacks.len() as u64,
+                api_health,
             }
         });
 

@@ -24,8 +24,8 @@ use ora_core::event::{Event, ALL_EVENTS, EVENT_COUNT};
 use ora_core::registry::EventData;
 use ora_core::request::{OraError, OraResult, Request};
 use ora_trace::{
-    MemorySink, RawRecord, Recorder, RecordingStats, TraceConfig, TraceError, TraceReader,
-    TraceSink,
+    DrainerHealth, MemorySink, RawRecord, Recorder, RecordingStats, TraceConfig, TraceError,
+    TraceReader, TraceSink,
 };
 
 use crate::clock;
@@ -164,6 +164,18 @@ impl<S: TraceSink + 'static> StreamingTracer<S> {
     pub fn finish(self) -> Result<(S, RecordingStats), StreamError> {
         let _ = self.handle.request_one(Request::Stop);
         Ok(self.recorder.finish()?)
+    }
+
+    /// Snapshot of the background drainer's supervision state.
+    pub fn health(&self) -> DrainerHealth {
+        self.recorder.health()
+    }
+
+    /// Whether the drainer has died (panic or sink failure) and the
+    /// recording is running in degraded mode — events still count, but
+    /// new records are dropped instead of persisted.
+    pub fn is_degraded(&self) -> bool {
+        self.recorder.is_degraded()
     }
 
     /// Snapshot of the per-event counters, indexed by [`Event::index`].

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use crate::event::Event;
 use crate::message;
 use crate::registry::{Callback, CallbackRegistry, EventData};
-use crate::request::{CallbackToken, OraError, OraResult, Request, Response};
+use crate::request::{ApiHealth, CallbackToken, OraError, OraResult, Request, Response};
 use crate::state::{ThreadState, WaitIdKind};
 use crate::sync::{Mutex, RwLock};
 
@@ -130,6 +130,10 @@ pub struct ApiStats {
     pub sequence_errors: u64,
     /// Total requests served (including failed ones).
     pub requests: u64,
+    /// Callback panics caught on the dispatch path (fault isolation).
+    pub callback_panics: u64,
+    /// Callbacks quarantined after exhausting their panic budget.
+    pub callbacks_quarantined: u64,
 }
 
 /// The collector API: callback table + lifecycle + request service.
@@ -184,9 +188,32 @@ impl CollectorApi {
         self.active.load(Ordering::Acquire)
     }
 
-    /// Snapshot of lifetime statistics.
+    /// Snapshot of lifetime statistics. The fault counters come from the
+    /// registry's atomics, so this reflects panics caught on other
+    /// threads' dispatch paths up to the moment of the call.
     pub fn stats(&self) -> ApiStats {
-        *self.stats.lock()
+        let mut stats = *self.stats.lock();
+        let faults = self.registry.fault_stats();
+        stats.callback_panics = faults.callback_panics;
+        stats.callbacks_quarantined = faults.callbacks_quarantined;
+        stats
+    }
+
+    /// The health summary served to [`Request::QueryHealth`].
+    pub fn health(&self) -> ApiHealth {
+        let stats = self.stats();
+        ApiHealth {
+            callback_panics: stats.callback_panics,
+            callbacks_quarantined: stats.callbacks_quarantined,
+            sequence_errors: stats.sequence_errors,
+            requests: stats.requests,
+        }
+    }
+
+    /// Panic budget per registered callback before quarantine (see
+    /// [`CallbackRegistry::set_quarantine_threshold`]).
+    pub fn set_quarantine_threshold(&self, n: u64) {
+        self.registry.set_quarantine_threshold(n);
     }
 
     /// Per-shard request counts of the thread-sharded queues.
@@ -338,6 +365,12 @@ impl CollectorApi {
                 let provider = self.provider.read();
                 let p = provider.as_ref().ok_or(OraError::Error)?;
                 p.parent_region_id().map(Response::RegionId)
+            }
+            Request::QueryHealth => {
+                // Like state queries, health must be answerable at any
+                // point — a tool diagnosing a degraded collector cannot
+                // be told "out of sequence". No phase gating.
+                Ok(Response::Health(self.health()))
             }
             Request::QueryCapabilities => {
                 let provider = self.provider.read();
@@ -688,5 +721,73 @@ mod tests {
             }),
             Err(OraError::UnknownCallback)
         );
+    }
+
+    #[test]
+    fn health_is_served_in_every_phase() {
+        let api = CollectorApi::new();
+        // Before Start: lifecycle requests are out of sequence, health is not.
+        assert_eq!(
+            api.handle_request(Request::Stop),
+            Err(OraError::OutOfSequence)
+        );
+        let resp = api.handle_request(Request::QueryHealth).unwrap();
+        let h = resp.health().unwrap();
+        assert_eq!(h.callback_panics, 0);
+        assert!(h.sequence_errors >= 1);
+        api.set_provider(FakeProvider::new());
+        api.handle_request(Request::Start).unwrap();
+        assert!(api.handle_request(Request::QueryHealth).is_ok());
+        api.handle_request(Request::Stop).unwrap();
+        assert!(api.handle_request(Request::QueryHealth).is_ok());
+    }
+
+    #[test]
+    fn panicking_callback_surfaces_in_stats_and_health() {
+        let api = CollectorApi::new();
+        api.set_provider(FakeProvider::new());
+        api.handle_request(Request::Start).unwrap();
+        let token = api.intern_callback(Arc::new(|_| panic!("injected")));
+        api.handle_request(Request::Register {
+            event: Event::Fork,
+            token,
+        })
+        .unwrap();
+        for _ in 0..10 {
+            api.event(&EventData::bare(Event::Fork, 0));
+        }
+        let stats = api.stats();
+        assert_eq!(
+            stats.callback_panics,
+            crate::registry::DEFAULT_QUARANTINE_THRESHOLD
+        );
+        assert_eq!(stats.callbacks_quarantined, 1);
+        let h = api.health();
+        assert!(h.faulted());
+        assert_eq!(h.callback_panics, stats.callback_panics);
+        assert_eq!(h.callbacks_quarantined, 1);
+        // The quarantined event no longer dispatches.
+        assert!(!api.registry().is_registered(Event::Fork));
+    }
+
+    #[test]
+    fn health_round_trips_through_the_byte_protocol() {
+        let api = CollectorApi::new();
+        api.set_provider(FakeProvider::new());
+        api.handle_request(Request::Start).unwrap();
+        let token = api.intern_callback(Arc::new(|_| panic!("injected")));
+        api.handle_request(Request::Register {
+            event: Event::Join,
+            token,
+        })
+        .unwrap();
+        api.set_quarantine_threshold(1);
+        api.event(&EventData::bare(Event::Join, 0));
+        let mut batch = crate::message::RequestBatch::new(&[Request::QueryHealth]);
+        assert_eq!(api.handle_bytes(batch.as_mut_bytes()), 1);
+        let h = batch.response(0).unwrap().health().unwrap();
+        assert_eq!(h.callback_panics, 1);
+        assert_eq!(h.callbacks_quarantined, 1);
+        assert!(h.requests >= 2);
     }
 }

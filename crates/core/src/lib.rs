@@ -58,8 +58,8 @@ pub mod testutil;
 
 pub use api::{ApiStats, CollectorApi, Phase, RuntimeInfoProvider};
 pub use event::{Event, ALL_EVENTS, EVENT_COUNT};
-pub use registry::{Callback, CallbackRegistry, EventData};
-pub use request::{CallbackToken, OraError, OraResult, Request, RequestCode, Response};
+pub use registry::{Callback, CallbackRegistry, EventData, FaultStats};
+pub use request::{ApiHealth, CallbackToken, OraError, OraResult, Request, RequestCode, Response};
 pub use state::{StateCell, ThreadState, WaitId, WaitIdKind, ALL_STATES, STATE_COUNT};
 
 /// The canonical symbol name under which an OpenMP runtime exports its

@@ -19,7 +19,7 @@
 //! The record stream is terminated by a record with `sz == 0`.
 
 use crate::event::Event;
-use crate::request::{CallbackToken, OraError, Request, RequestCode, Response};
+use crate::request::{ApiHealth, CallbackToken, OraError, Request, RequestCode, Response};
 use crate::state::{ThreadState, WaitIdKind};
 
 /// Size of the fixed record header in bytes.
@@ -34,6 +34,10 @@ pub const PRID_RESPONSE_BYTES: usize = 8;
 
 /// Response-area size for a capabilities query.
 pub const CAPS_RESPONSE_BYTES: usize = 8;
+
+/// Response-area size for a health query: callback panics (u64) +
+/// quarantined callbacks (u64) + sequence errors (u64) + requests (u64).
+pub const HEALTH_RESPONSE_BYTES: usize = 32;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -74,6 +78,7 @@ fn response_bytes(req: &Request) -> usize {
         Request::QueryState => STATE_RESPONSE_BYTES,
         Request::QueryCurrentPrid | Request::QueryParentPrid => PRID_RESPONSE_BYTES,
         Request::QueryCapabilities => CAPS_RESPONSE_BYTES,
+        Request::QueryHealth => HEALTH_RESPONSE_BYTES,
         _ => 0,
     }
 }
@@ -206,6 +211,20 @@ impl RequestBatch {
                 let bits = read_u64(&self.buf, resp_off).ok_or(OraError::Malformed)?;
                 Ok(Response::Capabilities(bits))
             }
+            Request::QueryHealth => {
+                let callback_panics = read_u64(&self.buf, resp_off).ok_or(OraError::Malformed)?;
+                let callbacks_quarantined =
+                    read_u64(&self.buf, resp_off + 8).ok_or(OraError::Malformed)?;
+                let sequence_errors =
+                    read_u64(&self.buf, resp_off + 16).ok_or(OraError::Malformed)?;
+                let requests = read_u64(&self.buf, resp_off + 24).ok_or(OraError::Malformed)?;
+                Ok(Response::Health(ApiHealth {
+                    callback_panics,
+                    callbacks_quarantined,
+                    sequence_errors,
+                    requests,
+                }))
+            }
             _ => Ok(Response::Ack),
         }
     }
@@ -294,6 +313,7 @@ fn decode_and_serve(
         RequestCode::CurrentPrid => Request::QueryCurrentPrid,
         RequestCode::ParentPrid => Request::QueryParentPrid,
         RequestCode::Capabilities => Request::QueryCapabilities,
+        RequestCode::Health => Request::QueryHealth,
     };
 
     let response = serve(request)?;
@@ -329,6 +349,16 @@ fn decode_and_serve(
                 return Err(OraError::MemError);
             }
             write_u64(buf, resp_off, bits);
+            Ok(())
+        }
+        Response::Health(h) => {
+            if rsz < HEALTH_RESPONSE_BYTES {
+                return Err(OraError::MemError);
+            }
+            write_u64(buf, resp_off, h.callback_panics);
+            write_u64(buf, resp_off + 8, h.callbacks_quarantined);
+            write_u64(buf, resp_off + 16, h.sequence_errors);
+            write_u64(buf, resp_off + 24, h.requests);
             Ok(())
         }
     }
@@ -493,7 +523,7 @@ mod seeded_props {
     }
 
     fn arb_request(rng: &mut XorShift64) -> Request {
-        match rng.below(10) {
+        match rng.below(11) {
             0 => Request::Start,
             1 => Request::Stop,
             2 => Request::Pause,
@@ -509,6 +539,7 @@ mod seeded_props {
             6 => Request::QueryState,
             7 => Request::QueryCurrentPrid,
             8 => Request::QueryParentPrid,
+            9 => Request::QueryHealth,
             _ => Request::QueryCapabilities,
         }
     }
@@ -547,6 +578,23 @@ mod seeded_props {
                 });
                 assert_eq!(batch.response(0), Ok(Response::State { state, wait_id }));
             }
+        }
+    }
+
+    /// Health responses round-trip for arbitrary counter values.
+    #[test]
+    fn round_trip_health() {
+        let mut rng = XorShift64::new(0x6d65_7373_0005);
+        for _ in 0..256 {
+            let h = ApiHealth {
+                callback_panics: rng.next_u64(),
+                callbacks_quarantined: rng.next_u64(),
+                sequence_errors: rng.next_u64(),
+                requests: rng.next_u64(),
+            };
+            let mut batch = RequestBatch::new(&[Request::QueryHealth]);
+            serve_batch(batch.as_mut_bytes(), |_| Ok(Response::Health(h)));
+            assert_eq!(batch.response(0), Ok(Response::Health(h)));
         }
     }
 

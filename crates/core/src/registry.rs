@@ -19,7 +19,21 @@
 //!   garbage bag and freed only once no pinned reader can observe them;
 //! * a per-entry generation counter records every publication, so tools
 //!   and tests can detect racing re-registrations.
+//!
+//! **Fault isolation.** A collector callback runs on the runtime thread
+//! that hit the event point — often while the rest of the team sits in a
+//! barrier. A panic unwinding out of the callback would therefore tear
+//! through the runtime's barrier/lock internals and deadlock the team.
+//! [`CallbackRegistry::invoke`] instead catches every unwind, counts it
+//! against the offending entry, and once an entry accumulates
+//! [`CallbackRegistry::quarantine_threshold`] panics it is *quarantined*:
+//! the callback is atomically unregistered through the same RCU
+//! publication path registration uses (a single compare-and-swap of the
+//! slot pointer), so quarantine is lock-free and the healthy fast path
+//! pays nothing for it. Re-registering an event grants the new callback a
+//! fresh panic budget.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -70,6 +84,9 @@ struct Entry {
     generation: AtomicU64,
     /// How many times this event's callback has been invoked (diagnostics).
     fired: AtomicU64,
+    /// Panics the *currently published* callback has caused. Reset on
+    /// every publication so a replacement gets a fresh budget.
+    panics: AtomicU64,
 }
 
 impl Entry {
@@ -78,6 +95,7 @@ impl Entry {
             slot: AtomicPtr::new(std::ptr::null_mut()),
             generation: AtomicU64::new(0),
             fired: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         }
     }
 }
@@ -93,11 +111,30 @@ impl Drop for Entry {
     }
 }
 
+/// Panics a single callback may cause before it is quarantined.
+pub const DEFAULT_QUARANTINE_THRESHOLD: u64 = 3;
+
+/// Fault counters of one registry, as observed by health queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Callback panics caught on the dispatch path, lifetime total.
+    pub callback_panics: u64,
+    /// Callbacks forcibly unregistered after exhausting their panic
+    /// budget.
+    pub callbacks_quarantined: u64,
+}
+
 /// The callback table: one entry per event.
 pub struct CallbackRegistry {
     entries: [Entry; EVENT_COUNT],
     /// Unlinked callback slots awaiting epoch expiry.
     garbage: GarbageBag,
+    /// Panic budget per published callback before quarantine.
+    quarantine_threshold: AtomicU64,
+    /// Lifetime count of caught callback panics.
+    total_panics: AtomicU64,
+    /// Lifetime count of quarantine actions.
+    quarantined: AtomicU64,
 }
 
 impl Default for CallbackRegistry {
@@ -112,6 +149,9 @@ impl CallbackRegistry {
         CallbackRegistry {
             entries: std::array::from_fn(|_| Entry::new()),
             garbage: GarbageBag::new(),
+            quarantine_threshold: AtomicU64::new(DEFAULT_QUARANTINE_THRESHOLD),
+            total_panics: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -120,6 +160,7 @@ impl CallbackRegistry {
     fn publish(&self, entry: &Entry, new: *mut Callback) -> bool {
         let old = entry.slot.swap(new, Ordering::SeqCst);
         entry.generation.fetch_add(1, Ordering::Relaxed);
+        entry.panics.store(0, Ordering::Relaxed);
         if old.is_null() {
             return false;
         }
@@ -168,6 +209,11 @@ impl CallbackRegistry {
     /// published pointer. A concurrent unregister cannot free a callback
     /// out from under a running invocation (the pin keeps it alive), and
     /// a callback may itself (un)register events without deadlocking.
+    ///
+    /// A callback that panics never unwinds into the runtime: the unwind
+    /// is caught here, counted, and — once the entry's budget is spent —
+    /// the callback is quarantined off the table (see module docs). The
+    /// `catch_unwind` costs nothing on the non-panic path.
     #[inline]
     pub fn invoke(&self, data: &EventData) -> bool {
         let entry = &self.entries[data.event.index()];
@@ -186,8 +232,68 @@ impl CallbackRegistry {
         // publish(); once unlinked they are retired, and the bag cannot
         // free them while this pin (taken before the load) is held.
         let cb = unsafe { &*ptr };
-        (**cb)(data);
+        if panic::catch_unwind(AssertUnwindSafe(|| (**cb)(data))).is_err() {
+            self.record_panic(entry, ptr);
+        }
         true
+    }
+
+    /// Slow path after a caught callback panic: charge the entry and
+    /// quarantine the callback once its budget is spent. Runs under the
+    /// caller's pin, so `ptr` is still protected.
+    #[cold]
+    fn record_panic(&self, entry: &Entry, ptr: *mut Callback) {
+        self.total_panics.fetch_add(1, Ordering::Relaxed);
+        let panics = entry.panics.fetch_add(1, Ordering::Relaxed) + 1;
+        if panics < self.quarantine_threshold.load(Ordering::Relaxed) {
+            return;
+        }
+        // Quarantine: unlink exactly the callback we observed. A CAS (not
+        // a swap) so a racing re-registration's fresh callback is never
+        // evicted by the old one's panic record; if the CAS loses, the
+        // replacement already reset the budget and nothing needs doing.
+        if entry
+            .slot
+            .compare_exchange(
+                ptr,
+                std::ptr::null_mut(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            entry.generation.fetch_add(1, Ordering::Relaxed);
+            entry.panics.store(0, Ordering::Relaxed);
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: the CAS just unlinked `ptr`; the bag frees it only
+            // after every pin taken before the unlink (ours included) is
+            // released.
+            self.garbage.retire(unsafe { Box::from_raw(ptr) });
+        }
+    }
+
+    /// Panic budget a published callback has before quarantine.
+    pub fn quarantine_threshold(&self) -> u64 {
+        self.quarantine_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Change the panic budget (takes effect on the next caught panic).
+    /// A threshold of 1 quarantines on the first panic.
+    pub fn set_quarantine_threshold(&self, n: u64) {
+        self.quarantine_threshold.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Panics charged against the currently published callback of `event`.
+    pub fn panic_count(&self, event: Event) -> u64 {
+        self.entries[event.index()].panics.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the registry's lifetime fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            callback_panics: self.total_panics.load(Ordering::Relaxed),
+            callbacks_quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
     }
 
     /// How many times `event`'s callback has fired.
@@ -363,5 +469,163 @@ mod tests {
         assert_eq!(d.region_id, 0);
         assert_eq!(d.parent_region_id, 0);
         assert_eq!(d.wait_id, 0);
+    }
+
+    fn panicking_cb() -> Callback {
+        Arc::new(|_| panic!("injected callback fault"))
+    }
+
+    #[test]
+    fn panicking_callback_is_caught_then_quarantined() {
+        let r = CallbackRegistry::new();
+        r.register(Event::Fork, panicking_cb());
+        assert_eq!(r.quarantine_threshold(), DEFAULT_QUARANTINE_THRESHOLD);
+        for i in 1..=DEFAULT_QUARANTINE_THRESHOLD {
+            // The panic never unwinds out of invoke(); the callback still
+            // counts as having run.
+            assert!(r.invoke(&EventData::bare(Event::Fork, 0)));
+            assert_eq!(r.fault_stats().callback_panics, i);
+        }
+        // Budget spent: the callback is gone and dispatch is a no-op again.
+        assert!(!r.is_registered(Event::Fork));
+        assert!(!r.invoke(&EventData::bare(Event::Fork, 0)));
+        let stats = r.fault_stats();
+        assert_eq!(stats.callback_panics, DEFAULT_QUARANTINE_THRESHOLD);
+        assert_eq!(stats.callbacks_quarantined, 1);
+        assert_eq!(r.panic_count(Event::Fork), 0); // reset on quarantine
+        r.garbage.collect();
+        assert_eq!(r.pending_reclaims(), 0);
+    }
+
+    #[test]
+    fn threshold_one_quarantines_on_first_panic() {
+        let r = CallbackRegistry::new();
+        r.set_quarantine_threshold(1);
+        r.register(Event::Join, panicking_cb());
+        assert!(r.invoke(&EventData::bare(Event::Join, 0)));
+        assert!(!r.is_registered(Event::Join));
+        assert_eq!(r.fault_stats().callbacks_quarantined, 1);
+        // Threshold 0 is clamped to 1: quarantine can't be disabled by
+        // accident into an unwind-forever mode.
+        r.set_quarantine_threshold(0);
+        assert_eq!(r.quarantine_threshold(), 1);
+    }
+
+    #[test]
+    fn re_registration_resets_the_panic_budget() {
+        let r = CallbackRegistry::new();
+        r.register(Event::Fork, panicking_cb());
+        r.invoke(&EventData::bare(Event::Fork, 0));
+        assert_eq!(r.panic_count(Event::Fork), 1);
+        // A fresh callback must not inherit the old one's strikes.
+        let n = Arc::new(AtomicUsize::new(0));
+        r.register(Event::Fork, counting_cb(n.clone()));
+        assert_eq!(r.panic_count(Event::Fork), 0);
+        for _ in 0..10 {
+            r.invoke(&EventData::bare(Event::Fork, 0));
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 10);
+        assert!(r.is_registered(Event::Fork));
+        assert_eq!(r.fault_stats().callbacks_quarantined, 0);
+    }
+
+    #[test]
+    fn quarantine_only_hits_the_faulty_event() {
+        let r = CallbackRegistry::new();
+        let n = Arc::new(AtomicUsize::new(0));
+        r.register(Event::Fork, panicking_cb());
+        r.register(Event::Join, counting_cb(n.clone()));
+        for _ in 0..10 {
+            r.invoke(&EventData::bare(Event::Fork, 0));
+            r.invoke(&EventData::bare(Event::Join, 0));
+        }
+        assert!(!r.is_registered(Event::Fork));
+        assert!(r.is_registered(Event::Join));
+        assert_eq!(n.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_panicking_invokes_quarantine_exactly_once() {
+        let r = Arc::new(CallbackRegistry::new());
+        r.register(Event::Fork, panicking_cb());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        r.invoke(&EventData::bare(Event::Fork, 0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = r.fault_stats();
+        // Exactly one callback was ever published, so at most one
+        // quarantine, and the CAS guarantees it is charged exactly once.
+        assert_eq!(stats.callbacks_quarantined, 1);
+        assert!(stats.callback_panics >= DEFAULT_QUARANTINE_THRESHOLD);
+        assert!(!r.is_registered(Event::Fork));
+    }
+}
+
+#[cfg(test)]
+mod seeded_props {
+    use super::*;
+    use crate::testutil::XorShift64;
+    use std::sync::atomic::AtomicUsize;
+
+    /// For any quarantine threshold and any interleaving of panicking and
+    /// healthy invocations, the callback is unlinked exactly when the
+    /// per-publication panic count reaches the threshold — never earlier,
+    /// never later — and healthy re-registrations always start clean.
+    #[test]
+    fn quarantine_fires_exactly_at_threshold() {
+        let mut rng = XorShift64::new(
+            std::env::var("ORA_FAULT_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x7175_6172_0001),
+        );
+        for _ in 0..64 {
+            let threshold = rng.range_i64(1, 8) as u64;
+            let r = CallbackRegistry::new();
+            r.set_quarantine_threshold(threshold);
+            let should_panic = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let sp = Arc::clone(&should_panic);
+            let ran = Arc::new(AtomicUsize::new(0));
+            let ran2 = Arc::clone(&ran);
+            r.register(
+                Event::Fork,
+                Arc::new(move |_| {
+                    ran2.fetch_add(1, Ordering::SeqCst);
+                    if sp.load(Ordering::SeqCst) {
+                        panic!("seeded fault");
+                    }
+                }),
+            );
+            let mut strikes = 0u64;
+            for _ in 0..rng.range_usize(1, 64) {
+                if !r.is_registered(Event::Fork) {
+                    break;
+                }
+                let fault = rng.below(2) == 0;
+                should_panic.store(fault, Ordering::SeqCst);
+                r.invoke(&EventData::bare(Event::Fork, 0));
+                if fault {
+                    strikes += 1;
+                }
+                if strikes < threshold {
+                    assert!(r.is_registered(Event::Fork), "quarantined early");
+                    assert_eq!(r.panic_count(Event::Fork), strikes);
+                } else {
+                    assert!(!r.is_registered(Event::Fork), "quarantine missed");
+                }
+            }
+            let stats = r.fault_stats();
+            assert_eq!(stats.callback_panics, strikes);
+            assert_eq!(stats.callbacks_quarantined, u64::from(strikes >= threshold));
+        }
     }
 }

@@ -46,10 +46,14 @@ pub enum RequestCode {
     /// runtime can generate, so a collector can plan registrations in one
     /// round trip instead of probing for `UNSUPPORTED` per event.
     Capabilities = 10,
+    /// `OMP_REQ_HEALTH` (extension): query the fault-isolation counters —
+    /// caught callback panics, quarantined callbacks, sequence errors.
+    /// Answerable in every phase, like a state query.
+    Health = 11,
 }
 
 /// Number of distinct request codes.
-pub const REQUEST_CODE_COUNT: usize = 10;
+pub const REQUEST_CODE_COUNT: usize = 11;
 
 /// All request codes in discriminant order.
 pub const ALL_REQUEST_CODES: [RequestCode; REQUEST_CODE_COUNT] = [
@@ -63,6 +67,7 @@ pub const ALL_REQUEST_CODES: [RequestCode; REQUEST_CODE_COUNT] = [
     RequestCode::Pause,
     RequestCode::Resume,
     RequestCode::Capabilities,
+    RequestCode::Health,
 ];
 
 impl RequestCode {
@@ -88,7 +93,32 @@ impl RequestCode {
             RequestCode::Pause => "OMP_REQ_PAUSE",
             RequestCode::Resume => "OMP_REQ_RESUME",
             RequestCode::Capabilities => "OMP_REQ_CAPABILITIES",
+            RequestCode::Health => "OMP_REQ_HEALTH",
         }
+    }
+}
+
+/// The fault-isolation counters carried by a [`Response::Health`].
+///
+/// All counters are lifetime totals of the queried API instance, so a
+/// tool can watch deltas between two queries to detect *new* faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ApiHealth {
+    /// Callback panics caught on the event dispatch path.
+    pub callback_panics: u64,
+    /// Callbacks quarantined (force-unregistered) after exhausting their
+    /// panic budget.
+    pub callbacks_quarantined: u64,
+    /// Requests rejected with [`OraError::OutOfSequence`].
+    pub sequence_errors: u64,
+    /// Total requests served.
+    pub requests: u64,
+}
+
+impl ApiHealth {
+    /// Whether any fault has ever been recorded.
+    pub fn faulted(&self) -> bool {
+        self.callback_panics > 0 || self.callbacks_quarantined > 0
     }
 }
 
@@ -125,6 +155,8 @@ pub enum Request {
     QueryParentPrid,
     /// Query the supported-event bitmap (extension).
     QueryCapabilities,
+    /// Query the fault-isolation health counters (extension).
+    QueryHealth,
 }
 
 impl Request {
@@ -141,6 +173,7 @@ impl Request {
             Request::QueryCurrentPrid => RequestCode::CurrentPrid,
             Request::QueryParentPrid => RequestCode::ParentPrid,
             Request::QueryCapabilities => RequestCode::Capabilities,
+            Request::QueryHealth => RequestCode::Health,
         }
     }
 }
@@ -225,6 +258,8 @@ pub enum Response {
     },
     /// Reply to a region-ID query.
     RegionId(u64),
+    /// Reply to [`Request::QueryHealth`]: fault-isolation counters.
+    Health(ApiHealth),
     /// Reply to [`Request::QueryCapabilities`]: bit `i` set means the
     /// event with [`crate::event::Event::index`] `i` is supported.
     Capabilities(u64),
@@ -243,6 +278,14 @@ impl Response {
     pub fn state(&self) -> Option<ThreadState> {
         match self {
             Response::State { state, .. } => Some(*state),
+            _ => None,
+        }
+    }
+
+    /// The counters carried by a [`Response::Health`], if any.
+    pub fn health(&self) -> Option<ApiHealth> {
+        match self {
+            Response::Health(h) => Some(*h),
             _ => None,
         }
     }

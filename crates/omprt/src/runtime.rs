@@ -292,6 +292,19 @@ impl OpenMp {
         self.shared.api.clone()
     }
 
+    /// Snapshot of the collector API's fault-isolation counters
+    /// (callback panics caught, callbacks quarantined, sequence errors)
+    /// — the same numbers `OMP_REQ_HEALTH` serves over the wire.
+    pub fn health(&self) -> ora_core::request::ApiHealth {
+        self.shared.api.health()
+    }
+
+    /// Panics a registered callback may make before the dispatcher
+    /// quarantines (unregisters) it. Clamped to at least 1.
+    pub fn set_quarantine_threshold(&self, n: u64) {
+        self.shared.api.set_quarantine_threshold(n);
+    }
+
     /// The instance-qualified dynamic symbol this runtime exports.
     pub fn symbol_name(&self) -> &str {
         &self.symbol

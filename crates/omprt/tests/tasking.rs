@@ -65,9 +65,15 @@ fn borrowed_tasks_may_capture_region_lived_data() {
             }
         }
         ctx.taskwait();
-        // After taskwait every thread observes all tasks done.
-        assert_eq!(total.load(Ordering::SeqCst), 10);
+        // Taskwait guarantees completion on the creating thread's
+        // control path; the worker may arrive before the master has
+        // pushed anything and return immediately, so only the master
+        // can assert here.
+        if ctx.is_master() {
+            assert_eq!(total.load(Ordering::SeqCst), 10);
+        }
     });
+    assert_eq!(total.load(Ordering::SeqCst), 10);
 }
 
 #[test]

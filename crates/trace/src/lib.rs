@@ -44,11 +44,11 @@ pub mod reader;
 pub mod ring;
 pub mod sink;
 
-pub use drain::{Recorder, RecordingStats, TraceConfig};
+pub use drain::{DrainerHealth, Recorder, RecordingStats, TraceConfig};
 pub use format::{ChunkMeta, Footer, LaneStats};
 pub use reader::{merge_ranks, RankedEvent, TraceEvent, TraceReader};
-pub use ring::{DropPolicy, RawRecord, Ring, RingSet, RingStats};
-pub use sink::{FileSink, MemorySink, TraceSink};
+pub use ring::{DropPolicy, RawRecord, Ring, RingSet, RingStats, DEFAULT_BLOCK_YIELD_LIMIT};
+pub use sink::{FaultMode, FaultSink, FileSink, MemorySink, TraceSink};
 
 /// Everything that can go wrong encoding, writing, or reading a trace.
 ///
@@ -79,6 +79,17 @@ pub enum TraceError {
     UnknownEvent(u32),
     /// A structural invariant failed (reason attached).
     Malformed(&'static str),
+    /// The background drainer died mid-recording (panic or sink
+    /// failure). Carries the partial-trace accounting so callers know
+    /// how much data survived.
+    DrainerFailed {
+        /// The sink error or panic message that killed the drainer.
+        reason: String,
+        /// Records persisted before the failure.
+        drained: u64,
+        /// Records lost to backpressure up to the failure.
+        dropped: u64,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -95,6 +106,14 @@ impl std::fmt::Display for TraceError {
             TraceError::MissingFooter => write!(f, "trace has no footer (incomplete recording?)"),
             TraceError::UnknownEvent(e) => write!(f, "trace record has unknown event {e}"),
             TraceError::Malformed(why) => write!(f, "malformed trace: {why}"),
+            TraceError::DrainerFailed {
+                reason,
+                drained,
+                dropped,
+            } => write!(
+                f,
+                "trace drainer failed ({reason}); partial trace: {drained} records drained, {dropped} dropped"
+            ),
         }
     }
 }

@@ -15,7 +15,7 @@
 //! as the RCU dispatch path in `ora_core::registry`.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// What a producer does when its ring is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,11 +27,18 @@ pub enum DropPolicy {
     /// record the incoming one. The worker pays one extra CAS; the
     /// oldest data is lost.
     Oldest,
-    /// Spin (with `yield_now`) until the drainer frees a slot. No data
-    /// is ever lost, but a stalled drainer stalls the worker — only for
-    /// runs where completeness beats latency.
+    /// Spin (with `yield_now`) until the drainer frees a slot, but never
+    /// forever: a ring whose consumer is gone (its [`Ring::shutdown`]
+    /// flag is set) or stalled past the yield budget degrades to a
+    /// counted drop instead of livelocking the worker inside an event
+    /// callback. Lossless while the drainer is healthy.
     Block,
 }
+
+/// Yields a blocked producer spends waiting on a live-but-slow drainer
+/// before giving up and counting a drop. Overridden per recording by
+/// [`crate::drain::TraceConfig`]'s `block_yield_limit`.
+pub const DEFAULT_BLOCK_YIELD_LIMIT: u64 = 1 << 16;
 
 /// A fixed-size trace record as it travels through the ring. Plain data
 /// so the hot path is a handful of stores.
@@ -68,12 +75,15 @@ pub struct RingStats {
     pub dropped_newest: u64,
     /// Buffered records reclaimed by [`DropPolicy::Oldest`].
     pub dropped_oldest: u64,
+    /// Records dropped by [`DropPolicy::Block`] producers whose bounded
+    /// wait expired (dead or stalled drainer). Zero on healthy runs.
+    pub dropped_blocked: u64,
 }
 
 impl RingStats {
     /// Total records lost to backpressure.
     pub fn dropped(&self) -> u64 {
-        self.dropped_newest + self.dropped_oldest
+        self.dropped_newest + self.dropped_oldest + self.dropped_blocked
     }
 }
 
@@ -88,6 +98,12 @@ pub struct Ring {
     written: AtomicU64,
     dropped_newest: AtomicU64,
     dropped_oldest: AtomicU64,
+    dropped_blocked: AtomicU64,
+    /// Raised when the consumer is gone (drainer stopped or died);
+    /// blocked producers observe it and degrade to counted drops.
+    shutdown: AtomicBool,
+    /// Yield budget for [`DropPolicy::Block`] waits.
+    block_yield_limit: u64,
 }
 
 // SAFETY: slots are only written by the producer that reserved them via
@@ -116,12 +132,34 @@ impl Ring {
             written: AtomicU64::new(0),
             dropped_newest: AtomicU64::new(0),
             dropped_oldest: AtomicU64::new(0),
+            dropped_blocked: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            block_yield_limit: DEFAULT_BLOCK_YIELD_LIMIT,
         }
+    }
+
+    /// Override the [`DropPolicy::Block`] yield budget (builder-style,
+    /// before the ring is shared).
+    pub fn with_block_yield_limit(mut self, limit: u64) -> Ring {
+        self.block_yield_limit = limit.max(1);
+        self
     }
 
     /// Slot count.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Tell producers the consumer is gone: [`DropPolicy::Block`] stops
+    /// waiting immediately and counts drops instead. Irreversible for
+    /// the life of the ring.
+    pub fn set_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Whether the consumer has been declared gone.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
     }
 
     /// Reserve the next record sequence number. Separate from the slot
@@ -221,12 +259,22 @@ impl Ring {
                 }
             }
             DropPolicy::Block => {
+                // Bounded wait: a producer is inside an event callback on
+                // an application thread, so it must never be hostage to a
+                // consumer that died (shutdown flag) or wedged (yield
+                // budget). Either way the record becomes a counted drop.
                 let mut spins = 0u32;
+                let mut yields = 0u64;
                 while self.try_push(rec).is_err() {
+                    if self.shutdown.load(Ordering::Acquire) || yields >= self.block_yield_limit {
+                        self.dropped_blocked.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
                     spins += 1;
                     if spins < 64 {
                         std::hint::spin_loop();
                     } else {
+                        yields += 1;
                         std::thread::yield_now();
                     }
                 }
@@ -255,6 +303,7 @@ impl Ring {
             written: self.written.load(Ordering::Relaxed),
             dropped_newest: self.dropped_newest.load(Ordering::Relaxed),
             dropped_oldest: self.dropped_oldest.load(Ordering::Relaxed),
+            dropped_blocked: self.dropped_blocked.load(Ordering::Relaxed),
         }
     }
 }
@@ -269,12 +318,35 @@ pub struct RingSet {
 impl RingSet {
     /// `lanes` rings of `capacity_per_lane` records each.
     pub fn new(lanes: usize, capacity_per_lane: usize, policy: DropPolicy) -> RingSet {
+        RingSet::with_block_yield_limit(lanes, capacity_per_lane, policy, DEFAULT_BLOCK_YIELD_LIMIT)
+    }
+
+    /// Like [`RingSet::new`] with an explicit [`DropPolicy::Block`] yield
+    /// budget per lane.
+    pub fn with_block_yield_limit(
+        lanes: usize,
+        capacity_per_lane: usize,
+        policy: DropPolicy,
+        block_yield_limit: u64,
+    ) -> RingSet {
         RingSet {
             lanes: (0..lanes.max(1))
-                .map(|_| Ring::new(capacity_per_lane))
+                .map(|_| Ring::new(capacity_per_lane).with_block_yield_limit(block_yield_limit))
                 .collect(),
             policy,
         }
+    }
+
+    /// Declare the consumer gone on every lane (see [`Ring::set_shutdown`]).
+    pub fn set_shutdown(&self) {
+        for lane in &self.lanes {
+            lane.set_shutdown();
+        }
+    }
+
+    /// Whether the consumer has been declared gone.
+    pub fn is_shutdown(&self) -> bool {
+        self.lanes[0].is_shutdown()
     }
 
     /// Number of lanes.
@@ -312,6 +384,7 @@ impl RingSet {
             total.written += s.written;
             total.dropped_newest += s.dropped_newest;
             total.dropped_oldest += s.dropped_oldest;
+            total.dropped_blocked += s.dropped_blocked;
         }
         total
     }
@@ -391,6 +464,46 @@ mod tests {
         producer.join().unwrap();
         assert_eq!(r.stats().dropped(), 0);
         assert!(got.windows(2).all(|w| w[0].tick < w[1].tick));
+    }
+
+    #[test]
+    fn block_policy_drops_immediately_after_shutdown() {
+        let r = Ring::new(4);
+        for i in 0..4 {
+            r.record(rec(i, 0), DropPolicy::Block);
+        }
+        r.set_shutdown();
+        // Full ring, dead consumer: must return promptly, counting drops.
+        for i in 4..10 {
+            r.record(rec(i, 0), DropPolicy::Block);
+        }
+        let s = r.stats();
+        assert_eq!(s.written, 4);
+        assert_eq!(s.dropped_blocked, 6);
+        assert_eq!(s.dropped(), 6);
+    }
+
+    #[test]
+    fn block_policy_yield_budget_bounds_a_stalled_consumer() {
+        // Consumer alive in principle but never draining: the producer
+        // must come back after the yield budget, not livelock.
+        let r = Ring::new(2).with_block_yield_limit(8);
+        r.record(rec(0, 0), DropPolicy::Block);
+        r.record(rec(1, 0), DropPolicy::Block);
+        r.record(rec(2, 0), DropPolicy::Block); // would spin forever before
+        assert_eq!(r.stats().dropped_blocked, 1);
+        assert!(!r.is_shutdown());
+    }
+
+    #[test]
+    fn ringset_shutdown_reaches_every_lane() {
+        let set = RingSet::new(4, 8, DropPolicy::Block);
+        assert!(!set.is_shutdown());
+        set.set_shutdown();
+        assert!(set.is_shutdown());
+        for lane in 0..set.lane_count() {
+            assert!(set.lane(lane).is_shutdown());
+        }
     }
 
     #[test]

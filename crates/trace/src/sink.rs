@@ -20,6 +20,16 @@ pub trait TraceSink: Send {
     fn flush(&mut self) -> io::Result<()>;
 }
 
+impl TraceSink for Box<dyn TraceSink> {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        (**self).write_all(bytes)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+}
+
 /// A sink writing to a buffered file.
 pub struct FileSink {
     writer: BufWriter<File>,
@@ -76,6 +86,78 @@ impl TraceSink for MemorySink {
     fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.bytes.extend_from_slice(bytes);
         Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// How a [`FaultSink`] fails once its byte budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Return `io::ErrorKind::Other` from every further write.
+    Error,
+    /// Panic inside the write (exercises the drainer's `catch_unwind`).
+    Panic,
+    /// Accept only part of the write, then error — a short write, as a
+    /// full disk or broken pipe produces.
+    ShortWrite,
+}
+
+/// A fault-injecting sink for the deterministic fault harness: behaves
+/// like a [`MemorySink`] until `budget` bytes have been accepted, then
+/// fails every subsequent write according to its [`FaultMode`].
+#[derive(Debug)]
+pub struct FaultSink {
+    inner: MemorySink,
+    budget: usize,
+    mode: FaultMode,
+    faults: u64,
+}
+
+impl FaultSink {
+    /// A sink accepting `budget` bytes before failing in `mode`.
+    pub fn new(budget: usize, mode: FaultMode) -> FaultSink {
+        FaultSink {
+            inner: MemorySink::new(),
+            budget,
+            mode,
+            faults: 0,
+        }
+    }
+
+    /// Bytes accepted so far.
+    pub fn bytes(&self) -> &[u8] {
+        self.inner.bytes()
+    }
+
+    /// How many writes have faulted.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Consume the sink, returning whatever bytes were accepted.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.inner.into_bytes()
+    }
+}
+
+impl TraceSink for FaultSink {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let room = self.budget.saturating_sub(self.inner.bytes().len());
+        if bytes.len() <= room {
+            return self.inner.write_all(bytes);
+        }
+        self.faults += 1;
+        match self.mode {
+            FaultMode::Error => Err(io::Error::other("injected sink fault")),
+            FaultMode::Panic => panic!("injected sink panic"),
+            FaultMode::ShortWrite => {
+                self.inner.write_all(&bytes[..room])?;
+                Err(io::Error::other("injected short write"))
+            }
+        }
     }
 
     fn flush(&mut self) -> io::Result<()> {

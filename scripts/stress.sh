@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Fault-injection and oversubscription stress: sweep the seeded fault
+# harness across several seeds and drive the CLI acceptance scenario
+# (permanently-panicking callback + killed drainer under --policy block).
+#
+# Usage: scripts/stress.sh [seed ...]
+#
+# Default sweep: seeds 1..5. On failure the offending seed is written to
+# stress-failures/ (CI uploads that directory as an artifact) so the run
+# can be replayed locally with:
+#
+#   ORA_FAULT_SEED=<seed> cargo test -p ora-trace --test fault_props
+#   ORA_FAULT_SEED=<seed> cargo test -p ora-bench --test fault_isolation
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seeds=("$@")
+if [[ ${#seeds[@]} -eq 0 ]]; then
+  seeds=(1 2 3 4 5)
+fi
+
+mkdir -p stress-failures
+status=0
+
+run_seeded() {
+  local seed="$1"
+  shift
+  if ! ORA_FAULT_SEED="$seed" cargo test -q --offline "$@"; then
+    echo "stress: FAILED at seed $seed ($*)" >&2
+    echo "$seed $*" >> stress-failures/failed-seeds.txt
+    status=1
+  fi
+}
+
+for seed in "${seeds[@]}"; do
+  echo "== stress sweep: seed $seed =="
+  # Seeded quarantine property tests on the dispatcher.
+  run_seeded "$seed" -p ora-core --lib seeded_props
+  # Sink faults, dead drainers, and oversubscribed Block producers.
+  run_seeded "$seed" -p ora-trace --test fault_props --test stress
+  # Live-runtime workloads under injected collector faults.
+  run_seeded "$seed" -p ora-bench --test fault_isolation
+done
+
+# CLI acceptance scenario: every workload completes with correct
+# results while the collector panics and the trace drainer is dead.
+echo "== stress: omp_prof suite under full fault injection =="
+if ! cargo run --release --offline -p ora-bench --bin omp_prof -- \
+    suite --threads 4 --inject-panic-cb --kill-drainer --policy block; then
+  echo "stress: fault-injected suite FAILED" >&2
+  echo "suite --inject-panic-cb --kill-drainer --policy block" \
+    >> stress-failures/failed-seeds.txt
+  status=1
+fi
+
+# `health` must report the injected faults (exit 3 = faulted-but-alive)
+# and a clean run must stay healthy (exit 0).
+echo "== stress: omp_prof health verdicts =="
+set +e
+cargo run --release --offline -p ora-bench --bin omp_prof -- \
+  health --inject-panic-cb --kill-drainer --policy block > /dev/null 2>&1
+rc=$?
+set -e
+if [[ $rc -ne 3 ]]; then
+  echo "stress: injected-fault health run exited $rc, expected 3" >&2
+  echo "health --inject-panic-cb --kill-drainer" >> stress-failures/failed-seeds.txt
+  status=1
+fi
+set +e
+cargo run --release --offline -p ora-bench --bin omp_prof -- health > /dev/null 2>&1
+rc=$?
+set -e
+if [[ $rc -ne 0 ]]; then
+  echo "stress: clean health run exited $rc, expected 0" >&2
+  echo "health (clean)" >> stress-failures/failed-seeds.txt
+  status=1
+fi
+
+if [[ $status -ne 0 ]]; then
+  echo "stress: FAILURES — seeds recorded in stress-failures/failed-seeds.txt" >&2
+  exit 1
+fi
+rmdir stress-failures 2>/dev/null || true
+echo "stress: OK (${#seeds[@]} seed(s) swept)"
