@@ -54,6 +54,36 @@ fn bench_barrier_algorithms(c: &mut Criterion) {
         );
     }
     g.finish();
+
+    // Contended episodes at 8 threads — the acceptance case for the
+    // parking/padding work: every episode crosses arrival, release,
+    // counter reset, and (oversubscribed) the park/unpark edge. 16
+    // episodes per region amortize the fork/join cost so the number is
+    // dominated by barrier latency.
+    let mut g = c.benchmark_group("barrier_contended_8thr");
+    g.sample_size(10);
+    for kind in [BarrierKind::Central, BarrierKind::Tree] {
+        g.bench_with_input(
+            BenchmarkId::new("episodes_x16", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let rt = OpenMp::with_config(Config {
+                    num_threads: 8,
+                    barrier: kind,
+                    ..Config::default()
+                });
+                rt.parallel(|_| {});
+                b.iter(|| {
+                    rt.parallel(|ctx| {
+                        for _ in 0..16 {
+                            ctx.barrier();
+                        }
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
 }
 
 fn bench_barrier_event_cost(c: &mut Criterion) {

@@ -19,6 +19,14 @@ fn bench_schedule_math(c: &mut Criterion) {
         let l = schedule::DynamicLoop::new(0, i64::MAX / 2, 1, Schedule::Dynamic(64), 8);
         b.iter(|| std::hint::black_box(l.claim()))
     });
+    // Batched claimer: most next_chunk() calls are served from the
+    // thread-local cache without touching the shared cursor — the
+    // contention-avoidance path the worksharing loop actually runs.
+    g.bench_function("dynamic_claim_batched", |b| {
+        let l = schedule::DynamicLoop::new(0, i64::MAX / 2, 1, Schedule::Dynamic(64), 8);
+        let mut claimer = l.claimer();
+        b.iter(|| std::hint::black_box(claimer.next_chunk()))
+    });
     g.finish();
 }
 

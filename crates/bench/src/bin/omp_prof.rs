@@ -195,11 +195,11 @@ fn bench_run() {
         .unwrap_or(cfg.reps);
     let out_dir = arg("--out-dir", ".");
     let suites: Vec<MeterSuite> = match arg("--suite", "all").as_str() {
-        "all" => vec![MeterSuite::Epcc, MeterSuite::Npb],
+        "all" => vec![MeterSuite::Epcc, MeterSuite::Npb, MeterSuite::Sync],
         key => match MeterSuite::from_key(key) {
             Some(s) => vec![s],
             None => {
-                eprintln!("unknown suite '{key}' — use epcc|npb|all");
+                eprintln!("unknown suite '{key}' — use epcc|npb|sync|all");
                 std::process::exit(2);
             }
         },
@@ -230,6 +230,12 @@ fn bench_run() {
             std::process::exit(2);
         });
         println!("wrote {path}");
+        if let Some(sc) = &doc.sync_config {
+            println!(
+                "  sync config: {} barrier, spin budget {}/{} (short/long)",
+                sc.barrier, sc.spin_budget_short, sc.spin_budget_long
+            );
+        }
         for w in &doc.workloads {
             let ratios: Vec<String> = w
                 .configs

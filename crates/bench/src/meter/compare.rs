@@ -260,6 +260,7 @@ mod tests {
             warmup: 1,
             target_reps: 7,
             unit: "seconds/rep".into(),
+            sync_config: None,
             workloads: vec![WorkloadResult {
                 name: "parallel".into(),
                 work_units: 96,

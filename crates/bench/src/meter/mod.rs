@@ -30,7 +30,7 @@ pub mod stats;
 pub use compare::{compare, CompareError, CompareReport, Regression, Shift};
 pub use runner::{run_suite, run_suite_with_progress, RunnerConfig, UNIT};
 pub use schema::{
-    BenchDoc, ConfigResult, SchemaError, WorkloadResult, SCHEMA_NAME, SCHEMA_VERSION,
+    BenchDoc, ConfigResult, SchemaError, SyncConfig, WorkloadResult, SCHEMA_NAME, SCHEMA_VERSION,
 };
 pub use stats::{
     analyze, bootstrap_ci_median, mad, median, reject_outliers, SampleStats, StatPolicy,

@@ -20,7 +20,7 @@ use collector::{clock, RuntimeHandle};
 use omprt::OpenMp;
 use workloads::meterwork::{meter_workloads, MeterScale, MeterSuite, MeterWorkload};
 
-use super::schema::{BenchDoc, ConfigResult, WorkloadResult};
+use super::schema::{BenchDoc, ConfigResult, SyncConfig, WorkloadResult};
 use super::stats::{analyze, SampleStats, StatPolicy};
 
 /// Unit string stamped into every document this runner produces.
@@ -91,8 +91,21 @@ pub fn run_suite_with_progress(
         warmup: cfg.warmup,
         target_reps: cfg.reps,
         unit: UNIT.to_string(),
+        sync_config: Some(sync_config()),
         workloads: results,
     })
+}
+
+/// The synchronization configuration the measured runtime actually used:
+/// the default barrier algorithm plus the host-adaptive spin budgets.
+/// Stamped into every document so a baseline produced under one barrier
+/// or spin policy is distinguishable from a run under another.
+fn sync_config() -> SyncConfig {
+    SyncConfig {
+        barrier: omprt::Config::default().barrier.name().to_string(),
+        spin_budget_short: u64::from(omprt::spin::short_budget()),
+        spin_budget_long: u64::from(omprt::spin::long_budget()),
+    }
 }
 
 fn run_workload(
@@ -202,6 +215,8 @@ mod tests {
                 assert!(c.ratio_ci_lo <= c.ratio_ci_hi);
             }
         }
+        let sc = doc.sync_config.as_ref().expect("runner stamps the config");
+        assert!(["central", "tree"].contains(&sc.barrier.as_str()));
         let parsed = BenchDoc::from_json(&doc.to_json()).unwrap();
         assert_eq!(parsed, doc);
     }

@@ -43,8 +43,26 @@ pub struct BenchDoc {
     pub target_reps: usize,
     /// Unit of `median`/`ci`/`min`/`max`/`mad` fields.
     pub unit: String,
+    /// Synchronization-core configuration active during the run, if the
+    /// producer recorded it. Optional for backward compatibility:
+    /// documents written before this field existed parse with `None`.
+    pub sync_config: Option<SyncConfig>,
     /// Per-workload results.
     pub workloads: Vec<WorkloadResult>,
+}
+
+/// The runtime's synchronization configuration at measurement time —
+/// which barrier algorithm ran and what the spin budgets were. Two
+/// documents with different blocks here are measuring different code
+/// paths and should not be ratio-gated against each other blindly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncConfig {
+    /// Active barrier algorithm (`central` / `tree`).
+    pub barrier: String,
+    /// Spin iterations before parking in short waits (locks).
+    pub spin_budget_short: u64,
+    /// Spin iterations before parking in long waits (barriers, doorbells).
+    pub spin_budget_long: u64,
 }
 
 /// Results of one workload across all collector configurations.
@@ -197,6 +215,13 @@ impl BenchDoc {
         let _ = write!(o, ",\n  \"target_reps\": {}", self.target_reps);
         o.push_str(",\n  \"unit\": ");
         push_json_string(&mut o, &self.unit);
+        if let Some(sc) = &self.sync_config {
+            o.push_str(",\n  \"config\": {\n    \"barrier\": ");
+            push_json_string(&mut o, &sc.barrier);
+            let _ = write!(o, ",\n    \"spin_budget_short\": {}", sc.spin_budget_short);
+            let _ = write!(o, ",\n    \"spin_budget_long\": {}", sc.spin_budget_long);
+            o.push_str("\n  }");
+        }
         o.push_str(",\n  \"workloads\": [");
         for (i, w) in self.workloads.iter().enumerate() {
             if i > 0 {
@@ -284,6 +309,18 @@ impl BenchDoc {
             });
         }
 
+        let sync_config = match root.maybe("config") {
+            None => None,
+            Some(v) => {
+                let c = v.as_object("$.config")?;
+                Some(SyncConfig {
+                    barrier: c.get_str("barrier")?.to_string(),
+                    spin_budget_short: c.get_u64("spin_budget_short")?,
+                    spin_budget_long: c.get_u64("spin_budget_long")?,
+                })
+            }
+        };
+
         Ok(BenchDoc {
             suite: root.get_str("suite")?.to_string(),
             scale: root.get_str("scale")?.to_string(),
@@ -291,6 +328,7 @@ impl BenchDoc {
             warmup: root.get_u64("warmup")? as usize,
             target_reps: root.get_u64("target_reps")? as usize,
             unit: root.get_str("unit")?.to_string(),
+            sync_config,
             workloads,
         })
     }
@@ -337,6 +375,11 @@ impl Json {
 }
 
 impl ObjectView<'_> {
+    /// Optional-field lookup: absent is `None`, not an error.
+    fn maybe(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
     fn get(&self, key: &str) -> Result<&Json, SchemaError> {
         self.fields
             .iter()
@@ -660,6 +703,11 @@ mod tests {
             warmup: 1,
             target_reps: 7,
             unit: "seconds/rep".into(),
+            sync_config: Some(SyncConfig {
+                barrier: "central".into(),
+                spin_budget_short: 64,
+                spin_budget_long: 2000,
+            }),
             workloads: vec![WorkloadResult {
                 name: "parallel".into(),
                 work_units: 96,
@@ -702,6 +750,23 @@ mod tests {
         assert!(json.contains("\"schema\": \"ora-meter/bench\""));
         assert!(json.contains("\"schema_version\": 1"));
         assert!(json.contains("\"unit\": \"seconds/rep\""));
+    }
+
+    #[test]
+    fn config_block_is_optional_for_backward_compatibility() {
+        // A pre-config-block document (the seed baselines) must parse.
+        let mut doc = sample_doc();
+        doc.sync_config = None;
+        let json = doc.to_json();
+        assert!(!json.contains("\n  \"config\": {"));
+        let parsed = BenchDoc::from_json(&json).unwrap();
+        assert_eq!(parsed.sync_config, None);
+        assert_eq!(parsed, doc);
+        // And a document carrying the block round-trips it.
+        let parsed = BenchDoc::from_json(&sample_doc().to_json()).unwrap();
+        let sc = parsed.sync_config.expect("config block present");
+        assert_eq!(sc.barrier, "central");
+        assert_eq!((sc.spin_budget_short, sc.spin_budget_long), (64, 2000));
     }
 
     #[test]

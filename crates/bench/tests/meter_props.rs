@@ -6,7 +6,7 @@ use ora_bench::meter::schema::{BenchDoc, ConfigResult, SchemaError, WorkloadResu
 use ora_bench::meter::stats::{
     analyze, bootstrap_ci_median, median, reject_outliers, SampleStats, StatPolicy,
 };
-use ora_bench::meter::{compare, CompareError};
+use ora_bench::meter::{compare, CompareError, SyncConfig};
 use ora_core::testutil::XorShift64;
 
 /// Uniform f64 in [0, 1) from the shared deterministic generator.
@@ -191,6 +191,17 @@ fn random_doc(rng: &mut XorShift64) -> BenchDoc {
         warmup: (rng.next_u64() % 3) as usize,
         target_reps: 3 + (rng.next_u64() % 20) as usize,
         unit: "seconds/rep".to_string(),
+        // Half the documents carry the sync-config block, half predate it
+        // — the round-trip property must hold for both generations.
+        sync_config: if rng.chance(1, 2) {
+            Some(SyncConfig {
+                barrier: if rng.chance(1, 2) { "central" } else { "tree" }.to_string(),
+                spin_budget_short: rng.next_u64() % 1_000,
+                spin_budget_long: rng.next_u64() % 100_000,
+            })
+        } else {
+            None
+        },
         workloads,
     }
 }

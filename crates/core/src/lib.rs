@@ -49,6 +49,8 @@
 pub mod api;
 pub mod event;
 pub mod message;
+pub mod pad;
+pub mod park;
 pub mod rcu;
 pub mod registry;
 pub mod request;
@@ -58,6 +60,8 @@ pub mod testutil;
 
 pub use api::{ApiStats, CollectorApi, Phase, RuntimeInfoProvider};
 pub use event::{Event, ALL_EVENTS, EVENT_COUNT};
+pub use pad::CachePadded;
+pub use park::{Backoff, ParkSlot};
 pub use registry::{Callback, CallbackRegistry, EventData, FaultStats};
 pub use request::{ApiHealth, CallbackToken, OraError, OraResult, Request, RequestCode, Response};
 pub use state::{StateCell, ThreadState, WaitId, WaitIdKind, ALL_STATES, STATE_COUNT};

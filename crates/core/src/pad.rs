@@ -1,0 +1,103 @@
+//! Cache-line padding for contended shared state.
+//!
+//! Every always-on store the ORA design depends on (§IV-C state tracking,
+//! barrier arrival counters, trace-ring cursors) is a write to memory that
+//! other threads read or write concurrently. When two such hot words share
+//! a cache line, each write invalidates the other's line even though the
+//! *logical* data is independent — classic false sharing. [`CachePadded`]
+//! gives a value its own line (two lines on CPUs that prefetch pairs, hence
+//! the 128-byte alignment, matching what crossbeam and folly use for
+//! x86_64/aarch64) so the coherence traffic for one counter never taxes its
+//! neighbours.
+//!
+//! The wrapper is transparent: it derefs to `T`, so call sites keep using
+//! the inner value's API unchanged.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so it occupies its own cache
+/// line(s) and never false-shares with adjacent data.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use ora_core::pad::CachePadded;
+///
+/// let counter = CachePadded::new(AtomicUsize::new(0));
+/// counter.fetch_add(1, Ordering::Relaxed); // Deref: inner API unchanged
+/// assert_eq!(std::mem::align_of_val(&counter), 128);
+/// ```
+#[derive(Default, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_values_do_not_share_lines() {
+        let pair: [CachePadded<AtomicU64>; 2] = Default::default();
+        let a = &pair[0] as *const _ as usize;
+        let b = &pair[1] as *const _ as usize;
+        assert!(b - a >= 128, "adjacent padded values must be >= 128B apart");
+        assert_eq!(a % 128, 0);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>() % 128, 0);
+    }
+
+    #[test]
+    fn deref_and_into_inner_round_trip() {
+        let padded = CachePadded::new(AtomicU64::new(7));
+        padded.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(padded.into_inner().into_inner(), 10);
+    }
+
+    #[test]
+    fn transparent_equality_and_debug() {
+        let a = CachePadded::new(41u32);
+        let mut b = CachePadded::new(40u32);
+        *b += 1;
+        assert_eq!(a, b);
+        assert!(format!("{a:?}").contains("41"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-thread parking: the runtime's scalable wait/wake primitive.
+//!
+//! The first-cut runtime put every sleeping thread on one shared
+//! `Mutex`+`Condvar` pair and woke with `notify_all` — a thundering herd
+//! where one release takes the lock, wakes *every* sleeper (including
+//! threads that never slept past the spin phase), and each wakee then
+//! contends on the same lock to re-check its predicate. This module
+//! replaces that with one [`ParkSlot`] per thread: a waiter spins with
+//! exponential backoff ([`Backoff`]), then publishes a *parked* flag and
+//! blocks in [`std::thread::park`]; a releaser makes its predicate true
+//! and then issues at most one [`std::thread::Thread::unpark`] per slot
+//! whose flag says the owner actually went to sleep. No shared lock, no
+//! herd: threads that were only spinning cost the releaser one padded
+//! atomic read.
+//!
+//! ## Why no wakeup can be missed
+//!
+//! The classic hazard in "check flag, then sleep" is the store→load race:
+//! the waiter checks the predicate, the releaser sets it and sees no
+//! parked flag (skipping the wake), and the waiter then sleeps forever.
+//! [`ParkSlot`] closes this with a Dekker-style protocol built from
+//! sequentially-consistent read-modify-writes on the slot word:
+//!
+//! * the **waiter** swaps the slot to `PARKED`, *then* re-checks the
+//!   predicate, and only then calls `thread::park()`;
+//! * the **releaser** makes the predicate true, *then* swaps the slot to
+//!   `NOTIFIED` and unparks iff the swap returned `PARKED`.
+//!
+//! Both swaps are RMWs on the same atomic, so they are totally ordered.
+//! If the waiter's swap comes first, the releaser's swap observes
+//! `PARKED` and delivers an unpark token (which `thread::park` consumes
+//! even if it is delivered before the park call). If the releaser's swap
+//! comes first, the waiter's swap reads-from it — an acquire of the
+//! releaser's release — so the waiter's predicate re-check observes the
+//! update and it never sleeps. A releaser can at worst deliver one *stale*
+//! token to a waiter that already left (making some future park return
+//! spuriously), which is why every wait loop re-checks its predicate
+//! around `park()`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread::{self, Thread};
+
+use crate::sync::Mutex;
+
+/// Slot word: owner is awake (or has consumed its notification).
+const IDLE: u32 = 0;
+/// Slot word: owner has announced it is about to (or did) block in
+/// `thread::park` and needs an unpark to make progress.
+const PARKED: u32 = 1;
+/// Slot word: a releaser has claimed the wake; no further unpark needed.
+const NOTIFIED: u32 = 2;
+
+/// A single thread's parking spot.
+///
+/// One thread (the *owner*) waits on the slot via [`ParkSlot::wait`] /
+/// [`ParkSlot::park_until`]; any number of other threads may call
+/// [`ParkSlot::unpark`]. The owner may change between quiescent periods
+/// (the handle is re-published on every slow-path entry), but only one
+/// thread may wait on a slot at a time.
+#[derive(Debug, Default)]
+pub struct ParkSlot {
+    state: AtomicU32,
+    /// Owner's handle, published before the owner first parks. Touched
+    /// only on the slow path (actual park / actual unpark), never while
+    /// spinning, so a plain mutex costs nothing on the hot path.
+    owner: Mutex<Option<Thread>>,
+}
+
+impl ParkSlot {
+    /// Creates an empty slot (no owner published, state idle).
+    pub fn new() -> Self {
+        ParkSlot {
+            state: AtomicU32::new(IDLE),
+            owner: Mutex::new(None),
+        }
+    }
+
+    /// Spins (with exponential backoff) for up to `spin_budget` iterations
+    /// waiting for `ready`, yields the timeslice for a bounded number of
+    /// rounds, then parks until a wake coincides with `ready` returning
+    /// true. Returns as soon as `ready` is observed true.
+    ///
+    /// Pass a spin budget of 0 (the right choice on single-core or
+    /// oversubscribed hosts, see `omprt::spin`) to skip straight to the
+    /// yield phase. The yield phase is kept even then: when the thread
+    /// being waited on is runnable-but-not-running (the definition of
+    /// oversubscription), `yield_now` hands it the CPU directly, which
+    /// resolves short waits — barrier episodes, doorbell rings — for one
+    /// cheap syscall each instead of a park/unpark futex round-trip plus
+    /// two scheduler block/unblock transitions. Genuinely long waits
+    /// exhaust the bound and park, freeing the CPU entirely.
+    pub fn wait(&self, spin_budget: u32, ready: impl Fn() -> bool) {
+        let mut backoff = Backoff::new();
+        let mut spent = 0u32;
+        while spent < spin_budget {
+            if ready() {
+                return;
+            }
+            spent = spent.saturating_add(backoff.snooze());
+        }
+        for _ in 0..YIELD_BUDGET {
+            if ready() {
+                return;
+            }
+            thread::yield_now();
+        }
+        self.park_until(ready);
+    }
+
+    /// Parks the calling thread until `ready` returns true, with no spin
+    /// phase. The predicate is re-checked after announcing the parked
+    /// state and after every (possibly spurious) wakeup.
+    pub fn park_until(&self, ready: impl Fn() -> bool) {
+        if ready() {
+            return;
+        }
+        self.publish_owner();
+        loop {
+            // Announce intent to sleep. SeqCst RMW: totally ordered with
+            // the releaser's swap in `unpark` (see module docs).
+            self.state.swap(PARKED, Ordering::SeqCst);
+            if ready() {
+                break;
+            }
+            thread::park();
+            if ready() {
+                break;
+            }
+        }
+        // Retire the announcement and absorb any in-flight notification;
+        // a racing releaser may still deliver one stale unpark token,
+        // which at worst makes a later park return spuriously.
+        self.state.swap(IDLE, Ordering::SeqCst);
+    }
+
+    /// Wakes the slot's owner iff it announced it was parking. Returns
+    /// whether a wake was delivered; `false` means the owner was awake
+    /// (spinning or running) and needed nothing.
+    pub fn unpark(&self) -> bool {
+        if self.state.swap(NOTIFIED, Ordering::SeqCst) == PARKED {
+            if let Some(thread) = self.owner.lock().clone() {
+                thread.unpark();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records the calling thread as the slot owner (idempotent per
+    /// thread; replaces a previous owner between its waits).
+    fn publish_owner(&self) {
+        let me = thread::current();
+        let mut owner = self.owner.lock();
+        let stale = owner.as_ref().map(|t| t.id() != me.id()).unwrap_or(true);
+        if stale {
+            *owner = Some(me);
+        }
+    }
+}
+
+/// Timeslice donations attempted before parking for real. Sized so that
+/// a full team of waiters on one core (the worst oversubscription the
+/// stress suite drives) cycles the run queue several times — enough for
+/// every short wait to resolve — while a worker idling between parallel
+/// regions still reaches `park` within microseconds.
+const YIELD_BUDGET: u32 = 32;
+
+/// How many doublings the backoff performs before plateauing (2^6 = 64
+/// spin-loop hints per burst).
+const BACKOFF_LIMIT: u32 = 6;
+
+/// Exponential backoff for contended spin loops.
+///
+/// Each [`Backoff::snooze`] runs a burst of `std::hint::spin_loop` twice
+/// as long as the previous one (capped), which drains contended loops of
+/// most of their coherence traffic: threads that just missed the flag
+/// re-poll quickly, threads that have been missing it poll rarely.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Fresh backoff, starting at a single-iteration burst.
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Runs the next burst of spin-loop hints; returns how many
+    /// iterations the burst performed (for budget accounting).
+    pub fn snooze(&mut self) -> u32 {
+        let spins = 1u32 << self.step;
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        if self.step < BACKOFF_LIMIT {
+            self.step += 1;
+        }
+        spins
+    }
+
+    /// Restarts the burst schedule (call after observing progress).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    use std::sync::Arc;
+
+    #[test]
+    fn ready_before_wait_returns_without_parking() {
+        let slot = ParkSlot::new();
+        slot.wait(0, || true); // must not block
+        slot.park_until(|| true);
+    }
+
+    #[test]
+    fn unpark_of_idle_slot_reports_no_wake() {
+        let slot = ParkSlot::new();
+        assert!(!slot.unpark());
+        // A stale NOTIFIED state must not confuse a later successful wait.
+        slot.wait(0, || true);
+    }
+
+    #[test]
+    fn producer_consumer_ping_pong() {
+        const ROUNDS: u64 = 2_000;
+        let slot = Arc::new(ParkSlot::new());
+        let level = Arc::new(AtomicU64::new(0));
+
+        let consumer = {
+            let slot = Arc::clone(&slot);
+            let level = Arc::clone(&level);
+            thread::spawn(move || {
+                for target in 1..=ROUNDS {
+                    slot.wait(0, || level.load(Ordering::SeqCst) >= target);
+                }
+                level.load(Ordering::SeqCst)
+            })
+        };
+
+        for _ in 0..ROUNDS {
+            level.fetch_add(1, Ordering::SeqCst);
+            slot.unpark();
+        }
+        assert_eq!(consumer.join().unwrap(), ROUNDS);
+    }
+
+    #[test]
+    fn stale_token_does_not_break_next_wait() {
+        let slot = Arc::new(ParkSlot::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        // Deliver a token the hard way: park, wake, then leave a NOTIFIED
+        // swap behind while the owner is already gone.
+        flag.store(true, Ordering::SeqCst);
+        slot.park_until(|| flag.load(Ordering::SeqCst));
+        slot.unpark(); // stale: owner not parked
+
+        flag.store(false, Ordering::SeqCst);
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || slot.wait(0, || flag.load(Ordering::SeqCst)))
+        };
+        thread::sleep(std::time::Duration::from_millis(5));
+        flag.store(true, Ordering::SeqCst);
+        slot.unpark();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn targeted_wake_skips_threads_that_never_parked() {
+        let slot = ParkSlot::new();
+        // Nobody parked: unpark must report that no syscall wake happened.
+        assert!(!slot.unpark());
+        assert!(!slot.unpark());
+    }
+
+    #[test]
+    fn backoff_doubles_then_plateaus() {
+        let mut b = Backoff::new();
+        let mut last = 0;
+        for _ in 0..BACKOFF_LIMIT {
+            let burst = b.snooze();
+            assert!(burst > last);
+            last = burst;
+        }
+        assert_eq!(b.snooze(), last << 1);
+        assert_eq!(b.snooze(), last << 1, "burst length must plateau");
+        b.reset();
+        assert_eq!(b.snooze(), 1);
+    }
+}

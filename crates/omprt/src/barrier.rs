@@ -7,9 +7,25 @@
 //! `__ompc_barrier` call into implicit/explicit variants so the two could
 //! be distinguished by tools (§IV-C2); we mirror that split at the
 //! runtime-call layer (`crate::context`).
+//!
+//! ## Scalability notes
+//!
+//! Arrival counters (the central counter and every tree node) and the
+//! sense flag live in [`CachePadded`] cells so an arrival `fetch_add`
+//! never invalidates the line a late spinner is polling. Waiting is
+//! per-thread: each participant owns a [`ParkSlot`] and the releaser
+//! unparks only the slots whose owners actually blocked — threads still
+//! in their spin phase cost the releaser one uncontended atomic swap, and
+//! there is no shared mutex or `notify_all` herd anywhere on the path.
+//! Counter *reset* is part of the release edge: the releaser zeroes every
+//! counter and only then publishes the sense flip, so a next-episode
+//! arrival (which must first have observed the flip) can never read a
+//! stale count.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+
+use ora_core::pad::CachePadded;
+use ora_core::park::ParkSlot;
 
 /// Which barrier algorithm a runtime instance uses (ablation knob for the
 /// `barrier_ablation` bench).
@@ -23,42 +39,12 @@ pub enum BarrierKind {
     Tree,
 }
 
-struct Waiters {
-    mutex: Mutex<()>,
-    cv: Condvar,
-}
-
-impl Waiters {
-    fn new() -> Self {
-        Waiters {
-            mutex: Mutex::new(()),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Park until `ready()` holds. `ready` is re-checked under the mutex,
-    /// and release happens under the same mutex, so wakeups are not lost.
-    fn park_until(&self, ready: impl Fn() -> bool) {
-        let guard = self.mutex.lock().unwrap();
-        let _unused = self.cv.wait_while(guard, |_| !ready()).unwrap();
-    }
-
-    fn release(&self) {
-        let _guard = self.mutex.lock().unwrap();
-        self.cv.notify_all();
-    }
-}
-
-fn spin_then_park(waiters: &Waiters, ready: impl Fn() -> bool) {
-    let budget = crate::spin::long_budget();
-    let mut spins = 0u32;
-    while !ready() {
-        if spins < budget {
-            spins += 1;
-            std::hint::spin_loop();
-        } else {
-            waiters.park_until(&ready);
-            return;
+impl BarrierKind {
+    /// Stable lowercase name (used in BENCH json `config` blocks).
+    pub const fn name(self) -> &'static str {
+        match self {
+            BarrierKind::Central => "central",
+            BarrierKind::Tree => "tree",
         }
     }
 }
@@ -66,20 +52,23 @@ fn spin_then_park(waiters: &Waiters, ready: impl Fn() -> bool) {
 /// A reusable barrier for a fixed-size team.
 pub struct Barrier {
     size: usize,
-    sense: AtomicBool,
-    waiters: Waiters,
+    /// Sense flag on its own line: written once per episode, polled by
+    /// every spinner — must not share a line with the arrival counter.
+    sense: CachePadded<AtomicBool>,
+    /// One parking spot per participant, each on its own line.
+    slots: Box<[CachePadded<ParkSlot>]>,
     algo: Algo,
 }
 
 enum Algo {
     Central {
-        count: AtomicUsize,
+        count: CachePadded<AtomicUsize>,
     },
     Tree {
         /// One arrival counter per tree node; node 0 is the root. A
         /// thread's leaf node is `(size-1 + tid) / FANIN` in an implicit
         /// heap layout over `ceil(size/FANIN)`-ary groups.
-        nodes: Vec<AtomicUsize>,
+        nodes: Vec<CachePadded<AtomicUsize>>,
     },
 }
 
@@ -92,7 +81,7 @@ impl Barrier {
         assert!(size >= 1, "barrier needs at least one participant");
         let algo = match kind {
             BarrierKind::Central => Algo::Central {
-                count: AtomicUsize::new(0),
+                count: CachePadded::new(AtomicUsize::new(0)),
             },
             BarrierKind::Tree => {
                 let leaves = size.div_ceil(FANIN);
@@ -105,15 +94,17 @@ impl Barrier {
                 }
                 Algo::Tree {
                     nodes: (0..node_count.max(1))
-                        .map(|_| AtomicUsize::new(0))
+                        .map(|_| CachePadded::new(AtomicUsize::new(0)))
                         .collect(),
                 }
             }
         };
         Barrier {
             size,
-            sense: AtomicBool::new(false),
-            waiters: Waiters::new(),
+            sense: CachePadded::new(AtomicBool::new(false)),
+            slots: (0..size)
+                .map(|_| CachePadded::new(ParkSlot::new()))
+                .collect(),
             algo,
         }
     }
@@ -123,32 +114,59 @@ impl Barrier {
         self.size
     }
 
+    /// The algorithm this barrier runs.
+    pub fn kind(&self) -> BarrierKind {
+        match self.algo {
+            Algo::Central { .. } => BarrierKind::Central,
+            Algo::Tree { .. } => BarrierKind::Tree,
+        }
+    }
+
     /// Wait until all `size` threads have called `wait` for this episode.
     /// Reusable across episodes (sense reversal).
     pub fn wait(&self, tid: usize) {
         debug_assert!(tid < self.size);
+        if self.size == 1 {
+            return; // solo team: nothing to synchronize
+        }
         let local_sense = !self.sense.load(Ordering::Relaxed);
         let is_releaser = match &self.algo {
             Algo::Central { count } => count.fetch_add(1, Ordering::AcqRel) + 1 == self.size,
             Algo::Tree { nodes } => self.tree_arrive(nodes, tid),
         };
         if is_releaser {
-            if let Algo::Central { count } = &self.algo {
-                count.store(0, Ordering::Relaxed);
+            // Reset *before* the sense flip so the reset is ordered into
+            // the release edge: a thread can only start the next episode
+            // after acquiring the flip, which makes these plain stores
+            // visible to it.
+            match &self.algo {
+                Algo::Central { count } => count.store(0, Ordering::Relaxed),
+                Algo::Tree { nodes } => {
+                    for node in nodes.iter() {
+                        node.store(0, Ordering::Relaxed);
+                    }
+                }
             }
             self.sense.store(local_sense, Ordering::Release);
-            self.waiters.release();
+            // Targeted wake: one swap per slot, a syscall only for owners
+            // that actually parked (ParkSlot reports PARKED state).
+            for (tid_other, slot) in self.slots.iter().enumerate() {
+                if tid_other != tid {
+                    slot.unpark();
+                }
+            }
         } else {
             let sense = &self.sense;
-            spin_then_park(&self.waiters, || {
+            self.slots[tid].wait(crate::spin::long_budget(), || {
                 sense.load(Ordering::Acquire) == local_sense
             });
         }
     }
 
     /// Ascend the combining tree; returns whether this thread is the last
-    /// overall arrival (the releaser).
-    fn tree_arrive(&self, nodes: &[AtomicUsize], tid: usize) -> bool {
+    /// overall arrival (the releaser). Node counters are *not* reset here;
+    /// the releaser zeroes them all before publishing the sense flip.
+    fn tree_arrive(&self, nodes: &[CachePadded<AtomicUsize>], tid: usize) -> bool {
         // Layer sizes from leaves up to the root.
         let mut layer_sizes = Vec::new();
         let mut layer = self.size;
@@ -186,7 +204,6 @@ impl Barrier {
             if prev + 1 < fanin {
                 return false; // not the last into this node
             }
-            node.store(0, Ordering::Relaxed); // reset for reuse
             index_in_layer = node_in_layer;
             members = layer_size;
             if layer_size == 1 {
@@ -199,13 +216,9 @@ impl Barrier {
 
 impl std::fmt::Debug for Barrier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let kind = match self.algo {
-            Algo::Central { .. } => BarrierKind::Central,
-            Algo::Tree { .. } => BarrierKind::Tree,
-        };
         f.debug_struct("Barrier")
             .field("size", &self.size)
-            .field("kind", &kind)
+            .field("kind", &self.kind())
             .finish()
     }
 }
@@ -289,5 +302,12 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         b.wait(0);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn kind_is_reported() {
+        assert_eq!(Barrier::new(BarrierKind::Tree, 3).kind(), BarrierKind::Tree);
+        assert_eq!(BarrierKind::Central.name(), "central");
+        assert_eq!(BarrierKind::Tree.name(), "tree");
     }
 }

@@ -200,11 +200,15 @@ impl<'a> ParCtx<'a> {
                 let shared_loop = self
                     .team
                     .dynamic_loop(seq, || DynamicLoop::new(lo, hi, stride, schedule, nthreads));
+                // Per-thread batched claimer: chunks are served from a
+                // thread-local cache and the shared claim counter is only
+                // touched once per batch (see `schedule::Claimer`).
+                let mut claimer = shared_loop.claimer();
                 loop {
                     let claimed = {
                         let _frame = psx::enter(syms().dispatch);
                         let prev = self.desc.state.replace(ThreadState::Overhead);
-                        let claimed = shared_loop.claim();
+                        let claimed = claimer.next_chunk();
                         self.desc.state.set(prev);
                         claimed
                     };

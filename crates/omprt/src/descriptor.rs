@@ -8,6 +8,8 @@
 //! query is answerable even while the thread is still being created
 //! (paper §IV-D).
 
+use ora_core::pad::CachePadded;
+use ora_core::park::ParkSlot;
 use ora_core::state::{StateCell, ThreadState, WaitId, WaitIdKind};
 
 /// Per-thread runtime bookkeeping: identity, current state, wait IDs.
@@ -16,8 +18,15 @@ pub struct ThreadDescriptor {
     /// Global thread ID within the runtime instance. The master is 0.
     pub gtid: usize,
     /// Current state; updated with one relaxed store per transition so it
-    /// can be tracked unconditionally (paper §IV-C).
-    pub state: StateCell,
+    /// can be tracked unconditionally (paper §IV-C). Descriptors live in a
+    /// shared `Vec`, and this word is written on *every* state transition
+    /// of its owner while neighbours' words are read by state queries —
+    /// padded so one thread's transitions never invalidate another's line.
+    pub state: CachePadded<StateCell>,
+    /// This thread's parking spot for the fork/join doorbell: the worker
+    /// sleeps here between regions and `TeamSlot::publish` unparks only
+    /// the descriptors of threads in the new team.
+    pub park: CachePadded<ParkSlot>,
     /// Incremented each time this thread enters any (implicit or explicit)
     /// barrier.
     pub barrier_id: WaitId,
@@ -41,7 +50,8 @@ impl ThreadDescriptor {
     pub fn new(gtid: usize) -> Self {
         ThreadDescriptor {
             gtid,
-            state: StateCell::new(),
+            state: CachePadded::new(StateCell::new()),
+            park: CachePadded::new(ParkSlot::new()),
             barrier_id: WaitId::new(),
             lock_wait_id: WaitId::new(),
             critical_wait_id: WaitId::new(),

@@ -60,6 +60,6 @@ pub use descriptor::ThreadDescriptor;
 pub use lock::{OmpLock, OmpNestLock};
 pub use region::{CallSite, RegionHandle, SourceFunction};
 pub use runtime::OpenMp;
-pub use schedule::{Chunk, DynamicLoop, Schedule};
+pub use schedule::{Chunk, Claimer, DynamicLoop, Schedule};
 pub use team::Team;
 pub use wordlock::WordLock;

@@ -11,9 +11,11 @@
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 use ora_core::event::Event;
+use ora_core::pad::CachePadded;
+use ora_core::park::ParkSlot;
 use ora_core::state::ThreadState;
 use psx::symtab::Ip;
 
@@ -69,23 +71,27 @@ pub(crate) struct Work {
     pub outlined: Ip,
 }
 
-/// The master↔worker rendezvous: an epoch counter, the published work, and
-/// a doorbell for parked workers.
+/// The master↔worker rendezvous: an epoch counter and the published work.
 ///
 /// Publication protocol: the master writes `work` and `team_size`, then
-/// increments `epoch` with release ordering and rings the doorbell.
-/// Workers acquire-load `epoch`; on a change they read `team_size` and —
-/// only if they participate (`gtid < team_size`) — the work cell. A
-/// participant cannot still be reading the cell when the next region is
-/// published, because publication only happens after the previous region's
-/// end barrier, which every participant reaches after its last read.
-/// Non-participants never touch the cell.
+/// increments `epoch` with release ordering and unparks the *participating*
+/// workers' [`ParkSlot`]s (see `Shared::publish` in `runtime.rs` — waking
+/// lives with the descriptor table, not here). Workers acquire-load
+/// `epoch`; on a change they read `team_size` and — only if they
+/// participate (`gtid < team_size`) — the work cell. A participant cannot
+/// still be reading the cell when the next region is published, because
+/// publication only happens after the previous region's end barrier, which
+/// every participant reaches after its last read. Non-participants never
+/// touch the cell, are not woken by publication at all, and may therefore
+/// observe epochs lagging arbitrarily behind — `wait_change` only compares
+/// for inequality, never for succession.
 pub(crate) struct TeamSlot {
-    epoch: AtomicU64,
+    /// Bumped once per region by the master, polled by every spinning
+    /// worker — padded so publication stores never contend with the
+    /// `team_size`/work writes next door.
+    epoch: CachePadded<AtomicU64>,
     team_size: AtomicUsize,
     work: UnsafeCell<Option<Work>>,
-    bell_mutex: Mutex<()>,
-    bell: Condvar,
 }
 
 unsafe impl Sync for TeamSlot {}
@@ -93,16 +99,15 @@ unsafe impl Sync for TeamSlot {}
 impl TeamSlot {
     pub(crate) fn new() -> Self {
         TeamSlot {
-            epoch: AtomicU64::new(0),
+            epoch: CachePadded::new(AtomicU64::new(0)),
             team_size: AtomicUsize::new(0),
             work: UnsafeCell::new(None),
-            bell_mutex: Mutex::new(()),
-            bell: Condvar::new(),
         }
     }
 
     /// Publish a region's work (master only; callers serialize via the
-    /// runtime's fork lock).
+    /// runtime's fork lock). The caller is responsible for unparking the
+    /// participating workers *after* this returns.
     pub(crate) fn publish(&self, work: Work) {
         let size = work.team.size;
         // Safety: no worker reads the cell between the previous region's
@@ -110,8 +115,6 @@ impl TeamSlot {
         unsafe { *self.work.get() = Some(work) };
         self.team_size.store(size, Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::Release);
-        let _guard = self.bell_mutex.lock().unwrap();
-        self.bell.notify_all();
     }
 
     /// Clear the published work after a region completes, dropping the
@@ -131,38 +134,22 @@ impl TeamSlot {
         self.team_size.load(Ordering::Relaxed)
     }
 
-    /// Wake all parked workers (used at shutdown).
-    pub(crate) fn ring(&self) {
-        let _guard = self.bell_mutex.lock().unwrap();
-        self.bell.notify_all();
-    }
-
-    /// Block until the epoch differs from `last` or `shutdown` is set.
-    /// Returns the new epoch, or `None` on shutdown.
-    fn wait_change(&self, last: u64, shutdown: &AtomicBool) -> Option<u64> {
-        let budget = crate::spin::long_budget();
-        let mut spins = 0u32;
-        loop {
-            let e = self.epoch.load(Ordering::Acquire);
-            if e != last {
-                return Some(e);
-            }
-            if shutdown.load(Ordering::Relaxed) {
-                return None;
-            }
-            if spins < budget {
-                spins += 1;
-                std::hint::spin_loop();
-            } else {
-                let guard = self.bell_mutex.lock().unwrap();
-                let _unused = self
-                    .bell
-                    .wait_while(guard, |_| {
-                        self.epoch.load(Ordering::Acquire) == last
-                            && !shutdown.load(Ordering::Relaxed)
-                    })
-                    .unwrap();
-            }
+    /// Block until the epoch differs from `last` or `shutdown` is set,
+    /// spinning (bounded, with backoff) before parking on `park` — the
+    /// calling worker's own descriptor slot. Returns the new epoch, or
+    /// `None` on shutdown.
+    fn wait_change(&self, last: u64, shutdown: &AtomicBool, park: &ParkSlot) -> Option<u64> {
+        let epoch = &self.epoch;
+        park.wait(crate::spin::long_budget(), || {
+            epoch.load(Ordering::Acquire) != last || shutdown.load(Ordering::Relaxed)
+        });
+        let e = self.epoch.load(Ordering::Acquire);
+        if e != last {
+            // Work and shutdown can race; work wins so a final region
+            // published just before teardown still executes.
+            Some(e)
+        } else {
+            None
         }
     }
 }
@@ -179,7 +166,10 @@ pub(crate) fn worker_main(shared: Arc<Shared>, gtid: usize) {
     shared.fire(Event::ThreadBeginIdle, gtid, 0, 0, 0);
 
     let mut last_epoch = 0u64;
-    while let Some(epoch) = shared.slot.wait_change(last_epoch, &shared.shutdown) {
+    while let Some(epoch) = shared
+        .slot
+        .wait_change(last_epoch, &shared.shutdown, &desc.park)
+    {
         last_epoch = epoch;
         if gtid >= shared.slot.size() {
             continue; // not in this region's team; stay idle
@@ -242,9 +232,11 @@ mod tests {
     fn slot_epoch_and_doorbell() {
         let slot = Arc::new(TeamSlot::new());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let park = Arc::new(ParkSlot::new());
         let s2 = slot.clone();
         let sd2 = shutdown.clone();
-        let waiter = std::thread::spawn(move || s2.wait_change(0, &sd2));
+        let p2 = park.clone();
+        let waiter = std::thread::spawn(move || s2.wait_change(0, &sd2, &p2));
         std::thread::sleep(std::time::Duration::from_millis(20));
         let f = |_: &ParCtx<'_>| {};
         slot.publish(Work {
@@ -252,6 +244,7 @@ mod tests {
             closure: ErasedClosure::new(&f),
             outlined: Ip(0),
         });
+        park.unpark(); // the caller-side wake `publish` now delegates
         assert_eq!(waiter.join().unwrap(), Some(1));
         slot.retire();
     }
@@ -260,12 +253,42 @@ mod tests {
     fn slot_shutdown_releases_waiters() {
         let slot = Arc::new(TeamSlot::new());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let park = Arc::new(ParkSlot::new());
         let s2 = slot.clone();
         let sd2 = shutdown.clone();
-        let waiter = std::thread::spawn(move || s2.wait_change(0, &sd2));
+        let p2 = park.clone();
+        let waiter = std::thread::spawn(move || s2.wait_change(0, &sd2, &p2));
         std::thread::sleep(std::time::Duration::from_millis(20));
         shutdown.store(true, Ordering::Relaxed);
-        slot.ring();
+        park.unpark();
         assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn publish_does_not_wake_nonparticipants() {
+        // A worker whose gtid is outside the new team must stay parked:
+        // the wake path walks only descriptors 1..team_size.
+        let slot = Arc::new(TeamSlot::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let park = Arc::new(ParkSlot::new());
+        let s2 = slot.clone();
+        let sd2 = shutdown.clone();
+        let p2 = park.clone();
+        let waiter = std::thread::spawn(move || s2.wait_change(0, &sd2, &p2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let f = |_: &ParCtx<'_>| {};
+        slot.publish(Work {
+            team: Team::solo(1, 0),
+            closure: ErasedClosure::new(&f),
+            outlined: Ip(0),
+        });
+        // No unpark: the waiter (modelling a non-participant) stays
+        // blocked even though the epoch moved.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "non-participant must not be woken");
+        shutdown.store(true, Ordering::Relaxed);
+        park.unpark();
+        waiter.join().unwrap();
+        slot.retire();
     }
 }

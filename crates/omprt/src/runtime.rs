@@ -117,6 +117,28 @@ impl Shared {
             .or_insert_with(|| Arc::new(WordLock::new()))
             .clone()
     }
+
+    /// Publish a region's work and wake exactly the workers that
+    /// participate in it (gtids `1..team_size`). Workers outside the team
+    /// are not woken at all — they stay parked on their descriptor slots
+    /// and catch up on the epoch whenever a team next includes them.
+    pub(crate) fn publish(&self, work: Work) {
+        let size = work.team.size;
+        self.slot.publish(work);
+        let descs = self.descriptors.read();
+        for desc in descs.iter().take(size).skip(1) {
+            desc.park.unpark();
+        }
+    }
+
+    /// Wake every pool worker regardless of team membership (shutdown
+    /// path: all of them must observe the shutdown flag and exit).
+    pub(crate) fn wake_all_workers(&self) {
+        let descs = self.descriptors.read();
+        for desc in descs.iter().skip(1) {
+            desc.park.unpark();
+        }
+    }
 }
 
 /// Answers collector queries from the runtime's thread descriptors.
@@ -397,9 +419,10 @@ impl OpenMp {
 
         self.ensure_workers(n);
 
-        // Publish the outlined procedure to the team.
+        // Publish the outlined procedure to the team, waking only the
+        // workers that are part of it.
         let closure = ErasedClosure::new(&f);
-        shared.slot.publish(Work {
+        shared.publish(Work {
             team: team.clone(),
             closure,
             outlined: region.outlined,
@@ -586,8 +609,10 @@ impl OpenMp {
 
 impl Drop for OpenMp {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        self.shared.slot.ring();
+        // The shutdown store must be visible to a worker woken by the
+        // unpark below (release via the slot swap / park edge).
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake_all_workers();
         for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }

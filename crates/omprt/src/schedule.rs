@@ -152,36 +152,165 @@ impl DynamicLoop {
 
     /// Claim the next chunk, or `None` when the loop is exhausted.
     pub fn claim(&self) -> Option<Chunk> {
-        let want = match self.schedule {
-            Schedule::Dynamic(chunk) => chunk.max(1) as i64,
-            Schedule::Guided(min_chunk) => {
-                let remaining = self.total - self.next.load(Ordering::Relaxed);
-                if remaining <= 0 {
-                    return None;
-                }
-                // Classic guided: half the per-thread share of what's left.
-                (remaining / (2 * self.nthreads as i64)).max(min_chunk.max(1) as i64)
-            }
+        match self.schedule {
+            Schedule::Dynamic(chunk) => self
+                .claim_span(chunk.max(1) as i64)
+                .map(|(start, count)| self.chunk_at(start, count)),
+            Schedule::Guided(min_chunk) => self
+                .claim_guided(min_chunk.max(1) as i64)
+                .map(|(start, count)| self.chunk_at(start, count)),
             // Static schedules never claim dynamically.
             Schedule::StaticEven | Schedule::StaticChunk(_) => {
                 unreachable!("static schedules do not use DynamicLoop")
             }
-        };
+        }
+    }
+
+    /// A per-thread batched claimer for this loop. Each participating
+    /// thread should create its own and pull chunks from it; see
+    /// [`Claimer`].
+    pub fn claimer(&self) -> Claimer<'_> {
+        Claimer {
+            shared: self,
+            cache_lo: 0,
+            cache_hi: 0,
+        }
+    }
+
+    /// Dynamic-schedule claim: one `fetch_add` per span of `want` logical
+    /// iterations. `next` may transiently run past `total` here (by at
+    /// most one span per thread, at the very tail); nothing reads `next`
+    /// as a remaining-work estimate on this path.
+    fn claim_span(&self, want: i64) -> Option<(i64, i64)> {
         let start = self.next.fetch_add(want, Ordering::Relaxed);
         if start >= self.total {
             return None;
         }
-        let count = want.min(self.total - start);
+        Some((start, want.min(self.total - start)))
+    }
+
+    /// Guided-schedule claim: a bounded CAS loop. The claimed span is
+    /// computed against the *observed* `next` and never extends past
+    /// `total`, so `next` is always an exact high-water mark — the
+    /// `remaining` computation of every later claim (and of any
+    /// diagnostics) stays truthful, unlike a blind `fetch_add` which
+    /// lets concurrent losers push `next` arbitrarily past the end.
+    fn claim_guided(&self, min_chunk: i64) -> Option<(i64, i64)> {
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            let remaining = self.total - cur;
+            if remaining <= 0 {
+                return None;
+            }
+            // Classic guided: half the per-thread share of what's left,
+            // clamped to [min_chunk, remaining].
+            let want = (remaining / (2 * self.nthreads as i64))
+                .max(min_chunk)
+                .min(remaining);
+            match self.next.compare_exchange_weak(
+                cur,
+                cur + want,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some((cur, want)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The chunk covering `count` logical iterations starting at `start`.
+    fn chunk_at(&self, start: i64, count: i64) -> Chunk {
         let chunk_lo = self.lo + start * self.stride;
-        Some(Chunk {
+        Chunk {
             lo: chunk_lo,
             hi: chunk_lo + (count - 1) * self.stride,
-        })
+        }
+    }
+
+    /// Raw claim cursor (logical iteration index). For guided schedules
+    /// this never exceeds the trip count; for dynamic schedules it may
+    /// transiently overshoot at the loop tail.
+    pub fn next_index(&self) -> i64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Trip count of the loop (logical iterations).
+    pub fn total(&self) -> i64 {
+        self.total
     }
 
     /// Inclusive upper bound of the underlying loop (diagnostics).
     pub fn hi(&self) -> i64 {
         self.hi
+    }
+}
+
+/// Maximum number of chunks a [`Claimer`] grabs per shared `fetch_add`.
+const BATCH_MAX: i64 = 8;
+
+/// A thread-local view of a [`DynamicLoop`] that amortizes claim traffic.
+///
+/// Under a dynamic schedule every chunk claim is a `fetch_add` on one
+/// shared counter — at high thread counts that cache line becomes the
+/// loop's real scheduler bottleneck. A `Claimer` grabs up to [`BATCH_MAX`]
+/// chunks per `fetch_add` (scaled by team size) and serves them from a
+/// thread-local cache, so the shared line is touched once per *batch*
+/// instead of once per chunk. Batching is contention-aware: it only kicks
+/// in while the loop has at least a full batch per thread left, and falls
+/// back to single-chunk claims near the tail so load balance at the end of
+/// the loop is exactly that of the unbatched schedule. Guided schedules
+/// pass through unbatched (their chunks already shrink adaptively).
+#[derive(Debug)]
+pub struct Claimer<'a> {
+    shared: &'a DynamicLoop,
+    /// Locally cached logical span `[cache_lo, cache_hi)`.
+    cache_lo: i64,
+    cache_hi: i64,
+}
+
+impl Claimer<'_> {
+    /// Claim the next chunk (from the local cache when possible), or
+    /// `None` when the loop is exhausted.
+    pub fn next_chunk(&mut self) -> Option<Chunk> {
+        let l = self.shared;
+        match l.schedule {
+            Schedule::Dynamic(chunk) => {
+                let chunk = chunk.max(1) as i64;
+                if self.cache_lo >= self.cache_hi {
+                    let batch = self.batch_factor(chunk);
+                    let (start, count) = l.claim_span(batch * chunk)?;
+                    self.cache_lo = start;
+                    self.cache_hi = start + count;
+                }
+                let start = self.cache_lo;
+                let count = chunk.min(self.cache_hi - start);
+                self.cache_lo += count;
+                Some(l.chunk_at(start, count))
+            }
+            Schedule::Guided(_) => l.claim(),
+            Schedule::StaticEven | Schedule::StaticChunk(_) => {
+                unreachable!("static schedules do not use DynamicLoop")
+            }
+        }
+    }
+
+    /// Chunks to grab in the next shared claim: scaled to the team size
+    /// (more threads → more contention → bigger batches), but only while
+    /// every thread could still get a full batch — near the tail this
+    /// collapses to 1 so stragglers are not starved.
+    fn batch_factor(&self, chunk: i64) -> i64 {
+        let l = self.shared;
+        let batch = (l.nthreads as i64).clamp(1, BATCH_MAX);
+        if batch == 1 {
+            return 1;
+        }
+        let remaining = (l.total - l.next.load(Ordering::Relaxed)).max(0);
+        if remaining >= batch * chunk * l.nthreads as i64 {
+            batch
+        } else {
+            1
+        }
     }
 }
 
@@ -266,6 +395,53 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..=99).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_claimer_partitions_exactly() {
+        let l = DynamicLoop::new(0, 999, 1, Schedule::Dynamic(7), 4);
+        let mut claimer = l.claimer();
+        let mut seen = Vec::new();
+        while let Some(c) = claimer.next_chunk() {
+            assert!(
+                c.len(1) <= 7,
+                "served chunks must not exceed the chunk size"
+            );
+            seen.extend(c.values(1));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..=999).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_and_plain_claims_interoperate() {
+        // A claimer's cached span and direct claim() calls must still
+        // cover the space exactly (the cache is just a pre-claimed span).
+        let l = DynamicLoop::new(0, 499, 1, Schedule::Dynamic(5), 4);
+        let mut claimer = l.claimer();
+        let mut seen = Vec::new();
+        while let Some(c) = claimer.next_chunk() {
+            seen.extend(c.values(1));
+            if let Some(c) = l.claim() {
+                seen.extend(c.values(1));
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..=499).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn guided_cursor_never_overshoots_total() {
+        let l = DynamicLoop::new(0, 999, 1, Schedule::Guided(4), 4);
+        while let Some(_c) = l.claim() {
+            assert!(
+                l.next_index() <= l.total(),
+                "guided cursor {} ran past total {}",
+                l.next_index(),
+                l.total()
+            );
+        }
+        assert_eq!(l.next_index(), l.total());
     }
 
     #[test]
@@ -425,6 +601,94 @@ mod seeded_props {
             while let Some(c) = l.claim() {
                 all.extend(c.values(stride));
             }
+            all.sort_unstable();
+            assert_eq!(all, expected_space(lo, hi, stride));
+        }
+    }
+
+    /// *Concurrent* guided draining (the serial test above cannot catch
+    /// CAS races): claims from racing threads are disjoint, cover the
+    /// space exactly, and the shared cursor never overshoots the trip
+    /// count — the bug the bounded CAS loop exists to prevent.
+    #[test]
+    fn concurrent_guided_claims_partition_without_overshoot() {
+        let mut rng = XorShift64::new(0x5c4e_d006);
+        for _ in 0..48 {
+            let (lo, hi, stride, _) = loop_params(&mut rng);
+            let nt = rng.range_usize(2, 9);
+            let min_chunk = rng.range_usize(1, 10);
+            let l = std::sync::Arc::new(DynamicLoop::new(
+                lo,
+                hi,
+                stride,
+                Schedule::Guided(min_chunk),
+                nt,
+            ));
+            let handles: Vec<_> = (0..nt)
+                .map(|_| {
+                    let l = l.clone();
+                    std::thread::spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(c) = l.claim() {
+                            assert!(
+                                l.next_index() <= l.total(),
+                                "guided cursor overshot under contention"
+                            );
+                            mine.extend(c.values(l.stride));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            let mut all: Vec<i64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, expected_space(lo, hi, stride));
+            assert_eq!(
+                l.next_index(),
+                l.total(),
+                "cursor must land exactly on total"
+            );
+        }
+    }
+
+    /// Concurrent draining through per-thread batched claimers is still
+    /// an exact partition, and every served chunk respects the chunk
+    /// size even across batch refills.
+    #[test]
+    fn concurrent_batched_claims_partition() {
+        let mut rng = XorShift64::new(0x5c4e_d007);
+        for _ in 0..48 {
+            let (lo, hi, stride, _) = loop_params(&mut rng);
+            let nt = rng.range_usize(2, 9);
+            let chunk = rng.range_usize(1, 20);
+            let l = std::sync::Arc::new(DynamicLoop::new(
+                lo,
+                hi,
+                stride,
+                Schedule::Dynamic(chunk),
+                nt,
+            ));
+            let handles: Vec<_> = (0..nt)
+                .map(|_| {
+                    let l = l.clone();
+                    std::thread::spawn(move || {
+                        let mut claimer = l.claimer();
+                        let mut mine = Vec::new();
+                        while let Some(c) = claimer.next_chunk() {
+                            assert!(c.len(l.stride) <= chunk as u64);
+                            mine.extend(c.values(l.stride));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            let mut all: Vec<i64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
             all.sort_unstable();
             assert_eq!(all, expected_space(lo, hi, stride));
         }

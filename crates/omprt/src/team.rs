@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use ora_core::pad::CachePadded;
 use ora_core::sync::Mutex;
 
 use crate::barrier::{Barrier, BarrierKind};
@@ -27,7 +28,10 @@ use crate::wordlock::WordLock;
 /// Turn counter of one ordered loop.
 #[derive(Debug)]
 pub struct OrderedState {
-    turn: AtomicI64,
+    /// Spun on by every out-of-turn thread while the turn holder stores —
+    /// padded so turn-passing never false-shares with the slot map around
+    /// it.
+    turn: CachePadded<AtomicI64>,
 }
 
 impl OrderedState {
@@ -61,8 +65,10 @@ pub struct Team {
     /// Protects the shared accumulator during reductions — the dedicated
     /// lock behind `__ompc_reduction` (paper §IV-C5).
     pub reduction_lock: WordLock,
-    /// Count of `single` constructs already claimed by some thread.
-    single_claim: AtomicU64,
+    /// Count of `single` constructs already claimed by some thread. Every
+    /// team thread CASes this word on every `single`, so it gets its own
+    /// line rather than sharing one with the task pool / loop maps.
+    single_claim: CachePadded<AtomicU64>,
     /// The team's explicit-task queue (OpenMP 3.0 extension).
     pub(crate) tasks: TaskPool,
     /// Per-loop-sequence claim state for dynamic/guided loops.
@@ -107,7 +113,7 @@ impl Team {
             level,
             barrier: Arc::new(Barrier::new(barrier_kind, size)),
             reduction_lock: WordLock::new(),
-            single_claim: AtomicU64::new(0),
+            single_claim: CachePadded::new(AtomicU64::new(0)),
             tasks: TaskPool::new(),
             dyn_loops: Mutex::new(HashMap::new()),
             ordered_loops: Mutex::new(HashMap::new()),
@@ -167,7 +173,7 @@ impl Team {
             .entry(seq)
             .or_insert_with(|| LoopSlot {
                 state: Arc::new(OrderedState {
-                    turn: AtomicI64::new(first_iter),
+                    turn: CachePadded::new(AtomicI64::new(first_iter)),
                 }),
                 finished: 0,
             })

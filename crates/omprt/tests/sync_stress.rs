@@ -1,0 +1,230 @@
+//! Seeded stress tests for the synchronization core: the per-thread
+//! parking layer under oversubscription (teams much larger than the
+//! host's core count), many-episode barrier reuse (the tree-node reset
+//! edge), and runtime shutdown racing workers that are just entering
+//! their parked state.
+//!
+//! Deterministic given a seed; the default sweep runs under
+//! `scripts/stress.sh`. Set `ORA_FAULT_SEED` to replay a specific seed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use omprt::{Barrier, BarrierKind, Config, OpenMp, Schedule};
+use ora_core::park::ParkSlot;
+use ora_core::testutil::XorShift64;
+
+fn seed() -> u64 {
+    std::env::var("ORA_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Seeded jitter: sometimes nothing, sometimes a yield, sometimes a
+/// short sleep — enough scheduling noise to drive waiters through every
+/// phase (spin, backoff, park) in different interleavings per episode.
+fn jitter(rng: &mut XorShift64) {
+    match rng.range_usize(0, 8) {
+        0 | 1 => {}
+        2..=5 => std::thread::yield_now(),
+        _ => std::thread::sleep(Duration::from_micros(rng.range_usize(1, 60) as u64)),
+    }
+}
+
+/// Many-episode barrier reuse with a team far larger than the host's
+/// cores: every participant parks/unparks constantly, and each episode
+/// re-crosses the counter-reset edge the releaser publishes. A stale
+/// tree-node count or a missed wakeup shows up as an assertion failure
+/// (phase skew) or a hang.
+fn oversubscribed_barrier(kind: BarrierKind, threads: usize, episodes: usize, seed: u64) {
+    let barrier = Arc::new(Barrier::new(kind, threads));
+    let phase = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let barrier = barrier.clone();
+            let phase = phase.clone();
+            std::thread::spawn(move || {
+                let mut rng = XorShift64::new(seed ^ ((tid as u64 + 1) << 32));
+                for ep in 0..episodes {
+                    assert_eq!(
+                        phase.load(Ordering::SeqCst) / threads as u64,
+                        ep as u64,
+                        "tid {tid} entered episode {ep} before the team finished the last"
+                    );
+                    jitter(&mut rng);
+                    phase.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait(tid);
+                    assert!(
+                        phase.load(Ordering::SeqCst) >= ((ep + 1) * threads) as u64,
+                        "tid {tid} released from episode {ep} before all arrivals"
+                    );
+                    barrier.wait(tid); // separates episodes
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(phase.load(Ordering::SeqCst), (threads * episodes) as u64);
+}
+
+#[test]
+fn central_barrier_oversubscribed_many_episodes() {
+    oversubscribed_barrier(BarrierKind::Central, 16, 300, seed());
+}
+
+#[test]
+fn tree_barrier_oversubscribed_many_episodes() {
+    // 17 threads → partial fan-in nodes on every tree layer, so the
+    // releaser-side reset covers full and partial nodes alike.
+    oversubscribed_barrier(BarrierKind::Tree, 17, 300, seed());
+}
+
+/// Raw parking layer under oversubscription: one producer hammers N
+/// consumer slots (far more than cores) with seeded jitter on both
+/// sides. A missed wakeup hangs the test; a lost count fails it.
+#[test]
+fn park_unpark_oversubscribed_hammer() {
+    const CONSUMERS: usize = 12;
+    const ROUNDS: u64 = 400;
+    let base_seed = seed();
+    let slots: Arc<Vec<ParkSlot>> = Arc::new((0..CONSUMERS).map(|_| ParkSlot::new()).collect());
+    let level = Arc::new(AtomicU64::new(0));
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|i| {
+            let slots = slots.clone();
+            let level = level.clone();
+            std::thread::spawn(move || {
+                let mut rng = XorShift64::new(base_seed ^ ((i as u64 + 1) * 0x9e37_79b9));
+                for target in 1..=ROUNDS {
+                    jitter(&mut rng);
+                    slots[i].wait(0, || level.load(Ordering::SeqCst) >= target);
+                }
+            })
+        })
+        .collect();
+
+    let mut rng = XorShift64::new(base_seed ^ 0xdead_beef);
+    for _ in 0..ROUNDS {
+        jitter(&mut rng);
+        level.fetch_add(1, Ordering::SeqCst);
+        for slot in slots.iter() {
+            slot.unpark();
+        }
+    }
+    for c in consumers {
+        c.join().unwrap();
+    }
+    assert_eq!(level.load(Ordering::SeqCst), ROUNDS);
+}
+
+/// Unparks racing the transition *into* the parked state: the releaser
+/// flips the flag and unparks while the waiter is somewhere between its
+/// predicate check and `thread::park`. Every iteration must terminate —
+/// the Dekker swap protocol forbids the missed-wakeup interleaving.
+#[test]
+fn unpark_racing_park_entry_never_loses_the_wake() {
+    let base_seed = seed();
+    for round in 0..200u64 {
+        let slot = Arc::new(ParkSlot::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let slot = slot.clone();
+            let flag = flag.clone();
+            std::thread::spawn(move || slot.wait(0, || flag.load(Ordering::SeqCst)))
+        };
+        let mut rng = XorShift64::new(base_seed ^ round);
+        jitter(&mut rng);
+        flag.store(true, Ordering::SeqCst);
+        slot.unpark();
+        waiter.join().unwrap();
+    }
+}
+
+/// Runtime teardown racing workers that are just parking on their
+/// descriptor doorbells. Dropping the runtime joins every worker, so a
+/// missed shutdown wakeup is a hang, not a flake.
+#[test]
+fn shutdown_races_parking_workers() {
+    let base_seed = seed();
+    for round in 0..25u64 {
+        let mut rng = XorShift64::new(base_seed.wrapping_add(round * 7919));
+        let rt = OpenMp::with_threads(8);
+        // Between zero and two regions: teardown hits workers that have
+        // never run, workers mid-region, and workers just re-parking.
+        for _ in 0..rng.range_usize(0, 3) {
+            let hits = AtomicU64::new(0);
+            rt.parallel(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 8);
+        }
+        jitter(&mut rng);
+        drop(rt); // must join all 7 workers without hanging
+    }
+}
+
+/// Teardown immediately after publication: the master runs one last
+/// region and drops the runtime while non-participants of that region
+/// (never woken by it) are still parked from long ago.
+#[test]
+fn shutdown_wakes_workers_skipped_by_narrow_regions() {
+    let base_seed = seed();
+    for round in 0..25u64 {
+        let mut rng = XorShift64::new(base_seed ^ (round << 16));
+        let rt = OpenMp::with_config(Config {
+            num_threads: 8,
+            ..Config::default()
+        });
+        // Wide region spawns all 8, then narrow regions leave gtids 4..8
+        // parked and lagging epochs behind.
+        rt.parallel(|_| {});
+        for _ in 0..rng.range_usize(1, 4) {
+            rt.parallel_n(rng.range_usize(2, 5), |_| {});
+        }
+        jitter(&mut rng);
+        drop(rt);
+    }
+}
+
+/// End-to-end schedule stress under oversubscription: every schedule
+/// kind partitions exactly while 8 threads fight over one core, with the
+/// batched claimer on the dynamic path.
+#[test]
+fn oversubscribed_worksharing_partitions_exactly() {
+    let base_seed = seed();
+    for (case, schedule) in [
+        Schedule::Dynamic(3),
+        Schedule::Guided(2),
+        Schedule::StaticEven,
+        Schedule::StaticChunk(5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut rng = XorShift64::new(base_seed ^ (case as u64));
+        let n = rng.range_i64(200, 2000);
+        let rt = OpenMp::with_config(Config {
+            num_threads: 8,
+            schedule,
+            ..Config::default()
+        });
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        rt.parallel(|ctx| {
+            ctx.for_each(0, n - 1, |i| {
+                hits[i as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "iteration {i} under {schedule:?} ran a wrong number of times"
+            );
+        }
+    }
+}

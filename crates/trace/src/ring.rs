@@ -17,6 +17,8 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use ora_core::pad::CachePadded;
+
 /// What a producer does when its ring is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropPolicy {
@@ -91,8 +93,12 @@ impl RingStats {
 pub struct Ring {
     slots: Box<[Slot]>,
     mask: u64,
-    enqueue: AtomicU64,
-    dequeue: AtomicU64,
+    /// Producer cursor. Producers CAS this on every record while the
+    /// drainer CASes `dequeue`; each cursor gets its own cache line so
+    /// the always-on record fast path never false-shares with draining.
+    enqueue: CachePadded<AtomicU64>,
+    /// Consumer cursor (see `enqueue`).
+    dequeue: CachePadded<AtomicU64>,
     /// Next record sequence number for this ring.
     next_seq: AtomicU64,
     written: AtomicU64,
@@ -126,8 +132,8 @@ impl Ring {
                 })
                 .collect(),
             mask: cap as u64 - 1,
-            enqueue: AtomicU64::new(0),
-            dequeue: AtomicU64::new(0),
+            enqueue: CachePadded::new(AtomicU64::new(0)),
+            dequeue: CachePadded::new(AtomicU64::new(0)),
             next_seq: AtomicU64::new(0),
             written: AtomicU64::new(0),
             dropped_newest: AtomicU64::new(0),

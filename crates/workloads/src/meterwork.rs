@@ -59,14 +59,20 @@ pub enum MeterSuite {
     Epcc,
     /// Synthetic NPB kernels.
     Npb,
+    /// Synchronization-core microbenchmarks: fork/join latency and
+    /// barrier episode latency, the hot paths the runtime's parking and
+    /// padding work targets.
+    Sync,
 }
 
 impl MeterSuite {
-    /// Stable key (`epcc` / `npb`), also the `BENCH_<key>.json` stem.
+    /// Stable key (`epcc` / `npb` / `sync`), also the `BENCH_<key>.json`
+    /// stem.
     pub const fn key(self) -> &'static str {
         match self {
             MeterSuite::Epcc => "epcc",
             MeterSuite::Npb => "npb",
+            MeterSuite::Sync => "sync",
         }
     }
 
@@ -75,9 +81,21 @@ impl MeterSuite {
         match key {
             "epcc" => Some(MeterSuite::Epcc),
             "npb" => Some(MeterSuite::Npb),
+            "sync" => Some(MeterSuite::Sync),
             _ => None,
         }
     }
+}
+
+/// Which synchronization hot path a [`MeterSuite::Sync`] workload times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncKind {
+    /// Empty parallel regions: publish → wake team → run nothing → join
+    /// barrier. Isolates fork/join latency.
+    ForkJoin,
+    /// One region running a storm of explicit barriers: isolates barrier
+    /// episode latency under full team contention.
+    BarrierStorm,
 }
 
 enum WorkUnit {
@@ -91,6 +109,13 @@ enum WorkUnit {
         // Kernel invocations per repetition: a single small-class pass is
         // sub-millisecond, too little signal for between-run stability.
         passes: usize,
+    },
+    Sync {
+        kind: SyncKind,
+        // Directive instances (regions or barrier episodes) per
+        // repetition; sized so one repetition is comfortably above timer
+        // resolution.
+        inner: usize,
     },
 }
 
@@ -123,6 +148,7 @@ impl MeterWorkload {
                 class,
                 passes,
             } => kernel.region_calls(*class) * *passes as u64,
+            WorkUnit::Sync { inner, .. } => *inner as u64,
         }
     }
 
@@ -143,6 +169,24 @@ impl MeterWorkload {
                 .map(|_| kernel.run(rt, *class))
                 .last()
                 .unwrap_or(0.0),
+            WorkUnit::Sync { kind, inner } => {
+                match kind {
+                    SyncKind::ForkJoin => {
+                        for _ in 0..*inner {
+                            rt.parallel(|_| {});
+                        }
+                    }
+                    SyncKind::BarrierStorm => {
+                        let episodes = *inner;
+                        rt.parallel(|ctx| {
+                            for _ in 0..episodes {
+                                ctx.barrier();
+                            }
+                        });
+                    }
+                }
+                0.0
+            }
         }
     }
 }
@@ -179,6 +223,30 @@ pub fn meter_workloads(suite: MeterSuite, scale: MeterScale) -> Vec<MeterWorkloa
                 })
                 .collect()
         }
+        MeterSuite::Sync => {
+            let (forks, episodes) = match scale {
+                MeterScale::Quick => (60, 120),
+                MeterScale::Full => (400, 800),
+            };
+            vec![
+                MeterWorkload {
+                    name: "forkjoin".to_string(),
+                    suite: MeterSuite::Sync,
+                    unit: WorkUnit::Sync {
+                        kind: SyncKind::ForkJoin,
+                        inner: forks,
+                    },
+                },
+                MeterWorkload {
+                    name: "barrier-storm".to_string(),
+                    suite: MeterSuite::Sync,
+                    unit: WorkUnit::Sync {
+                        kind: SyncKind::BarrierStorm,
+                        inner: episodes,
+                    },
+                },
+            ]
+        }
         MeterSuite::Npb => {
             let (kernels, class, passes) = match scale {
                 MeterScale::Quick => (vec![NpbKernel::cg(), NpbKernel::ep()], NpbClass::S, 10),
@@ -213,7 +281,7 @@ mod tests {
         for s in [MeterScale::Quick, MeterScale::Full] {
             assert_eq!(MeterScale::from_key(s.key()), Some(s));
         }
-        for s in [MeterSuite::Epcc, MeterSuite::Npb] {
+        for s in [MeterSuite::Epcc, MeterSuite::Npb, MeterSuite::Sync] {
             assert_eq!(MeterSuite::from_key(s.key()), Some(s));
         }
         assert_eq!(MeterScale::from_key("paper"), None);
@@ -228,6 +296,20 @@ mod tests {
         let npb = meter_workloads(MeterSuite::Npb, MeterScale::Quick);
         let names: Vec<&str> = npb.iter().map(|w| w.name()).collect();
         assert_eq!(names, ["cg", "ep"]);
+        let sync = meter_workloads(MeterSuite::Sync, MeterScale::Quick);
+        let names: Vec<&str> = sync.iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["forkjoin", "barrier-storm"]);
+    }
+
+    #[test]
+    fn sync_reps_run_and_count_work() {
+        let rt = OpenMp::with_threads(2);
+        for w in meter_workloads(MeterSuite::Sync, MeterScale::Quick) {
+            assert!(w.work_units() > 0);
+            let before = rt.region_calls();
+            let _ = w.run_rep(&rt);
+            assert!(rt.region_calls() > before, "{} forked no region", w.name());
+        }
     }
 
     #[test]

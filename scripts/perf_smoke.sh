@@ -25,7 +25,7 @@ cargo run --release --offline -p ora-bench --bin omp_prof -- \
   bench run --quick --out-dir "$out"
 
 status=0
-for suite in epcc npb; do
+for suite in epcc npb sync; do
   base="results/baselines/BENCH_${suite}.json"
   new="$out/BENCH_${suite}.json"
   if [[ ! -f "$base" ]]; then

@@ -9,6 +9,7 @@
 # stress-failures/ (CI uploads that directory as an artifact) so the run
 # can be replayed locally with:
 #
+#   ORA_FAULT_SEED=<seed> cargo test -p omprt --test sync_stress
 #   ORA_FAULT_SEED=<seed> cargo test -p ora-trace --test fault_props
 #   ORA_FAULT_SEED=<seed> cargo test -p ora-bench --test fault_isolation
 set -euo pipefail
@@ -36,6 +37,9 @@ for seed in "${seeds[@]}"; do
   echo "== stress sweep: seed $seed =="
   # Seeded quarantine property tests on the dispatcher.
   run_seeded "$seed" -p ora-core --lib seeded_props
+  # Parking layer + barrier episodes under oversubscription; shutdown
+  # racing workers that are mid-park.
+  run_seeded "$seed" -p omprt --test sync_stress
   # Sink faults, dead drainers, and oversubscribed Block producers.
   run_seeded "$seed" -p ora-trace --test fault_props --test stress
   # Live-runtime workloads under injected collector faults.
