@@ -51,6 +51,23 @@
 //! caught and isolated (the application still completed — that is the
 //! point). `suite` exits 0 as long as every workload completes with
 //! correct results, faults or not.
+//!
+//! The `fuzz` subcommand is the oracle-differential scenario fuzzer
+//! (`ora-fuzz`): generate seeded region programs, execute each under
+//! all four collector rungs, and diff results, thread states, health
+//! counters and trace accounting against a sequential oracle. Failing
+//! seeds are minimized and written out as replayable case files:
+//!
+//! ```text
+//! omp_prof fuzz --seeds 200                   # sweep seeds 0..200
+//! omp_prof fuzz --seeds 50 --start 1000       # sweep seeds 1000..1050
+//! omp_prof fuzz --case tests/fuzz_cases/claimer_tail_small_trip.case
+//! omp_prof fuzz --cases tests/fuzz_cases      # replay the curated suite
+//! omp_prof fuzz --seeds 500 --out fuzz-out    # persist failing cases
+//! ```
+//!
+//! `fuzz` exits 0 when every scenario matched the oracle on every rung,
+//! 1 when any mismatch was found, and 2 on unusable input.
 
 use std::sync::Arc;
 
@@ -614,6 +631,111 @@ fn suite_run() {
     }
 }
 
+/// `omp_prof fuzz` — drive the oracle-differential fuzzer. Three input
+/// modes, combinable: `--seeds N` (generate seeds `start..start+N`),
+/// `--case FILE` (replay one case file), `--cases DIR` (replay every
+/// `*.case` in a directory). With `--out DIR`, each failing scenario is
+/// written as `<name>.case` alongside a greedily minimized
+/// `<name>.min.case` for triage.
+fn fuzz_run() {
+    use ora_fuzz::{check_scenario, fails_with_retries, minimize, Scenario};
+
+    let seeds: u64 = arg("--seeds", "0").parse().unwrap_or_else(|_| {
+        eprintln!("--seeds must be an integer");
+        std::process::exit(2);
+    });
+    let start: u64 = arg("--start", "0").parse().unwrap_or_else(|_| {
+        eprintln!("--start must be an integer");
+        std::process::exit(2);
+    });
+    let case = arg("--case", "");
+    let cases_dir = arg("--cases", "");
+    let out_dir = arg("--out", "");
+    if seeds == 0 && case.is_empty() && cases_dir.is_empty() {
+        eprintln!("nothing to do — pass --seeds N, --case FILE, or --cases DIR");
+        std::process::exit(2);
+    }
+
+    // Assemble the work list: (name, scenario).
+    let mut work: Vec<(String, Scenario)> = Vec::new();
+    let mut load = |path: &std::path::Path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let scenario = Scenario::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("case")
+            .to_string();
+        work.push((name, scenario));
+    };
+    if !case.is_empty() {
+        load(std::path::Path::new(&case));
+    }
+    if !cases_dir.is_empty() {
+        let mut paths: Vec<_> = std::fs::read_dir(&cases_dir)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read {cases_dir}: {e}");
+                std::process::exit(2);
+            })
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("case"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            eprintln!("{cases_dir} contains no .case files");
+            std::process::exit(2);
+        }
+        for p in &paths {
+            load(p);
+        }
+    }
+    for seed in start..start + seeds {
+        work.push((format!("seed_{seed}"), ora_fuzz::generate(seed)));
+    }
+
+    let mut failures = 0usize;
+    let total = work.len();
+    for (i, (name, scenario)) in work.iter().enumerate() {
+        let mismatches = check_scenario(scenario);
+        if mismatches.is_empty() {
+            println!("[{:>4}/{total}] {name}: ok", i + 1);
+            continue;
+        }
+        failures += 1;
+        println!(
+            "[{:>4}/{total}] {name}: FAILED ({} mismatch(es))",
+            i + 1,
+            mismatches.len()
+        );
+        for m in &mismatches {
+            println!("    {m}");
+        }
+        if !out_dir.is_empty() {
+            std::fs::create_dir_all(&out_dir).expect("create --out dir");
+            let path = std::path::Path::new(&out_dir).join(format!("{name}.case"));
+            std::fs::write(&path, scenario.to_case_file()).expect("write case");
+            println!("    wrote {}", path.display());
+            let min = minimize(scenario, |s| fails_with_retries(s, 3));
+            let min_path = std::path::Path::new(&out_dir).join(format!("{name}.min.case"));
+            std::fs::write(&min_path, min.to_case_file()).expect("write minimized case");
+            println!("    wrote {} (minimized)", min_path.display());
+        }
+    }
+
+    if failures == 0 {
+        println!("fuzz: all {total} scenario(s) matched the oracle on every rung");
+    } else {
+        eprintln!("fuzz: {failures}/{total} scenario(s) FAILED");
+        std::process::exit(1);
+    }
+}
+
 fn npb_class(s: &str) -> NpbClass {
     match s {
         "w" | "W" => NpbClass::W,
@@ -642,6 +764,9 @@ fn main() {
     }
     if argv.get(1).map(String::as_str) == Some("suite") {
         return suite_run();
+    }
+    if argv.get(1).map(String::as_str) == Some("fuzz") {
+        return fuzz_run();
     }
     if argv.get(1).map(String::as_str) == Some("bench") {
         match argv.get(2).map(String::as_str) {

@@ -161,25 +161,41 @@ impl ActiveCollection {
     /// Detach: stop collection, release callback registrations, and
     /// discard the collected data (the meter measures cost, not content).
     pub fn finish(self) -> Result<CollectionSummary, StreamError> {
+        self.finish_with_trace().map(|(summary, _)| summary)
+    }
+
+    /// Like [`finish`](Self::finish), but for the
+    /// [`StreamingTrace`](CollectionConfig::StreamingTrace) rung also
+    /// returns the encoded trace bytes, so callers (the oracle-diff
+    /// fuzzer, audits) can reconcile the persisted trace — per-lane drop
+    /// counters, footer, decodable records — against the summary. Every
+    /// other rung returns `None` for the trace.
+    pub fn finish_with_trace(self) -> Result<(CollectionSummary, Option<Vec<u8>>), StreamError> {
         match self {
-            ActiveCollection::Absent => Ok(CollectionSummary::default()),
+            ActiveCollection::Absent => Ok((CollectionSummary::default(), None)),
             ActiveCollection::RegisteredPaused(profiler) => {
                 let events = profiler.events_observed();
                 let _ = profiler.finish();
-                Ok(CollectionSummary {
-                    events_observed: events,
-                    ..CollectionSummary::default()
-                })
+                Ok((
+                    CollectionSummary {
+                        events_observed: events,
+                        ..CollectionSummary::default()
+                    },
+                    None,
+                ))
             }
             ActiveCollection::StateQueries(timer) => {
                 let profile = timer.finish();
-                Ok(CollectionSummary {
-                    // The state timer has no event counter; report the
-                    // threads it saw so "did anything happen" stays
-                    // answerable.
-                    events_observed: profile.threads.len() as u64,
-                    ..CollectionSummary::default()
-                })
+                Ok((
+                    CollectionSummary {
+                        // The state timer has no event counter; report the
+                        // threads it saw so "did anything happen" stays
+                        // answerable.
+                        events_observed: profile.threads.len() as u64,
+                        ..CollectionSummary::default()
+                    },
+                    None,
+                ))
             }
             ActiveCollection::StreamingTrace(tracer) => {
                 let events = ora_core::event::ALL_EVENTS
@@ -188,12 +204,15 @@ impl ActiveCollection {
                     .sum();
                 let degraded = tracer.is_degraded();
                 match tracer.finish() {
-                    Ok((_sink, stats)) => Ok(CollectionSummary {
-                        events_observed: events,
-                        records_drained: stats.drained(),
-                        records_dropped: stats.dropped(),
-                        degraded,
-                    }),
+                    Ok((sink, stats)) => Ok((
+                        CollectionSummary {
+                            events_observed: events,
+                            records_drained: stats.drained(),
+                            records_dropped: stats.dropped(),
+                            degraded,
+                        },
+                        Some(sink.into_bytes()),
+                    )),
                     // A dead drainer is a degraded collection, not a
                     // failed run: the workload finished and the partial
                     // accounting is right there in the error.
@@ -201,12 +220,15 @@ impl ActiveCollection {
                         drained,
                         dropped,
                         ..
-                    })) => Ok(CollectionSummary {
-                        events_observed: events,
-                        records_drained: drained,
-                        records_dropped: dropped,
-                        degraded: true,
-                    }),
+                    })) => Ok((
+                        CollectionSummary {
+                            events_observed: events,
+                            records_drained: drained,
+                            records_dropped: dropped,
+                            degraded: true,
+                        },
+                        None,
+                    )),
                     Err(e) => Err(e),
                 }
             }

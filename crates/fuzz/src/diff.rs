@@ -1,0 +1,310 @@
+//! The diff surface: everything the four rungs must agree on.
+//!
+//! For one scenario the harness computes the sequential oracle, runs
+//! the program under every [`CollectionConfig`] rung, and checks:
+//!
+//! 1. **Computed results** — per-op values equal the oracle on every
+//!    rung (collectors must never perturb the application);
+//! 2. **Final thread states** — the post-run probe region fields a
+//!    full team and the runtime's fault counters are clean;
+//! 3. **Rung invariants** — `Absent`/`RegisteredPaused` observe zero
+//!    events, the started rungs observe work;
+//! 4. **Trace accounting** (streaming rung) — callback counts, drain
+//!    and drop counters, footer, per-thread and per-region partitions,
+//!    event pairing, and multi-rank merge determinism all reconcile.
+
+use collector::modes::CollectionConfig;
+use collector::tracer::Trace;
+use ora_core::event::Event;
+use ora_trace::{merge_ranks, TraceReader};
+
+use crate::exec::{run_under, RunOutcome};
+use crate::oracle;
+use crate::scenario::Scenario;
+
+/// One failed check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// The rung key (`absent`/`paused`/`state`/`trace`) or `harness`.
+    pub rung: &'static str,
+    /// What disagreed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rung, self.detail)
+    }
+}
+
+/// Run `scenario` under all four rungs and collect every disagreement
+/// with the oracle. Empty means the scenario passed.
+pub fn check_scenario(scenario: &Scenario) -> Vec<Mismatch> {
+    let expected = oracle::expected(scenario);
+    let mut mismatches = Vec::new();
+    for rung in CollectionConfig::ALL {
+        let key = rung.key();
+        match run_under(scenario, rung) {
+            Ok(outcome) => {
+                diff_outcome(scenario, &expected, rung, &outcome, &mut mismatches);
+            }
+            Err(e) => mismatches.push(Mismatch {
+                rung: key,
+                detail: format!("execution failed: {e}"),
+            }),
+        }
+    }
+    mismatches
+}
+
+fn diff_outcome(
+    scenario: &Scenario,
+    expected: &[i64],
+    rung: CollectionConfig,
+    outcome: &RunOutcome,
+    out: &mut Vec<Mismatch>,
+) {
+    let key = rung.key();
+    let mut push = |detail: String| out.push(Mismatch { rung: key, detail });
+
+    // 1. Computed results, op by op.
+    for (k, (got, want)) in outcome.results.iter().zip(expected).enumerate() {
+        if got != want {
+            push(format!(
+                "op {k} ({:?}): computed {got}, oracle {want}",
+                scenario.ops[k]
+            ));
+        }
+    }
+
+    // 2. Final thread states: full team in the probe region, clean
+    //    fault counters.
+    if outcome.post_threads != scenario.threads {
+        push(format!(
+            "post-run probe saw {} thread(s), expected {}",
+            outcome.post_threads, scenario.threads
+        ));
+    }
+    if outcome.health.faulted() {
+        push(format!(
+            "ApiHealth faulted: {} panic(s), {} quarantined, {} sequence error(s)",
+            outcome.health.callback_panics,
+            outcome.health.callbacks_quarantined,
+            outcome.health.sequence_errors
+        ));
+    }
+
+    // 3. Rung invariants.
+    let s = &outcome.summary;
+    match rung {
+        CollectionConfig::Absent | CollectionConfig::RegisteredPaused => {
+            if s.events_observed != 0 {
+                push(format!(
+                    "{} rung observed {} event(s); must be 0",
+                    key, s.events_observed
+                ));
+            }
+        }
+        CollectionConfig::StateQueries => {
+            if s.events_observed == 0 {
+                push("state rung observed no threads".into());
+            }
+        }
+        CollectionConfig::StreamingTrace => {
+            if s.degraded {
+                push("trace pipeline degraded".into());
+            }
+            if s.events_observed == 0 {
+                push("trace rung observed no events".into());
+            }
+            if s.events_observed != s.records_drained + s.records_dropped {
+                push(format!(
+                    "event accounting: observed {} != drained {} + dropped {}",
+                    s.events_observed, s.records_drained, s.records_dropped
+                ));
+            }
+            match &outcome.trace {
+                Some(bytes) => diff_trace(scenario, outcome, bytes, &mut push),
+                None => push("trace rung returned no trace bytes".into()),
+            }
+        }
+    }
+}
+
+/// Reconcile the persisted trace against the summary: footer counters,
+/// per-thread and per-region partitions, event pairing, rank-merge
+/// determinism.
+fn diff_trace(
+    scenario: &Scenario,
+    outcome: &RunOutcome,
+    bytes: &[u8],
+    push: &mut impl FnMut(String),
+) {
+    let s = &outcome.summary;
+    let reader = match TraceReader::from_bytes(bytes.to_vec()) {
+        Ok(r) => r,
+        Err(e) => return push(format!("trace does not decode: {e}")),
+    };
+    if reader.record_count() != s.records_drained {
+        push(format!(
+            "footer drained {} != summary drained {}",
+            reader.record_count(),
+            s.records_drained
+        ));
+    }
+    if reader.dropped() != s.records_dropped {
+        push(format!(
+            "footer dropped {} != summary dropped {}",
+            reader.dropped(),
+            s.records_dropped
+        ));
+    }
+    let records = match reader.records() {
+        Ok(r) => r,
+        Err(e) => return push(format!("trace records do not decode: {e}")),
+    };
+    if records.len() as u64 != s.records_drained {
+        push(format!(
+            "decoded {} record(s) != drained {}",
+            records.len(),
+            s.records_drained
+        ));
+    }
+
+    // Per-thread partition: each thread's filtered view must be exactly
+    // the thread's slice of the full merge, and together they must
+    // partition it.
+    let mut gtids: Vec<usize> = records.iter().map(|r| r.gtid).collect();
+    gtids.sort_unstable();
+    gtids.dedup();
+    let mut per_thread_total = 0usize;
+    for &g in &gtids {
+        match reader.for_thread(g) {
+            Ok(view) => {
+                let want: Vec<_> = records.iter().copied().filter(|r| r.gtid == g).collect();
+                if view != want {
+                    push(format!("for_thread({g}) disagrees with the merged records"));
+                }
+                per_thread_total += view.len();
+            }
+            Err(e) => push(format!("for_thread({g}) failed: {e}")),
+        }
+    }
+    if per_thread_total != records.len() {
+        push(format!(
+            "per-thread partitions cover {} of {} record(s)",
+            per_thread_total,
+            records.len()
+        ));
+    }
+
+    // Per-region partition, same contract.
+    let mut regions: Vec<u64> = records.iter().map(|r| r.region_id).collect();
+    regions.sort_unstable();
+    regions.dedup();
+    let mut per_region_total = 0usize;
+    for &rid in &regions {
+        match reader.for_region(rid) {
+            Ok(view) => {
+                let want: Vec<_> = records
+                    .iter()
+                    .copied()
+                    .filter(|r| r.region_id == rid)
+                    .collect();
+                if view != want {
+                    push(format!(
+                        "for_region({rid}) disagrees with the merged records"
+                    ));
+                }
+                per_region_total += view.len();
+            }
+            Err(e) => push(format!("for_region({rid}) failed: {e}")),
+        }
+    }
+    if per_region_total != records.len() {
+        push(format!(
+            "per-region partitions cover {} of {} record(s)",
+            per_region_total,
+            records.len()
+        ));
+    }
+
+    // Event pairing: only checkable when nothing was lost and no pause
+    // window could swallow one side of a pair.
+    if s.records_dropped == 0 && scenario.gates() == 0 {
+        let trace = match Trace::from_encoded(bytes) {
+            Ok(t) => t,
+            Err(e) => return push(format!("trace re-decode failed: {e}")),
+        };
+        if trace.count(Event::Fork) != trace.count(Event::Join) {
+            push(format!(
+                "fork count {} != join count {}",
+                trace.count(Event::Fork),
+                trace.count(Event::Join)
+            ));
+        }
+        if trace.count(Event::LoopBegin) != trace.count(Event::LoopEnd) {
+            push(format!(
+                "loop begin count {} != loop end count {}",
+                trace.count(Event::LoopBegin),
+                trace.count(Event::LoopEnd)
+            ));
+        }
+        for begin in [
+            Event::ThreadBeginImplicitBarrier,
+            Event::ThreadBeginExplicitBarrier,
+            Event::ThreadBeginLockWait,
+            Event::ThreadBeginCriticalWait,
+            Event::ThreadBeginOrderedWait,
+            Event::ThreadBeginMaster,
+            Event::ThreadBeginSingle,
+        ] {
+            let unmatched = trace.unmatched_begins(begin);
+            if unmatched != 0 {
+                push(format!("{} unmatched {:?} interval(s)", unmatched, begin));
+            }
+        }
+    }
+
+    // Multi-rank merge determinism: merging the trace with itself must
+    // be stable and keyed `(tick, gtid, seq, rank)` — the rank strictly
+    // last. (This is the fuzzer-level regression for the merge_ranks
+    // tie-break bug.)
+    let two = |bytes: &[u8]| -> Result<Vec<TraceReader>, ora_trace::TraceError> {
+        Ok(vec![
+            TraceReader::from_bytes(bytes.to_vec())?,
+            TraceReader::from_bytes(bytes.to_vec())?,
+        ])
+    };
+    match (two(bytes), two(bytes)) {
+        (Ok(a), Ok(b)) => match (merge_ranks(&a), merge_ranks(&b)) {
+            (Ok(m1), Ok(m2)) => {
+                if m1 != m2 {
+                    push("rank merge is not deterministic".into());
+                }
+                for w in m1.windows(2) {
+                    let ka = (
+                        w[0].record.tick,
+                        w[0].record.gtid,
+                        w[0].record.seq,
+                        w[0].rank,
+                    );
+                    let kb = (
+                        w[1].record.tick,
+                        w[1].record.gtid,
+                        w[1].record.seq,
+                        w[1].rank,
+                    );
+                    if ka > kb {
+                        push(format!(
+                            "rank merge key order violated: {ka:?} precedes {kb:?}"
+                        ));
+                        break;
+                    }
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => push(format!("rank merge failed: {e}")),
+        },
+        (Err(e), _) | (_, Err(e)) => push(format!("trace re-open failed: {e}")),
+    }
+}

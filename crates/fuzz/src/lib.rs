@@ -1,0 +1,34 @@
+//! `ora-fuzz` — the oracle-differential scenario fuzzer.
+//!
+//! A seeded generator ([`gen`]) produces small region programs
+//! ([`scenario::Scenario`]) over the constructs the runtime implements:
+//! nested parallel regions, worksharing under every schedule (with trip
+//! counts aimed at the batched claimer's tail), reductions, locks,
+//! critical and ordered sections, single/master, barriers, and
+//! pause/resume gating of the collector.
+//!
+//! Every scenario has a closed-form sequential result ([`oracle`]).
+//! The harness executes it under all four collector rungs
+//! ([`exec`], [`collector::modes::CollectionConfig::ALL`]) and diffs
+//! ([`diff`]) computed results, final thread states, `ApiHealth`
+//! counters, and — on the streaming rung — the full trace accounting
+//! chain: callback counts vs drain/drop counters vs the persisted
+//! footer, per-thread/per-region partitions, event pairing, and
+//! multi-rank merge determinism.
+//!
+//! Failures shrink ([`minimize`]) to a declarative case file
+//! (`tests/fuzz_cases/*.case`) that replays forever as a regression.
+//! The CLI lives in `omp_prof fuzz`.
+
+pub mod diff;
+pub mod exec;
+pub mod gen;
+pub mod minimize;
+pub mod oracle;
+pub mod scenario;
+
+pub use diff::{check_scenario, Mismatch};
+pub use exec::{run_under, RunOutcome};
+pub use gen::generate;
+pub use minimize::{fails_with_retries, minimize};
+pub use scenario::{Op, Scenario, SchedSpec};

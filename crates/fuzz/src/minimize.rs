@@ -1,0 +1,189 @@
+//! Greedy scenario shrinking.
+//!
+//! Given a failing scenario and a predicate that re-checks failure, the
+//! minimizer repeatedly tries structural simplifications — dropping
+//! ops, halving counts, shrinking the team — and keeps any change that
+//! still fails. The result is the small, readable case file that lands
+//! in `tests/fuzz_cases/`.
+//!
+//! Because the bugs this hunts are concurrency bugs, a single passing
+//! run does not prove a candidate lost the failure; the predicate is
+//! expected to retry internally (see [`fails_with_retries`]).
+
+use crate::diff::check_scenario;
+use crate::scenario::{Op, Scenario};
+
+/// Re-check `scenario` up to `tries` times; true if any run fails.
+/// This is the predicate most callers want: concurrency failures are
+/// flaky, so a shrink candidate only counts as "still failing" if the
+/// failure reproduces within the retry budget.
+pub fn fails_with_retries(scenario: &Scenario, tries: usize) -> bool {
+    (0..tries.max(1)).any(|_| !check_scenario(scenario).is_empty())
+}
+
+/// Shrink `scenario` while `fails` keeps returning true. Returns the
+/// smallest still-failing scenario found (possibly the input itself).
+pub fn minimize(scenario: &Scenario, mut fails: impl FnMut(&Scenario) -> bool) -> Scenario {
+    let mut best = scenario.clone();
+    let mut progress = true;
+    while progress {
+        progress = false;
+
+        // 1. Drop whole ops, one at a time (scan from the end so the
+        //    indices of not-yet-tried ops stay stable after a removal).
+        let mut i = best.ops.len();
+        while i > 0 {
+            i -= 1;
+            if best.ops.len() == 1 {
+                break;
+            }
+            let mut cand = best.clone();
+            cand.ops.remove(i);
+            if fails(&cand) {
+                best = cand;
+                progress = true;
+            }
+        }
+
+        // 2. Shrink counts: halve, then try 1.
+        for i in 0..best.ops.len() {
+            for target in [half_count(&best.ops[i]), set_count(&best.ops[i], 1)] {
+                let Some(op) = target else { continue };
+                if op == best.ops[i] {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.ops[i] = op;
+                if fails(&cand) {
+                    best = cand;
+                    progress = true;
+                }
+            }
+        }
+
+        // 3. Shrink the team and simplify the modes.
+        if best.threads > 1 {
+            let mut cand = best.clone();
+            cand.threads = (best.threads / 2).max(1);
+            if fails(&cand) {
+                best = cand;
+                progress = true;
+            }
+        }
+        if best.nested {
+            let mut cand = best.clone();
+            cand.nested = false;
+            if fails(&cand) {
+                best = cand;
+                progress = true;
+            }
+        }
+    }
+    best
+}
+
+fn half_count(op: &Op) -> Option<Op> {
+    set_count(op, count_of(op)? / 2)
+}
+
+fn count_of(op: &Op) -> Option<i64> {
+    match *op {
+        Op::For { count, .. }
+        | Op::ReduceSum { count }
+        | Op::ReduceMin { count }
+        | Op::ReduceMax { count }
+        | Op::Ordered { count }
+        | Op::NestedPar { count, .. } => Some(count),
+        Op::Critical { rounds }
+        | Op::Lock { rounds }
+        | Op::Atomic { rounds }
+        | Op::Single { rounds }
+        | Op::Master { rounds } => Some(rounds),
+        Op::Barrier | Op::Gate => None,
+    }
+}
+
+fn set_count(op: &Op, n: i64) -> Option<Op> {
+    let n = n.max(1);
+    Some(match *op {
+        Op::For { sched, .. } => Op::For { sched, count: n },
+        Op::ReduceSum { .. } => Op::ReduceSum { count: n },
+        Op::ReduceMin { .. } => Op::ReduceMin { count: n },
+        Op::ReduceMax { .. } => Op::ReduceMax { count: n },
+        Op::Ordered { .. } => Op::Ordered { count: n },
+        Op::NestedPar { threads, .. } => Op::NestedPar { threads, count: n },
+        Op::Critical { .. } => Op::Critical { rounds: n },
+        Op::Lock { .. } => Op::Lock { rounds: n },
+        Op::Atomic { .. } => Op::Atomic { rounds: n },
+        Op::Single { .. } => Op::Single { rounds: n },
+        Op::Master { .. } => Op::Master { rounds: n },
+        Op::Barrier | Op::Gate => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SchedSpec;
+
+    fn big() -> Scenario {
+        Scenario {
+            threads: 8,
+            nested: true,
+            schedule: SchedSpec::StaticEven,
+            ops: vec![
+                Op::Barrier,
+                Op::For {
+                    sched: SchedSpec::Dynamic(3),
+                    count: 200,
+                },
+                Op::Critical { rounds: 16 },
+                Op::Ordered { count: 40 },
+                Op::Gate,
+            ],
+        }
+    }
+
+    #[test]
+    fn minimize_reaches_the_smallest_failing_shape() {
+        // Synthetic failure: anything containing a dynamic `for` fails.
+        let fails = |s: &Scenario| {
+            s.ops.iter().any(|o| {
+                matches!(
+                    o,
+                    Op::For {
+                        sched: SchedSpec::Dynamic(_),
+                        ..
+                    }
+                )
+            })
+        };
+        let m = minimize(&big(), fails);
+        assert_eq!(m.threads, 1);
+        assert!(!m.nested);
+        assert_eq!(m.ops.len(), 1);
+        assert!(matches!(
+            m.ops[0],
+            Op::For {
+                sched: SchedSpec::Dynamic(_),
+                count: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn minimize_never_returns_a_passing_scenario() {
+        // Failure depends on total op count staying >= 3.
+        let fails = |s: &Scenario| s.ops.len() >= 3;
+        let m = minimize(&big(), fails);
+        assert!(fails(&m));
+        assert_eq!(m.ops.len(), 3);
+    }
+
+    #[test]
+    fn minimize_keeps_an_always_failing_scenario_nonempty() {
+        let m = minimize(&big(), |_| true);
+        assert_eq!(m.ops.len(), 1);
+        assert_eq!(m.threads, 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! The sequential oracle: the result every execution must reproduce.
+//!
+//! Each [`Op`] computes one `i64`. The payloads are chosen so the
+//! parallel execution is *obligated* to agree with a sequential
+//! interpretation, bit for bit:
+//!
+//! - sums use wrapping integer addition (associative + commutative);
+//! - float reductions only ever see integer-valued `f64`s far below
+//!   2^53, so accumulation is exact regardless of combine order;
+//! - mutual-exclusion ops count increments, which only agree when no
+//!   update was lost;
+//! - the ordered op folds iterations through a *non-commutative* hash,
+//!   so any deviation from global iteration order changes the value.
+
+use crate::scenario::{mix, mix_small, Op, Scenario};
+
+/// The expected result of one op under `threads` team threads.
+pub fn expected_op(op: &Op, threads: usize) -> i64 {
+    match *op {
+        Op::For { count, .. } => (0..count).fold(0i64, |a, i| a.wrapping_add(mix(i))),
+        Op::ReduceSum { count } => (0..count).map(|i| i % 97).sum(),
+        Op::ReduceMin { count } => (0..count).map(mix_small).min().unwrap_or(i64::MAX),
+        Op::ReduceMax { count } => (0..count).map(mix_small).max().unwrap_or(i64::MIN),
+        Op::Ordered { count } => (0..count).fold(0i64, |h, i| h.wrapping_mul(31).wrapping_add(i)),
+        Op::Critical { rounds } | Op::Lock { rounds } | Op::Atomic { rounds } => {
+            rounds * threads as i64
+        }
+        Op::Single { rounds } => rounds,
+        Op::Master { rounds } => rounds,
+        Op::Barrier | Op::Gate => 0,
+        Op::NestedPar { count, .. } => (0..count).fold(0i64, |a, i| a.wrapping_add(mix(i))),
+    }
+}
+
+/// The expected result vector of a whole scenario.
+pub fn expected(scenario: &Scenario) -> Vec<i64> {
+    scenario
+        .ops
+        .iter()
+        .map(|op| expected_op(op, scenario.threads))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SchedSpec;
+
+    #[test]
+    fn mutual_exclusion_ops_scale_with_threads() {
+        assert_eq!(expected_op(&Op::Critical { rounds: 5 }, 4), 20);
+        assert_eq!(expected_op(&Op::Lock { rounds: 3 }, 2), 6);
+        assert_eq!(expected_op(&Op::Single { rounds: 7 }, 4), 7);
+        assert_eq!(expected_op(&Op::Master { rounds: 2 }, 4), 2);
+    }
+
+    #[test]
+    fn ordered_hash_is_order_sensitive() {
+        // Swapping two iterations changes the fold.
+        let in_order = expected_op(&Op::Ordered { count: 5 }, 2);
+        let swapped = [0i64, 1, 3, 2, 4]
+            .iter()
+            .fold(0i64, |h, i| h.wrapping_mul(31).wrapping_add(*i));
+        assert_ne!(in_order, swapped);
+    }
+
+    #[test]
+    fn reduce_payloads_are_exact_in_f64() {
+        for i in 0..10_000 {
+            let v = mix_small(i);
+            assert_eq!(v as f64 as i64, v);
+            assert!(v.abs() < 1 << 20);
+        }
+    }
+
+    #[test]
+    fn expected_covers_every_op() {
+        let s = Scenario {
+            threads: 2,
+            nested: false,
+            schedule: SchedSpec::StaticEven,
+            ops: vec![
+                Op::For {
+                    sched: SchedSpec::Dynamic(2),
+                    count: 10,
+                },
+                Op::Barrier,
+                Op::Gate,
+            ],
+        };
+        let e = expected(&s);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[1], 0);
+        assert_eq!(e[2], 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The scenario grammar and its declarative case-file format.
+//!
+//! A [`Scenario`] is a small region program: a team size, a nesting
+//! mode, and a sequence of [`Op`]s that every thread of one parallel
+//! region executes in lockstep. The grammar deliberately covers every
+//! construct whose runtime implementation PR 5 rewrote — worksharing
+//! under all four schedules, reductions, critical/lock mutual
+//! exclusion, ordered sections, single/master, barriers — plus
+//! pause/resume gating of the collector, and nested parallel regions.
+//!
+//! Each op has a closed-form sequential result (see
+//! [`crate::oracle`]); the differential harness executes the same ops
+//! under the runtime and every collector rung and diffs the computed
+//! values. Scenarios serialize to a line-based case file so fuzz-found
+//! bugs land in `tests/fuzz_cases/` as readable, replayable
+//! regressions.
+
+use std::fmt;
+
+/// A worksharing schedule, mirroring `omprt::Schedule` but owned by the
+/// grammar so case files parse without the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedSpec {
+    /// `static` — one contiguous block per thread.
+    StaticEven,
+    /// `chunk <n>` — round-robin blocks of `n`.
+    StaticChunk(i64),
+    /// `dynamic <n>` — runtime claiming, chunk `n` (batched claimer).
+    Dynamic(i64),
+    /// `guided <n>` — shrinking chunks, minimum `n`.
+    Guided(i64),
+}
+
+impl SchedSpec {
+    /// Convert into the runtime's schedule type.
+    pub fn to_schedule(self) -> omprt::Schedule {
+        match self {
+            SchedSpec::StaticEven => omprt::Schedule::StaticEven,
+            SchedSpec::StaticChunk(n) => omprt::Schedule::StaticChunk(n as usize),
+            SchedSpec::Dynamic(n) => omprt::Schedule::Dynamic(n as usize),
+            SchedSpec::Guided(n) => omprt::Schedule::Guided(n as usize),
+        }
+    }
+}
+
+impl fmt::Display for SchedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedSpec::StaticEven => write!(f, "static"),
+            SchedSpec::StaticChunk(n) => write!(f, "chunk {n}"),
+            SchedSpec::Dynamic(n) => write!(f, "dynamic {n}"),
+            SchedSpec::Guided(n) => write!(f, "guided {n}"),
+        }
+    }
+}
+
+/// One construct of a scenario. All counts are iteration/round counts
+/// over `0..count`; every op leaves one `i64` result slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Worksharing loop under `sched`: atomic sum of `mix(i)`.
+    For { sched: SchedSpec, count: i64 },
+    /// Worksharing sum reduction of `i % 97` (exact in f64).
+    ReduceSum { count: i64 },
+    /// Worksharing min reduction of `mix_small(i)`.
+    ReduceMin { count: i64 },
+    /// Worksharing max reduction of `mix_small(i)`.
+    ReduceMax { count: i64 },
+    /// Ordered worksharing loop: order-sensitive rolling hash of `i`.
+    Ordered { count: i64 },
+    /// Named critical region: `rounds` unsynchronized read-modify-write
+    /// increments per thread, protected only by the critical lock.
+    Critical { rounds: i64 },
+    /// User lock (`OmpLock`): same lost-update probe as `Critical`.
+    Lock { rounds: i64 },
+    /// `atomic_update` increments: `rounds` per thread.
+    Atomic { rounds: i64 },
+    /// `rounds` encounters of `single`, one increment per encounter.
+    Single { rounds: i64 },
+    /// `rounds` master-only increments.
+    Master { rounds: i64 },
+    /// An explicit team barrier.
+    Barrier,
+    /// Collector pause/resume round trip on the master (only on rungs
+    /// where collection is STARTed; a no-op otherwise).
+    Gate,
+    /// Master forks a nested region of `threads` threads which sums
+    /// `mix(i)` over `0..count` (serialized unless `Scenario::nested`).
+    NestedPar { threads: usize, count: i64 },
+}
+
+/// A complete generated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Outer team size.
+    pub threads: usize,
+    /// Whether nested regions fork real sub-teams (`Config::nested`).
+    pub nested: bool,
+    /// The runtime's default schedule (used by reductions' `for_each`).
+    pub schedule: SchedSpec,
+    /// The ops, executed in order by every team thread.
+    pub ops: Vec<Op>,
+}
+
+/// The deterministic per-iteration payload: cheap, wrapping, and
+/// value-dependent so misattributed iterations change the result.
+#[inline]
+pub fn mix(i: i64) -> i64 {
+    i.wrapping_mul(i).wrapping_add(i.rotate_left(7)) ^ 0x5bd1_e995
+}
+
+/// A small-range payload for min/max reductions (exact as f64).
+#[inline]
+pub fn mix_small(i: i64) -> i64 {
+    (i.wrapping_mul(31).rem_euclid(1009)) - 500
+}
+
+impl Scenario {
+    /// Serialize to the case-file format (round-trips via [`parse`]).
+    ///
+    /// [`parse`]: Scenario::parse
+    pub fn to_case_file(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "threads {}", self.threads);
+        let _ = writeln!(out, "nested {}", self.nested);
+        let _ = writeln!(out, "schedule {}", self.schedule);
+        for op in &self.ops {
+            let _ = match op {
+                Op::For { sched, count } => writeln!(out, "for {sched} {count}"),
+                Op::ReduceSum { count } => writeln!(out, "reduce sum {count}"),
+                Op::ReduceMin { count } => writeln!(out, "reduce min {count}"),
+                Op::ReduceMax { count } => writeln!(out, "reduce max {count}"),
+                Op::Ordered { count } => writeln!(out, "ordered {count}"),
+                Op::Critical { rounds } => writeln!(out, "critical {rounds}"),
+                Op::Lock { rounds } => writeln!(out, "lock {rounds}"),
+                Op::Atomic { rounds } => writeln!(out, "atomic {rounds}"),
+                Op::Single { rounds } => writeln!(out, "single {rounds}"),
+                Op::Master { rounds } => writeln!(out, "master {rounds}"),
+                Op::Barrier => writeln!(out, "barrier"),
+                Op::Gate => writeln!(out, "gate"),
+                Op::NestedPar { threads, count } => writeln!(out, "nestedpar {threads} {count}"),
+            };
+        }
+        out
+    }
+
+    /// Parse a case file. Blank lines and `#` comments are ignored.
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        let mut threads = None;
+        let mut nested = false;
+        let mut schedule = SchedSpec::StaticEven;
+        let mut ops = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let int = |s: &str| s.parse::<i64>().map_err(|_| err("bad integer"));
+            let positive = |s: &str| {
+                let v = int(s)?;
+                if v < 1 {
+                    return Err(err("count must be >= 1"));
+                }
+                Ok(v)
+            };
+            match fields[0] {
+                "threads" if fields.len() == 2 => {
+                    threads = Some(positive(fields[1])? as usize);
+                }
+                "nested" if fields.len() == 2 => {
+                    nested = match fields[1] {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(err("expected true/false")),
+                    };
+                }
+                "schedule" => {
+                    schedule = parse_sched(&fields[1..]).ok_or_else(|| err("bad schedule"))?
+                }
+                "for" if fields.len() >= 3 => {
+                    let sched = parse_sched(&fields[1..fields.len() - 1])
+                        .ok_or_else(|| err("bad schedule"))?;
+                    ops.push(Op::For {
+                        sched,
+                        count: positive(fields[fields.len() - 1])?,
+                    });
+                }
+                "reduce" if fields.len() == 3 => {
+                    let count = positive(fields[2])?;
+                    ops.push(match fields[1] {
+                        "sum" => Op::ReduceSum { count },
+                        "min" => Op::ReduceMin { count },
+                        "max" => Op::ReduceMax { count },
+                        _ => return Err(err("expected sum/min/max")),
+                    });
+                }
+                "ordered" if fields.len() == 2 => ops.push(Op::Ordered {
+                    count: positive(fields[1])?,
+                }),
+                "critical" if fields.len() == 2 => ops.push(Op::Critical {
+                    rounds: positive(fields[1])?,
+                }),
+                "lock" if fields.len() == 2 => ops.push(Op::Lock {
+                    rounds: positive(fields[1])?,
+                }),
+                "atomic" if fields.len() == 2 => ops.push(Op::Atomic {
+                    rounds: positive(fields[1])?,
+                }),
+                "single" if fields.len() == 2 => ops.push(Op::Single {
+                    rounds: positive(fields[1])?,
+                }),
+                "master" if fields.len() == 2 => ops.push(Op::Master {
+                    rounds: positive(fields[1])?,
+                }),
+                "barrier" if fields.len() == 1 => ops.push(Op::Barrier),
+                "gate" if fields.len() == 1 => ops.push(Op::Gate),
+                "nestedpar" if fields.len() == 3 => ops.push(Op::NestedPar {
+                    threads: positive(fields[1])? as usize,
+                    count: positive(fields[2])?,
+                }),
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        Ok(Scenario {
+            threads: threads.ok_or("missing `threads` directive")?,
+            nested,
+            schedule,
+            ops,
+        })
+    }
+
+    /// How many `gate` ops the scenario contains (relaxes the trace
+    /// pairing checks: a pause window can swallow in-flight events).
+    pub fn gates(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Gate)).count()
+    }
+}
+
+fn parse_sched(fields: &[&str]) -> Option<SchedSpec> {
+    match fields {
+        ["static"] => Some(SchedSpec::StaticEven),
+        ["chunk", n] => Some(SchedSpec::StaticChunk(n.parse().ok().filter(|v| *v >= 1)?)),
+        ["dynamic", n] => Some(SchedSpec::Dynamic(n.parse().ok().filter(|v| *v >= 1)?)),
+        ["guided", n] => Some(SchedSpec::Guided(n.parse().ok().filter(|v| *v >= 1)?)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            threads: 3,
+            nested: true,
+            schedule: SchedSpec::Dynamic(2),
+            ops: vec![
+                Op::For {
+                    sched: SchedSpec::Guided(1),
+                    count: 17,
+                },
+                Op::ReduceSum { count: 100 },
+                Op::Ordered { count: 9 },
+                Op::Critical { rounds: 8 },
+                Op::Lock { rounds: 5 },
+                Op::Atomic { rounds: 16 },
+                Op::Single { rounds: 6 },
+                Op::Master { rounds: 2 },
+                Op::Barrier,
+                Op::Gate,
+                Op::NestedPar {
+                    threads: 2,
+                    count: 12,
+                },
+                Op::ReduceMin { count: 7 },
+                Op::ReduceMax { count: 7 },
+            ],
+        }
+    }
+
+    #[test]
+    fn case_file_round_trips() {
+        let s = sample();
+        let text = s.to_case_file();
+        let parsed = Scenario::parse(&text).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.to_case_file(), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a regression\n\nthreads 2\n  # indented comment\nbarrier\n";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.ops, vec![Op::Barrier]);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_line_numbers() {
+        assert!(Scenario::parse("barrier").is_err()); // no threads
+        let err = Scenario::parse("threads 2\nfor dynamic 0 10").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(Scenario::parse("threads 2\nordered -3").is_err());
+        assert!(Scenario::parse("threads 2\nwat 1").is_err());
+    }
+
+    #[test]
+    fn gates_counts_gate_ops() {
+        assert_eq!(sample().gates(), 1);
+    }
+}

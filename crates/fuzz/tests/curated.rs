@@ -1,0 +1,71 @@
+//! Replay every curated case file in `tests/fuzz_cases/` through the
+//! full differential harness, plus a short seeded smoke sweep. These
+//! are the fast regression net; the deep sweep lives in the nightly
+//! `omp_prof fuzz` job.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ora_fuzz::{check_scenario, generate, Scenario};
+
+fn cases_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fuzz_cases")
+}
+
+#[test]
+fn curated_cases_exist_and_parse() {
+    let mut n = 0;
+    for entry in fs::read_dir(cases_dir()).expect("tests/fuzz_cases missing") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("case") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        Scenario::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        n += 1;
+    }
+    assert!(n >= 8, "expected the curated suite, found {n} case file(s)");
+}
+
+#[test]
+fn curated_cases_pass_on_all_rungs() {
+    let mut paths: Vec<PathBuf> = fs::read_dir(cases_dir())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("case"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = fs::read_to_string(&path).unwrap();
+        let scenario = Scenario::parse(&text).unwrap();
+        let mismatches = check_scenario(&scenario);
+        assert!(
+            mismatches.is_empty(),
+            "{} failed:\n{}",
+            path.display(),
+            mismatches
+                .iter()
+                .map(|m| format!("  {m}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn seeded_smoke_sweep_passes() {
+    for seed in 0..8u64 {
+        let scenario = generate(seed);
+        let mismatches = check_scenario(&scenario);
+        assert!(
+            mismatches.is_empty(),
+            "seed {seed} failed:\n{}\ncase file:\n{}",
+            mismatches
+                .iter()
+                .map(|m| format!("  {m}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+            scenario.to_case_file()
+        );
+    }
+}

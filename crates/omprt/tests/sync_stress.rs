@@ -228,3 +228,107 @@ fn oversubscribed_worksharing_partitions_exactly() {
         }
     }
 }
+
+/// The batched claimer's tail paths (fuzz satellite): trip counts
+/// smaller than the team (some threads must claim nothing and still be
+/// released by the loop barrier) and counts sitting just off multiples
+/// of `BATCH_MAX * chunk * nthreads`, where the batch factor has to
+/// shrink and the final partial chunk must be handed out exactly once.
+/// Seeded sweep over dynamic and guided chunk sizes; replay a failure
+/// with `ORA_FAULT_SEED`.
+#[test]
+fn claimer_tail_counts_partition_exactly() {
+    const BATCH_MAX: i64 = 8;
+    let base_seed = seed();
+    let threads = 4usize;
+    let mut rng = XorShift64::new(base_seed ^ 0x00c1_a13e);
+    let mut counts: Vec<i64> = Vec::new();
+    // Every count below the team size.
+    counts.extend(1..threads as i64);
+    // Batch-aligned anchors ± 1..3 for several chunk sizes, plus primes.
+    for chunk in [1i64, 2, 3, 5] {
+        let base = BATCH_MAX * chunk * threads as i64;
+        for eps in [-3, -1, 1, 3] {
+            counts.push((base + eps).max(1));
+        }
+    }
+    counts.extend([7, 13, 31, 61, 127, 251, 509]);
+    for _ in 0..4 {
+        counts.push(rng.range_i64(1, 600));
+    }
+
+    for &n in &counts {
+        for chunk in [1usize, 2, 3, 5] {
+            for schedule in [Schedule::Dynamic(chunk), Schedule::Guided(chunk)] {
+                let rt = OpenMp::with_config(Config {
+                    num_threads: threads,
+                    schedule,
+                    ..Config::default()
+                });
+                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                let participated = AtomicU64::new(0);
+                rt.parallel(|ctx| {
+                    let mut rng = XorShift64::new(
+                        base_seed ^ ((ctx.thread_num() as u64 + 1) << 24) ^ n as u64,
+                    );
+                    jitter(&mut rng);
+                    ctx.for_each(0, n - 1, |i| {
+                        hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                    });
+                    // The loop's closing barrier must release threads that
+                    // claimed nothing; reaching here is the proof.
+                    participated.fetch_add(1, Ordering::Relaxed);
+                });
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(
+                        h.load(Ordering::Relaxed),
+                        1,
+                        "iteration {i} of {n} under {schedule:?} claimed {} time(s)",
+                        h.load(Ordering::Relaxed)
+                    );
+                }
+                assert_eq!(
+                    participated.load(Ordering::Relaxed),
+                    threads as u64,
+                    "a thread wedged on the empty tail of {n} under {schedule:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Ordered-turn hand-off under oversubscription (fuzz satellite): 8
+/// threads on a small host fold iterations through a non-commutative
+/// rolling hash inside `for_ordered`, with seeded jitter injected
+/// right before each turn to shuffle which thread is parked when its
+/// turn arrives. Any skipped, repeated, or out-of-order turn changes
+/// the hash.
+#[test]
+fn ordered_turns_stay_in_global_order_when_oversubscribed() {
+    let base_seed = seed();
+    for round in 0..6u64 {
+        let n = XorShift64::new(base_seed ^ round).range_i64(1, 120);
+        let rt = OpenMp::with_config(Config {
+            num_threads: 8,
+            ..Config::default()
+        });
+        let hash = AtomicU64::new(0);
+        rt.parallel(|ctx| {
+            let mut rng =
+                XorShift64::new(base_seed ^ (round << 8) ^ ((ctx.thread_num() as u64 + 1) << 40));
+            ctx.for_ordered(0, n - 1, 1, |i| {
+                jitter(&mut rng);
+                // Relaxed is enough: the ordered turn word orders the
+                // read-modify-write chain across threads.
+                let h = hash.load(Ordering::Relaxed);
+                hash.store(h.wrapping_mul(31).wrapping_add(i as u64), Ordering::Relaxed);
+            });
+        });
+        let expected = (0..n as u64).fold(0u64, |h, i| h.wrapping_mul(31).wrapping_add(i));
+        assert_eq!(
+            hash.load(Ordering::Relaxed),
+            expected,
+            "ordered hand-off broke global order for n={n} (round {round})"
+        );
+    }
+}

@@ -231,19 +231,19 @@ mod tests {
         for w in merged.windows(2) {
             let ka = (
                 w[0].record.tick,
-                w[0].rank,
                 w[0].record.gtid,
                 w[0].record.seq,
+                w[0].rank,
             );
             let kb = (
                 w[1].record.tick,
-                w[1].rank,
                 w[1].record.gtid,
                 w[1].record.seq,
+                w[1].rank,
             );
             assert!(ka <= kb, "rank merge order violated");
         }
-        // Identical ticks across ranks: rank 0 always precedes rank 1.
+        // Full-key collisions across ranks: rank 0 precedes rank 1.
         for pair in merged.chunks(2) {
             assert_eq!(pair[0].record.tick, pair[1].record.tick);
             assert_eq!(pair[0].rank, 0);

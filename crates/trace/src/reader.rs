@@ -6,7 +6,8 @@
 //! chunks whose index entry can match. Cross-thread ordering is a
 //! stable k-way merge keyed by `(tick, gtid, seq)`; multi-rank runs
 //! (one trace file per simulated MPI rank) merge the same way with the
-//! rank as a tie-break component.
+//! rank index appended as the *final* tie-break component, so merged
+//! timelines are byte-stable across runs.
 
 use std::path::Path;
 
@@ -183,24 +184,29 @@ pub struct RankedEvent {
 
 /// Merge per-rank traces (e.g. one file per ProcSim rank of an
 /// `workloads::mz` run) into one stream ordered by
-/// `(tick, rank, gtid, seq)` — deterministic even when ranks' ticks
-/// collide.
+/// `(tick, gtid, seq, rank)` — the single-file merge key with the rank
+/// index appended as the final tie-break, so records whose `(tick,
+/// gtid)` collide across ranks still order deterministically and the
+/// merged timeline is byte-stable across runs.
 pub fn merge_ranks(readers: &[TraceReader]) -> Result<Vec<RankedEvent>, TraceError> {
     let mut streams = Vec::with_capacity(readers.len());
     for reader in readers {
         streams.push(reader.records()?);
     }
-    // Each stream is already (tick, gtid, seq)-sorted; merge with the
-    // rank breaking tick ties ahead of gtid/seq, so colliding ticks
-    // across ranks still order deterministically.
+    // Each stream is already (tick, gtid, seq)-sorted; the rank breaks
+    // full-key collisions *last*, preserving the documented single-file
+    // order within and across ranks. (Keying the rank ahead of gtid —
+    // as an earlier revision did — reorders equal-tick events of
+    // different threads by which file they came from, diverging from
+    // the per-file merge order.)
     let total: usize = streams.iter().map(Vec::len).sum();
     let mut cursors = vec![0usize; streams.len()];
     let mut out = Vec::with_capacity(total);
     while out.len() < total {
-        let mut best: Option<(usize, (u64, usize, usize, u64))> = None;
+        let mut best: Option<(usize, (u64, usize, u64, usize))> = None;
         for (rank, stream) in streams.iter().enumerate() {
             if let Some(e) = stream.get(cursors[rank]) {
-                let k = (e.tick, rank, e.gtid, e.seq);
+                let k = (e.tick, e.gtid, e.seq, rank);
                 if best.is_none_or(|(_, bk)| k < bk) {
                     best = Some((rank, k));
                 }

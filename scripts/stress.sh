@@ -46,6 +46,21 @@ for seed in "${seeds[@]}"; do
   run_seeded "$seed" -p ora-bench --test fault_isolation
 done
 
+# Oracle-differential fuzz sweep: one block of generated scenarios per
+# stress seed (seed s covers generator seeds s*100 .. s*100+25), diffed
+# against the sequential oracle under all four collector rungs.
+# Failing scenarios are minimized into stress-failures/fuzz/ and replay
+# with `omp_prof fuzz --case <file>`.
+echo "== stress: oracle-differential fuzz sweep =="
+for seed in "${seeds[@]}"; do
+  if ! cargo run -q --release --offline -p ora-bench --bin omp_prof -- \
+      fuzz --seeds 25 --start "$((seed * 100))" --out stress-failures/fuzz; then
+    echo "stress: fuzz sweep FAILED at block $seed" >&2
+    echo "fuzz --seeds 25 --start $((seed * 100))" >> stress-failures/failed-seeds.txt
+    status=1
+  fi
+done
+
 # CLI acceptance scenario: every workload completes with correct
 # results while the collector panics and the trace drainer is dead.
 echo "== stress: omp_prof suite under full fault injection =="

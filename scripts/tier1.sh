@@ -15,4 +15,10 @@ cargo test -q --offline --workspace
 cargo build -p ora-bench --features bench --offline
 cargo clippy -p ora-bench --features bench --all-targets --offline -- -D warnings
 
+# Fuzzer smoke slice: replay every curated regression case through the
+# oracle-differential harness via the CLI (the deep seeded sweep is the
+# nightly fuzz job; this is the fast fixed net).
+cargo run -q --release --offline -p ora-bench --bin omp_prof -- \
+  fuzz --cases tests/fuzz_cases
+
 echo "tier1: OK"
