@@ -68,6 +68,29 @@
 //!
 //! `fuzz` exits 0 when every scenario matched the oracle on every rung,
 //! 1 when any mismatch was found, and 2 on unusable input.
+//!
+//! The `serve` and `fleet` subcommands are the multi-process (hybrid
+//! MPI+OpenMP) profiling front end (`ora-fleet`): `serve` runs the
+//! trace-aggregation daemon standalone; `fleet` spawns N child rank
+//! processes each streaming an NPB-MZ rank's trace into an in-process
+//! daemon, then reports the merged fleet profile and proves the online
+//! merge byte-identical to the offline `merge_ranks` of the ranks' teed
+//! trace files:
+//!
+//! ```text
+//! omp_prof serve --endpoint unix:/tmp/fleet.sock --ranks 4
+//! omp_prof fleet --ranks 8 --threads 2 --workload lu-mz
+//! omp_prof fleet --ranks 4 --kill-rank 2          # crash injection
+//! omp_prof fleet --ranks 4 --slow-us 200          # slow-consumer injection
+//! ```
+//!
+//! `fleet` exits 0 when the export matched the offline merge and every
+//! surviving lane's drop/ACK accounting reconciled, 1 otherwise.
+//! (`fleet-rank` is the hidden per-child entry point `fleet` spawns.)
+//!
+//! `trace report` also accepts multiple per-rank traces — `--rank FILE`
+//! repeated, or `--ranks-dir DIR` for every `*.oratrace` in a directory
+//! — and prints the merged `(tick, gtid, seq, rank)` timeline.
 
 use std::sync::Arc;
 
@@ -308,8 +331,88 @@ fn bench_compare() {
     }
 }
 
+/// `trace report --rank a.oratrace --rank b.oratrace` (or
+/// `--ranks-dir DIR`): print the merged `(tick, gtid, seq, rank)`
+/// timeline across per-rank trace files.
+fn trace_report_ranks(files: &[String]) {
+    let head: usize = arg("--head", "30").parse().unwrap_or(30);
+    let micros = |ticks: u64| collector::clock::to_micros(ticks);
+    let readers: Vec<TraceReader> = files
+        .iter()
+        .map(|f| {
+            TraceReader::open(f).unwrap_or_else(|e| {
+                eprintln!("cannot read {f}: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    println!("merged fleet timeline over {} rank trace(s):", files.len());
+    for (rank, (file, reader)) in files.iter().zip(&readers).enumerate() {
+        println!(
+            "  rank {rank}: {file} — {} records, {} dropped",
+            reader.record_count(),
+            reader.dropped()
+        );
+    }
+    let merged = ora_trace::merge_ranks(&readers).unwrap_or_else(|e| {
+        eprintln!("merge failed: {e}");
+        std::process::exit(1);
+    });
+    println!("  merged: {} records\n", merged.len());
+
+    let mut counts: std::collections::BTreeMap<&str, u64> = Default::default();
+    for e in &merged {
+        *counts.entry(e.record.event.name()).or_insert(0) += 1;
+    }
+    println!(
+        "{}",
+        report::table(
+            &["event", "count"],
+            counts
+                .iter()
+                .map(|(name, n)| vec![name.to_string(), n.to_string()]),
+        )
+    );
+    println!("first {} records:", head.min(merged.len()));
+    for e in merged.iter().take(head) {
+        println!(
+            "{:>12.3} us  rank {:<2} t{:<3} {:<34} region={} wait={}",
+            micros(e.record.tick),
+            e.rank,
+            e.record.gtid,
+            e.record.event.name(),
+            e.record.region_id,
+            e.record.wait_id
+        );
+    }
+}
+
 /// `trace report`: query a recorded binary trace offline.
 fn trace_report() {
+    // Multi-rank mode: `--rank FILE` repeated and/or `--ranks-dir DIR`.
+    let argv: Vec<String> = std::env::args().collect();
+    let mut rank_files: Vec<String> = argv
+        .windows(2)
+        .filter(|w| w[0] == "--rank")
+        .map(|w| w[1].clone())
+        .collect();
+    let ranks_dir = arg("--ranks-dir", "");
+    if !ranks_dir.is_empty() {
+        let mut paths: Vec<_> = std::fs::read_dir(&ranks_dir)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read {ranks_dir}: {e}");
+                std::process::exit(1);
+            })
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("oratrace"))
+            .collect();
+        paths.sort();
+        rank_files.extend(paths.iter().map(|p| p.display().to_string()));
+    }
+    if !rank_files.is_empty() {
+        return trace_report_ranks(&rank_files);
+    }
+
     let input = arg("--in", "run.oratrace");
     let head: usize = arg("--head", "30").parse().unwrap_or(30);
     let reader = TraceReader::open(&input).unwrap_or_else(|e| {
@@ -736,6 +839,173 @@ fn fuzz_run() {
     }
 }
 
+/// Render a fleet daemon's per-lane accounting and merged store.
+fn render_fleet_report(rep: &ora_fleet::FleetReport) {
+    println!("\n=== fleet lanes ===");
+    println!(
+        "{}",
+        report::table(
+            &[
+                "rank",
+                "records",
+                "epochs",
+                "ring drops",
+                "reconciled",
+                "status"
+            ],
+            rep.lanes.iter().map(|l| {
+                let status = if let Some(why) = &l.quarantined {
+                    format!("DEGRADED — {why}")
+                } else if l.finished {
+                    "ok (FIN)".to_string()
+                } else {
+                    "no FIN".to_string()
+                };
+                vec![
+                    l.rank.to_string(),
+                    l.records.to_string(),
+                    l.epochs.to_string(),
+                    l.footer.map_or("-".to_string(), |(_, d)| d.to_string()),
+                    l.reconciled().to_string(),
+                    status,
+                ]
+            }),
+        )
+    );
+    for why in &rep.rejected {
+        println!("  rejected connection: {why}");
+    }
+    println!(
+        "merged store: {} records | {} settled late (below watermark)",
+        rep.store.len(),
+        rep.store.late_events()
+    );
+    let mut counts: std::collections::BTreeMap<&str, u64> = Default::default();
+    for e in rep.store.records() {
+        *counts.entry(e.record.event.name()).or_insert(0) += 1;
+    }
+    println!(
+        "{}",
+        report::table(
+            &["event", "count"],
+            counts
+                .iter()
+                .map(|(name, n)| vec![name.to_string(), n.to_string()]),
+        )
+    );
+}
+
+/// `serve`: run the trace-aggregation daemon standalone until the given
+/// number of ranks have come and gone, then report.
+fn fleet_serve() {
+    let endpoint = ora_fleet::Endpoint::parse(&arg("--endpoint", "fleet.sock"));
+    let ranks: u64 = arg("--ranks", "1").parse().unwrap_or(1);
+    let slow = std::time::Duration::from_micros(arg("--slow-us", "0").parse().unwrap_or(0));
+    println!("ora-fleet daemon on {endpoint}, serving {ranks} rank(s)");
+    match ora_bench::fleet_driver::serve(&endpoint, ranks, slow) {
+        Ok(report) => {
+            render_fleet_report(&report);
+            std::process::exit(if report.reconciled() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `fleet`: spawn N child rank processes streaming an NPB-MZ workload
+/// into an in-process daemon; report the merged fleet profile and
+/// verify the online merge against the offline one.
+fn fleet_run() {
+    use ora_bench::fleet_driver::{run_fleet, FleetConfig};
+    let ranks: usize = arg("--ranks", "2").parse().unwrap_or(2);
+    let default_dir = std::env::temp_dir()
+        .join(format!("ora_fleet_{}", std::process::id()))
+        .display()
+        .to_string();
+    let endpoint = arg("--endpoint", "");
+    let cfg = FleetConfig {
+        ranks,
+        threads: arg("--threads", "2").parse().unwrap_or(2),
+        workload: arg("--workload", "lu-mz"),
+        class: npb_class(&arg("--class", "s")),
+        endpoint: (!endpoint.is_empty()).then_some(endpoint),
+        out_dir: arg("--out-dir", &default_dir).into(),
+        kill_rank: arg("--kill-rank", "").parse().ok(),
+        slow: std::time::Duration::from_micros(arg("--slow-us", "0").parse().unwrap_or(0)),
+        window: arg("--window", "8").parse().unwrap_or(8),
+    };
+    println!(
+        "fleet: {} × {} ({} rank processes × {} threads), class {:?}, traces in {}",
+        cfg.workload,
+        cfg.ranks,
+        cfg.ranks,
+        cfg.threads,
+        cfg.class,
+        cfg.out_dir.display()
+    );
+    if let Some(k) = cfg.kill_rank {
+        println!("  crash injection: rank {k} dies mid-stream");
+    }
+    if !cfg.slow.is_zero() {
+        println!("  slow-consumer injection: {:?} per chunk ACK", cfg.slow);
+    }
+    match run_fleet(&cfg) {
+        Ok((report, identical)) => {
+            render_fleet_report(&report);
+            println!(
+                "export byte-identical to offline merge_ranks: {}",
+                if identical { "yes" } else { "NO" }
+            );
+            // Every surviving lane must FIN cleanly with reconciled
+            // accounting; a killed lane must be degraded, not finished.
+            let survivors_ok = report
+                .lanes
+                .iter()
+                .filter(|l| cfg.kill_rank != Some(l.rank as usize))
+                .all(|l| l.finished && l.quarantined.is_none() && l.reconciled());
+            let killed_ok = cfg
+                .kill_rank
+                .is_none_or(|k| report.lane(k as u64).is_none_or(|l| !l.finished));
+            if survivors_ok && killed_ok && identical {
+                println!("fleet: ok");
+            } else {
+                eprintln!(
+                    "fleet: FAILED (survivors ok: {survivors_ok}, killed lane degraded: {killed_ok}, export identical: {identical})"
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Hidden per-child entry point `fleet` spawns: stream one rank.
+fn fleet_rank_child() {
+    let rank: usize = arg("--rank", "0").parse().unwrap_or(0);
+    let endpoint = ora_fleet::Endpoint::parse(&arg("--endpoint", "fleet.sock"));
+    let trace_out = arg("--trace-out", "rank.oratrace");
+    let die_early = std::env::args().any(|a| a == "--die-early");
+    if let Err(e) = ora_bench::fleet_driver::run_rank_child(
+        &endpoint,
+        rank,
+        arg("--ranks", "1").parse().unwrap_or(1),
+        arg("--threads", "2").parse().unwrap_or(2),
+        &arg("--workload", "lu-mz"),
+        npb_class(&arg("--class", "s")),
+        std::path::Path::new(&trace_out),
+        arg("--window", "8").parse().unwrap_or(8),
+        die_early,
+    ) {
+        eprintln!("fleet-rank {rank}: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn npb_class(s: &str) -> NpbClass {
     match s {
         "w" | "W" => NpbClass::W,
@@ -767,6 +1037,15 @@ fn main() {
     }
     if argv.get(1).map(String::as_str) == Some("fuzz") {
         return fuzz_run();
+    }
+    if argv.get(1).map(String::as_str) == Some("serve") {
+        return fleet_serve();
+    }
+    if argv.get(1).map(String::as_str) == Some("fleet") {
+        return fleet_run();
+    }
+    if argv.get(1).map(String::as_str) == Some("fleet-rank") {
+        return fleet_rank_child();
     }
     if argv.get(1).map(String::as_str) == Some("bench") {
         match argv.get(2).map(String::as_str) {

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet_driver;
 pub mod meter;
 pub mod microbench;
 

@@ -36,6 +36,11 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Tick rate of this clock: one tick per nanosecond. Carried in the
+/// fleet protocol's HELLO so an aggregator can interpret ranks' ticks
+/// without sharing the producer's build.
+pub const TICKS_PER_SEC: u64 = 1_000_000_000;
+
 /// Current tick count (nanoseconds since the process-local epoch).
 #[inline]
 pub fn ticks() -> u64 {

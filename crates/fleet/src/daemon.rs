@@ -1,0 +1,486 @@
+//! The aggregator daemon: one lane per rank, incremental watermark merge.
+//!
+//! Each accepted connection is one **lane**. The lane thread reads
+//! frames, validates the epoch sequence (a duplicate or a gap means the
+//! lane is misbehaving), classifies each CHUNK payload by its leading
+//! bytes — `ORATRC` header, `0x01` encoded chunk, `0x02` footer — and
+//! feeds decoded records into the shared merge heap before acking the
+//! epoch.
+//!
+//! **Watermark merge.** The daemon tracks, per live lane, the largest
+//! tick it has acked. The watermark is the minimum of those across live
+//! lanes: every record at or below it is safe to emit, because a live
+//! lane could still send records anywhere above its own acked tick but
+//! (to a good approximation) not below the fleet minimum. Records at or
+//! below the watermark settle out of the heap into the [`FleetStore`]
+//! incrementally; the rare record that still arrives below the settled
+//! frontier is counted late and inserted in place, so the final export
+//! is exactly the offline merge regardless of timing (see [`store`]).
+//!
+//! **Quarantine.** A lane that violates the protocol — bad CRC,
+//! epoch replay/gap, undecodable payload, wrong version — is
+//! quarantined: its error is recorded, its connection dropped, and its
+//! already-settled records stay. The rest of the fleet is untouched —
+//! the same degradation philosophy as the ring's drop counters and the
+//! drainer's supervision. A lane whose rank process dies mid-run shows
+//! up as a disconnect (`finished: false`), degrading only that lane.
+//!
+//! [`store`]: crate::store
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ora_core::sync::Mutex;
+use ora_trace::format::{self, FILE_MAGIC, TAG_CHUNK, TAG_FOOTER};
+use ora_trace::{RankMergeHeap, TraceError, TraceEvent};
+
+use crate::protocol::{read_frame, write_frame, Message};
+use crate::store::FleetStore;
+use crate::transport::{FleetListener, FrameConn};
+use crate::FleetError;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Injected delay before acking each chunk — the slow-consumer
+    /// fault for stress runs (zero in production).
+    pub slow_chunk: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            slow_chunk: Duration::ZERO,
+        }
+    }
+}
+
+/// Producer-side ring accounting carried by FIN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinStats {
+    /// Events the rank's callbacks observed.
+    pub observed: u64,
+    /// Records its drainer persisted (and streamed).
+    pub drained: u64,
+    /// Records it lost to ring backpressure.
+    pub dropped: u64,
+}
+
+/// One lane's health and accounting, mirroring the ring's per-lane
+/// counters on the daemon side.
+#[derive(Debug, Clone, Default)]
+pub struct LaneReport {
+    /// The rank this lane serves.
+    pub rank: u64,
+    /// Producer clock rate from HELLO.
+    pub ticks_per_sec: u64,
+    /// Chunk epochs accepted.
+    pub epochs: u64,
+    /// Records decoded into the merge.
+    pub records: u64,
+    /// Whether the trace file header arrived.
+    pub header_seen: bool,
+    /// Per-lane ring accounting from the stream's footer, when it
+    /// arrived: `(drained, dropped)`.
+    pub footer: Option<(u64, u64)>,
+    /// The producer's FIN summary, when the lane closed cleanly.
+    pub fin: Option<FinStats>,
+    /// Why the lane was quarantined, if it was.
+    pub quarantined: Option<String>,
+    /// Whether the lane completed the FIN handshake.
+    pub finished: bool,
+}
+
+impl LaneReport {
+    /// Whether this lane's end-to-end accounting reconciles:
+    /// the producer's observed events equal the records the daemon
+    /// stored plus the drops the rank itself counted, and the footer
+    /// agrees with both sides.
+    pub fn reconciled(&self) -> bool {
+        let (Some(fin), Some((drained, dropped))) = (self.fin, self.footer) else {
+            return false;
+        };
+        fin.observed == self.records + dropped
+            && fin.drained == self.records
+            && drained == self.records
+            && fin.dropped == dropped
+    }
+}
+
+/// Everything a finished daemon observed.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-lane accounting, ordered by rank.
+    pub lanes: Vec<LaneReport>,
+    /// The merged timeline.
+    pub store: FleetStore,
+    /// Connections refused before a lane existed (bad HELLO, version
+    /// mismatch, duplicate rank), with reasons.
+    pub rejected: Vec<String>,
+}
+
+impl FleetReport {
+    /// Whether every cleanly-finished, unquarantined lane reconciles
+    /// (see [`LaneReport::reconciled`]).
+    pub fn reconciled(&self) -> bool {
+        self.lanes
+            .iter()
+            .filter(|l| l.finished && l.quarantined.is_none())
+            .all(LaneReport::reconciled)
+    }
+
+    /// One lane by rank.
+    pub fn lane(&self, rank: u64) -> Option<&LaneReport> {
+        self.lanes.iter().find(|l| l.rank == rank)
+    }
+}
+
+#[derive(Debug, Default)]
+struct LaneState {
+    report: LaneReport,
+    /// Largest tick acked back to this lane.
+    acked_tick: u64,
+    /// Live = contributing to the watermark: connected, not finished,
+    /// not quarantined.
+    live: bool,
+}
+
+#[derive(Default)]
+struct State {
+    lanes: BTreeMap<u64, LaneState>,
+    heap: RankMergeHeap,
+    store: FleetStore,
+    rejected: Vec<String>,
+}
+
+impl State {
+    /// Advance the watermark to the minimum acked tick across live
+    /// lanes and settle everything at or below it.
+    fn flush(&mut self) {
+        let watermark = self
+            .lanes
+            .values()
+            .filter(|l| l.live)
+            .map(|l| l.acked_tick)
+            .min()
+            .unwrap_or(u64::MAX);
+        while self.heap.peek_key().is_some_and(|k| k.0 <= watermark) {
+            let ev = self.heap.pop().expect("peeked");
+            self.store.settle(ev);
+        }
+    }
+}
+
+struct Shared {
+    config: DaemonConfig,
+    state: Mutex<State>,
+    /// Lanes that reached a terminal state (FIN, quarantine, or
+    /// disconnect) — the `serve` stop condition.
+    done_lanes: Mutex<u64>,
+}
+
+/// The aggregator daemon. Connections can be served on caller threads
+/// ([`serve_conn`](Daemon::serve_conn), for loopback tests) or spawned
+/// ([`spawn_conn`](Daemon::spawn_conn), [`run_listener`](Daemon::run_listener));
+/// [`finish`](Daemon::finish) joins everything and yields the
+/// [`FleetReport`].
+pub struct Daemon {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// A daemon with `config`, serving no connections yet.
+    pub fn new(config: DaemonConfig) -> Daemon {
+        Daemon {
+            shared: Arc::new(Shared {
+                config,
+                state: Mutex::new(State::default()),
+                done_lanes: Mutex::new(0),
+            }),
+            threads: Vec::new(),
+        }
+    }
+
+    /// Serve one connection to completion on the calling thread.
+    pub fn serve_conn(&self, conn: Box<dyn FrameConn>) {
+        serve_connection(&self.shared, conn);
+    }
+
+    /// Serve one connection on a new thread.
+    pub fn spawn_conn(&mut self, conn: Box<dyn FrameConn>) {
+        let shared = Arc::clone(&self.shared);
+        self.threads
+            .push(std::thread::spawn(move || serve_connection(&shared, conn)));
+    }
+
+    /// Lanes that reached a terminal state (finished, quarantined, or
+    /// disconnected).
+    pub fn done_lanes(&self) -> u64 {
+        *self.shared.done_lanes.lock()
+    }
+
+    /// Accept and spawn connections until `stop` is set or, when
+    /// `until_ranks` is given, that many lanes have reached a terminal
+    /// state. The listener is polled non-blocking so shutdown is
+    /// prompt.
+    pub fn run_listener(
+        &mut self,
+        listener: &FleetListener,
+        stop: &AtomicBool,
+        until_ranks: Option<u64>,
+    ) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        loop {
+            if stop.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            if until_ranks.is_some_and(|n| self.done_lanes() >= n) {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok(conn) => self.spawn_conn(conn),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Join every lane thread, settle everything still buffered, and
+    /// report.
+    pub fn finish(self) -> FleetReport {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        let mut state = self.shared.state.lock();
+        state.flush(); // no live lanes remain: flushes everything
+        let state = std::mem::take(&mut *state);
+        FleetReport {
+            lanes: state.lanes.into_values().map(|l| l.report).collect(),
+            store: state.store,
+            rejected: state.rejected,
+        }
+    }
+}
+
+/// Mark one lane terminal exactly once.
+fn lane_done(shared: &Shared) {
+    *shared.done_lanes.lock() += 1;
+}
+
+fn serve_connection(shared: &Shared, mut conn: Box<dyn FrameConn>) {
+    // Handshake: the first frame must be a compatible HELLO for a rank
+    // not already connected.
+    let (rank, ticks_per_sec) = match read_frame(&mut conn) {
+        Ok(Message::Hello {
+            rank,
+            format_version,
+            ticks_per_sec,
+        }) => {
+            if format_version != format::FORMAT_VERSION {
+                shared.state.lock().rejected.push(format!(
+                    "rank {rank}: {}",
+                    FleetError::BadVersion(format_version)
+                ));
+                return;
+            }
+            (rank, ticks_per_sec)
+        }
+        Ok(_) => {
+            shared
+                .state
+                .lock()
+                .rejected
+                .push("connection did not open with HELLO".into());
+            return;
+        }
+        Err(e) => {
+            shared
+                .state
+                .lock()
+                .rejected
+                .push(format!("handshake failed: {e}"));
+            return;
+        }
+    };
+    {
+        let mut state = shared.state.lock();
+        if state.lanes.get(&rank).is_some_and(|l| l.live) {
+            state
+                .rejected
+                .push(format!("rank {rank}: duplicate connection refused"));
+            return;
+        }
+        let lane = state.lanes.entry(rank).or_default();
+        lane.report.rank = rank;
+        lane.report.ticks_per_sec = ticks_per_sec;
+        lane.live = true;
+    }
+
+    loop {
+        match read_frame(&mut conn) {
+            Ok(Message::Chunk { epoch, payload }) => {
+                if let Err(e) = ingest_chunk(shared, rank, epoch, &payload) {
+                    quarantine(shared, rank, &e);
+                    break;
+                }
+                if !shared.config.slow_chunk.is_zero() {
+                    std::thread::sleep(shared.config.slow_chunk);
+                }
+                if write_frame(&mut conn, &Message::Ack { epoch })
+                    .and_then(|()| conn.flush())
+                    .is_err()
+                {
+                    disconnect(shared, rank, "rank stopped reading ACKs");
+                    break;
+                }
+            }
+            Ok(Message::Fin {
+                observed,
+                drained,
+                dropped,
+            }) => {
+                let (stored, late) = finish_lane(
+                    shared,
+                    rank,
+                    FinStats {
+                        observed,
+                        drained,
+                        dropped,
+                    },
+                );
+                let _ = write_frame(&mut conn, &Message::FinAck { stored, late })
+                    .and_then(|()| conn.flush());
+                break;
+            }
+            Ok(_) => {
+                quarantine(
+                    shared,
+                    rank,
+                    &FleetError::Protocol("unexpected message from producer"),
+                );
+                break;
+            }
+            Err(FleetError::Closed) => {
+                disconnect(shared, rank, "connection closed before FIN");
+                break;
+            }
+            Err(e) => {
+                quarantine(shared, rank, &e);
+                break;
+            }
+        }
+    }
+}
+
+/// Validate and merge one epoch-stamped payload.
+fn ingest_chunk(shared: &Shared, rank: u64, epoch: u64, payload: &[u8]) -> Result<(), FleetError> {
+    let mut state = shared.state.lock();
+    let lane = state.lanes.get_mut(&rank).expect("lane registered");
+    let expected = lane.report.epochs;
+    if epoch < expected {
+        return Err(FleetError::DuplicateEpoch { rank, epoch });
+    }
+    if epoch > expected {
+        return Err(FleetError::EpochGap {
+            rank,
+            expected,
+            got: epoch,
+        });
+    }
+    lane.report.epochs += 1;
+
+    // Classify the verbatim sink write by its leading bytes.
+    match payload.first() {
+        Some(_) if payload.starts_with(FILE_MAGIC) => {
+            format::decode_header(payload).map_err(|e| match e {
+                TraceError::BadVersion(v) => FleetError::BadVersion(v),
+                other => FleetError::Trace(other),
+            })?;
+            if payload.len() != 8 {
+                return Err(FleetError::Protocol("header payload has trailing bytes"));
+            }
+            lane.report.header_seen = true;
+        }
+        Some(&TAG_CHUNK) => {
+            let mut pos = 0usize;
+            let (_, raws) = format::decode_chunk(payload, &mut pos)?;
+            if pos != payload.len() {
+                return Err(FleetError::Protocol("chunk payload has trailing bytes"));
+            }
+            let mut max_tick = lane.acked_tick;
+            let mut events = Vec::with_capacity(raws.len());
+            for raw in &raws {
+                let event = ora_core::event::Event::from_u32(raw.event)
+                    .ok_or(FleetError::Trace(TraceError::UnknownEvent(raw.event)))?;
+                max_tick = max_tick.max(raw.tick);
+                events.push(TraceEvent {
+                    tick: raw.tick,
+                    gtid: raw.gtid as usize,
+                    seq: raw.seq,
+                    event,
+                    region_id: raw.region_id,
+                    wait_id: raw.wait_id,
+                });
+            }
+            lane.report.records += events.len() as u64;
+            lane.acked_tick = max_tick;
+            let rank_idx = rank as usize;
+            for ev in events {
+                state.heap.push(rank_idx, ev);
+            }
+        }
+        Some(&TAG_FOOTER) => {
+            let footer = format::decode_footer(payload)?;
+            lane.report.footer = Some((footer.total_drained(), footer.total_dropped()));
+        }
+        _ => return Err(FleetError::Protocol("unclassifiable chunk payload")),
+    }
+    state.flush();
+    Ok(())
+}
+
+fn finish_lane(shared: &Shared, rank: u64, fin: FinStats) -> (u64, u64) {
+    let mut state = shared.state.lock();
+    let lane = state.lanes.get_mut(&rank).expect("lane registered");
+    lane.report.fin = Some(fin);
+    lane.report.finished = true;
+    lane.live = false;
+    let stored = lane.report.records;
+    state.flush();
+    let late = state.store.late_events();
+    drop(state);
+    lane_done(shared);
+    (stored, late)
+}
+
+fn quarantine(shared: &Shared, rank: u64, error: &FleetError) {
+    let mut state = shared.state.lock();
+    if let Some(lane) = state.lanes.get_mut(&rank) {
+        lane.report.quarantined = Some(error.to_string());
+        lane.live = false;
+    }
+    state.flush();
+    drop(state);
+    lane_done(shared);
+}
+
+fn disconnect(shared: &Shared, rank: u64, why: &str) {
+    let mut state = shared.state.lock();
+    if let Some(lane) = state.lanes.get_mut(&rank) {
+        // A vanished rank is degradation, not misbehavior: record why,
+        // keep what it sent, stop counting it toward the watermark.
+        if lane.report.quarantined.is_none() && !lane.report.finished {
+            lane.report.quarantined = Some(why.to_string());
+        }
+        lane.live = false;
+    }
+    state.flush();
+    drop(state);
+    lane_done(shared);
+}

@@ -1,0 +1,325 @@
+//! The fleet wire protocol: length-framed, CRC'd messages.
+//!
+//! Every message travels as one frame, little-endian throughout:
+//!
+//! ```text
+//! frame := len u32 LE      — bytes in (tag | body), excludes len + crc
+//!        | tag u8          — message discriminant
+//!        | body            — varint fields (ora-trace LEB128), then
+//!                            for CHUNK the raw chunk bytes
+//!        | crc32 u32 LE    — IEEE CRC over (tag | body)
+//! ```
+//!
+//! The messages, in handshake order:
+//!
+//! | tag  | message  | body                                            |
+//! |------|----------|-------------------------------------------------|
+//! | 0x01 | HELLO    | rank, trace format version, ticks per second    |
+//! | 0x02 | CHUNK    | epoch, then one verbatim `ora-trace` write      |
+//! | 0x03 | ACK      | epoch                                           |
+//! | 0x04 | FIN      | observed, drained, dropped (ring accounting)    |
+//! | 0x05 | FIN-ACK  | stored, late (daemon accounting)                |
+//!
+//! CHUNK payloads are exactly the bytes `ora_trace::Recorder` hands its
+//! sink — the 8-byte file header, one encoded chunk, or the footer —
+//! so the producer side needs no re-encoding and the daemon classifies
+//! each payload by its leading bytes. Epochs are per-lane sequence
+//! numbers starting at 0; the daemon acks each epoch and treats a
+//! duplicate or a gap as lane misbehavior (see [`crate::daemon`]).
+
+use std::io::{self, Read, Write};
+
+use ora_trace::format::{crc32, get_varint, put_varint};
+use ora_trace::TraceError;
+
+use crate::FleetError;
+
+/// Wire protocol version, carried in HELLO alongside the trace format
+/// version (both must match for a lane to be accepted).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on `len`: no legitimate drainer write approaches this,
+/// so anything larger is a corrupt or hostile frame, refused before
+/// allocation.
+pub const MAX_FRAME_LEN: u64 = 16 * 1024 * 1024;
+
+/// HELLO message tag.
+pub const MSG_HELLO: u8 = 0x01;
+/// CHUNK message tag.
+pub const MSG_CHUNK: u8 = 0x02;
+/// ACK message tag.
+pub const MSG_ACK: u8 = 0x03;
+/// FIN message tag.
+pub const MSG_FIN: u8 = 0x04;
+/// FIN-ACK message tag.
+pub const MSG_FIN_ACK: u8 = 0x05;
+
+/// One protocol message (see module docs for the wire layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Lane introduction: first message on every connection.
+    Hello {
+        /// Rank id of the producing process (its merge key component).
+        rank: u64,
+        /// `ora_trace::format::FORMAT_VERSION` the producer writes.
+        format_version: u16,
+        /// Producer clock rate, for cross-rank tick interpretation.
+        ticks_per_sec: u64,
+    },
+    /// One verbatim `ora-trace` sink write, epoch-stamped.
+    Chunk {
+        /// Per-lane sequence number, starting at 0.
+        epoch: u64,
+        /// Raw bytes as the recorder wrote them.
+        payload: Vec<u8>,
+    },
+    /// Daemon acknowledgment of one accepted epoch.
+    Ack {
+        /// The epoch accepted.
+        epoch: u64,
+    },
+    /// Producer-side end-of-stream summary (ring accounting).
+    Fin {
+        /// Events the producer's callbacks observed.
+        observed: u64,
+        /// Records its drainer persisted (and therefore streamed).
+        drained: u64,
+        /// Records it lost to ring backpressure.
+        dropped: u64,
+    },
+    /// Daemon-side close of the FIN handshake.
+    FinAck {
+        /// Records the daemon stored for this lane.
+        stored: u64,
+        /// Records (fleet-wide) that settled below the watermark.
+        late: u64,
+    },
+}
+
+/// Decode a varint out of a frame body, mapping the trace-layer error
+/// onto the wire-layer vocabulary.
+fn body_varint(buf: &[u8], pos: &mut usize) -> Result<u64, FleetError> {
+    get_varint(buf, pos).map_err(|e| match e {
+        TraceError::Truncated => FleetError::Truncated,
+        _ => FleetError::Protocol("malformed varint in frame body"),
+    })
+}
+
+fn finish_body(buf: &[u8], pos: usize) -> Result<(), FleetError> {
+    if pos != buf.len() {
+        return Err(FleetError::Protocol("frame body has trailing bytes"));
+    }
+    Ok(())
+}
+
+/// Encode `msg` as one complete frame.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let (tag, payload): (u8, Option<&[u8]>) = match msg {
+        Message::Hello { .. } => (MSG_HELLO, None),
+        Message::Chunk { payload, .. } => (MSG_CHUNK, Some(payload)),
+        Message::Ack { .. } => (MSG_ACK, None),
+        Message::Fin { .. } => (MSG_FIN, None),
+        Message::FinAck { .. } => (MSG_FIN_ACK, None),
+    };
+    let mut body = Vec::new();
+    match msg {
+        Message::Hello {
+            rank,
+            format_version,
+            ticks_per_sec,
+        } => {
+            put_varint(&mut body, *rank);
+            put_varint(&mut body, u64::from(*format_version));
+            put_varint(&mut body, *ticks_per_sec);
+        }
+        Message::Chunk { epoch, .. } => put_varint(&mut body, *epoch),
+        Message::Ack { epoch } => put_varint(&mut body, *epoch),
+        Message::Fin {
+            observed,
+            drained,
+            dropped,
+        } => {
+            put_varint(&mut body, *observed);
+            put_varint(&mut body, *drained);
+            put_varint(&mut body, *dropped);
+        }
+        Message::FinAck { stored, late } => {
+            put_varint(&mut body, *stored);
+            put_varint(&mut body, *late);
+        }
+    }
+    let payload = payload.unwrap_or(&[]);
+    let len = 1 + body.len() + payload.len();
+    let mut frame = Vec::with_capacity(len + 8);
+    frame.extend_from_slice(&(len as u32).to_le_bytes());
+    frame.push(tag);
+    frame.extend_from_slice(&body);
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&crc32(&frame[4..]).to_le_bytes());
+    frame
+}
+
+/// Decode the `(tag | body)` section of a frame whose CRC has already
+/// been verified.
+pub fn decode_frame(framed: &[u8]) -> Result<Message, FleetError> {
+    let tag = *framed.first().ok_or(FleetError::Truncated)?;
+    let body = &framed[1..];
+    let mut pos = 0usize;
+    match tag {
+        MSG_HELLO => {
+            let rank = body_varint(body, &mut pos)?;
+            let version = body_varint(body, &mut pos)?;
+            let ticks_per_sec = body_varint(body, &mut pos)?;
+            finish_body(body, pos)?;
+            let format_version = u16::try_from(version)
+                .map_err(|_| FleetError::Protocol("format version overflows u16"))?;
+            Ok(Message::Hello {
+                rank,
+                format_version,
+                ticks_per_sec,
+            })
+        }
+        MSG_CHUNK => {
+            let epoch = body_varint(body, &mut pos)?;
+            Ok(Message::Chunk {
+                epoch,
+                payload: body[pos..].to_vec(),
+            })
+        }
+        MSG_ACK => {
+            let epoch = body_varint(body, &mut pos)?;
+            finish_body(body, pos)?;
+            Ok(Message::Ack { epoch })
+        }
+        MSG_FIN => {
+            let observed = body_varint(body, &mut pos)?;
+            let drained = body_varint(body, &mut pos)?;
+            let dropped = body_varint(body, &mut pos)?;
+            finish_body(body, pos)?;
+            Ok(Message::Fin {
+                observed,
+                drained,
+                dropped,
+            })
+        }
+        MSG_FIN_ACK => {
+            let stored = body_varint(body, &mut pos)?;
+            let late = body_varint(body, &mut pos)?;
+            finish_body(body, pos)?;
+            Ok(Message::FinAck { stored, late })
+        }
+        t => Err(FleetError::UnknownMessage(t)),
+    }
+}
+
+/// Write `msg` as one frame.
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    w.write_all(&encode_frame(msg))
+}
+
+/// Read one frame, verify its CRC, and decode it.
+///
+/// A clean close *between* frames is [`FleetError::Closed`]; a close
+/// mid-frame is [`FleetError::Truncated`] — the distinction the daemon
+/// uses to tell an exited rank from a damaged stream.
+pub fn read_frame(r: &mut impl Read) -> Result<Message, FleetError> {
+    let mut len_bytes = [0u8; 4];
+    // First byte separately: EOF here is a clean close, not truncation.
+    match r.read(&mut len_bytes[..1]) {
+        Ok(0) => return Err(FleetError::Closed),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(r),
+        Err(e) => return Err(FleetError::Io(e.to_string())),
+    }
+    read_fully(r, &mut len_bytes[1..])?;
+    let len = u32::from_le_bytes(len_bytes) as u64;
+    if len == 0 {
+        return Err(FleetError::Protocol("empty frame"));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(FleetError::FrameTooLarge(len));
+    }
+    let mut framed = vec![0u8; len as usize + 4];
+    read_fully(r, &mut framed)?;
+    let (content, crc_bytes) = framed.split_at(len as usize);
+    let expected = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let actual = crc32(content);
+    if expected != actual {
+        return Err(FleetError::CrcMismatch { expected, actual });
+    }
+    decode_frame(content)
+}
+
+fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FleetError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FleetError::Truncated
+        } else {
+            FleetError::Io(e.to_string())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let messages = [
+            Message::Hello {
+                rank: 7,
+                format_version: 1,
+                ticks_per_sec: 1_000_000_000,
+            },
+            Message::Chunk {
+                epoch: 0,
+                payload: b"ORATRC\x01\x00".to_vec(),
+            },
+            Message::Chunk {
+                epoch: u64::MAX,
+                payload: Vec::new(),
+            },
+            Message::Ack { epoch: 3 },
+            Message::Fin {
+                observed: 100,
+                drained: 90,
+                dropped: 10,
+            },
+            Message::FinAck {
+                stored: 90,
+                late: 2,
+            },
+        ];
+        for msg in &messages {
+            let frame = encode_frame(msg);
+            let mut cursor = &frame[..];
+            assert_eq!(read_frame(&mut cursor).unwrap(), *msg);
+            assert!(cursor.is_empty(), "frame fully consumed");
+        }
+    }
+
+    #[test]
+    fn eof_between_frames_is_closed_mid_frame_is_truncated() {
+        assert_eq!(read_frame(&mut &[][..]), Err(FleetError::Closed));
+        let frame = encode_frame(&Message::Ack { epoch: 1 });
+        for cut in 1..frame.len() {
+            assert_eq!(
+                read_frame(&mut &frame[..cut]),
+                Err(FleetError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.push(MSG_ACK);
+        assert_eq!(
+            read_frame(&mut &bytes[..]),
+            Err(FleetError::FrameTooLarge(u64::from(u32::MAX)))
+        );
+    }
+}

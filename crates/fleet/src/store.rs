@@ -1,0 +1,176 @@
+//! The merged fleet timeline: queryable, exportable, byte-stable.
+//!
+//! The daemon settles records here in `(tick, gtid, seq, rank)` order
+//! as the watermark advances. The watermark is a *performance* frontier,
+//! not a correctness one: a record can legally arrive below it (a
+//! thread can stall between reading the clock and committing to its
+//! ring, so a later chunk may carry earlier ticks). Such late records
+//! are counted and binary-inserted, so the store is **always** fully
+//! sorted and [`FleetStore::export`] is byte-identical to offline
+//! `merge_ranks` over the same data, regardless of arrival timing.
+
+use ora_trace::format::put_varint;
+use ora_trace::RankedEvent;
+
+/// Magic starting every exported timeline.
+pub const TIMELINE_MAGIC: &[u8; 6] = b"ORAFLT";
+
+/// Canonical byte encoding of a merged timeline: magic, record count,
+/// then each record's fields as plain varints in key order. Both the
+/// daemon's [`FleetStore::export`] and the offline `merge_ranks` path
+/// encode through this one function, which is what makes "byte
+/// identical" a meaningful equality.
+pub fn timeline_bytes(events: &[RankedEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * 8 + 16);
+    out.extend_from_slice(TIMELINE_MAGIC);
+    put_varint(&mut out, events.len() as u64);
+    for e in events {
+        put_varint(&mut out, e.record.tick);
+        put_varint(&mut out, e.record.gtid as u64);
+        put_varint(&mut out, e.record.seq);
+        put_varint(&mut out, e.rank as u64);
+        put_varint(&mut out, e.record.event as u64);
+        put_varint(&mut out, e.record.region_id);
+        put_varint(&mut out, e.record.wait_id);
+    }
+    out
+}
+
+/// The aggregator's merged, totally-ordered event store.
+#[derive(Debug, Default)]
+pub struct FleetStore {
+    /// Settled records, sorted by `(tick, gtid, seq, rank)`.
+    settled: Vec<RankedEvent>,
+    late_events: u64,
+}
+
+impl FleetStore {
+    /// An empty store.
+    pub fn new() -> FleetStore {
+        FleetStore::default()
+    }
+
+    /// Settle one record popped off the merge heap. Records normally
+    /// arrive in key order; one below the current frontier is counted
+    /// late and inserted at its sorted position.
+    pub(crate) fn settle(&mut self, ev: RankedEvent) {
+        match self.settled.last() {
+            Some(last) if last.key() > ev.key() => {
+                let key = ev.key();
+                let pos = self.settled.partition_point(|e| e.key() <= key);
+                self.settled.insert(pos, ev);
+                self.late_events += 1;
+            }
+            _ => self.settled.push(ev),
+        }
+    }
+
+    /// The merged timeline, in `(tick, gtid, seq, rank)` order.
+    pub fn records(&self) -> &[RankedEvent] {
+        &self.settled
+    }
+
+    /// Settled record count.
+    pub fn len(&self) -> usize {
+        self.settled.len()
+    }
+
+    /// Whether nothing has settled.
+    pub fn is_empty(&self) -> bool {
+        self.settled.is_empty()
+    }
+
+    /// Records that arrived below the watermark frontier (observable
+    /// reordering, not loss — they are in the timeline regardless).
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Records with `lo <= tick <= hi`, located by binary search.
+    pub fn time_range(&self, lo: u64, hi: u64) -> Vec<RankedEvent> {
+        let start = self.settled.partition_point(|e| e.record.tick < lo);
+        let end = self.settled.partition_point(|e| e.record.tick <= hi);
+        self.settled[start..end].to_vec()
+    }
+
+    /// One rank's records, in timeline order.
+    pub fn for_rank(&self, rank: usize) -> Vec<RankedEvent> {
+        self.settled
+            .iter()
+            .copied()
+            .filter(|e| e.rank == rank)
+            .collect()
+    }
+
+    /// One parallel region's records, in timeline order.
+    pub fn for_region(&self, region_id: u64) -> Vec<RankedEvent> {
+        self.settled
+            .iter()
+            .copied()
+            .filter(|e| e.record.region_id == region_id)
+            .collect()
+    }
+
+    /// Canonical export of the whole timeline (see [`timeline_bytes`]).
+    pub fn export(&self) -> Vec<u8> {
+        timeline_bytes(&self.settled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ora_core::event::Event;
+    use ora_trace::TraceEvent;
+
+    fn ev(tick: u64, gtid: usize, seq: u64, rank: usize) -> RankedEvent {
+        RankedEvent {
+            rank,
+            record: TraceEvent {
+                tick,
+                gtid,
+                seq,
+                event: Event::Fork,
+                region_id: tick / 10,
+                wait_id: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn late_records_are_counted_and_inserted_in_order() {
+        let mut store = FleetStore::new();
+        store.settle(ev(10, 0, 0, 0));
+        store.settle(ev(20, 0, 1, 0));
+        store.settle(ev(15, 1, 0, 1)); // below the frontier
+        assert_eq!(store.late_events(), 1);
+        assert_eq!(store.len(), 3);
+        let ticks: Vec<u64> = store.records().iter().map(|e| e.record.tick).collect();
+        assert_eq!(ticks, vec![10, 15, 20]);
+    }
+
+    #[test]
+    fn queries_slice_the_sorted_timeline() {
+        let mut store = FleetStore::new();
+        for i in 0..50u64 {
+            store.settle(ev(i, (i % 3) as usize, i, (i % 2) as usize));
+        }
+        assert_eq!(store.time_range(10, 19).len(), 10);
+        assert_eq!(store.for_rank(0).len(), 25);
+        assert_eq!(store.for_region(2).len(), 10);
+        assert!(store.time_range(100, 200).is_empty());
+    }
+
+    #[test]
+    fn export_is_deterministic_and_magic_prefixed() {
+        let mut a = FleetStore::new();
+        let mut b = FleetStore::new();
+        for i in 0..20u64 {
+            a.settle(ev(i, 0, i, 0));
+            b.settle(ev(i, 0, i, 0));
+        }
+        assert_eq!(a.export(), b.export());
+        assert_eq!(&a.export()[..6], TIMELINE_MAGIC);
+        assert_eq!(a.export(), timeline_bytes(a.records()));
+    }
+}

@@ -1,0 +1,265 @@
+//! Socket transports behind one trait: Unix first, TCP second.
+//!
+//! Everything above this module speaks [`FrameConn`] — any
+//! `Read + Write + Send` byte stream — so the protocol, the producer
+//! sink, and the daemon are transport-agnostic. [`Endpoint`] names a
+//! listening address in either family and parses from the CLI spelling
+//! (`unix:/path/to.sock` or `tcp:host:port`; a bare path means Unix).
+//! [`loopback`] gives tests a same-process socketpair, and
+//! [`FaultConn`] injects transport faults for the quarantine path.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// A bidirectional byte stream frames travel over.
+pub trait FrameConn: Read + Write + Send {}
+impl<T: Read + Write + Send> FrameConn for T {}
+
+/// A fleet listening address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` address.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse a CLI endpoint spec: `unix:<path>`, `tcp:<host:port>`, or
+    /// a bare path (Unix).
+    pub fn parse(spec: &str) -> Endpoint {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            Endpoint::Unix(PathBuf::from(path))
+        } else if let Some(addr) = spec.strip_prefix("tcp:") {
+            Endpoint::Tcp(addr.to_string())
+        } else {
+            Endpoint::Unix(PathBuf::from(spec))
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A bound listener in either transport family.
+pub enum FleetListener {
+    /// Listening on a Unix-domain socket.
+    Unix(UnixListener),
+    /// Listening on a TCP socket.
+    Tcp(TcpListener),
+}
+
+impl FleetListener {
+    /// Bind `endpoint`. A stale Unix socket file left by a previous
+    /// daemon is removed first.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<FleetListener> {
+        match endpoint {
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(FleetListener::Unix(UnixListener::bind(path)?))
+            }
+            Endpoint::Tcp(addr) => Ok(FleetListener::Tcp(TcpListener::bind(addr.as_str())?)),
+        }
+    }
+
+    /// The address actually bound — resolves `tcp:127.0.0.1:0` to the
+    /// kernel-assigned port.
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            FleetListener::Unix(l) => Ok(Endpoint::Unix(
+                l.local_addr()?
+                    .as_pathname()
+                    .map(PathBuf::from)
+                    .unwrap_or_default(),
+            )),
+            FleetListener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+        }
+    }
+
+    /// Toggle non-blocking accept (the daemon polls a stop flag).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            FleetListener::Unix(l) => l.set_nonblocking(nonblocking),
+            FleetListener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accept one connection as a boxed [`FrameConn`].
+    pub fn accept(&self) -> io::Result<Box<dyn FrameConn>> {
+        match self {
+            FleetListener::Unix(l) => {
+                let (conn, _) = l.accept()?;
+                conn.set_nonblocking(false)?;
+                Ok(Box::new(conn))
+            }
+            FleetListener::Tcp(l) => {
+                let (conn, _) = l.accept()?;
+                conn.set_nonblocking(false)?;
+                Ok(Box::new(conn))
+            }
+        }
+    }
+}
+
+/// Connect to a daemon at `endpoint`.
+pub fn connect(endpoint: &Endpoint) -> io::Result<Box<dyn FrameConn>> {
+    match endpoint {
+        Endpoint::Unix(path) => Ok(Box::new(UnixStream::connect(path)?)),
+        Endpoint::Tcp(addr) => Ok(Box::new(TcpStream::connect(addr.as_str())?)),
+    }
+}
+
+/// A same-process connected pair, for loopback daemons in tests and the
+/// fuzzer's socket rung.
+pub fn loopback() -> io::Result<(Box<dyn FrameConn>, Box<dyn FrameConn>)> {
+    let (a, b) = UnixStream::pair()?;
+    Ok((Box::new(a), Box::new(b)))
+}
+
+/// How a [`FaultConn`] misbehaves once its byte budget is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFaultMode {
+    /// Every further write fails with an I/O error — the producer sees
+    /// a dead daemon and its recording degrades.
+    Error,
+    /// Every further byte is flipped on the wire — the daemon sees CRC
+    /// mismatches and quarantines the lane.
+    Corrupt,
+}
+
+/// A fault-injecting transport wrapper (the `FaultSink` of the wire):
+/// passes `budget` bytes through untouched, then fails according to its
+/// [`ConnFaultMode`]. Reads are never perturbed.
+pub struct FaultConn {
+    inner: Box<dyn FrameConn>,
+    budget: usize,
+    written: usize,
+    mode: ConnFaultMode,
+    faults: u64,
+}
+
+impl FaultConn {
+    /// Wrap `inner`, passing `budget` clean bytes before faulting.
+    pub fn new(inner: Box<dyn FrameConn>, budget: usize, mode: ConnFaultMode) -> FaultConn {
+        FaultConn {
+            inner,
+            budget,
+            written: 0,
+            mode,
+            faults: 0,
+        }
+    }
+
+    /// Writes perturbed so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+}
+
+impl Read for FaultConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for FaultConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let room = self.budget.saturating_sub(self.written);
+        if buf.len() <= room {
+            let n = self.inner.write(buf)?;
+            self.written += n;
+            return Ok(n);
+        }
+        self.faults += 1;
+        match self.mode {
+            ConnFaultMode::Error => Err(io::Error::other("injected transport fault")),
+            ConnFaultMode::Corrupt => {
+                let mut bent = buf.to_vec();
+                for b in &mut bent[room..] {
+                    *b ^= 0xa5;
+                }
+                let n = self.inner.write(&bent)?;
+                self.written += n;
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_specs_parse_and_display() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/fleet.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/fleet.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7777"),
+            Endpoint::Tcp("127.0.0.1:7777".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("/tmp/bare.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/bare.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:[::1]:7777").to_string(),
+            "tcp:[::1]:7777"
+        );
+    }
+
+    #[test]
+    fn loopback_carries_bytes_both_ways() {
+        let (mut a, mut b) = loopback().unwrap();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn tcp_listener_round_trips_a_frame() {
+        let listener = FleetListener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let endpoint = listener.local_endpoint().unwrap();
+        let child = std::thread::spawn(move || {
+            let mut conn = connect(&endpoint).unwrap();
+            conn.write_all(b"hello over tcp").unwrap();
+        });
+        let mut conn = listener.accept().unwrap();
+        let mut buf = [0u8; 14];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello over tcp");
+        child.join().unwrap();
+    }
+
+    #[test]
+    fn fault_conn_corrupts_only_past_the_budget() {
+        let (a, mut b) = loopback().unwrap();
+        let mut faulty = FaultConn::new(a, 4, ConnFaultMode::Corrupt);
+        faulty.write_all(b"good").unwrap();
+        faulty.write_all(b"bad!").unwrap();
+        assert_eq!(faulty.faults(), 1);
+        let mut buf = [0u8; 8];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf[..4], b"good");
+        assert_ne!(&buf[4..], b"bad!");
+    }
+}

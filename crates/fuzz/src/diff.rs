@@ -12,6 +12,11 @@
 //! 4. **Trace accounting** (streaming rung) — callback counts, drain
 //!    and drop counters, footer, per-thread and per-region partitions,
 //!    event pairing, and multi-rank merge determinism all reconcile.
+//! 5. **Socket replay** (`socket` rung) — the streaming rung's trace
+//!    bytes are re-framed into the producer's sink-write units and
+//!    streamed through a loopback `ora-fleet` aggregator daemon; the
+//!    daemon's merged store must match the offline merge byte for byte
+//!    and its lane accounting must reconcile with the in-process chain.
 
 use collector::modes::CollectionConfig;
 use collector::tracer::Trace;
@@ -25,7 +30,8 @@ use crate::scenario::Scenario;
 /// One failed check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mismatch {
-    /// The rung key (`absent`/`paused`/`state`/`trace`) or `harness`.
+    /// The rung key (`absent`/`paused`/`state`/`trace`/`socket`) or
+    /// `harness`.
     pub rung: &'static str,
     /// What disagreed.
     pub detail: String,
@@ -128,6 +134,130 @@ fn diff_outcome(
                 None => push("trace rung returned no trace bytes".into()),
             }
         }
+    }
+
+    // 5. Socket replay: stream the recorded bytes through a loopback
+    //    aggregator daemon and diff its merged store (reported under
+    //    its own `socket` rung key).
+    if rung == CollectionConfig::StreamingTrace {
+        if let Some(bytes) = &outcome.trace {
+            diff_socket(outcome, bytes, out);
+        }
+    }
+}
+
+/// Split a trace file back into the units the recorder's sink was
+/// handed — the 8-byte header, each encoded chunk, the footer tail —
+/// which is exactly what a `SocketSink` producer frames, one per epoch.
+fn split_sink_units(bytes: &[u8]) -> Result<Vec<&[u8]>, String> {
+    use ora_trace::format::TAG_CHUNK;
+    if bytes.len() < 8 {
+        return Err(format!(
+            "trace is {} byte(s), shorter than a header",
+            bytes.len()
+        ));
+    }
+    let mut units = vec![&bytes[..8]];
+    let mut pos = 8usize;
+    while pos < bytes.len() && bytes[pos] == TAG_CHUNK {
+        let start = pos;
+        ora_trace::format::decode_chunk(bytes, &mut pos)
+            .map_err(|e| format!("chunk at byte {start}: {e}"))?;
+        units.push(&bytes[start..pos]);
+    }
+    if pos >= bytes.len() {
+        return Err("trace has no footer tail".into());
+    }
+    units.push(&bytes[pos..]);
+    Ok(units)
+}
+
+/// The socket rung: replay the trace through a loopback daemon and
+/// check that online aggregation agrees with everything the in-process
+/// chain established — stored records, drop accounting, and a merged
+/// timeline byte-identical to the offline merge.
+fn diff_socket(outcome: &RunOutcome, bytes: &[u8], out: &mut Vec<Mismatch>) {
+    use ora_fleet::{timeline_bytes, Daemon, DaemonConfig, SocketSink};
+    use ora_trace::TraceSink;
+
+    let mut push = |detail: String| {
+        out.push(Mismatch {
+            rung: "socket",
+            detail,
+        })
+    };
+    let s = &outcome.summary;
+    let units = match split_sink_units(bytes) {
+        Ok(u) => u,
+        Err(e) => return push(format!("cannot re-frame trace: {e}")),
+    };
+    let (client, server) = match ora_fleet::loopback() {
+        Ok(pair) => pair,
+        Err(e) => return push(format!("loopback transport failed: {e}")),
+    };
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    daemon.spawn_conn(server);
+    let mut sink = match SocketSink::start(client, 0, 1_000_000_000, 4) {
+        Ok(sink) => sink,
+        Err(e) => return push(format!("HELLO failed: {e}")),
+    };
+    for unit in &units {
+        if let Err(e) = sink.write_all(unit) {
+            return push(format!("streaming a sink unit failed: {e}"));
+        }
+    }
+    let fin = match sink.finish(
+        s.records_drained + s.records_dropped,
+        s.records_drained,
+        s.records_dropped,
+    ) {
+        Ok(fin) => fin,
+        Err(e) => return push(format!("FIN handshake failed: {e}")),
+    };
+    let report = daemon.finish();
+
+    if fin.stored != s.records_drained {
+        push(format!(
+            "daemon stored {} record(s), drained {}",
+            fin.stored, s.records_drained
+        ));
+    }
+    let Some(lane) = report.lane(0) else {
+        return push("daemon reports no lane for rank 0".into());
+    };
+    if !lane.finished || lane.quarantined.is_some() {
+        push(format!(
+            "lane did not finish cleanly: finished {}, quarantined {:?}",
+            lane.finished, lane.quarantined
+        ));
+    }
+    if !lane.reconciled() {
+        push(format!(
+            "lane accounting does not reconcile: fin {:?}, records {}, footer {:?}",
+            lane.fin, lane.records, lane.footer
+        ));
+    }
+    if lane.epochs != units.len() as u64 {
+        push(format!(
+            "daemon accepted {} epoch(s), streamed {}",
+            lane.epochs,
+            units.len()
+        ));
+    }
+
+    // The online merge must equal the offline one, byte for byte.
+    let offline = TraceReader::from_bytes(bytes.to_vec()).and_then(|reader| merge_ranks(&[reader]));
+    match offline {
+        Ok(events) => {
+            if report.store.export() != timeline_bytes(&events) {
+                push(format!(
+                    "daemon export ({} record(s)) differs from offline merge ({} record(s))",
+                    report.store.len(),
+                    events.len()
+                ));
+            }
+        }
+        Err(e) => push(format!("offline merge failed: {e}")),
     }
 }
 

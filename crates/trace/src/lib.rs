@@ -46,7 +46,10 @@ pub mod sink;
 
 pub use drain::{DrainerHealth, Recorder, RecordingStats, TraceConfig};
 pub use format::{ChunkMeta, Footer, LaneStats};
-pub use reader::{merge_ranks, RankedEvent, TraceEvent, TraceReader};
+pub use reader::{
+    merge_ranks, merge_ranks_iter, EventIter, RankMergeHeap, RankMergeIter, RankedEvent, RankedKey,
+    TraceEvent, TraceReader,
+};
 pub use ring::{DropPolicy, RawRecord, Ring, RingSet, RingStats, DEFAULT_BLOCK_YIELD_LIMIT};
 pub use sink::{FaultMode, FaultSink, FileSink, MemorySink, TraceSink};
 

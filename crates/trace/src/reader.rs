@@ -9,6 +9,8 @@
 //! rank index appended as the *final* tie-break component, so merged
 //! timelines are byte-stable across runs.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::path::Path;
 
 use ora_core::event::{Event, EVENT_COUNT};
@@ -171,6 +173,167 @@ impl TraceReader {
         }
         Ok(counts)
     }
+
+    /// A streaming iterator over all records in `(tick, gtid, seq)`
+    /// order — the same order [`records`](Self::records) produces —
+    /// decoding chunks lazily. Memory is bounded by the chunks whose
+    /// tick ranges overlap at the merge frontier (typically one chunk
+    /// per lane), not by the whole trace, which is what lets the fleet
+    /// daemon and [`merge_ranks`] handle rank files far larger than RAM.
+    pub fn events(&self) -> EventIter<'_> {
+        let mut lanes: Vec<LaneCursor<'_>> = Vec::new();
+        for meta in &self.footer.chunks {
+            let lane = meta.lane as usize;
+            if lanes.len() <= lane {
+                lanes.resize_with(lane + 1, || LaneCursor::new(self));
+            }
+            lanes[lane].chunks.push(meta);
+        }
+        // A record may only leave a lane's reorder buffer once every
+        // *remaining* chunk of the lane provably starts above it; the
+        // suffix minimum of the index's min_ticks is that bound.
+        for cursor in &mut lanes {
+            let mut suffix = u64::MAX;
+            cursor.suffix_min = vec![u64::MAX; cursor.chunks.len()];
+            for i in (0..cursor.chunks.len()).rev() {
+                suffix = suffix.min(cursor.chunks[i].min_tick);
+                cursor.suffix_min[i] = suffix;
+            }
+        }
+        let mut iter = EventIter {
+            lanes,
+            heap: BinaryHeap::new(),
+            pending_error: None,
+            errored: false,
+        };
+        for i in 0..iter.lanes.len() {
+            if let Err(e) = iter.refill(i) {
+                iter.pending_error = Some(e);
+                break;
+            }
+        }
+        iter
+    }
+}
+
+/// An event tagged with its total-order key, ordered by the key alone
+/// (keys are unique within a trace: `seq` is unique per lane and a
+/// `gtid` always maps to the same lane).
+#[derive(Debug, Clone, Copy)]
+struct Keyed {
+    key: (u64, usize, u64),
+    ev: TraceEvent,
+}
+
+impl PartialEq for Keyed {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Keyed {}
+impl PartialOrd for Keyed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Keyed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// One lane's lazy decode state (see [`TraceReader::events`]).
+struct LaneCursor<'a> {
+    reader: &'a TraceReader,
+    /// This lane's chunks, in file (drain) order.
+    chunks: Vec<&'a ChunkMeta>,
+    /// `suffix_min[i]` = smallest `min_tick` among `chunks[i..]`.
+    suffix_min: Vec<u64>,
+    next_chunk: usize,
+    /// Reorder buffer: records decoded but not yet provably minimal.
+    pending: BinaryHeap<Reverse<Keyed>>,
+}
+
+impl<'a> LaneCursor<'a> {
+    fn new(reader: &'a TraceReader) -> LaneCursor<'a> {
+        LaneCursor {
+            reader,
+            chunks: Vec::new(),
+            suffix_min: Vec::new(),
+            next_chunk: 0,
+            pending: BinaryHeap::new(),
+        }
+    }
+
+    /// Pop the lane's next record in key order, decoding chunks as the
+    /// frontier requires.
+    fn next(&mut self) -> Result<Option<TraceEvent>, TraceError> {
+        loop {
+            let must_decode = match self.pending.peek() {
+                // An equal tick in a later chunk can still carry a
+                // smaller (gtid, seq); decode until strictly above.
+                Some(Reverse(top)) => self
+                    .suffix_min
+                    .get(self.next_chunk)
+                    .is_some_and(|&m| m <= top.key.0),
+                None => self.next_chunk < self.chunks.len(),
+            };
+            if !must_decode {
+                return Ok(self.pending.pop().map(|Reverse(k)| k.ev));
+            }
+            let meta = self.chunks[self.next_chunk];
+            self.next_chunk += 1;
+            for ev in self.reader.decode_chunk(meta)? {
+                self.pending.push(Reverse(Keyed { key: ev.key(), ev }));
+            }
+        }
+    }
+}
+
+/// Streaming `(tick, gtid, seq)`-ordered record iterator over one
+/// trace (see [`TraceReader::events`]). Yields `Err` once and then
+/// stops if a chunk fails to decode.
+pub struct EventIter<'a> {
+    lanes: Vec<LaneCursor<'a>>,
+    /// Merge frontier: each live lane's next record.
+    heap: BinaryHeap<Reverse<(Keyed, usize)>>,
+    /// A decode failure hit while priming the frontier, reported on the
+    /// first `next()` call.
+    pending_error: Option<TraceError>,
+    errored: bool,
+}
+
+impl EventIter<'_> {
+    /// Pull the next record of `lane` into the merge frontier.
+    fn refill(&mut self, lane: usize) -> Result<(), TraceError> {
+        if let Some(ev) = self.lanes[lane].next()? {
+            self.heap.push(Reverse((Keyed { key: ev.key(), ev }, lane)));
+        }
+        Ok(())
+    }
+
+    fn poison(&mut self, e: TraceError) -> Option<Result<TraceEvent, TraceError>> {
+        self.errored = true;
+        Some(Err(e))
+    }
+}
+
+impl Iterator for EventIter<'_> {
+    type Item = Result<TraceEvent, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.errored {
+            return None;
+        }
+        if let Some(e) = self.pending_error.take() {
+            return self.poison(e);
+        }
+        let Reverse((keyed, lane)) = self.heap.pop()?;
+        match self.refill(lane) {
+            Ok(()) => Some(Ok(keyed.ev)),
+            Err(e) => self.poison(e),
+        }
+    }
 }
 
 /// A record attributed to a rank of a multi-process run.
@@ -182,44 +345,163 @@ pub struct RankedEvent {
     pub record: TraceEvent,
 }
 
+///// The total-order key of a ranked record: the single-file merge key
+/// with the rank index appended as the *final* tie-break component.
+pub type RankedKey = (u64, usize, u64, usize);
+
+impl RankedEvent {
+    /// The total-order merge key: `(tick, gtid, seq, rank)`.
+    #[inline]
+    pub fn key(&self) -> RankedKey {
+        let (tick, gtid, seq) = self.record.key();
+        (tick, gtid, seq, self.rank)
+    }
+}
+
+/// The k-way merge core shared by [`merge_ranks_iter`] and the fleet
+/// daemon's incremental merge: a min-heap of rank-attributed records
+/// keyed `(tick, gtid, seq, rank)`. Offline merging pushes one record
+/// per rank stream and refills on pop; the online aggregator pushes
+/// whole decoded chunks as they arrive and pops everything at or below
+/// its watermark.
+#[derive(Debug, Default)]
+pub struct RankMergeHeap {
+    heap: BinaryHeap<Reverse<RankKeyed>>,
+}
+
+/// A ranked event ordered by its `(tick, gtid, seq, rank)` key alone
+/// (keys are unique across the fleet: `(tick, gtid, seq)` is unique
+/// within one trace and the rank disambiguates across traces).
+#[derive(Debug, Clone, Copy)]
+struct RankKeyed {
+    key: RankedKey,
+    ev: RankedEvent,
+}
+
+impl PartialEq for RankKeyed {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for RankKeyed {}
+impl PartialOrd for RankKeyed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RankKeyed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl RankMergeHeap {
+    /// An empty heap.
+    pub fn new() -> RankMergeHeap {
+        RankMergeHeap::default()
+    }
+
+    /// Add one record of `rank` to the frontier.
+    pub fn push(&mut self, rank: usize, record: TraceEvent) {
+        let ev = RankedEvent { rank, record };
+        self.heap.push(Reverse(RankKeyed { key: ev.key(), ev }));
+    }
+
+    /// The smallest buffered key, if any.
+    pub fn peek_key(&self) -> Option<RankedKey> {
+        self.heap.peek().map(|Reverse(k)| k.key)
+    }
+
+    /// Remove and return the smallest-keyed record.
+    pub fn pop(&mut self) -> Option<RankedEvent> {
+        self.heap.pop().map(|Reverse(k)| k.ev)
+    }
+
+    /// Buffered records.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Streaming multi-rank merge (see [`merge_ranks`]): yields the merged
+/// timeline one record at a time without materializing any rank's
+/// events — each rank contributes exactly one frontier record plus its
+/// [`TraceReader::events`] reorder window.
+pub struct RankMergeIter<'a> {
+    streams: Vec<EventIter<'a>>,
+    heap: RankMergeHeap,
+    /// A decode failure hit while priming the per-rank frontier,
+    /// reported on the first `next()` call.
+    prime_error: Option<TraceError>,
+    errored: bool,
+}
+
+impl Iterator for RankMergeIter<'_> {
+    type Item = Result<RankedEvent, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.errored {
+            return None;
+        }
+        if let Some(e) = self.prime_error.take() {
+            self.errored = true;
+            return Some(Err(e));
+        }
+        let ev = self.heap.pop()?;
+        // Refill the popped rank's frontier slot before yielding, so
+        // the heap always holds every live rank's next record.
+        match self.streams[ev.rank].next() {
+            Some(Ok(next)) => self.heap.push(ev.rank, next),
+            Some(Err(e)) => {
+                self.errored = true;
+                return Some(Err(e));
+            }
+            None => {}
+        }
+        Some(Ok(ev))
+    }
+}
+
+/// Streaming form of [`merge_ranks`]: an iterator over the merged
+/// `(tick, gtid, seq, rank)`-ordered timeline that decodes every rank's
+/// chunks lazily. This is the memory-bounded core the offline wrapper
+/// and the `ora-fleet` aggregator both build on.
+pub fn merge_ranks_iter(readers: &[TraceReader]) -> RankMergeIter<'_> {
+    let mut iter = RankMergeIter {
+        streams: readers.iter().map(TraceReader::events).collect(),
+        heap: RankMergeHeap::new(),
+        prime_error: None,
+        errored: false,
+    };
+    for rank in 0..iter.streams.len() {
+        match iter.streams[rank].next() {
+            Some(Ok(ev)) => iter.heap.push(rank, ev),
+            Some(Err(e)) => {
+                iter.prime_error = Some(e);
+                break;
+            }
+            None => {}
+        }
+    }
+    iter
+}
+
 /// Merge per-rank traces (e.g. one file per ProcSim rank of an
 /// `workloads::mz` run) into one stream ordered by
 /// `(tick, gtid, seq, rank)` — the single-file merge key with the rank
 /// index appended as the final tie-break, so records whose `(tick,
 /// gtid)` collide across ranks still order deterministically and the
-/// merged timeline is byte-stable across runs.
+/// merged timeline is byte-stable across runs. (Keying the rank ahead
+/// of gtid — as an earlier revision did — reorders equal-tick events of
+/// different threads by which file they came from, diverging from the
+/// per-file merge order.) Thin wrapper over [`merge_ranks_iter`].
 pub fn merge_ranks(readers: &[TraceReader]) -> Result<Vec<RankedEvent>, TraceError> {
-    let mut streams = Vec::with_capacity(readers.len());
-    for reader in readers {
-        streams.push(reader.records()?);
-    }
-    // Each stream is already (tick, gtid, seq)-sorted; the rank breaks
-    // full-key collisions *last*, preserving the documented single-file
-    // order within and across ranks. (Keying the rank ahead of gtid —
-    // as an earlier revision did — reorders equal-tick events of
-    // different threads by which file they came from, diverging from
-    // the per-file merge order.)
-    let total: usize = streams.iter().map(Vec::len).sum();
-    let mut cursors = vec![0usize; streams.len()];
-    let mut out = Vec::with_capacity(total);
-    while out.len() < total {
-        let mut best: Option<(usize, (u64, usize, u64, usize))> = None;
-        for (rank, stream) in streams.iter().enumerate() {
-            if let Some(e) = stream.get(cursors[rank]) {
-                let k = (e.tick, e.gtid, e.seq, rank);
-                if best.is_none_or(|(_, bk)| k < bk) {
-                    best = Some((rank, k));
-                }
-            }
-        }
-        let (rank, _) = best.expect("non-empty stream exists while out < total");
-        out.push(RankedEvent {
-            rank,
-            record: streams[rank][cursors[rank]],
-        });
-        cursors[rank] += 1;
-    }
-    Ok(out)
+    merge_ranks_iter(readers).collect()
 }
 
 /// Stable k-way merge of per-lane streams already sorted by

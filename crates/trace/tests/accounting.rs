@@ -237,6 +237,97 @@ fn oldest_policy_keeps_newest_records_and_counts_loss() {
     assert_eq!(ticks, (84..100).collect::<Vec<u64>>());
 }
 
+// ---------------------------------------------------------------------
+// Streaming merge: events() / merge_ranks_iter reproduce the
+// materializing paths exactly.
+// ---------------------------------------------------------------------
+
+/// The lazy single-trace iterator yields exactly `records()`, in the
+/// same order, across lane counts and heavy tick collisions (which
+/// force the per-lane reorder buffer to hold multiple chunks).
+#[test]
+fn streaming_events_match_materialized_records() {
+    let mut rng = XorShift64::new(0x57e4_0001);
+    for &(lanes, cap) in &[(1usize, 512usize), (2, 512), (4, 512), (8, 512)] {
+        let batch: Vec<RawRecord> = (0..300)
+            .map(|i| rec(5_000 + rng.below(16), rng.below(8) as u32, i))
+            .collect();
+        let (bytes, stats) = record_batch(&batch, quiet_config(lanes, cap, DropPolicy::Newest));
+        assert_eq!(stats.dropped(), 0);
+        let reader = TraceReader::from_bytes(bytes).unwrap();
+        let eager = reader.records().unwrap();
+        let lazy: Vec<_> = reader
+            .events()
+            .collect::<Result<Vec<_>, _>>()
+            .expect("streaming decode");
+        assert_eq!(lazy, eager, "lanes={lanes}");
+    }
+}
+
+/// The streaming multi-rank merge equals a full sort of every rank's
+/// records by the documented `(tick, gtid, seq, rank)` key — the
+/// reference the thin `merge_ranks` wrapper must keep matching.
+#[test]
+fn streaming_rank_merge_matches_full_sort() {
+    let mut rng = XorShift64::new(0x57e4_0002);
+    let mut batches = Vec::new();
+    for _ in 0..4 {
+        let batch: Vec<RawRecord> = (0..150)
+            .map(|i| rec(2_000 + rng.below(8), rng.below(4) as u32, i))
+            .collect();
+        batches.push(record_batch(&batch, quiet_config(2, 512, DropPolicy::Newest)).0);
+    }
+    let readers: Vec<TraceReader> = batches
+        .iter()
+        .map(|b| TraceReader::from_bytes(b.clone()).unwrap())
+        .collect();
+    let mut reference: Vec<ora_trace::RankedEvent> = Vec::new();
+    for (rank, r) in readers.iter().enumerate() {
+        for record in r.records().unwrap() {
+            reference.push(ora_trace::RankedEvent { rank, record });
+        }
+    }
+    reference.sort_by_key(ora_trace::RankedEvent::key);
+    let streamed: Vec<_> = ora_trace::merge_ranks_iter(&readers)
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap();
+    assert_eq!(streamed, reference);
+    assert_eq!(merge_ranks(&readers).unwrap(), reference);
+}
+
+/// The shared heap core pops in strict `(tick, gtid, seq, rank)` order
+/// no matter the push order — the invariant the fleet daemon's
+/// watermark merge leans on.
+#[test]
+fn rank_merge_heap_orders_by_full_key() {
+    let mut rng = XorShift64::new(0x57e4_0003);
+    let mut heap = ora_trace::RankMergeHeap::new();
+    let mut keys = Vec::new();
+    for i in 0..500u64 {
+        let rank = rng.below(4) as usize;
+        let ev = ora_trace::TraceEvent {
+            tick: rng.below(32),
+            gtid: rng.below(8) as usize,
+            seq: i,
+            event: ora_core::event::Event::Fork,
+            region_id: 0,
+            wait_id: 0,
+        };
+        keys.push((ev.tick, ev.gtid, ev.seq, rank));
+        heap.push(rank, ev);
+    }
+    keys.sort_unstable();
+    assert_eq!(heap.len(), 500);
+    let mut popped = Vec::new();
+    while let Some(k) = heap.peek_key() {
+        let ev = heap.pop().unwrap();
+        assert_eq!(ev.key(), k);
+        popped.push(k);
+    }
+    assert!(heap.is_empty());
+    assert_eq!(popped, keys);
+}
+
 /// A lossless run reconciles trivially under both lossy policies and
 /// footer == stats holds with zero drops.
 #[test]

@@ -52,6 +52,15 @@ pub enum CollectMode {
     CallbacksOnly,
 }
 
+/// Result of a single rank's standalone zone-step run.
+#[derive(Debug, Clone, Copy)]
+pub struct MzRankResult {
+    /// Zone-step region calls this rank executed.
+    pub calls: u64,
+    /// Serial sum of the rank's solution array (dead-code guard).
+    pub checksum: f64,
+}
+
 /// Result of one multi-zone run.
 #[derive(Debug)]
 pub struct MzRunResult {
@@ -129,6 +138,43 @@ impl MzBenchmark {
             .iter()
             .max()
             .unwrap()
+    }
+
+    /// Run exactly one rank's share of the zone-step calls on `rt`,
+    /// standalone — no boundary-exchange ring. This is the per-process
+    /// entry point for multi-process (fleet) runs, where each rank is a
+    /// separate OS process and its caller owns the runtime so a
+    /// collector can be attached before the solve starts. The boundary
+    /// term stays fixed at the rank index; region-call counts still
+    /// reproduce Table II's per-rank column exactly.
+    pub fn run_rank(
+        &self,
+        rt: &OpenMp,
+        rank: usize,
+        procs: usize,
+        class: NpbClass,
+    ) -> MzRankResult {
+        let rank_calls = self
+            .per_rank_calls(procs, class)
+            .get(rank)
+            .copied()
+            .unwrap_or(0);
+        let n = class.array_len().max(32);
+        let u = SharedVec::zeros(n);
+        let hi = n as i64 - 1;
+        let boundary = rank as f64;
+        for _ in 0..rank_calls {
+            rt.parallel_region(&self.region, |ctx| {
+                ctx.for_each(0, hi, |i| unsafe {
+                    let i = i as usize;
+                    u.set(i, 0.75 * u.get(i) + 0.25 * (i as f64 * 1e-3 + boundary));
+                });
+            });
+        }
+        MzRankResult {
+            calls: rank_calls,
+            checksum: u.sum(),
+        }
     }
 
     /// Run the benchmark with `procs` simulated ranks × `threads` OpenMP
@@ -328,6 +374,24 @@ mod tests {
         let result = bench.run(8, 1, NpbClass::W, CollectMode::Off);
         assert_eq!(result.per_rank_calls.iter().sum::<u64>(), 21_833);
         assert!(result.exchange_checksum.is_finite());
+    }
+
+    #[test]
+    fn run_rank_executes_exactly_its_table_share() {
+        let bench = MzBenchmark::lu_mz();
+        let expected = bench.per_rank_calls(4, NpbClass::S);
+        let mut total = 0;
+        for (rank, &want) in expected.iter().enumerate() {
+            let rt = OpenMp::with_threads(2);
+            let result = bench.run_rank(&rt, rank, 4, NpbClass::S);
+            assert_eq!(result.calls, want);
+            assert!(result.checksum.is_finite());
+            total += result.calls;
+        }
+        assert_eq!(total, bench.total_calls_b / 200);
+        // An out-of-range rank does no work rather than panicking.
+        let rt = OpenMp::with_threads(1);
+        assert_eq!(bench.run_rank(&rt, 9, 4, NpbClass::S).calls, 0);
     }
 
     #[test]

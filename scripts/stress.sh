@@ -72,6 +72,31 @@ if ! cargo run --release --offline -p ora-bench --bin omp_prof -- \
   status=1
 fi
 
+# Fleet seed sweep: multi-process NPB-MZ ranks streaming into the
+# aggregator daemon, with per-seed fault injection — a random rank
+# killed mid-stream on odd seeds, a slow consumer (delayed chunk ACKs,
+# so the producers' in-flight windows backpressure) on even seeds. The
+# driver itself verifies the online merge byte-identical to offline
+# merge_ranks and the per-lane drop/ACK accounting reconciled.
+echo "== stress: fleet rank-kill / slow-consumer sweep =="
+for seed in "${seeds[@]}"; do
+  ranks=$((2 + seed % 3))
+  extra=()
+  if (( seed % 2 == 1 )); then
+    extra+=(--kill-rank $((seed % ranks)))
+  else
+    extra+=(--slow-us $((seed * 100)))
+  fi
+  if ! cargo run -q --release --offline -p ora-bench --bin omp_prof -- \
+      fleet --ranks "$ranks" --threads 2 --workload lu-mz --class s \
+      --out-dir "stress-fleet/seed$seed" "${extra[@]}" > /dev/null; then
+    echo "stress: fleet sweep FAILED at seed $seed (ranks $ranks ${extra[*]})" >&2
+    echo "fleet --ranks $ranks ${extra[*]}" >> stress-failures/failed-seeds.txt
+    status=1
+  fi
+done
+rm -rf stress-fleet
+
 # `health` must report the injected faults (exit 3 = faulted-but-alive)
 # and a clean run must stay healthy (exit 0).
 echo "== stress: omp_prof health verdicts =="
