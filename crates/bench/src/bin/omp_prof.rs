@@ -21,7 +21,7 @@
 //! ```
 //!
 //! The `bench` subcommand is the `ora-meter` front end: measure every
-//! meter workload under the four collector configurations and emit
+//! meter workload under the five collector configurations and emit
 //! versioned `BENCH_<suite>.json` documents, or gate a new run against a
 //! baseline:
 //!
@@ -54,7 +54,7 @@
 //!
 //! The `fuzz` subcommand is the oracle-differential scenario fuzzer
 //! (`ora-fuzz`): generate seeded region programs, execute each under
-//! all four collector rungs, and diff results, thread states, health
+//! every collector rung, and diff results, thread states, health
 //! counters and trace accounting against a sequential oracle. Failing
 //! seeds are minimized and written out as replayable case files:
 //!
@@ -64,6 +64,7 @@
 //! omp_prof fuzz --case tests/fuzz_cases/claimer_tail_small_trip.case
 //! omp_prof fuzz --cases tests/fuzz_cases      # replay the curated suite
 //! omp_prof fuzz --seeds 500 --out fuzz-out    # persist failing cases
+//! omp_prof fuzz --seeds 50 --rungs governed   # sweep one rung only
 //! ```
 //!
 //! `fuzz` exits 0 when every scenario matched the oracle on every rung,
@@ -235,11 +236,16 @@ fn bench_run() {
         .unwrap_or(cfg.reps);
     let out_dir = arg("--out-dir", ".");
     let suites: Vec<MeterSuite> = match arg("--suite", "all").as_str() {
-        "all" => vec![MeterSuite::Epcc, MeterSuite::Npb, MeterSuite::Sync],
+        "all" => vec![
+            MeterSuite::Epcc,
+            MeterSuite::Npb,
+            MeterSuite::Sync,
+            MeterSuite::Dispatch,
+        ],
         key => match MeterSuite::from_key(key) {
             Some(s) => vec![s],
             None => {
-                eprintln!("unknown suite '{key}' — use epcc|npb|sync|all");
+                eprintln!("unknown suite '{key}' — use epcc|npb|sync|dispatch|all");
                 std::process::exit(2);
             }
         },
@@ -473,6 +479,27 @@ fn trace_report() {
         )
     );
 
+    // Governor decision records (if the trace was captured under the
+    // governed rung): the sampling-rate timeline, oldest first.
+    let timeline = reader.governor_timeline().unwrap_or_default();
+    if !timeline.is_empty() {
+        println!(
+            "governor sampling-rate timeline ({} decision(s)):",
+            timeline.len()
+        );
+        for s in &timeline {
+            println!(
+                "{:>12.3} us  {:<34} period 2^{} -> 2^{} (overhead {:.2}% of budget window)",
+                micros(s.tick),
+                s.event.name(),
+                s.old_shift,
+                s.new_shift,
+                s.overhead_ppm as f64 / 10_000.0
+            );
+        }
+        println!();
+    }
+
     println!("first {} records:", head.min(records.len()));
     for r in records.iter().take(head) {
         println!(
@@ -584,6 +611,8 @@ fn health() {
                 ("callbacks quarantined", api.callbacks_quarantined),
                 ("out-of-sequence requests", api.sequence_errors),
                 ("requests served", api.requests),
+                ("events sampled (governor)", api.events_sampled),
+                ("events skipped (governor)", api.events_skipped),
             ]
             .iter()
             .map(|(k, v)| vec![k.to_string(), v.to_string()]),
@@ -737,11 +766,14 @@ fn suite_run() {
 /// `omp_prof fuzz` — drive the oracle-differential fuzzer. Three input
 /// modes, combinable: `--seeds N` (generate seeds `start..start+N`),
 /// `--case FILE` (replay one case file), `--cases DIR` (replay every
-/// `*.case` in a directory). With `--out DIR`, each failing scenario is
-/// written as `<name>.case` alongside a greedily minimized
-/// `<name>.min.case` for triage.
+/// `*.case` in a directory). `--rungs KEYS` restricts the sweep to a
+/// comma-separated rung subset (default `all`) — e.g.
+/// `--rungs governed` for a nightly governor soak. With `--out DIR`,
+/// each failing scenario is written as `<name>.case` alongside a
+/// greedily minimized `<name>.min.case` for triage.
 fn fuzz_run() {
-    use ora_fuzz::{check_scenario, fails_with_retries, minimize, Scenario};
+    use collector::modes::CollectionConfig;
+    use ora_fuzz::{check_scenario_rungs, fails_with_retries_on, minimize, Scenario};
 
     let seeds: u64 = arg("--seeds", "0").parse().unwrap_or_else(|_| {
         eprintln!("--seeds must be an integer");
@@ -754,6 +786,23 @@ fn fuzz_run() {
     let case = arg("--case", "");
     let cases_dir = arg("--cases", "");
     let out_dir = arg("--out", "");
+    let rungs_arg = arg("--rungs", "all");
+    let rungs: Vec<CollectionConfig> = if rungs_arg == "all" {
+        CollectionConfig::ALL.to_vec()
+    } else {
+        rungs_arg
+            .split(',')
+            .map(|k| {
+                CollectionConfig::from_key(k.trim()).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown rung '{}' — use absent|paused|state|trace|governed (or all)",
+                        k.trim()
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
     if seeds == 0 && case.is_empty() && cases_dir.is_empty() {
         eprintln!("nothing to do — pass --seeds N, --case FILE, or --cases DIR");
         std::process::exit(2);
@@ -805,7 +854,7 @@ fn fuzz_run() {
     let mut failures = 0usize;
     let total = work.len();
     for (i, (name, scenario)) in work.iter().enumerate() {
-        let mismatches = check_scenario(scenario);
+        let mismatches = check_scenario_rungs(scenario, &rungs);
         if mismatches.is_empty() {
             println!("[{:>4}/{total}] {name}: ok", i + 1);
             continue;
@@ -824,7 +873,7 @@ fn fuzz_run() {
             let path = std::path::Path::new(&out_dir).join(format!("{name}.case"));
             std::fs::write(&path, scenario.to_case_file()).expect("write case");
             println!("    wrote {}", path.display());
-            let min = minimize(scenario, |s| fails_with_retries(s, 3));
+            let min = minimize(scenario, |s| fails_with_retries_on(s, &rungs, 3));
             let min_path = std::path::Path::new(&out_dir).join(format!("{name}.min.case"));
             std::fs::write(&min_path, min.to_case_file()).expect("write minimized case");
             println!("    wrote {} (minimized)", min_path.display());
@@ -832,7 +881,11 @@ fn fuzz_run() {
     }
 
     if failures == 0 {
-        println!("fuzz: all {total} scenario(s) matched the oracle on every rung");
+        let swept: Vec<&str> = rungs.iter().map(|r| r.key()).collect();
+        println!(
+            "fuzz: all {total} scenario(s) matched the oracle on rung(s): {}",
+            swept.join(", ")
+        );
     } else {
         eprintln!("fuzz: {failures}/{total} scenario(s) FAILED");
         std::process::exit(1);

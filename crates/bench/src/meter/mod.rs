@@ -4,10 +4,10 @@
 //! (§V: EPCC syncbench and NPB overheads). This subsystem turns that
 //! experiment into an enforced invariant of the codebase:
 //!
-//! * [`runner`] runs each workload under the four-rung
+//! * [`runner`] runs each workload under the five-rung
 //!   collector-intrusiveness ladder (absent / registered-paused /
-//!   state-queries / streaming-trace, [`collector::modes`]) with
-//!   per-repetition timing;
+//!   state-queries / streaming-trace / governed, [`collector::modes`])
+//!   with per-repetition timing;
 //! * [`stats`] makes the numbers defensible — warmup discard happens in
 //!   the runner, then MAD outlier rejection with a minimum-repetition
 //!   rule and a seeded 95% bootstrap CI of the median;

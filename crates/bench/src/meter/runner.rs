@@ -6,7 +6,7 @@
 //! one repetition under it with the same monotonic clock the collectors
 //! sample, and detaches. Interleaving matters on a shared machine —
 //! low-frequency load drift (another process waking up mid-run) then
-//! lands on all four configurations roughly equally and cancels out of
+//! lands on every configuration roughly equally and cancels out of
 //! the overhead *ratios*, instead of biasing whichever configuration
 //! happened to run in the slow window. The first `warmup` rounds are
 //! discarded; the rest feed the [`stats`](super::stats) pipeline.

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use ora_core::api::CollectorApi;
+use ora_core::governor::{GovernorConfig, GovernorDecision, GovernorStatus};
 use ora_core::message::RequestBatch;
 use ora_core::registry::Callback;
 use ora_core::request::{ApiHealth, CallbackToken, OraError, OraResult, Request, Response};
@@ -110,6 +111,39 @@ impl RuntimeHandle {
             Response::Health(h) => Ok(h),
             _ => Err(OraError::Error),
         }
+    }
+
+    /// Install and arm the adaptive overhead governor on the runtime's
+    /// monitored dispatch path (the `governed` collector rung).
+    /// Installation is a local control operation, not a wire request —
+    /// the clock closure in [`GovernorConfig`] cannot cross the byte
+    /// protocol.
+    pub fn install_governor(&self, config: GovernorConfig) {
+        self.api.install_governor(config);
+    }
+
+    /// Disarm the governor, restoring ungoverned monitored dispatch.
+    /// Lifetime counters survive, so a post-run [`query_governor`]
+    /// still reconciles.
+    ///
+    /// [`query_governor`]: RuntimeHandle::query_governor
+    pub fn uninstall_governor(&self) {
+        self.api.uninstall_governor();
+    }
+
+    /// Query the governor's budget/overhead snapshot over the byte
+    /// protocol (`OMP_REQ_GOVERNOR`, answerable in every phase).
+    pub fn query_governor(&self) -> OraResult<GovernorStatus> {
+        match self.request_one(Request::QueryGovernor)? {
+            Response::Governor(g) => Ok(g),
+            _ => Err(OraError::Error),
+        }
+    }
+
+    /// Drain the governor's accumulated sampling-rate decisions (the
+    /// retune log the governed rung persists into the trace).
+    pub fn take_governor_decisions(&self) -> Vec<GovernorDecision> {
+        self.api.governor().take_decisions()
     }
 }
 

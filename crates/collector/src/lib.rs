@@ -19,9 +19,9 @@
 //!   event + state-query machinery;
 //! * [`selective`] — overhead-controlled collection (duration gating and
 //!   calling-context dedup, the paper's §VI plan);
-//! * [`modes`] — the four-rung collector-intrusiveness ladder the
+//! * [`modes`] — the five-rung collector-intrusiveness ladder the
 //!   `ora-meter` overhead experiment attaches (absent / registered-paused
-//!   / state-queries / streaming-trace);
+//!   / state-queries / streaming-trace / governed);
 //! * [`suite`] — one-attachment multiplexer producing profile + trace +
 //!   state-times together (ORA has one callback slot per event);
 //! * [`analysis`] — offline trace analysis (region intervals, wait

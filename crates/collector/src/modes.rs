@@ -1,4 +1,4 @@
-//! The four collection configurations the overhead meter compares.
+//! The five collection configurations the overhead meter compares.
 //!
 //! The paper's evaluation (§V) reports workload slowdown for a ladder of
 //! collector intrusiveness, and `ora-meter` (in `crates/bench`) re-runs
@@ -27,8 +27,19 @@
 //!    lock-free ring + drainer pipeline (the `omp_prof trace record`
 //!    path, minus the file I/O: records stream into a [`MemorySink`] so
 //!    the measured cost is the pipeline, not the disk).
+//! 5. [`Governed`](CollectionConfig::Governed) — the streaming-trace
+//!    configuration with the adaptive overhead governor armed: monitored
+//!    dispatch is budgeted (`OMP_ORA_BUDGET`, default 2%), the governor's
+//!    feedback loop adjusts per-event-pair sampling rates online, and its
+//!    retune decisions are persisted into the trace as metadata records
+//!    so `omp_prof trace report` can show the sampling-rate timeline.
 
+use std::sync::Arc;
+
+use ora_core::governor::{parse_budget, GovernorConfig, DEFAULT_BUDGET_PPM};
 use ora_trace::{MemorySink, TraceConfig};
+
+use crate::clock;
 
 use crate::discovery::RuntimeHandle;
 use crate::profiler::{Profiler, ProfilerConfig};
@@ -46,15 +57,22 @@ pub enum CollectionConfig {
     StateQueries,
     /// STARTed, every event streamed through the `ora-trace` pipeline.
     StreamingTrace,
+    /// STARTed, streaming trace with the overhead governor armed
+    /// (budgeted sampled dispatch, `OMP_ORA_BUDGET`).
+    Governed,
 }
 
 impl CollectionConfig {
-    /// All configurations, in increasing order of intrusiveness.
-    pub const ALL: [CollectionConfig; 4] = [
+    /// All configurations, in increasing order of intrusiveness (the
+    /// governed rung sits last: it is the streaming rung plus the
+    /// governor's admission gate, even though its *workload* cost is
+    /// designed to undercut ungoverned streaming).
+    pub const ALL: [CollectionConfig; 5] = [
         CollectionConfig::Absent,
         CollectionConfig::RegisteredPaused,
         CollectionConfig::StateQueries,
         CollectionConfig::StreamingTrace,
+        CollectionConfig::Governed,
     ];
 
     /// Stable machine-readable key (used by the `BENCH_*.json` schema).
@@ -64,6 +82,7 @@ impl CollectionConfig {
             CollectionConfig::RegisteredPaused => "paused",
             CollectionConfig::StateQueries => "state",
             CollectionConfig::StreamingTrace => "trace",
+            CollectionConfig::Governed => "governed",
         }
     }
 
@@ -79,6 +98,7 @@ impl CollectionConfig {
             CollectionConfig::RegisteredPaused => "callbacks registered, event generation paused",
             CollectionConfig::StateQueries => "started, per-event OMP_REQ_STATE queries",
             CollectionConfig::StreamingTrace => "started, streaming trace of every event",
+            CollectionConfig::Governed => "started, governed sampling under an overhead budget",
         }
     }
 
@@ -98,20 +118,57 @@ impl CollectionConfig {
                 StateTimer::attach(handle.clone())?,
             )),
             CollectionConfig::StreamingTrace => {
-                // Long drain epoch: the default 5 ms sweep makes the
-                // drainer thread time-share the CPU with the workload on
-                // small machines, turning its scheduling luck into
-                // bimodal timings. The ring has ample capacity to buffer
-                // a measurement repetition; the final sweep in `finish`
-                // drains whatever the epochs didn't.
-                let trace_cfg = TraceConfig {
-                    epoch: std::time::Duration::from_millis(25),
-                    ..TraceConfig::default()
-                };
-                let tracer = StreamingTracer::attach(handle.clone(), trace_cfg, MemorySink::new())?;
+                let tracer = StreamingTracer::attach(
+                    handle.clone(),
+                    meter_trace_config(),
+                    MemorySink::new(),
+                )?;
                 Ok(ActiveCollection::StreamingTrace(Box::new(tracer)))
             }
+            CollectionConfig::Governed => {
+                // Attach (and register) first, then arm the governor:
+                // installation calibrates the unmonitored baseline by
+                // probing a masked-out event, so it must run against the
+                // final registration state. The governor shares the
+                // collector's trace clock, putting retune-decision ticks
+                // in the trace's time domain.
+                let tracer = StreamingTracer::attach(
+                    handle.clone(),
+                    meter_trace_config(),
+                    MemorySink::new(),
+                )?;
+                let budget_ppm = std::env::var("OMP_ORA_BUDGET")
+                    .ok()
+                    .and_then(|raw| parse_budget(&raw))
+                    .unwrap_or(DEFAULT_BUDGET_PPM);
+                handle.install_governor(GovernorConfig {
+                    budget_ppm,
+                    clock: Some(Arc::new(clock::ticks)),
+                    // The library default window (2 ms) suits long-lived
+                    // attachments; a collection that lives for one bench
+                    // repetition or one fuzz scenario must converge
+                    // inside sub-millisecond runs, so retune at 0.1 ms
+                    // granularity. The stats pipeline still gates each
+                    // retune on having enough cost samples.
+                    min_window_ticks: 100_000,
+                });
+                Ok(ActiveCollection::Governed(Box::new(tracer)))
+            }
         }
+    }
+}
+
+/// Trace pipeline configuration shared by the streaming rungs.
+///
+/// Long drain epoch: the default 5 ms sweep makes the drainer thread
+/// time-share the CPU with the workload on small machines, turning its
+/// scheduling luck into bimodal timings. The ring has ample capacity to
+/// buffer a measurement repetition; the final sweep in `finish` drains
+/// whatever the epochs didn't.
+fn meter_trace_config() -> TraceConfig {
+    TraceConfig {
+        epoch: std::time::Duration::from_millis(25),
+        ..TraceConfig::default()
     }
 }
 
@@ -129,6 +186,8 @@ pub enum ActiveCollection {
     StateQueries(StateTimer),
     /// A streaming tracer draining into memory.
     StreamingTrace(Box<StreamingTracer<MemorySink>>),
+    /// A streaming tracer with the overhead governor armed.
+    Governed(Box<StreamingTracer<MemorySink>>),
 }
 
 /// What a finished collection observed — enough for the meter to sanity
@@ -145,6 +204,14 @@ pub struct CollectionSummary {
     /// Whether the trace pipeline degraded mid-run (drainer death or sink
     /// failure). The workload still completed; the trace is partial.
     pub degraded: bool,
+    /// Events the governor admitted (callbacks ran; governed rung only).
+    pub events_sampled: u64,
+    /// Events the governor sampled out (governed rung only).
+    pub events_skipped: u64,
+    /// Sampling-rate decision records appended to the trace (governed
+    /// rung only; these are included in `records_drained` but are not
+    /// events).
+    pub governor_records: u64,
 }
 
 impl ActiveCollection {
@@ -155,6 +222,7 @@ impl ActiveCollection {
             ActiveCollection::RegisteredPaused(_) => CollectionConfig::RegisteredPaused,
             ActiveCollection::StateQueries(_) => CollectionConfig::StateQueries,
             ActiveCollection::StreamingTrace(_) => CollectionConfig::StreamingTrace,
+            ActiveCollection::Governed(_) => CollectionConfig::Governed,
         }
     }
 
@@ -197,42 +265,68 @@ impl ActiveCollection {
                     None,
                 ))
             }
-            ActiveCollection::StreamingTrace(tracer) => {
-                let events = ora_core::event::ALL_EVENTS
-                    .iter()
-                    .map(|e| tracer.count(*e))
-                    .sum();
-                let degraded = tracer.is_degraded();
-                match tracer.finish() {
-                    Ok((sink, stats)) => Ok((
-                        CollectionSummary {
-                            events_observed: events,
-                            records_drained: stats.drained(),
-                            records_dropped: stats.dropped(),
-                            degraded,
-                        },
-                        Some(sink.into_bytes()),
-                    )),
-                    // A dead drainer is a degraded collection, not a
-                    // failed run: the workload finished and the partial
-                    // accounting is right there in the error.
-                    Err(StreamError::Trace(ora_trace::TraceError::DrainerFailed {
-                        drained,
-                        dropped,
-                        ..
-                    })) => Ok((
-                        CollectionSummary {
-                            events_observed: events,
-                            records_drained: drained,
-                            records_dropped: dropped,
-                            degraded: true,
-                        },
-                        None,
-                    )),
-                    Err(e) => Err(e),
-                }
+            ActiveCollection::StreamingTrace(tracer) => finish_streaming(*tracer),
+            ActiveCollection::Governed(tracer) => {
+                // Snapshot the governor before Stop tears the masks
+                // down, and persist its retune log into the trace ahead
+                // of the final drain so the decisions ride the same
+                // encoded stream as the events they throttled.
+                let handle = tracer.handle().clone();
+                let status = handle.query_governor().unwrap_or_default();
+                let decisions = handle.take_governor_decisions();
+                tracer.record_governor_decisions(&decisions);
+                let result = finish_streaming(*tracer);
+                // Disarm even on error, so later rungs (and reattached
+                // collectors) see ungoverned dispatch again.
+                handle.uninstall_governor();
+                let (mut summary, trace) = result?;
+                summary.events_sampled = status.events_sampled;
+                summary.events_skipped = status.events_skipped;
+                summary.governor_records = decisions.len() as u64;
+                Ok((summary, trace))
             }
         }
+    }
+}
+
+/// Shared teardown for the streaming rungs: stop, drain, and convert the
+/// recording stats (or a dead drainer's partial accounting) into a
+/// summary plus the encoded trace bytes.
+fn finish_streaming(
+    tracer: StreamingTracer<MemorySink>,
+) -> Result<(CollectionSummary, Option<Vec<u8>>), StreamError> {
+    let events = ora_core::event::ALL_EVENTS
+        .iter()
+        .map(|e| tracer.count(*e))
+        .sum();
+    let degraded = tracer.is_degraded();
+    match tracer.finish() {
+        Ok((sink, stats)) => Ok((
+            CollectionSummary {
+                events_observed: events,
+                records_drained: stats.drained(),
+                records_dropped: stats.dropped(),
+                degraded,
+                ..CollectionSummary::default()
+            },
+            Some(sink.into_bytes()),
+        )),
+        // A dead drainer is a degraded collection, not a failed run: the
+        // workload finished and the partial accounting is right there in
+        // the error.
+        Err(StreamError::Trace(ora_trace::TraceError::DrainerFailed {
+            drained, dropped, ..
+        })) => Ok((
+            CollectionSummary {
+                events_observed: events,
+                records_drained: drained,
+                records_dropped: dropped,
+                degraded: true,
+                ..CollectionSummary::default()
+            },
+            None,
+        )),
+        Err(e) => Err(e),
     }
 }
 
@@ -253,7 +347,7 @@ mod tests {
         assert_eq!(CollectionConfig::from_key("nonsense"), None);
         let mut keys: Vec<&str> = CollectionConfig::ALL.iter().map(|c| c.key()).collect();
         keys.dedup();
-        assert_eq!(keys.len(), 4);
+        assert_eq!(keys.len(), 5);
     }
 
     #[test]
@@ -295,6 +389,40 @@ mod tests {
         let summary = active.finish().unwrap();
         assert!(summary.events_observed >= 8, "4 regions fork+join at least");
         assert!(summary.records_drained > 0);
+    }
+
+    #[test]
+    fn governed_configuration_samples_and_accounts() {
+        let rt = OpenMp::with_threads(2);
+        let active = CollectionConfig::Governed.attach(&handle(&rt)).unwrap();
+        for _ in 0..8 {
+            rt.parallel(|_| {});
+        }
+        // Workers fire trailing end-of-barrier events asynchronously.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let (summary, trace) = active.finish_with_trace().unwrap();
+
+        // The governed rung still observes the workload...
+        assert!(summary.events_observed > 0, "{summary:?}");
+        // ...and its sampling accounting is populated: every observed
+        // callback was an admitted event (skips never reach callbacks).
+        assert!(
+            summary.events_sampled >= summary.events_observed,
+            "{summary:?}"
+        );
+        // The decision log round-trips through the encoded trace: the
+        // reader surfaces exactly the persisted decisions as a timeline
+        // and keeps them out of the event stream.
+        let bytes = trace.expect("governed rung returns a trace");
+        let reader = ora_trace::TraceReader::from_bytes(bytes).unwrap();
+        let timeline = reader.governor_timeline().unwrap();
+        assert_eq!(timeline.len() as u64, summary.governor_records);
+        let event_records = reader.records().unwrap().len() as u64;
+        assert_eq!(
+            event_records + summary.governor_records,
+            summary.records_drained,
+            "drained records are events plus governor decisions"
+        );
     }
 
     #[test]

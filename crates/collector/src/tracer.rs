@@ -24,8 +24,8 @@ use ora_core::event::{Event, ALL_EVENTS, EVENT_COUNT};
 use ora_core::registry::EventData;
 use ora_core::request::{OraError, OraResult, Request};
 use ora_trace::{
-    DrainerHealth, MemorySink, RawRecord, Recorder, RecordingStats, TraceConfig, TraceError,
-    TraceReader, TraceSink,
+    pack_governor_decision, DrainerHealth, MemorySink, RawRecord, Recorder, RecordingStats,
+    TraceConfig, TraceError, TraceReader, TraceSink, GOVERNOR_EVENT_CODE,
 };
 
 use crate::clock;
@@ -157,6 +157,30 @@ impl<S: TraceSink + 'static> StreamingTracer<S> {
     /// Parallel-region calls observed (fork events).
     pub fn region_calls(&self) -> u64 {
         self.count(Event::Fork)
+    }
+
+    /// The runtime handle this tracer is attached through.
+    pub fn handle(&self) -> &RuntimeHandle {
+        &self.handle
+    }
+
+    /// Append the governor's sampling-rate decisions to the trace as
+    /// metadata records (event code [`GOVERNOR_EVENT_CODE`]). Call
+    /// before [`finish`](Self::finish) so the final drain persists
+    /// them; readers drop these records from event streams and surface
+    /// them through `TraceReader::governor_timeline`.
+    pub fn record_governor_decisions(&self, decisions: &[ora_core::governor::GovernorDecision]) {
+        let rings = self.recorder.rings();
+        for d in decisions {
+            rings.record(RawRecord {
+                tick: d.tick,
+                seq: 0, // assigned by the ring
+                event: GOVERNOR_EVENT_CODE,
+                gtid: 0,
+                region_id: u64::from(d.event as u32),
+                wait_id: pack_governor_decision(d.old_shift, d.new_shift, d.overhead_ppm),
+            });
+        }
     }
 
     /// Stop collection, drain everything in flight, write the footer,

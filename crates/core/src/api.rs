@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::event::Event;
+use crate::governor::{Admit, DispatchLane, Governor, GovernorConfig, GovernorStatus};
 use crate::message;
 use crate::registry::{Callback, CallbackRegistry, EventData};
 use crate::request::{ApiHealth, CallbackToken, OraError, OraResult, Request, Response};
@@ -148,6 +149,10 @@ pub struct CollectorApi {
     provider: RwLock<Option<Arc<dyn RuntimeInfoProvider>>>,
     queues: RequestQueues,
     stats: Mutex<ApiStats>,
+    /// Per-thread dispatch masks + the adaptive sampling feedback loop.
+    /// Always present (the lanes are the fast path's first check); only
+    /// *armed* under the governed collector rung.
+    governor: Governor,
 }
 
 impl Default for CollectorApi {
@@ -168,6 +173,7 @@ impl CollectorApi {
             provider: RwLock::new(None),
             queues: RequestQueues::new(),
             stats: Mutex::new(ApiStats::default()),
+            governor: Governor::new(),
         }
     }
 
@@ -199,14 +205,20 @@ impl CollectorApi {
         stats
     }
 
-    /// The health summary served to [`Request::QueryHealth`].
+    /// The health summary served to [`Request::QueryHealth`]. Querying
+    /// health also publishes any batched fired counters, so observers
+    /// that read [`CallbackRegistry::fire_count`] after a health round
+    /// trip see totals no staler than the query.
     pub fn health(&self) -> ApiHealth {
+        self.flush_event_counts();
         let stats = self.stats();
         ApiHealth {
             callback_panics: stats.callback_panics,
             callbacks_quarantined: stats.callbacks_quarantined,
             sequence_errors: stats.sequence_errors,
             requests: stats.requests,
+            events_sampled: self.governor.events_sampled(),
+            events_skipped: self.governor.events_skipped(),
         }
     }
 
@@ -262,6 +274,24 @@ impl CollectorApi {
 
     fn serve_one(&self, req: Request) -> OraResult<Response> {
         let result = self.serve_inner(req);
+        if result.is_ok()
+            && matches!(
+                req,
+                Request::Start
+                    | Request::Stop
+                    | Request::Pause
+                    | Request::Resume
+                    | Request::Register { .. }
+                    | Request::Unregister { .. }
+            )
+        {
+            // Every lifecycle or registration transition republishes the
+            // per-thread dispatch masks (the RCU-style analogue of the
+            // registry's own publication): clear bits are exact at each
+            // republish point, and a transiently stale *set* bit is safe
+            // because the monitored path re-checks the registry.
+            self.republish_masks();
+        }
         let mut stats = self.stats.lock();
         stats.requests += 1;
         match (&req, &result) {
@@ -384,27 +414,145 @@ impl CollectorApi {
                 };
                 Ok(Response::Capabilities(bits))
             }
+            Request::QueryGovernor => {
+                // Like health: a tool inspecting sampling decisions must
+                // be answerable at any point. No phase gating.
+                Ok(Response::Governor(self.governor.status()))
+            }
         }
     }
 
     /// The event-notification fast path, called from every event point in
     /// the runtime (`__ompc_event` in the paper).
     ///
-    /// "The ordering of the checks is important to avoid unnecessary
-    /// checking if no callback has been registered for an event (which is
-    /// possible if the OpenMP Collector API has not been initialized)."
-    /// (paper §IV-C) — so the per-event registration flag is tested first,
-    /// then the initialized-and-not-paused flag, and only then is the
-    /// callback fetched and invoked.
+    /// The first check is one relaxed load of the calling thread's
+    /// cache-padded dispatch mask — a fully-unsubscribed event kind costs
+    /// a single local branch, touching no shared cache line. Only when
+    /// the mask bit is set does the monitored path run, which preserves
+    /// the paper's ordering: "The ordering of the checks is important to
+    /// avoid unnecessary checking if no callback has been registered for
+    /// an event (which is possible if the OpenMP Collector API has not
+    /// been initialized)." (paper §IV-C) — the per-event registration
+    /// flag is re-tested first (masks can be transiently stale-set),
+    /// then the initialized-and-not-paused flag, then the governor
+    /// admits or samples out the event, and only then is the callback
+    /// fetched and invoked.
     #[inline]
     pub fn event(&self, data: &EventData) {
+        let lane = self.governor.lane(data.gtid);
+        if lane.mask() & (1u64 << data.event.index()) == 0 {
+            return;
+        }
+        self.event_monitored(lane, data);
+    }
+
+    /// The monitored half of [`CollectorApi::event`], entered only when
+    /// the lane mask says the event is registered and collection active.
+    fn event_monitored(&self, lane: &DispatchLane, data: &EventData) {
         if !self.registry.is_registered(data.event) {
             return;
         }
         if !self.active.load(Ordering::Acquire) {
             return;
         }
-        self.registry.invoke(data);
+        match self.governor.admit(lane, data.event) {
+            Admit::Skip => {}
+            Admit::Sample => {
+                if self.registry.invoke_quiet(data) {
+                    self.governor.note_fired(lane, data.event, |event, n| {
+                        self.registry.add_fired(event, n);
+                    });
+                }
+            }
+            Admit::SampleTimed => {
+                let clock = self.governor.clock();
+                let start = clock();
+                let fired = self.registry.invoke_quiet(data);
+                let end = clock();
+                self.governor.record_cost(end.saturating_sub(start));
+                if fired {
+                    self.governor.note_fired(lane, data.event, |event, n| {
+                        self.registry.add_fired(event, n);
+                    });
+                }
+            }
+        }
+    }
+
+    /// Publish every lane's batched fired counts into the registry's
+    /// per-event counters. Dispatch batches these (every `flush_every`
+    /// events per lane) so the hot path performs no shared RMW; callers
+    /// that read [`CallbackRegistry::fire_count`] directly should flush
+    /// first. Health queries flush implicitly.
+    pub fn flush_event_counts(&self) {
+        self.governor
+            .flush_pending(|event, n| self.registry.add_fired(event, n));
+    }
+
+    /// Install and arm the overhead governor: adopt the budget and clock
+    /// from `config`, calibrate the unmonitored baseline cost on the
+    /// live fast path, and start sampling-rate feedback. Used by the
+    /// governed collector rung.
+    pub fn install_governor(&self, config: GovernorConfig) {
+        self.governor.prepare(config);
+        let baseline = self.calibrate_baseline();
+        self.governor.arm(baseline);
+    }
+
+    /// Disarm the governor: sampling stops (every monitored event is
+    /// delivered again) and batched counters are published. Lifetime
+    /// sampled/skipped totals remain visible in health.
+    pub fn uninstall_governor(&self) {
+        self.governor.uninstall();
+        self.flush_event_counts();
+    }
+
+    /// Snapshot served to `OMP_REQ_GOVERNOR`.
+    pub fn governor_status(&self) -> GovernorStatus {
+        self.governor.status()
+    }
+
+    /// Direct access to the governor (decision draining, diagnostics).
+    pub fn governor(&self) -> &Governor {
+        &self.governor
+    }
+
+    fn republish_masks(&self) {
+        let mask = if self.active.load(Ordering::Acquire) {
+            self.registry.registered_bits()
+        } else {
+            0
+        };
+        self.governor.publish_mask(mask);
+    }
+
+    /// Time the unmonitored fast path (a masked-out probe event) with
+    /// the governor clock, reducing the samples through the shared
+    /// stats pipeline. This is the denominator of the governor's
+    /// monitored-vs-baseline ratio.
+    fn calibrate_baseline(&self) -> f64 {
+        let mask = self.governor.current_mask();
+        let Some(probe) = crate::event::ALL_EVENTS
+            .iter()
+            .copied()
+            .find(|e| mask & (1u64 << e.index()) == 0)
+        else {
+            return 0.0; // every event masked in: nothing safe to probe
+        };
+        let data = EventData::bare(probe, 0);
+        let clock = self.governor.clock();
+        const BATCH: u32 = 256;
+        const SAMPLES: usize = 16;
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = clock();
+            for _ in 0..BATCH {
+                self.event(std::hint::black_box(&data));
+            }
+            let end = clock();
+            samples.push(end.saturating_sub(start) as f64 / f64::from(BATCH));
+        }
+        crate::stats::analyze(&samples, &crate::stats::StatPolicy::default()).median
     }
 
     /// Direct access to the callback table (diagnostics and tests).
@@ -768,6 +916,96 @@ mod tests {
         assert_eq!(h.callbacks_quarantined, 1);
         // The quarantined event no longer dispatches.
         assert!(!api.registry().is_registered(Event::Fork));
+    }
+
+    #[test]
+    fn masks_track_lifecycle_and_registration() {
+        let (api, _hits) = armed_api();
+        let fork_bit = 1u64 << Event::Fork.index();
+        assert_eq!(api.governor().current_mask(), fork_bit);
+        api.handle_request(Request::Pause).unwrap();
+        assert_eq!(api.governor().current_mask(), 0, "paused clears every bit");
+        api.handle_request(Request::Resume).unwrap();
+        assert_eq!(api.governor().current_mask(), fork_bit);
+        api.handle_request(Request::Unregister { event: Event::Fork })
+            .unwrap();
+        assert_eq!(api.governor().current_mask(), 0);
+        api.handle_request(Request::Stop).unwrap();
+        assert_eq!(api.governor().current_mask(), 0);
+    }
+
+    #[test]
+    fn governor_is_served_in_every_phase() {
+        let api = CollectorApi::new();
+        let status = api
+            .handle_request(Request::QueryGovernor)
+            .unwrap()
+            .governor()
+            .unwrap();
+        assert_eq!(status.enabled, 0);
+        assert_eq!(status.budget_ppm, crate::governor::DEFAULT_BUDGET_PPM);
+        api.handle_request(Request::Start).unwrap();
+        assert!(api.handle_request(Request::QueryGovernor).is_ok());
+        api.handle_request(Request::Stop).unwrap();
+        assert!(api.handle_request(Request::QueryGovernor).is_ok());
+    }
+
+    #[test]
+    fn governed_dispatch_reconciles_and_publishes_in_batches() {
+        let api = CollectorApi::new();
+        api.set_provider(FakeProvider::new());
+        api.handle_request(Request::Start).unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let token = api.intern_callback(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        let begin = Event::ThreadBeginExplicitBarrier;
+        let end = Event::ThreadEndExplicitBarrier;
+        for event in [begin, end] {
+            api.handle_request(Request::Register { event, token })
+                .unwrap();
+        }
+        // Deterministic virtual clock: 1 tick per reading, plus big
+        // jumps between dispatch storms (amortizing application time).
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&ticks);
+        api.install_governor(GovernorConfig {
+            budget_ppm: 20_000, // 2%
+            min_window_ticks: 10_000,
+            clock: Some(Arc::new(move || t.fetch_add(1, Ordering::Relaxed))),
+        });
+        for _ in 0..4 {
+            for i in 0..10_000usize {
+                api.event(&EventData::bare(begin, i % 8));
+                api.event(&EventData::bare(end, i % 8));
+            }
+            ticks.fetch_add(200_000, Ordering::Relaxed);
+        }
+        let status = api.governor_status();
+        assert!(status.reconciles(), "observed == sampled + skipped");
+        assert_eq!(status.events_observed, 80_000);
+        assert!(
+            status.events_skipped > 0,
+            "a 2% budget must throttle this storm"
+        );
+        assert!(status.retunes >= 1);
+        // Callback runs match the governor's sampled count exactly.
+        assert_eq!(hits.load(Ordering::SeqCst) as u64, status.events_sampled);
+        // Health surfaces the same counters and flushes fired batches.
+        let health = api.health();
+        assert_eq!(health.events_sampled, status.events_sampled);
+        assert_eq!(health.events_skipped, status.events_skipped);
+        let fired = api.registry().fire_count(begin) + api.registry().fire_count(end);
+        assert_eq!(fired, status.events_sampled);
+        // Disarming restores full delivery.
+        api.uninstall_governor();
+        let before = hits.load(Ordering::SeqCst);
+        for _ in 0..100 {
+            api.event(&EventData::bare(begin, 0));
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), before + 100);
+        assert!(api.governor_status().reconciles());
     }
 
     #[test]

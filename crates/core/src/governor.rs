@@ -1,0 +1,1034 @@
+//! The adaptive overhead governor: budgeted monitored dispatch.
+//!
+//! The registered-event path costs tens of nanoseconds where the
+//! unmonitored path costs ~1 ns; at millions of events per second that
+//! difference is the product's tax. This module attacks it the way a
+//! production continuous profiler does — by measuring its own overhead
+//! online and adapting until it fits a configured budget:
+//!
+//! 1. **Per-thread dispatch masks.** Every thread hashes to a
+//!    [`DispatchLane`] (cache-padded, [`LANE_COUNT`] of them) whose
+//!    `mask` word caches "this event is registered AND collection is
+//!    active" as one bit per [`Event`]. [`CollectorApi::event`] tests
+//!    that bit before touching any shared state, so a fully
+//!    unsubscribed event kind costs one local load and branch. Masks
+//!    are republished by the serve path on every lifecycle or
+//!    registration transition (the RCU analogue of the registry's own
+//!    publication); a stale *set* bit is harmless — the monitored path
+//!    re-checks the registry — while clear bits are exact at every
+//!    republish point.
+//! 2. **Batched publication.** The monitored path no longer bumps the
+//!    registry's shared per-event `fired` counter per event. It
+//!    accumulates lane-local pending counts and folds them into the
+//!    registry every `flush_every` events (adapted at retune time) or
+//!    on demand ([`CollectorApi::flush_event_counts`]), so the hot path
+//!    performs only lane-local RMWs.
+//! 3. **The feedback loop.** When installed (collector rung
+//!    "governed"), the governor times every [`CAL_STRIDE`]-th sampled
+//!    dispatch with an injectable clock, runs the measurements through
+//!    the same [`crate::stats`] pipeline ora-meter uses offline, and at
+//!    the end of each calibration window solves for per-event-pair
+//!    sampling shifts ([`plan_shifts`]) so the projected monitoring
+//!    cost fits the budget (`OMP_ORA_BUDGET`, e.g. `2%`). Decisions are
+//!    exposed three ways: [`GovernorStatus`] over the byte protocol
+//!    (`OMP_REQ_GOVERNOR`), sampled/skipped counters in `ApiHealth`,
+//!    and a decision log the governed collector rung writes into the
+//!    trace so `trace report` can show sampling-rate timelines.
+//!
+//! Sampling is per *event pair*: the begin of a pair decides (a local
+//! power-of-two pace counter) and pushes its fate on a lane-local LIFO
+//! stack; the matching end pops it. Both halves of a construct instance
+//! are therefore always kept or skipped together — rate changes can
+//! never split a begin from its end, which the fuzzer's governed rung
+//! and the trace pairing property tests rely on. The reconciliation
+//! invariant `observed == sampled + skipped` holds at rest for every
+//! rung: with the governor disabled every monitored event is sampled.
+//!
+//! [`CollectorApi::event`]: crate::api::CollectorApi::event
+//! [`CollectorApi::flush_event_counts`]: crate::api::CollectorApi::flush_event_counts
+
+use std::array;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::event::{Event, ALL_EVENTS, EVENT_COUNT};
+use crate::pad::CachePadded;
+use crate::stats::{self, StatPolicy};
+use crate::sync::{Mutex, RwLock};
+
+/// Number of dispatch lanes. Threads map to lanes by `gtid % LANE_COUNT`,
+/// so runtimes up to 64 threads get a private lane each; beyond that,
+/// lanes are shared (still correct, just contended).
+pub const LANE_COUNT: usize = 64;
+
+/// Number of begin/end event pairs (sampling decisions are per pair).
+pub const PAIR_COUNT: usize = EVENT_COUNT / 2;
+
+/// Maximum per-pair sampling shift: keep 1 in 2^15 events at most.
+pub const MAX_SHIFT: u32 = 15;
+
+/// Default overhead budget: 2% (in parts-per-million).
+pub const DEFAULT_BUDGET_PPM: u64 = 20_000;
+
+/// Every `CAL_STRIDE`-th *sampled* event on a lane is timed with the
+/// governor clock and fed to the calibration window.
+pub const CAL_STRIDE: u64 = 64;
+
+/// Every `RETUNE_STRIDE`-th *observed* event on a lane attempts a
+/// retune (which then gates on the calibration window length).
+pub const RETUNE_STRIDE: u64 = 256;
+
+/// Initial / ungoverned batch size for fired-counter publication.
+pub const DEFAULT_FLUSH_EVERY: u32 = 64;
+
+const COST_SAMPLE_CAP: usize = 512;
+const DECISION_CAP: usize = 4096;
+const FATE_DEPTH_MAX: u32 = 64;
+
+/// Monotonic tick source injected into the governor. The governed
+/// collector rung passes the collector's trace clock so decision ticks
+/// share the trace's time domain; tests pass deterministic virtual
+/// clocks to make convergence reproducible.
+pub type GovernorClock = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+fn default_clock() -> GovernorClock {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    Arc::new(|| {
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        epoch.elapsed().as_nanos() as u64
+    })
+}
+
+/// Parse a budget string (`OMP_ORA_BUDGET`) into parts-per-million.
+///
+/// Accepted forms: `"2%"`, `"0.5%"`, `"2500ppm"`, and a bare number
+/// which reads as percent (`"2"` == `"2%"`). Returns `None` for
+/// malformed or negative input.
+pub fn parse_budget(raw: &str) -> Option<u64> {
+    let trimmed = raw.trim();
+    let (digits, scale) = if let Some(rest) = trimmed.strip_suffix("ppm") {
+        (rest.trim(), 1.0)
+    } else if let Some(rest) = trimmed.strip_suffix('%') {
+        (rest.trim(), 10_000.0)
+    } else {
+        (trimmed, 10_000.0)
+    };
+    let value: f64 = digits.parse().ok()?;
+    if !value.is_finite() || value < 0.0 {
+        return None;
+    }
+    Some((value * scale).round() as u64)
+}
+
+/// Hot-path admission verdict for one monitored event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Skip the callback (sampled out); only lane counters were touched.
+    Skip,
+    /// Run the callback.
+    Sample,
+    /// Run the callback and time it with the governor clock, feeding
+    /// the measurement into the current calibration window.
+    SampleTimed,
+}
+
+/// One per-thread slice of governor hot state. Cache-padded so a
+/// thread's dispatch counters never false-share with a neighbour's.
+pub struct DispatchLane {
+    /// Bit `i` set ⇔ event with index `i` is registered AND collection
+    /// is active. Republished (never incrementally updated) on every
+    /// transition; read with a single relaxed load on the fast path.
+    mask: AtomicU64,
+    /// Monitored events that reached admission on this lane.
+    observed_total: AtomicU64,
+    /// Admitted (callback-run) events.
+    sampled: AtomicU64,
+    /// Sampled-out events.
+    skipped: AtomicU64,
+    /// Per-event observation counts (window deltas drive planning).
+    observed: [AtomicU64; EVENT_COUNT],
+    /// Batched not-yet-published registry `fired` increments.
+    pending_fired: [AtomicU32; EVENT_COUNT],
+    /// Sum of `pending_fired`, compared against `flush_every`.
+    pending_total: AtomicU32,
+    /// Per-pair pace counters driving the power-of-two keep decision.
+    pace: [AtomicU32; PAIR_COUNT],
+    /// Per-pair LIFO fate stacks (bit per nesting level) so a pair's
+    /// end inherits its begin's keep/skip decision.
+    fate_bits: [AtomicU64; PAIR_COUNT],
+    /// Current depth of each fate stack.
+    fate_depth: [AtomicU32; PAIR_COUNT],
+}
+
+impl DispatchLane {
+    fn new() -> Self {
+        DispatchLane {
+            mask: AtomicU64::new(0),
+            observed_total: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            observed: array::from_fn(|_| AtomicU64::new(0)),
+            pending_fired: array::from_fn(|_| AtomicU32::new(0)),
+            pending_total: AtomicU32::new(0),
+            pace: array::from_fn(|_| AtomicU32::new(0)),
+            fate_bits: array::from_fn(|_| AtomicU64::new(0)),
+            fate_depth: array::from_fn(|_| AtomicU32::new(0)),
+        }
+    }
+
+    /// The lane's registered-and-active mask. One relaxed load — this is
+    /// the whole cost of an unsubscribed event.
+    #[inline(always)]
+    pub fn mask(&self) -> u64 {
+        self.mask.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn push_fate(&self, slot: usize, keep: bool) {
+        let depth = self.fate_depth[slot].load(Ordering::Relaxed);
+        if depth < FATE_DEPTH_MAX {
+            let bit = 1u64 << depth;
+            let bits = self.fate_bits[slot].load(Ordering::Relaxed);
+            let next = if keep { bits | bit } else { bits & !bit };
+            self.fate_bits[slot].store(next, Ordering::Relaxed);
+        }
+        self.fate_depth[slot].store(depth.wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// Pop the matching begin's fate; `None` when the stack is empty
+    /// (an end observed without its begin, e.g. registration raced the
+    /// construct) — the caller then decides independently. Depths past
+    /// [`FATE_DEPTH_MAX`] degrade to "keep" on both sides, symmetric.
+    #[inline]
+    fn pop_fate(&self, slot: usize) -> Option<bool> {
+        let depth = self.fate_depth[slot].load(Ordering::Relaxed);
+        if depth == 0 {
+            return None;
+        }
+        let top = depth - 1;
+        self.fate_depth[slot].store(top, Ordering::Relaxed);
+        if top >= FATE_DEPTH_MAX {
+            return Some(true);
+        }
+        Some(self.fate_bits[slot].load(Ordering::Relaxed) & (1u64 << top) != 0)
+    }
+
+    /// Record a published-pending fired count; returns true when the
+    /// batch threshold is reached (caller then drains the lane).
+    #[inline]
+    fn note_fired(&self, event: Event, flush_every: u32) -> bool {
+        self.pending_fired[event.index()].fetch_add(1, Ordering::Relaxed);
+        let total = self.pending_total.fetch_add(1, Ordering::Relaxed) + 1;
+        total >= flush_every
+    }
+
+    /// Drain pending fired counts through `publish`, resetting the lane.
+    fn drain_pending(&self, mut publish: impl FnMut(Event, u64)) {
+        self.pending_total.store(0, Ordering::Relaxed);
+        for event in ALL_EVENTS {
+            let n = self.pending_fired[event.index()].swap(0, Ordering::Relaxed);
+            if n > 0 {
+                publish(event, u64::from(n));
+            }
+        }
+    }
+}
+
+/// One sampling-rate change from a retune, for the trace decision log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorDecision {
+    /// Governor-clock tick at which the retune ran.
+    pub tick: u64,
+    /// The begin event of the pair whose rate changed.
+    pub event: Event,
+    /// Shift before the change (sampling period `2^old_shift`).
+    pub old_shift: u32,
+    /// Shift after the change (sampling period `2^new_shift`).
+    pub new_shift: u32,
+    /// Overhead measured over the window that triggered the change, ppm.
+    pub overhead_ppm: u64,
+}
+
+/// Snapshot answered over the byte protocol (`OMP_REQ_GOVERNOR`). All
+/// fields are `u64` so the response encodes as nine little-endian words;
+/// tick costs are in **milliticks** (ticks × 1000) to keep sub-tick
+/// medians representable without floats on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct GovernorStatus {
+    /// 1 when the governor is installed and armed, else 0.
+    pub enabled: u64,
+    /// Configured overhead budget, parts-per-million.
+    pub budget_ppm: u64,
+    /// Monitored events that reached admission (all lanes, lifetime).
+    pub events_observed: u64,
+    /// Events whose callbacks ran.
+    pub events_sampled: u64,
+    /// Events sampled out by the governor.
+    pub events_skipped: u64,
+    /// Completed retunes.
+    pub retunes: u64,
+    /// Overhead measured over the most recent calibration window, ppm.
+    pub overhead_ppm: u64,
+    /// Calibrated unmonitored dispatch cost, milliticks per event.
+    pub baseline_milliticks: u64,
+    /// Measured monitored dispatch cost, milliticks per event.
+    pub monitored_milliticks: u64,
+}
+
+impl GovernorStatus {
+    /// `observed == sampled + skipped` — the reconciliation invariant
+    /// the fuzzer's governed rung checks. Exact at rest; transiently
+    /// violated only while an event is mid-admission on another thread.
+    pub fn reconciles(&self) -> bool {
+        self.events_observed == self.events_sampled + self.events_skipped
+    }
+}
+
+/// Controller state touched only under the `ctl` mutex (retunes and
+/// calibration bookkeeping — never the per-event hot path).
+struct Control {
+    min_window_ticks: u64,
+    window_start: u64,
+    snap_observed: [u64; EVENT_COUNT],
+    snap_sampled: u64,
+    cost_samples: Vec<f64>,
+    decisions: Vec<GovernorDecision>,
+}
+
+/// Configuration for installing the governor on a [`crate::api::CollectorApi`].
+#[derive(Clone)]
+pub struct GovernorConfig {
+    /// Overhead budget in parts-per-million (see [`parse_budget`]).
+    pub budget_ppm: u64,
+    /// Minimum calibration-window length in governor-clock ticks; retune
+    /// attempts inside a shorter window are deferred.
+    pub min_window_ticks: u64,
+    /// Tick source; `None` keeps the process-local nanosecond clock.
+    pub clock: Option<GovernorClock>,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            budget_ppm: DEFAULT_BUDGET_PPM,
+            min_window_ticks: 2_000_000, // 2 ms at nanosecond ticks
+            clock: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for GovernorConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GovernorConfig")
+            .field("budget_ppm", &self.budget_ppm)
+            .field("min_window_ticks", &self.min_window_ticks)
+            .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
+            .finish()
+    }
+}
+
+/// The adaptive overhead governor (module docs). One per
+/// [`crate::api::CollectorApi`]; always present (the lanes double as the
+/// fast-path mask store) but only *armed* under the governed collector
+/// rung.
+pub struct Governor {
+    lanes: Box<[CachePadded<DispatchLane>]>,
+    enabled: AtomicBool,
+    budget_ppm: AtomicU64,
+    /// Per-event sampling shifts; both halves of a pair always hold the
+    /// same value (written pair-wise at retune).
+    shifts: [AtomicU32; EVENT_COUNT],
+    flush_every: AtomicU32,
+    retunes: AtomicU64,
+    overhead_ppm: AtomicU64,
+    baseline_milliticks: AtomicU64,
+    monitored_milliticks: AtomicU64,
+    clock: RwLock<GovernorClock>,
+    ctl: Mutex<Control>,
+}
+
+impl Default for Governor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Governor {
+    /// A disarmed governor with zeroed masks and counters.
+    pub fn new() -> Self {
+        Governor {
+            lanes: (0..LANE_COUNT)
+                .map(|_| CachePadded::new(DispatchLane::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            enabled: AtomicBool::new(false),
+            budget_ppm: AtomicU64::new(DEFAULT_BUDGET_PPM),
+            shifts: array::from_fn(|_| AtomicU32::new(0)),
+            flush_every: AtomicU32::new(DEFAULT_FLUSH_EVERY),
+            retunes: AtomicU64::new(0),
+            overhead_ppm: AtomicU64::new(0),
+            baseline_milliticks: AtomicU64::new(0),
+            monitored_milliticks: AtomicU64::new(0),
+            clock: RwLock::new(default_clock()),
+            ctl: Mutex::new(Control {
+                min_window_ticks: GovernorConfig::default().min_window_ticks,
+                window_start: 0,
+                snap_observed: [0; EVENT_COUNT],
+                snap_sampled: 0,
+                cost_samples: Vec::new(),
+                decisions: Vec::new(),
+            }),
+        }
+    }
+
+    /// The dispatch lane for `gtid`.
+    #[inline(always)]
+    pub fn lane(&self, gtid: usize) -> &DispatchLane {
+        &self.lanes[gtid & (LANE_COUNT - 1)]
+    }
+
+    /// Store `mask` into every lane (serve-path republication).
+    pub fn publish_mask(&self, mask: u64) {
+        for lane in self.lanes.iter() {
+            lane.mask.store(mask, Ordering::SeqCst);
+        }
+    }
+
+    /// The currently published mask.
+    pub fn current_mask(&self) -> u64 {
+        self.lanes[0].mask()
+    }
+
+    /// Clone the tick source (two calls bracket a timed dispatch).
+    pub fn clock(&self) -> GovernorClock {
+        self.clock.read().clone()
+    }
+
+    fn now(&self) -> u64 {
+        (self.clock.read())()
+    }
+
+    /// Stage 1 of installation: adopt clock/budget/window config and
+    /// reset the plan, while still disarmed — the caller calibrates the
+    /// baseline fast path next, then [`Governor::arm`]s.
+    pub fn prepare(&self, config: GovernorConfig) {
+        self.enabled.store(false, Ordering::SeqCst);
+        if let Some(clock) = config.clock {
+            *self.clock.write() = clock;
+        }
+        self.budget_ppm.store(config.budget_ppm, Ordering::Relaxed);
+        for shift in &self.shifts {
+            shift.store(0, Ordering::Relaxed);
+        }
+        self.flush_every
+            .store(DEFAULT_FLUSH_EVERY, Ordering::Relaxed);
+        let mut ctl = self.ctl.lock();
+        ctl.min_window_ticks = config.min_window_ticks;
+        ctl.cost_samples.clear();
+        ctl.decisions.clear();
+    }
+
+    /// Stage 2 of installation: record the calibrated unmonitored cost
+    /// (ticks per event) and start governing from a fresh window.
+    pub fn arm(&self, baseline_ticks: f64) {
+        self.baseline_milliticks
+            .store(to_milliticks(baseline_ticks), Ordering::Relaxed);
+        let now = self.now();
+        {
+            let mut ctl = self.ctl.lock();
+            ctl.window_start = now;
+            ctl.snap_observed = self.observed_per_event();
+            ctl.snap_sampled = self.events_sampled();
+        }
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm: sampling stops (every monitored event is again kept) and
+    /// shifts/batch sizes reset. Lifetime counters are preserved so
+    /// health remains monotonic.
+    pub fn uninstall(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+        for shift in &self.shifts {
+            shift.store(0, Ordering::Relaxed);
+        }
+        self.flush_every
+            .store(DEFAULT_FLUSH_EVERY, Ordering::Relaxed);
+    }
+
+    /// Whether the governor is installed and armed.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Current sampling shift for `event` (period `2^shift`).
+    pub fn shift_for(&self, event: Event) -> u32 {
+        self.shifts[event.index()].load(Ordering::Relaxed)
+    }
+
+    /// Current fired-counter publication batch size.
+    pub fn flush_every(&self) -> u32 {
+        self.flush_every.load(Ordering::Relaxed)
+    }
+
+    /// Admit one monitored event on `lane`. Called after the registry
+    /// and active checks pass; bumps exactly one of sampled/skipped so
+    /// the reconciliation invariant holds at rest.
+    #[inline]
+    pub fn admit(&self, lane: &DispatchLane, event: Event) -> Admit {
+        let index = event.index();
+        lane.observed[index].fetch_add(1, Ordering::Relaxed);
+        let seen = lane.observed_total.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled.load(Ordering::Relaxed) {
+            lane.sampled.fetch_add(1, Ordering::Relaxed);
+            return Admit::Sample;
+        }
+        if seen.is_multiple_of(RETUNE_STRIDE) {
+            self.try_retune();
+        }
+        let slot = index / 2;
+        let keep = if event.is_begin() {
+            let keep = self.decide(lane, index, slot);
+            lane.push_fate(slot, keep);
+            keep
+        } else {
+            match lane.pop_fate(slot) {
+                Some(inherited) => inherited,
+                None => self.decide(lane, index, slot),
+            }
+        };
+        if keep {
+            let kept = lane.sampled.fetch_add(1, Ordering::Relaxed) + 1;
+            if kept.is_multiple_of(CAL_STRIDE) {
+                Admit::SampleTimed
+            } else {
+                Admit::Sample
+            }
+        } else {
+            lane.skipped.fetch_add(1, Ordering::Relaxed);
+            Admit::Skip
+        }
+    }
+
+    #[inline]
+    fn decide(&self, lane: &DispatchLane, index: usize, slot: usize) -> bool {
+        let shift = self.shifts[index].load(Ordering::Relaxed);
+        if shift == 0 {
+            return true;
+        }
+        let pace = lane.pace[slot].fetch_add(1, Ordering::Relaxed);
+        pace & ((1u32 << shift) - 1) == 0
+    }
+
+    /// Record one timed monitored dispatch (ticks). Lock-free callers
+    /// only *try* to reach the window; a contended retune drops the
+    /// sample rather than stalling dispatch.
+    pub fn record_cost(&self, ticks: u64) {
+        if let Some(mut ctl) = self.ctl.try_lock() {
+            if ctl.cost_samples.len() < COST_SAMPLE_CAP {
+                ctl.cost_samples.push(ticks as f64);
+            }
+        }
+    }
+
+    /// Record a batched fired count on `lane`; drains the lane through
+    /// `publish` when the adaptive batch threshold is reached.
+    #[inline]
+    pub fn note_fired(&self, lane: &DispatchLane, event: Event, publish: impl FnMut(Event, u64)) {
+        if lane.note_fired(event, self.flush_every.load(Ordering::Relaxed)) {
+            lane.drain_pending(publish);
+        }
+    }
+
+    /// Drain every lane's pending fired counts through `publish`.
+    pub fn flush_pending(&self, mut publish: impl FnMut(Event, u64)) {
+        for lane in self.lanes.iter() {
+            lane.drain_pending(&mut publish);
+        }
+    }
+
+    /// Attempt a retune: measure the closing calibration window, update
+    /// the overhead estimate, and re-plan sampling shifts. Non-blocking
+    /// (skips when another thread holds the controller or the window is
+    /// still too short).
+    pub fn try_retune(&self) {
+        let Some(mut ctl) = self.ctl.try_lock() else {
+            return;
+        };
+        let now = self.now();
+        let elapsed = now.saturating_sub(ctl.window_start);
+        if elapsed < ctl.min_window_ticks {
+            return;
+        }
+        let cost_ticks = if ctl.cost_samples.len() >= StatPolicy::default().min_keep {
+            let summary = stats::analyze(&ctl.cost_samples, &StatPolicy::default());
+            self.monitored_milliticks
+                .store(to_milliticks(summary.median), Ordering::Relaxed);
+            summary.median
+        } else {
+            self.monitored_milliticks.load(Ordering::Relaxed) as f64 / 1000.0
+        };
+        let totals = self.observed_per_event();
+        let mut window = [0u64; EVENT_COUNT];
+        for (w, (total, snap)) in window
+            .iter_mut()
+            .zip(totals.iter().zip(ctl.snap_observed.iter()))
+        {
+            *w = total - snap;
+        }
+        let sampled_total = self.events_sampled();
+        let window_sampled = sampled_total - ctl.snap_sampled;
+        let measured_ppm = if cost_ticks > 0.0 && elapsed > 0 {
+            (window_sampled as f64 * cost_ticks * 1e6 / elapsed as f64) as u64
+        } else {
+            0
+        };
+        self.overhead_ppm.store(measured_ppm, Ordering::Relaxed);
+        let plan = plan_shifts(
+            self.budget_ppm.load(Ordering::Relaxed),
+            elapsed,
+            cost_ticks,
+            &window,
+        );
+        for pair in 0..PAIR_COUNT {
+            let begin = pair * 2;
+            let old = self.shifts[begin].load(Ordering::Relaxed);
+            let new = plan[begin];
+            if new != old {
+                self.shifts[begin].store(new, Ordering::Relaxed);
+                self.shifts[begin + 1].store(new, Ordering::Relaxed);
+                if ctl.decisions.len() < DECISION_CAP {
+                    ctl.decisions.push(GovernorDecision {
+                        tick: now,
+                        event: ALL_EVENTS[begin],
+                        old_shift: old,
+                        new_shift: new,
+                        overhead_ppm: measured_ppm,
+                    });
+                }
+            }
+        }
+        // Deeper sampling means fewer callbacks per observed event, so
+        // publication can batch further without going stale for longer.
+        let max_shift = plan.iter().copied().max().unwrap_or(0).min(6);
+        self.flush_every.store(
+            (DEFAULT_FLUSH_EVERY << max_shift).clamp(DEFAULT_FLUSH_EVERY, 4096),
+            Ordering::Relaxed,
+        );
+        ctl.window_start = now;
+        ctl.snap_observed = totals;
+        ctl.snap_sampled = sampled_total;
+        ctl.cost_samples.clear();
+        self.retunes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drain the decision log (the governed rung writes these into the
+    /// trace as governor records).
+    pub fn take_decisions(&self) -> Vec<GovernorDecision> {
+        std::mem::take(&mut self.ctl.lock().decisions)
+    }
+
+    /// Total admitted events across lanes (surfaces in `ApiHealth`).
+    pub fn events_sampled(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|lane| lane.sampled.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total sampled-out events across lanes (surfaces in `ApiHealth`).
+    pub fn events_skipped(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|lane| lane.skipped.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total events that reached admission across lanes.
+    pub fn events_observed(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|lane| lane.observed_total.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn observed_per_event(&self) -> [u64; EVENT_COUNT] {
+        let mut totals = [0u64; EVENT_COUNT];
+        for lane in self.lanes.iter() {
+            for (total, count) in totals.iter_mut().zip(lane.observed.iter()) {
+                *total += count.load(Ordering::Relaxed);
+            }
+        }
+        totals
+    }
+
+    /// Snapshot for `OMP_REQ_GOVERNOR`.
+    pub fn status(&self) -> GovernorStatus {
+        GovernorStatus {
+            enabled: u64::from(self.enabled.load(Ordering::SeqCst)),
+            budget_ppm: self.budget_ppm.load(Ordering::Relaxed),
+            events_observed: self.events_observed(),
+            events_sampled: self.events_sampled(),
+            events_skipped: self.events_skipped(),
+            retunes: self.retunes.load(Ordering::Relaxed),
+            overhead_ppm: self.overhead_ppm.load(Ordering::Relaxed),
+            baseline_milliticks: self.baseline_milliticks.load(Ordering::Relaxed),
+            monitored_milliticks: self.monitored_milliticks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn to_milliticks(ticks: f64) -> u64 {
+    if !ticks.is_finite() || ticks <= 0.0 {
+        return 0;
+    }
+    (ticks * 1000.0).round() as u64
+}
+
+/// Solve for per-event sampling shifts so the projected monitoring cost
+/// of the *next* window fits the budget, assuming it observes the same
+/// per-event mix as the closing one.
+///
+/// Pure and deterministic (greedy: repeatedly halve the rate of the
+/// costliest pair until the projection fits or every pair is at
+/// [`MAX_SHIFT`]); both halves of each pair share a shift. A zero or
+/// unknown cost plans no throttling — the governor never throttles on
+/// data it does not have.
+pub fn plan_shifts(
+    budget_ppm: u64,
+    elapsed_ticks: u64,
+    cost_ticks: f64,
+    observed: &[u64; EVENT_COUNT],
+) -> [u32; EVENT_COUNT] {
+    let mut shifts = [0u32; EVENT_COUNT];
+    if cost_ticks <= 0.0 || !cost_ticks.is_finite() || elapsed_ticks == 0 {
+        return shifts;
+    }
+    let mut pair_observed = [0u64; PAIR_COUNT];
+    for (index, &count) in observed.iter().enumerate() {
+        pair_observed[index / 2] += count;
+    }
+    let budget_ticks = elapsed_ticks as f64 * budget_ppm as f64 / 1e6;
+    let cost_of = |pair: usize, shift: u32| -> f64 {
+        pair_observed[pair] as f64 * cost_ticks / (1u64 << shift) as f64
+    };
+    let mut pair_shift = [0u32; PAIR_COUNT];
+    loop {
+        let projected: f64 = (0..PAIR_COUNT)
+            .map(|pair| cost_of(pair, pair_shift[pair]))
+            .sum();
+        if projected <= budget_ticks {
+            break;
+        }
+        // Halve the rate of the pair currently costing the most; on a
+        // tie the highest pair index wins, keeping the plan stable.
+        let Some((pair, _)) = (0..PAIR_COUNT)
+            .filter(|&pair| pair_shift[pair] < MAX_SHIFT)
+            .map(|pair| (pair, cost_of(pair, pair_shift[pair])))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            break; // everything already at MAX_SHIFT
+        };
+        pair_shift[pair] += 1;
+    }
+    for (index, shift) in shifts.iter_mut().enumerate() {
+        *shift = pair_shift[index / 2];
+    }
+    shifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    #[test]
+    fn budget_strings_parse_to_ppm() {
+        assert_eq!(parse_budget("2%"), Some(20_000));
+        assert_eq!(parse_budget("0.5%"), Some(5_000));
+        assert_eq!(parse_budget(" 10 % "), Some(100_000));
+        assert_eq!(parse_budget("2500ppm"), Some(2_500));
+        assert_eq!(parse_budget("2"), Some(20_000));
+        assert_eq!(parse_budget("0"), Some(0));
+        assert_eq!(parse_budget("-1%"), None);
+        assert_eq!(parse_budget("lots"), None);
+        assert_eq!(parse_budget(""), None);
+    }
+
+    #[test]
+    fn plan_is_empty_without_cost_knowledge() {
+        let mut observed = [0u64; EVENT_COUNT];
+        observed[Event::ThreadBeginExplicitBarrier.index()] = 1_000_000;
+        assert_eq!(
+            plan_shifts(20_000, 1_000_000, 0.0, &observed),
+            [0u32; EVENT_COUNT]
+        );
+        assert_eq!(plan_shifts(20_000, 0, 30.0, &observed), [0u32; EVENT_COUNT]);
+    }
+
+    #[test]
+    fn plan_fits_the_budget_and_is_pairwise() {
+        // 1M barrier events at 30 ticks each over 10M ticks = 300% load;
+        // a 2% budget (200k ticks) needs a shift of ceil(log2(150)) = 8.
+        let mut observed = [0u64; EVENT_COUNT];
+        observed[Event::ThreadBeginExplicitBarrier.index()] = 500_000;
+        observed[Event::ThreadEndExplicitBarrier.index()] = 500_000;
+        let plan = plan_shifts(20_000, 10_000_000, 30.0, &observed);
+        let begin = plan[Event::ThreadBeginExplicitBarrier.index()];
+        assert_eq!(
+            begin,
+            plan[Event::ThreadEndExplicitBarrier.index()],
+            "pairs share a shift"
+        );
+        assert_eq!(begin, 8);
+        // Unobserved pairs stay untouched.
+        assert_eq!(plan[Event::Fork.index()], 0);
+        // The projection at the planned shifts fits the budget.
+        let projected = 1_000_000f64 * 30.0 / f64::from(1u32 << begin);
+        assert!(projected <= 200_000.0);
+    }
+
+    #[test]
+    fn plan_throttles_the_costliest_pair_first() {
+        let mut observed = [0u64; EVENT_COUNT];
+        observed[Event::ThreadBeginExplicitBarrier.index()] = 1_000_000;
+        observed[Event::ThreadBeginLockWait.index()] = 1_000;
+        // Budget fits the lock traffic alone; barriers must take (all)
+        // the throttling.
+        let plan = plan_shifts(10_000, 10_000_000, 30.0, &observed);
+        assert!(plan[Event::ThreadBeginExplicitBarrier.index()] > 0);
+        assert_eq!(plan[Event::ThreadBeginLockWait.index()], 0);
+    }
+
+    #[test]
+    fn plan_caps_at_max_shift_under_impossible_budgets() {
+        let mut observed = [0u64; EVENT_COUNT];
+        for count in observed.iter_mut() {
+            *count = u64::MAX / EVENT_COUNT as u64 / 2;
+        }
+        let plan = plan_shifts(0, 1, 1e9, &observed);
+        assert!(plan.iter().all(|&s| s == MAX_SHIFT));
+    }
+
+    #[test]
+    fn fate_stack_pairs_nested_decisions() {
+        let lane = DispatchLane::new();
+        // Nested: begin(keep) begin(skip) begin(keep) end end end.
+        lane.push_fate(0, true);
+        lane.push_fate(0, false);
+        lane.push_fate(0, true);
+        assert_eq!(lane.pop_fate(0), Some(true));
+        assert_eq!(lane.pop_fate(0), Some(false));
+        assert_eq!(lane.pop_fate(0), Some(true));
+        assert_eq!(lane.pop_fate(0), None, "orphan end sees an empty stack");
+    }
+
+    #[test]
+    fn fate_stack_overflow_degrades_to_keep_symmetrically() {
+        let lane = DispatchLane::new();
+        for depth in 0..(FATE_DEPTH_MAX + 10) {
+            lane.push_fate(3, depth.is_multiple_of(2));
+        }
+        // The overflowed levels all pop as "keep"...
+        for _ in 0..10 {
+            assert_eq!(lane.pop_fate(3), Some(true));
+        }
+        // ...and the stored levels pop their true fates in LIFO order.
+        for depth in (0..FATE_DEPTH_MAX).rev() {
+            assert_eq!(lane.pop_fate(3), Some(depth.is_multiple_of(2)));
+        }
+    }
+
+    #[test]
+    fn disabled_governor_samples_everything_and_reconciles() {
+        let governor = Governor::new();
+        for i in 0..1_000usize {
+            let lane = governor.lane(i % 8);
+            let verdict = governor.admit(lane, Event::ThreadBeginExplicitBarrier);
+            assert_eq!(verdict, Admit::Sample);
+            assert_eq!(
+                governor.admit(lane, Event::ThreadEndExplicitBarrier),
+                Admit::Sample
+            );
+        }
+        let status = governor.status();
+        assert_eq!(status.events_observed, 2_000);
+        assert_eq!(status.events_sampled, 2_000);
+        assert_eq!(status.events_skipped, 0);
+        assert!(status.reconciles());
+    }
+
+    #[test]
+    fn armed_governor_keeps_begin_end_fates_together() {
+        let governor = Governor::new();
+        governor.prepare(GovernorConfig {
+            budget_ppm: 20_000,
+            min_window_ticks: u64::MAX, // never retune in this test
+            clock: Some(Arc::new(|| 0)),
+        });
+        governor.arm(1.0);
+        // Force a shift directly so sampling is active.
+        governor.shifts[Event::ThreadBeginExplicitBarrier.index()].store(3, Ordering::Relaxed);
+        governor.shifts[Event::ThreadEndExplicitBarrier.index()].store(3, Ordering::Relaxed);
+        let lane = governor.lane(0);
+        let mut kept = 0u64;
+        for _ in 0..800 {
+            let begin = governor.admit(lane, Event::ThreadBeginExplicitBarrier);
+            let end = governor.admit(lane, Event::ThreadEndExplicitBarrier);
+            assert_eq!(
+                begin == Admit::Skip,
+                end == Admit::Skip,
+                "a begin and its end must share a fate"
+            );
+            if begin != Admit::Skip {
+                kept += 1;
+            }
+        }
+        assert_eq!(kept, 100, "shift 3 keeps exactly 1 in 8");
+        let status = governor.status();
+        assert!(status.reconciles());
+        assert_eq!(status.events_skipped, 1_400);
+    }
+
+    #[test]
+    fn retune_measures_and_throttles_with_a_virtual_clock() {
+        // Deterministic virtual clock: 1 tick per reading.
+        let ticks = Arc::new(TestCounter::new(0));
+        let clock_ticks = Arc::clone(&ticks);
+        let governor = Arc::new(Governor::new());
+        governor.prepare(GovernorConfig {
+            budget_ppm: 20_000,
+            min_window_ticks: 10_000,
+            clock: Some(Arc::new(move || {
+                clock_ticks.fetch_add(1, Ordering::Relaxed)
+            })),
+        });
+        governor.arm(1.0);
+        // Simulate windows: dispatch storms punctuated by big clock
+        // jumps (idle application time the governor's cost is amortized
+        // over).
+        for _ in 0..4 {
+            for i in 0..10_000usize {
+                let lane = governor.lane(i % 8);
+                for event in [
+                    Event::ThreadBeginExplicitBarrier,
+                    Event::ThreadEndExplicitBarrier,
+                ] {
+                    // Mirror the API's monitored path: time whichever
+                    // admit asks to be timed, begin or end.
+                    if governor.admit(lane, event) == Admit::SampleTimed {
+                        let clock = governor.clock();
+                        let t0 = clock();
+                        let t1 = clock();
+                        governor.record_cost(t1 - t0);
+                    }
+                }
+            }
+            ticks.fetch_add(50_000, Ordering::Relaxed);
+            governor.try_retune();
+        }
+        let status = governor.status();
+        assert!(status.retunes >= 2, "retunes: {}", status.retunes);
+        assert!(
+            governor.shift_for(Event::ThreadBeginExplicitBarrier) > 0,
+            "unthrottled load far above budget must raise the shift"
+        );
+        assert!(status.reconciles());
+        assert!(status.events_skipped > 0);
+        assert!(status.monitored_milliticks > 0);
+        // The last measured window must come in at or under ~budget
+        // (quantized by power-of-two rates, so allow the next halving up).
+        assert!(
+            status.overhead_ppm <= 2 * status.budget_ppm,
+            "overhead {} ppm vs budget {} ppm",
+            status.overhead_ppm,
+            status.budget_ppm
+        );
+    }
+
+    #[test]
+    fn decisions_record_rate_changes_and_drain() {
+        // Settable virtual clock: time stands still while the window is
+        // planted, then jumps so the retune sees a full window.
+        let ticks = Arc::new(TestCounter::new(0));
+        let clock_ticks = Arc::clone(&ticks);
+        let governor = Governor::new();
+        governor.prepare(GovernorConfig {
+            budget_ppm: 1_000,
+            min_window_ticks: 1,
+            clock: Some(Arc::new(move || clock_ticks.load(Ordering::Relaxed))),
+        });
+        governor.arm(1.0);
+        // Plant a window: heavy barrier traffic and a known cost.
+        let lane = governor.lane(0);
+        for _ in 0..5_000 {
+            governor.admit(lane, Event::ThreadBeginExplicitBarrier);
+            governor.admit(lane, Event::ThreadEndExplicitBarrier);
+        }
+        for _ in 0..8 {
+            governor.record_cost(30);
+        }
+        ticks.store(1_000_000, Ordering::Relaxed);
+        governor.try_retune();
+        let decisions = governor.take_decisions();
+        assert!(!decisions.is_empty());
+        let d = decisions
+            .iter()
+            .find(|d| d.event == Event::ThreadBeginExplicitBarrier)
+            .expect("barrier pair must be retuned");
+        assert_eq!(d.old_shift, 0);
+        assert!(d.new_shift > 0);
+        assert_eq!(
+            d.new_shift,
+            governor.shift_for(Event::ThreadEndExplicitBarrier)
+        );
+        assert!(
+            governor.take_decisions().is_empty(),
+            "drain empties the log"
+        );
+    }
+
+    #[test]
+    fn publish_mask_reaches_every_lane() {
+        let governor = Governor::new();
+        governor.publish_mask(0b1011);
+        for gtid in 0..LANE_COUNT * 2 {
+            assert_eq!(governor.lane(gtid).mask(), 0b1011);
+        }
+        governor.publish_mask(0);
+        assert_eq!(governor.current_mask(), 0);
+    }
+
+    #[test]
+    fn pending_fired_batches_until_the_threshold() {
+        let governor = Governor::new();
+        let lane = governor.lane(0);
+        let published = TestCounter::new(0);
+        for _ in 0..DEFAULT_FLUSH_EVERY - 1 {
+            governor.note_fired(lane, Event::Fork, |_, n| {
+                published.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(
+            published.load(Ordering::Relaxed),
+            0,
+            "below threshold: batched"
+        );
+        governor.note_fired(lane, Event::Fork, |_, n| {
+            published.fetch_add(n, Ordering::Relaxed);
+        });
+        assert_eq!(
+            published.load(Ordering::Relaxed),
+            u64::from(DEFAULT_FLUSH_EVERY),
+            "threshold crossing drains the lane"
+        );
+        governor.flush_pending(|_, n| {
+            published.fetch_add(n, Ordering::Relaxed);
+        });
+        assert_eq!(
+            published.load(Ordering::Relaxed),
+            u64::from(DEFAULT_FLUSH_EVERY),
+            "nothing left after the drain"
+        );
+    }
+}

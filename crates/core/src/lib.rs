@@ -41,6 +41,7 @@
 //!
 //! // Runtime side: fire the event at the fork point.
 //! api.event(&EventData::bare(Event::Fork, 0));
+//! # api.flush_event_counts(); // fired counters publish in batches
 //! # assert_eq!(api.registry().fire_count(Event::Fork), 1);
 //! ```
 
@@ -48,6 +49,7 @@
 
 pub mod api;
 pub mod event;
+pub mod governor;
 pub mod message;
 pub mod pad;
 pub mod park;
@@ -55,16 +57,21 @@ pub mod rcu;
 pub mod registry;
 pub mod request;
 pub mod state;
+pub mod stats;
 pub mod sync;
 pub mod testutil;
 
 pub use api::{ApiStats, CollectorApi, Phase, RuntimeInfoProvider};
 pub use event::{Event, ALL_EVENTS, EVENT_COUNT};
+pub use governor::{
+    Admit, Governor, GovernorClock, GovernorConfig, GovernorDecision, GovernorStatus,
+};
 pub use pad::CachePadded;
 pub use park::{Backoff, ParkSlot};
 pub use registry::{Callback, CallbackRegistry, EventData, FaultStats};
 pub use request::{ApiHealth, CallbackToken, OraError, OraResult, Request, RequestCode, Response};
 pub use state::{StateCell, ThreadState, WaitId, WaitIdKind, ALL_STATES, STATE_COUNT};
+pub use stats::{SampleStats, StatPolicy};
 
 /// The canonical symbol name under which an OpenMP runtime exports its
 /// collector entry point, and which a collector resolves at startup

@@ -19,6 +19,7 @@
 //! The record stream is terminated by a record with `sz == 0`.
 
 use crate::event::Event;
+use crate::governor::GovernorStatus;
 use crate::request::{ApiHealth, CallbackToken, OraError, Request, RequestCode, Response};
 use crate::state::{ThreadState, WaitIdKind};
 
@@ -36,8 +37,13 @@ pub const PRID_RESPONSE_BYTES: usize = 8;
 pub const CAPS_RESPONSE_BYTES: usize = 8;
 
 /// Response-area size for a health query: callback panics (u64) +
-/// quarantined callbacks (u64) + sequence errors (u64) + requests (u64).
-pub const HEALTH_RESPONSE_BYTES: usize = 32;
+/// quarantined callbacks (u64) + sequence errors (u64) + requests (u64) +
+/// sampled events (u64) + skipped events (u64).
+pub const HEALTH_RESPONSE_BYTES: usize = 48;
+
+/// Response-area size for a governor query: nine u64 counters (see
+/// [`crate::governor::GovernorStatus`]).
+pub const GOVERNOR_RESPONSE_BYTES: usize = 72;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -79,6 +85,7 @@ fn response_bytes(req: &Request) -> usize {
         Request::QueryCurrentPrid | Request::QueryParentPrid => PRID_RESPONSE_BYTES,
         Request::QueryCapabilities => CAPS_RESPONSE_BYTES,
         Request::QueryHealth => HEALTH_RESPONSE_BYTES,
+        Request::QueryGovernor => GOVERNOR_RESPONSE_BYTES,
         _ => 0,
     }
 }
@@ -218,11 +225,34 @@ impl RequestBatch {
                 let sequence_errors =
                     read_u64(&self.buf, resp_off + 16).ok_or(OraError::Malformed)?;
                 let requests = read_u64(&self.buf, resp_off + 24).ok_or(OraError::Malformed)?;
+                let events_sampled =
+                    read_u64(&self.buf, resp_off + 32).ok_or(OraError::Malformed)?;
+                let events_skipped =
+                    read_u64(&self.buf, resp_off + 40).ok_or(OraError::Malformed)?;
                 Ok(Response::Health(ApiHealth {
                     callback_panics,
                     callbacks_quarantined,
                     sequence_errors,
                     requests,
+                    events_sampled,
+                    events_skipped,
+                }))
+            }
+            Request::QueryGovernor => {
+                let mut words = [0u64; 9];
+                for (i, w) in words.iter_mut().enumerate() {
+                    *w = read_u64(&self.buf, resp_off + 8 * i).ok_or(OraError::Malformed)?;
+                }
+                Ok(Response::Governor(GovernorStatus {
+                    enabled: words[0],
+                    budget_ppm: words[1],
+                    events_observed: words[2],
+                    events_sampled: words[3],
+                    events_skipped: words[4],
+                    retunes: words[5],
+                    overhead_ppm: words[6],
+                    baseline_milliticks: words[7],
+                    monitored_milliticks: words[8],
                 }))
             }
             _ => Ok(Response::Ack),
@@ -314,6 +344,7 @@ fn decode_and_serve(
         RequestCode::ParentPrid => Request::QueryParentPrid,
         RequestCode::Capabilities => Request::QueryCapabilities,
         RequestCode::Health => Request::QueryHealth,
+        RequestCode::Governor => Request::QueryGovernor,
     };
 
     let response = serve(request)?;
@@ -359,6 +390,28 @@ fn decode_and_serve(
             write_u64(buf, resp_off + 8, h.callbacks_quarantined);
             write_u64(buf, resp_off + 16, h.sequence_errors);
             write_u64(buf, resp_off + 24, h.requests);
+            write_u64(buf, resp_off + 32, h.events_sampled);
+            write_u64(buf, resp_off + 40, h.events_skipped);
+            Ok(())
+        }
+        Response::Governor(g) => {
+            if rsz < GOVERNOR_RESPONSE_BYTES {
+                return Err(OraError::MemError);
+            }
+            let words = [
+                g.enabled,
+                g.budget_ppm,
+                g.events_observed,
+                g.events_sampled,
+                g.events_skipped,
+                g.retunes,
+                g.overhead_ppm,
+                g.baseline_milliticks,
+                g.monitored_milliticks,
+            ];
+            for (i, w) in words.iter().enumerate() {
+                write_u64(buf, resp_off + 8 * i, *w);
+            }
             Ok(())
         }
     }
@@ -523,7 +576,7 @@ mod seeded_props {
     }
 
     fn arb_request(rng: &mut XorShift64) -> Request {
-        match rng.below(11) {
+        match rng.below(12) {
             0 => Request::Start,
             1 => Request::Stop,
             2 => Request::Pause,
@@ -540,6 +593,7 @@ mod seeded_props {
             7 => Request::QueryCurrentPrid,
             8 => Request::QueryParentPrid,
             9 => Request::QueryHealth,
+            10 => Request::QueryGovernor,
             _ => Request::QueryCapabilities,
         }
     }
@@ -591,10 +645,34 @@ mod seeded_props {
                 callbacks_quarantined: rng.next_u64(),
                 sequence_errors: rng.next_u64(),
                 requests: rng.next_u64(),
+                events_sampled: rng.next_u64(),
+                events_skipped: rng.next_u64(),
             };
             let mut batch = RequestBatch::new(&[Request::QueryHealth]);
             serve_batch(batch.as_mut_bytes(), |_| Ok(Response::Health(h)));
             assert_eq!(batch.response(0), Ok(Response::Health(h)));
+        }
+    }
+
+    /// Governor status responses round-trip for arbitrary counter values.
+    #[test]
+    fn round_trip_governor_status() {
+        let mut rng = XorShift64::new(0x6d65_7373_0006);
+        for _ in 0..256 {
+            let g = GovernorStatus {
+                enabled: rng.next_u64() & 1,
+                budget_ppm: rng.next_u64(),
+                events_observed: rng.next_u64(),
+                events_sampled: rng.next_u64(),
+                events_skipped: rng.next_u64(),
+                retunes: rng.next_u64(),
+                overhead_ppm: rng.next_u64(),
+                baseline_milliticks: rng.next_u64(),
+                monitored_milliticks: rng.next_u64(),
+            };
+            let mut batch = RequestBatch::new(&[Request::QueryGovernor]);
+            serve_batch(batch.as_mut_bytes(), |_| Ok(Response::Governor(g)));
+            assert_eq!(batch.response(0), Ok(Response::Governor(g)));
         }
     }
 

@@ -216,6 +216,20 @@ impl CallbackRegistry {
     /// `catch_unwind` costs nothing on the non-panic path.
     #[inline]
     pub fn invoke(&self, data: &EventData) -> bool {
+        self.invoke_inner(data, true)
+    }
+
+    /// [`CallbackRegistry::invoke`] without the shared `fired` counter
+    /// bump. The governed dispatch path uses this together with
+    /// lane-local batching ([`CallbackRegistry::add_fired`]) so the hot
+    /// path performs no shared RMW per event.
+    #[inline]
+    pub fn invoke_quiet(&self, data: &EventData) -> bool {
+        self.invoke_inner(data, false)
+    }
+
+    #[inline]
+    fn invoke_inner(&self, data: &EventData, count_fired: bool) -> bool {
         let entry = &self.entries[data.event.index()];
         // The paper's check ordering: unmonitored events pay one load.
         if entry.slot.load(Ordering::Acquire).is_null() {
@@ -227,7 +241,9 @@ impl CallbackRegistry {
         if ptr.is_null() {
             return false;
         }
-        entry.fired.fetch_add(1, Ordering::Relaxed);
+        if count_fired {
+            entry.fired.fetch_add(1, Ordering::Relaxed);
+        }
         // SAFETY: non-null slot pointers originate from Box::into_raw in
         // publish(); once unlinked they are retired, and the bag cannot
         // free them while this pin (taken before the load) is held.
@@ -299,6 +315,28 @@ impl CallbackRegistry {
     /// How many times `event`'s callback has fired.
     pub fn fire_count(&self, event: Event) -> u64 {
         self.entries[event.index()].fired.load(Ordering::Relaxed)
+    }
+
+    /// Fold a batched fired count into `event`'s counter (the flush half
+    /// of quiet dispatch, see [`CallbackRegistry::invoke_quiet`]).
+    pub fn add_fired(&self, event: Event, n: u64) {
+        if n > 0 {
+            self.entries[event.index()]
+                .fired
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Registered events as a bitmap (bit `i` ⇔ event with index `i`),
+    /// the source the per-thread dispatch masks are republished from.
+    pub fn registered_bits(&self) -> u64 {
+        let mut bits = 0u64;
+        for (index, entry) in self.entries.iter().enumerate() {
+            if !entry.slot.load(Ordering::Acquire).is_null() {
+                bits |= 1u64 << index;
+            }
+        }
+        bits
     }
 
     /// How many times `event` has been (un)registered — the entry's RCU

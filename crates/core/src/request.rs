@@ -6,6 +6,7 @@
 //! vocabulary those records encode.
 
 use crate::event::Event;
+use crate::governor::GovernorStatus;
 use crate::state::{ThreadState, WaitIdKind};
 
 /// A callback handle used by the byte protocol.
@@ -50,10 +51,15 @@ pub enum RequestCode {
     /// caught callback panics, quarantined callbacks, sequence errors.
     /// Answerable in every phase, like a state query.
     Health = 11,
+    /// `OMP_REQ_GOVERNOR` (extension): query the adaptive overhead
+    /// governor — budget, sampled/skipped reconciliation counters,
+    /// measured overhead, and the monitored-vs-baseline dispatch costs.
+    /// Answerable in every phase, like a health query.
+    Governor = 12,
 }
 
 /// Number of distinct request codes.
-pub const REQUEST_CODE_COUNT: usize = 11;
+pub const REQUEST_CODE_COUNT: usize = 12;
 
 /// All request codes in discriminant order.
 pub const ALL_REQUEST_CODES: [RequestCode; REQUEST_CODE_COUNT] = [
@@ -68,6 +74,7 @@ pub const ALL_REQUEST_CODES: [RequestCode; REQUEST_CODE_COUNT] = [
     RequestCode::Resume,
     RequestCode::Capabilities,
     RequestCode::Health,
+    RequestCode::Governor,
 ];
 
 impl RequestCode {
@@ -94,6 +101,7 @@ impl RequestCode {
             RequestCode::Resume => "OMP_REQ_RESUME",
             RequestCode::Capabilities => "OMP_REQ_CAPABILITIES",
             RequestCode::Health => "OMP_REQ_HEALTH",
+            RequestCode::Governor => "OMP_REQ_GOVERNOR",
         }
     }
 }
@@ -113,6 +121,13 @@ pub struct ApiHealth {
     pub sequence_errors: u64,
     /// Total requests served.
     pub requests: u64,
+    /// Monitored events whose callbacks ran (equals `events_skipped +
+    /// events_sampled == observed` — the governor's reconciliation
+    /// invariant; with the governor disarmed every observed event is
+    /// sampled).
+    pub events_sampled: u64,
+    /// Monitored events the overhead governor sampled out.
+    pub events_skipped: u64,
 }
 
 impl ApiHealth {
@@ -157,6 +172,8 @@ pub enum Request {
     QueryCapabilities,
     /// Query the fault-isolation health counters (extension).
     QueryHealth,
+    /// Query the adaptive overhead governor (extension).
+    QueryGovernor,
 }
 
 impl Request {
@@ -174,6 +191,7 @@ impl Request {
             Request::QueryParentPrid => RequestCode::ParentPrid,
             Request::QueryCapabilities => RequestCode::Capabilities,
             Request::QueryHealth => RequestCode::Health,
+            Request::QueryGovernor => RequestCode::Governor,
         }
     }
 }
@@ -263,6 +281,9 @@ pub enum Response {
     /// Reply to [`Request::QueryCapabilities`]: bit `i` set means the
     /// event with [`crate::event::Event::index`] `i` is supported.
     Capabilities(u64),
+    /// Reply to [`Request::QueryGovernor`]: the overhead governor's
+    /// budget, reconciliation counters, and measured costs.
+    Governor(GovernorStatus),
 }
 
 impl Response {
@@ -286,6 +307,14 @@ impl Response {
     pub fn health(&self) -> Option<ApiHealth> {
         match self {
             Response::Health(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// The snapshot carried by a [`Response::Governor`], if any.
+    pub fn governor(&self) -> Option<GovernorStatus> {
+        match self {
+            Response::Governor(g) => Some(*g),
             _ => None,
         }
     }
@@ -341,6 +370,8 @@ mod tests {
         );
         assert_eq!(Request::QueryState.code(), RequestCode::State);
         assert_eq!(Request::QueryParentPrid.code(), RequestCode::ParentPrid);
+        assert_eq!(Request::QueryHealth.code(), RequestCode::Health);
+        assert_eq!(Request::QueryGovernor.code(), RequestCode::Governor);
     }
 
     #[test]

@@ -189,7 +189,9 @@ fn contended_dispatch_through_api_with_lifecycle_churn() {
     churn.join().unwrap();
 
     // `event` has no return value, so compare against the registry's own
-    // dispatch diagnostic: every dispatched event ran exactly once.
+    // dispatch diagnostic: every dispatched event ran exactly once. Fired
+    // counters publish in batches, so flush the per-lane pending counts.
+    api.flush_event_counts();
     assert_eq!(
         executed.load(Ordering::SeqCst),
         api.registry().fire_count(Event::Join)

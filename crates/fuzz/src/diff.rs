@@ -1,4 +1,4 @@
-//! The diff surface: everything the four rungs must agree on.
+//! The diff surface: everything the collector rungs must agree on.
 //!
 //! For one scenario the harness computes the sequential oracle, runs
 //! the program under every [`CollectionConfig`] rung, and checks:
@@ -12,6 +12,10 @@
 //! 4. **Trace accounting** (streaming rung) — callback counts, drain
 //!    and drop counters, footer, per-thread and per-region partitions,
 //!    event pairing, and multi-rank merge determinism all reconcile.
+//!    The `governed` rung adds the sampling reconciliation: the
+//!    governor's `observed == sampled + skipped` invariant, callbacks
+//!    ran exactly for the sampled events, decision records round-trip
+//!    through the trace, and sampling never breaks begin/end pairing.
 //! 5. **Socket replay** (`socket` rung) — the streaming rung's trace
 //!    bytes are re-framed into the producer's sink-write units and
 //!    streamed through a loopback `ora-fleet` aggregator daemon; the
@@ -30,8 +34,8 @@ use crate::scenario::Scenario;
 /// One failed check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mismatch {
-    /// The rung key (`absent`/`paused`/`state`/`trace`/`socket`) or
-    /// `harness`.
+    /// The rung key (`absent`/`paused`/`state`/`trace`/`governed`/
+    /// `socket`) or `harness`.
     pub rung: &'static str,
     /// What disagreed.
     pub detail: String,
@@ -43,12 +47,18 @@ impl std::fmt::Display for Mismatch {
     }
 }
 
-/// Run `scenario` under all four rungs and collect every disagreement
-/// with the oracle. Empty means the scenario passed.
+/// Run `scenario` under every rung and collect every disagreement with
+/// the oracle. Empty means the scenario passed.
 pub fn check_scenario(scenario: &Scenario) -> Vec<Mismatch> {
+    check_scenario_rungs(scenario, &CollectionConfig::ALL)
+}
+
+/// [`check_scenario`] restricted to a subset of rungs (the CLI's
+/// `fuzz --rungs` flag — e.g. the nightly governed-only sweep).
+pub fn check_scenario_rungs(scenario: &Scenario, rungs: &[CollectionConfig]) -> Vec<Mismatch> {
     let expected = oracle::expected(scenario);
     let mut mismatches = Vec::new();
-    for rung in CollectionConfig::ALL {
+    for &rung in rungs {
         let key = rung.key();
         match run_under(scenario, rung) {
             Ok(outcome) => {
@@ -134,6 +144,56 @@ fn diff_outcome(
                 None => push("trace rung returned no trace bytes".into()),
             }
         }
+        CollectionConfig::Governed => {
+            if s.degraded {
+                push("governed trace pipeline degraded".into());
+            }
+            if s.events_observed == 0 {
+                push("governed rung observed no events".into());
+            }
+            // Sampling reconciliation, from the quiescent status
+            // snapshot: every monitored event was either sampled or
+            // skipped, and callbacks ran exactly for the sampled ones.
+            match &outcome.governor {
+                None => push("governed rung captured no governor status".into()),
+                Some(g) => {
+                    if g.enabled != 1 {
+                        push("governor was not armed on the governed rung".into());
+                    }
+                    if !g.reconciles() {
+                        push(format!(
+                            "governor accounting: observed {} != sampled {} + skipped {}",
+                            g.events_observed, g.events_sampled, g.events_skipped
+                        ));
+                    }
+                    if g.events_sampled != s.events_observed {
+                        push(format!(
+                            "governor sampled {} event(s) but callbacks observed {}",
+                            g.events_sampled, s.events_observed
+                        ));
+                    }
+                    if s.events_sampled != g.events_sampled || s.events_skipped != g.events_skipped
+                    {
+                        push(format!(
+                            "summary sampling ({}/{}) disagrees with status ({}/{})",
+                            s.events_sampled, s.events_skipped, g.events_sampled, g.events_skipped
+                        ));
+                    }
+                }
+            }
+            // Record accounting: one record per sampled event plus the
+            // decision log, nothing more.
+            if s.events_observed + s.governor_records != s.records_drained + s.records_dropped {
+                push(format!(
+                    "governed accounting: observed {} + decisions {} != drained {} + dropped {}",
+                    s.events_observed, s.governor_records, s.records_drained, s.records_dropped
+                ));
+            }
+            match &outcome.trace {
+                Some(bytes) => diff_governed_trace(scenario, outcome, bytes, &mut push),
+                None => push("governed rung returned no trace bytes".into()),
+            }
+        }
     }
 
     // 5. Socket replay: stream the recorded bytes through a loopback
@@ -142,6 +202,102 @@ fn diff_outcome(
     if rung == CollectionConfig::StreamingTrace {
         if let Some(bytes) = &outcome.trace {
             diff_socket(outcome, bytes, out);
+        }
+    }
+}
+
+/// Reconcile the governed rung's persisted trace: the decision log
+/// round-trips through the reader's governor timeline, decision records
+/// stay out of the event stream, and — whatever sampling rates the
+/// governor settled on — begin/end pairing survives intact (the fate
+/// stack guarantees an end is sampled iff its begin was).
+fn diff_governed_trace(
+    scenario: &Scenario,
+    outcome: &RunOutcome,
+    bytes: &[u8],
+    push: &mut impl FnMut(String),
+) {
+    let s = &outcome.summary;
+    let reader = match TraceReader::from_bytes(bytes.to_vec()) {
+        Ok(r) => r,
+        Err(e) => return push(format!("governed trace does not decode: {e}")),
+    };
+    if reader.record_count() != s.records_drained {
+        push(format!(
+            "footer drained {} != summary drained {}",
+            reader.record_count(),
+            s.records_drained
+        ));
+    }
+    if reader.dropped() != s.records_dropped {
+        push(format!(
+            "footer dropped {} != summary dropped {}",
+            reader.dropped(),
+            s.records_dropped
+        ));
+    }
+    match reader.governor_timeline() {
+        Ok(timeline) => {
+            if timeline.len() as u64 != s.governor_records {
+                push(format!(
+                    "governor timeline has {} decision(s), summary persisted {}",
+                    timeline.len(),
+                    s.governor_records
+                ));
+            }
+        }
+        Err(e) => push(format!("governor timeline does not decode: {e}")),
+    }
+    let records = match reader.records() {
+        Ok(r) => r,
+        Err(e) => return push(format!("governed trace records do not decode: {e}")),
+    };
+    if records.len() as u64 + s.governor_records != s.records_drained {
+        push(format!(
+            "decoded {} event record(s) + {} decision(s) != drained {}",
+            records.len(),
+            s.governor_records,
+            s.records_drained
+        ));
+    }
+
+    // Pairing survives sampling: checkable when nothing was lost to
+    // backpressure and no pause window could swallow one side.
+    if s.records_dropped == 0 && scenario.gates() == 0 {
+        let trace = match Trace::from_encoded(bytes) {
+            Ok(t) => t,
+            Err(e) => return push(format!("governed trace re-decode failed: {e}")),
+        };
+        if trace.count(Event::Fork) != trace.count(Event::Join) {
+            push(format!(
+                "sampled fork count {} != join count {}",
+                trace.count(Event::Fork),
+                trace.count(Event::Join)
+            ));
+        }
+        if trace.count(Event::LoopBegin) != trace.count(Event::LoopEnd) {
+            push(format!(
+                "sampled loop begin count {} != loop end count {}",
+                trace.count(Event::LoopBegin),
+                trace.count(Event::LoopEnd)
+            ));
+        }
+        for begin in [
+            Event::ThreadBeginImplicitBarrier,
+            Event::ThreadBeginExplicitBarrier,
+            Event::ThreadBeginLockWait,
+            Event::ThreadBeginCriticalWait,
+            Event::ThreadBeginOrderedWait,
+            Event::ThreadBeginMaster,
+            Event::ThreadBeginSingle,
+        ] {
+            let unmatched = trace.unmatched_begins(begin);
+            if unmatched != 0 {
+                push(format!(
+                    "sampling broke pairing: {} unmatched {:?} interval(s)",
+                    unmatched, begin
+                ));
+            }
         }
     }
 }

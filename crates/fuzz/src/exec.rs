@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use collector::discovery::RuntimeHandle;
 use collector::modes::{CollectionConfig, CollectionSummary};
 use omprt::{Config, OpenMp, ParCtx};
+use ora_core::governor::GovernorStatus;
 use ora_core::request::{ApiHealth, Request};
 
 use crate::scenario::{mix, mix_small, Op, Scenario};
@@ -66,8 +67,11 @@ pub struct RunOutcome {
     pub health: ApiHealth,
     /// What the collection observed.
     pub summary: CollectionSummary,
-    /// Encoded trace bytes (streaming rung only).
+    /// Encoded trace bytes (streaming rungs only).
     pub trace: Option<Vec<u8>>,
+    /// Governor snapshot taken at quiescence, while still armed
+    /// (governed rung only).
+    pub governor: Option<GovernorStatus>,
 }
 
 /// Run `scenario` under `rung` and report everything observable.
@@ -89,7 +93,9 @@ pub fn run_under(scenario: &Scenario, rung: CollectionConfig) -> Result<RunOutco
     // collector, and on the absent rung there is nothing to gate.
     let gates_enabled = matches!(
         rung,
-        CollectionConfig::StateQueries | CollectionConfig::StreamingTrace
+        CollectionConfig::StateQueries
+            | CollectionConfig::StreamingTrace
+            | CollectionConfig::Governed
     );
 
     let cells: Vec<OpCell> = scenario
@@ -118,6 +124,12 @@ pub fn run_under(scenario: &Scenario, rung: CollectionConfig) -> Result<RunOutco
     // Join every worker (flushing all in-flight callbacks) before the
     // collection snapshot, so event counts reconcile exactly.
     drop(rt);
+    // Snapshot the governor at full quiescence, before finish disarms
+    // it — the differ's reconciliation invariant is exact here.
+    let governor = (rung == CollectionConfig::Governed)
+        .then(|| handle.query_governor())
+        .transpose()
+        .map_err(|e| format!("OMP_REQ_GOVERNOR failed: {e:?}"))?;
     let (summary, trace) = active
         .finish_with_trace()
         .map_err(|e| format!("finish({}) failed: {e}", rung.key()))?;
@@ -128,6 +140,7 @@ pub fn run_under(scenario: &Scenario, rung: CollectionConfig) -> Result<RunOutco
         health,
         summary,
         trace,
+        governor,
     })
 }
 

@@ -8,7 +8,7 @@
 //! pause/resume gating of the collector.
 //!
 //! Every scenario has a closed-form sequential result ([`oracle`]).
-//! The harness executes it under all four collector rungs
+//! The harness executes it under every collector rung
 //! ([`exec`], [`collector::modes::CollectionConfig::ALL`]) and diffs
 //! ([`diff`]) computed results, final thread states, `ApiHealth`
 //! counters, and — on the streaming rung — the full trace accounting
@@ -27,8 +27,8 @@ pub mod minimize;
 pub mod oracle;
 pub mod scenario;
 
-pub use diff::{check_scenario, Mismatch};
+pub use diff::{check_scenario, check_scenario_rungs, Mismatch};
 pub use exec::{run_under, RunOutcome};
 pub use gen::generate;
-pub use minimize::{fails_with_retries, minimize};
+pub use minimize::{fails_with_retries, fails_with_retries_on, minimize};
 pub use scenario::{Op, Scenario, SchedSpec};

@@ -10,7 +10,9 @@
 //! run does not prove a candidate lost the failure; the predicate is
 //! expected to retry internally (see [`fails_with_retries`]).
 
-use crate::diff::check_scenario;
+use collector::modes::CollectionConfig;
+
+use crate::diff::{check_scenario, check_scenario_rungs};
 use crate::scenario::{Op, Scenario};
 
 /// Re-check `scenario` up to `tries` times; true if any run fails.
@@ -19,6 +21,17 @@ use crate::scenario::{Op, Scenario};
 /// failure reproduces within the retry budget.
 pub fn fails_with_retries(scenario: &Scenario, tries: usize) -> bool {
     (0..tries.max(1)).any(|_| !check_scenario(scenario).is_empty())
+}
+
+/// [`fails_with_retries`] restricted to a rung subset, so a failure
+/// found by a single-rung sweep (`fuzz --rungs governed`) minimizes
+/// against the same rungs that caught it.
+pub fn fails_with_retries_on(
+    scenario: &Scenario,
+    rungs: &[CollectionConfig],
+    tries: usize,
+) -> bool {
+    (0..tries.max(1)).any(|_| !check_scenario_rungs(scenario, rungs).is_empty())
 }
 
 /// Shrink `scenario` while `fails` keeps returning true. Returns the

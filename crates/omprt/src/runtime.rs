@@ -269,13 +269,17 @@ impl OpenMp {
         // Export the collector entry point. Every instance exports an
         // instance-qualified name; the first also claims the canonical
         // `__omp_collector_api`, as the sole runtime of a process would.
+        //
+        // The entry captures the `CollectorApi` strongly, not the runtime:
+        // phase-independent requests (health, governor, stop) must stay
+        // answerable from an already-resolved handle even after the
+        // runtime's workers are joined — a collector reconciles its final
+        // accounting at exactly that point. Requests that need live
+        // runtime state degrade per-request through the provider weak.
         let symbol = format!("{COLLECTOR_API_SYMBOL}@{instance}");
-        let weak = Arc::downgrade(&shared);
+        let entry_api = api.clone();
         let entry: psx::dynsym::CollectorEntry =
-            Arc::new(move |buf: &mut [u8]| match weak.upgrade() {
-                Some(s) => s.api.handle_bytes(buf),
-                None => -1,
-            });
+            Arc::new(move |buf: &mut [u8]| entry_api.handle_bytes(buf));
         psx::dynsym::export(&symbol, entry.clone());
         psx::dynsym::objects::export(&format!("{symbol}.api"), api.clone());
         let owns_canonical = psx::dynsym::try_export(COLLECTOR_API_SYMBOL, entry);

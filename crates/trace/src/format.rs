@@ -70,6 +70,35 @@ pub const TAG_CHUNK: u8 = 0x01;
 /// Footer tag byte.
 pub const TAG_FOOTER: u8 = 0x02;
 
+/// Reserved record event code for governor sampling-rate decisions.
+///
+/// The governed collector rung writes one record with this code per
+/// [`ora_core::governor::GovernorDecision`]: `region_id` carries the
+/// discriminant of the pair's begin event and `wait_id` packs the
+/// shifts and measured overhead (see [`pack_governor_decision`]).
+/// Real OpenMP events use discriminants 1..=26, so the code can never
+/// collide; readers drop these records from event streams and surface
+/// them through [`crate::reader::TraceReader::governor_timeline`].
+pub const GOVERNOR_EVENT_CODE: u32 = 255;
+
+/// Pack a governor decision's payload into a record `wait_id`:
+/// `overhead_ppm` in the high bits, the old and new sampling shifts in
+/// the two low bytes. Shifts are capped at 15 well under a byte, and
+/// overhead in ppm is far below 2^48, so the packing is lossless.
+pub fn pack_governor_decision(old_shift: u32, new_shift: u32, overhead_ppm: u64) -> u64 {
+    (overhead_ppm << 16) | u64::from(old_shift & 0xff) << 8 | u64::from(new_shift & 0xff)
+}
+
+/// Inverse of [`pack_governor_decision`]:
+/// `(old_shift, new_shift, overhead_ppm)`.
+pub fn unpack_governor_decision(wait_id: u64) -> (u32, u32, u64) {
+    (
+        ((wait_id >> 8) & 0xff) as u32,
+        (wait_id & 0xff) as u32,
+        wait_id >> 16,
+    )
+}
+
 // ---------------------------------------------------------------------
 // varint / zigzag
 // ---------------------------------------------------------------------

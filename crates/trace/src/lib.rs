@@ -45,10 +45,13 @@ pub mod ring;
 pub mod sink;
 
 pub use drain::{DrainerHealth, Recorder, RecordingStats, TraceConfig};
-pub use format::{ChunkMeta, Footer, LaneStats};
+pub use format::{
+    pack_governor_decision, unpack_governor_decision, ChunkMeta, Footer, LaneStats,
+    GOVERNOR_EVENT_CODE,
+};
 pub use reader::{
-    merge_ranks, merge_ranks_iter, EventIter, RankMergeHeap, RankMergeIter, RankedEvent, RankedKey,
-    TraceEvent, TraceReader,
+    merge_ranks, merge_ranks_iter, EventIter, GovernorSample, RankMergeHeap, RankMergeIter,
+    RankedEvent, RankedKey, TraceEvent, TraceReader,
 };
 pub use ring::{DropPolicy, RawRecord, Ring, RingSet, RingStats, DEFAULT_BLOCK_YIELD_LIMIT};
 pub use sink::{FaultMode, FaultSink, FileSink, MemorySink, TraceSink};
@@ -270,6 +273,65 @@ mod tests {
             TraceReader::from_bytes(bytes).unwrap_err(),
             TraceError::MissingFooter
         );
+    }
+
+    #[test]
+    fn governor_records_skip_event_streams_and_feed_the_timeline() {
+        let cfg = TraceConfig {
+            lanes: 2,
+            epoch: std::time::Duration::from_secs(3600),
+            ..TraceConfig::default()
+        };
+        let recorder = Recorder::start(cfg, MemorySink::new()).unwrap();
+        let rings = recorder.rings();
+        for i in 0u64..50 {
+            rings.record(RawRecord {
+                tick: 100 + i,
+                gtid: (i % 4) as u32,
+                event: Event::Fork as u32,
+                ..RawRecord::default()
+            });
+        }
+        // Two retune decisions for the explicit-barrier pair.
+        for (tick, old, new, ppm) in [(120u64, 0u32, 3u32, 91_000u64), (140, 3, 5, 45_000)] {
+            rings.record(RawRecord {
+                tick,
+                gtid: 0,
+                event: GOVERNOR_EVENT_CODE,
+                region_id: u64::from(Event::ThreadBeginExplicitBarrier as u32),
+                wait_id: pack_governor_decision(old, new, ppm),
+                seq: 0,
+            });
+        }
+        let (sink, stats) = recorder.finish().unwrap();
+        assert_eq!(stats.drained(), 52, "decisions are persisted records");
+        let reader = TraceReader::from_bytes(sink.into_bytes()).unwrap();
+        // Event queries never see decision records...
+        let records = reader.records().unwrap();
+        assert_eq!(records.len(), 50);
+        assert!(records.iter().all(|r| r.event == Event::Fork));
+        assert_eq!(reader.event_counts().unwrap().iter().sum::<u64>(), 50);
+        assert_eq!(
+            reader.events().map(Result::unwrap).count(),
+            50,
+            "the streaming iterator filters them too"
+        );
+        // ...while the timeline decodes them, in tick order.
+        let timeline = reader.governor_timeline().unwrap();
+        assert_eq!(timeline.len(), 2);
+        assert_eq!(
+            timeline[0],
+            GovernorSample {
+                tick: 120,
+                gtid: 0,
+                event: Event::ThreadBeginExplicitBarrier,
+                old_shift: 0,
+                new_shift: 3,
+                overhead_ppm: 91_000,
+            }
+        );
+        assert_eq!(timeline[1].new_shift, 5);
+        assert_eq!(timeline[1].overhead_ppm, 45_000);
     }
 
     #[test]

@@ -55,6 +55,25 @@ impl TraceEvent {
     }
 }
 
+/// One decoded governor sampling-rate decision (see
+/// [`TraceReader::governor_timeline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorSample {
+    /// Governor-clock tick of the retune (trace time domain under the
+    /// governed rung, which installs the collector clock).
+    pub tick: u64,
+    /// Thread the decision record was written from.
+    pub gtid: usize,
+    /// Begin event of the pair whose sampling rate changed.
+    pub event: Event,
+    /// Sampling shift before the change (period `2^old_shift`).
+    pub old_shift: u32,
+    /// Sampling shift after the change (period `2^new_shift`).
+    pub new_shift: u32,
+    /// Overhead measured over the triggering window, parts-per-million.
+    pub overhead_ppm: u64,
+}
+
 /// An open trace file, index in memory, payloads decoded on demand.
 #[derive(Debug)]
 pub struct TraceReader {
@@ -95,7 +114,13 @@ impl TraceReader {
         self.footer.total_dropped()
     }
 
-    /// Decode one indexed chunk, verifying its CRC.
+    /// Decode one indexed chunk, verifying its CRC. Governor decision
+    /// records ([`format::GOVERNOR_EVENT_CODE`]) are metadata, not
+    /// events, and are dropped here — every event-stream query sees
+    /// only real OpenMP events; [`governor_timeline`] is the decision
+    /// records' query.
+    ///
+    /// [`governor_timeline`]: Self::governor_timeline
     pub fn decode_chunk(&self, meta: &ChunkMeta) -> Result<Vec<TraceEvent>, TraceError> {
         let mut pos = meta.offset as usize;
         let (lane, raws) = format::decode_chunk(&self.bytes, &mut pos)?;
@@ -104,7 +129,10 @@ impl TraceReader {
                 "chunk disagrees with its index entry",
             ));
         }
-        raws.iter().map(TraceEvent::from_raw).collect()
+        raws.iter()
+            .filter(|r| r.event != format::GOVERNOR_EVENT_CODE)
+            .map(TraceEvent::from_raw)
+            .collect()
     }
 
     /// Decode the chunks selected by `keep`, merge them into one stream
@@ -160,6 +188,39 @@ impl TraceReader {
     pub fn for_region(&self, region_id: u64) -> Result<Vec<TraceEvent>, TraceError> {
         let mut out = self.merged_where(|m| m.may_contain_region(region_id))?;
         out.retain(|r| r.region_id == region_id);
+        Ok(out)
+    }
+
+    /// The governor's sampling-rate timeline: every decision record in
+    /// the trace, ordered by `(tick, event)`. Empty for traces recorded
+    /// without the governed rung. Decision records never appear in
+    /// [`records`](Self::records) or the other event queries.
+    pub fn governor_timeline(&self) -> Result<Vec<GovernorSample>, TraceError> {
+        let mut out = Vec::new();
+        for meta in &self.footer.chunks {
+            let mut pos = meta.offset as usize;
+            let (_, raws) = format::decode_chunk(&self.bytes, &mut pos)?;
+            for r in raws
+                .iter()
+                .filter(|r| r.event == format::GOVERNOR_EVENT_CODE)
+            {
+                let raw_event = u32::try_from(r.region_id)
+                    .map_err(|_| TraceError::Malformed("governor record event overflows u32"))?;
+                let event =
+                    Event::from_u32(raw_event).ok_or(TraceError::UnknownEvent(raw_event))?;
+                let (old_shift, new_shift, overhead_ppm) =
+                    format::unpack_governor_decision(r.wait_id);
+                out.push(GovernorSample {
+                    tick: r.tick,
+                    gtid: r.gtid as usize,
+                    event,
+                    old_shift,
+                    new_shift,
+                    overhead_ppm,
+                });
+            }
+        }
+        out.sort_by_key(|s| (s.tick, s.event.index(), s.new_shift));
         Ok(out)
     }
 

@@ -63,16 +63,22 @@ pub enum MeterSuite {
     /// barrier episode latency, the hot paths the runtime's parking and
     /// padding work targets.
     Sync,
+    /// Dispatch-path microbenchmarks: event-dense synchronization storms
+    /// sized to maximize monitored-dispatch frequency, so the ladder's
+    /// per-rung slowdown isolates the cost of event dispatch itself —
+    /// and the governed rung's adherence to its overhead budget.
+    Dispatch,
 }
 
 impl MeterSuite {
-    /// Stable key (`epcc` / `npb` / `sync`), also the `BENCH_<key>.json`
-    /// stem.
+    /// Stable key (`epcc` / `npb` / `sync` / `dispatch`), also the
+    /// `BENCH_<key>.json` stem.
     pub const fn key(self) -> &'static str {
         match self {
             MeterSuite::Epcc => "epcc",
             MeterSuite::Npb => "npb",
             MeterSuite::Sync => "sync",
+            MeterSuite::Dispatch => "dispatch",
         }
     }
 
@@ -82,6 +88,7 @@ impl MeterSuite {
             "epcc" => Some(MeterSuite::Epcc),
             "npb" => Some(MeterSuite::Npb),
             "sync" => Some(MeterSuite::Sync),
+            "dispatch" => Some(MeterSuite::Dispatch),
             _ => None,
         }
     }
@@ -247,6 +254,40 @@ pub fn meter_workloads(suite: MeterSuite, scale: MeterScale) -> Vec<MeterWorkloa
                 },
             ]
         }
+        MeterSuite::Dispatch => {
+            // Event-dense shapes: a barrier storm fires two explicit-
+            // barrier events per thread per episode (the densest stream
+            // the runtime produces), and a fork flood fires the full
+            // fork/join + implicit-barrier cycle per region. Sized larger
+            // than the sync suite so per-event dispatch cost dominates
+            // the synchronization cost being dispatched about.
+            // Sized so one repetition spans several governor calibration
+            // windows (the governed rung retunes at 0.1 ms granularity):
+            // the governor must have room to measure, plan, and settle
+            // within a single attachment.
+            let (forks, episodes) = match scale {
+                MeterScale::Quick => (700, 2400),
+                MeterScale::Full => (3000, 10000),
+            };
+            vec![
+                MeterWorkload {
+                    name: "fork-flood".to_string(),
+                    suite: MeterSuite::Dispatch,
+                    unit: WorkUnit::Sync {
+                        kind: SyncKind::ForkJoin,
+                        inner: forks,
+                    },
+                },
+                MeterWorkload {
+                    name: "barrier-storm".to_string(),
+                    suite: MeterSuite::Dispatch,
+                    unit: WorkUnit::Sync {
+                        kind: SyncKind::BarrierStorm,
+                        inner: episodes,
+                    },
+                },
+            ]
+        }
         MeterSuite::Npb => {
             let (kernels, class, passes) = match scale {
                 MeterScale::Quick => (vec![NpbKernel::cg(), NpbKernel::ep()], NpbClass::S, 10),
@@ -281,7 +322,12 @@ mod tests {
         for s in [MeterScale::Quick, MeterScale::Full] {
             assert_eq!(MeterScale::from_key(s.key()), Some(s));
         }
-        for s in [MeterSuite::Epcc, MeterSuite::Npb, MeterSuite::Sync] {
+        for s in [
+            MeterSuite::Epcc,
+            MeterSuite::Npb,
+            MeterSuite::Sync,
+            MeterSuite::Dispatch,
+        ] {
             assert_eq!(MeterSuite::from_key(s.key()), Some(s));
         }
         assert_eq!(MeterScale::from_key("paper"), None);
@@ -299,6 +345,9 @@ mod tests {
         let sync = meter_workloads(MeterSuite::Sync, MeterScale::Quick);
         let names: Vec<&str> = sync.iter().map(|w| w.name()).collect();
         assert_eq!(names, ["forkjoin", "barrier-storm"]);
+        let dispatch = meter_workloads(MeterSuite::Dispatch, MeterScale::Quick);
+        let names: Vec<&str> = dispatch.iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["fork-flood", "barrier-storm"]);
     }
 
     #[test]

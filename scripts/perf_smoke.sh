@@ -12,20 +12,25 @@
 #                       regression past the threshold with disjoint CIs
 #                       (main-branch mode)
 #
-# The threshold (percent) can be overridden via PERF_THRESHOLD.
+# The threshold (percent) can be overridden via PERF_THRESHOLD; the
+# suite list via PERF_SUITES (space-separated, default "epcc npb sync"
+# — the dispatch CI job runs PERF_SUITES=dispatch on its own cadence).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-report}"
 out="${2:-perf-smoke}"
 threshold="${PERF_THRESHOLD:-10}"
+suites="${PERF_SUITES:-epcc npb sync}"
 
 mkdir -p "$out"
-cargo run --release --offline -p ora-bench --bin omp_prof -- \
-  bench run --quick --out-dir "$out"
+for suite in $suites; do
+  cargo run --release --offline -p ora-bench --bin omp_prof -- \
+    bench run --quick --suite "$suite" --out-dir "$out"
+done
 
 status=0
-for suite in epcc npb sync; do
+for suite in $suites; do
   base="results/baselines/BENCH_${suite}.json"
   new="$out/BENCH_${suite}.json"
   if [[ ! -f "$base" ]]; then

@@ -6,6 +6,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fail fast with an actionable message when the rustfmt component is
+# missing (a bare-bones toolchain install) — otherwise `cargo fmt`
+# fails mid-gate with rustup noise that buries the real problem.
+if ! cargo fmt --version >/dev/null 2>&1; then
+  echo "tier1: 'cargo fmt' is unavailable — install the rustfmt component" >&2
+  echo "tier1:   rustup component add rustfmt clippy" >&2
+  echo "tier1: (rust-toolchain.toml pins it; a non-rustup toolchain must provide it itself)" >&2
+  exit 1
+fi
+
 cargo fmt --all --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo build --release --offline --workspace
