@@ -216,6 +216,100 @@ fn trace_record() {
     }
 }
 
+/// `trace analyze`: replay a recorded trace and report detrimental
+/// task-parallel patterns (starvation windows, serialized spawn,
+/// barrier convoys) with tick-ranged evidence. Accepts a single trace
+/// (`--in`), per-rank traces (`--rank`/`--ranks-dir`, merged first),
+/// or a fleet timeline export (`--timeline`).
+fn trace_analyze() {
+    use ora_trace::analyze::{self, AnalyzeConfig};
+
+    let mut cfg = AnalyzeConfig::default();
+    cfg.min_tasks = arg("--min-tasks", &cfg.min_tasks.to_string())
+        .parse()
+        .unwrap_or(cfg.min_tasks);
+    cfg.starvation_frac = arg("--starvation-frac", &cfg.starvation_frac.to_string())
+        .parse()
+        .unwrap_or(cfg.starvation_frac);
+    cfg.dominance_frac = arg("--dominance-frac", &cfg.dominance_frac.to_string())
+        .parse()
+        .unwrap_or(cfg.dominance_frac);
+
+    let argv: Vec<String> = std::env::args().collect();
+    let mut rank_files: Vec<String> = argv
+        .windows(2)
+        .filter(|w| w[0] == "--rank")
+        .map(|w| w[1].clone())
+        .collect();
+    let ranks_dir = arg("--ranks-dir", "");
+    if !ranks_dir.is_empty() {
+        let mut paths: Vec<_> = std::fs::read_dir(&ranks_dir)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read {ranks_dir}: {e}");
+                std::process::exit(1);
+            })
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("oratrace"))
+            .collect();
+        paths.sort();
+        rank_files.extend(paths.iter().map(|p| p.display().to_string()));
+    }
+
+    let timeline = arg("--timeline", "");
+    let report = if !timeline.is_empty() {
+        let bytes = std::fs::read(&timeline).unwrap_or_else(|e| {
+            eprintln!("cannot read {timeline}: {e}");
+            std::process::exit(1);
+        });
+        let events = analyze::decode_timeline(&bytes).unwrap_or_else(|e| {
+            eprintln!("{timeline} is not a fleet timeline export: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "analyzing fleet timeline {timeline} ({} records)",
+            events.len()
+        );
+        analyze::analyze(&events, &cfg)
+    } else if !rank_files.is_empty() {
+        let readers: Vec<TraceReader> = rank_files
+            .iter()
+            .map(|f| {
+                TraceReader::open(f).unwrap_or_else(|e| {
+                    eprintln!("cannot read {f}: {e}");
+                    std::process::exit(1);
+                })
+            })
+            .collect();
+        let merged = ora_trace::merge_ranks(&readers).unwrap_or_else(|e| {
+            eprintln!("merge failed: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "analyzing {} rank trace(s) ({} merged records)",
+            rank_files.len(),
+            merged.len()
+        );
+        analyze::analyze(&merged, &cfg)
+    } else {
+        let input = arg("--in", "run.oratrace");
+        let reader = TraceReader::open(&input).unwrap_or_else(|e| {
+            eprintln!("cannot read {input}: {e}");
+            std::process::exit(1);
+        });
+        println!("analyzing {input} ({} records)", reader.record_count());
+        analyze::analyze_reader(&reader, &cfg).unwrap_or_else(|e| {
+            eprintln!("trace is damaged: {e}");
+            std::process::exit(1);
+        })
+    };
+    print!("{}", report.render());
+    // Findings are an analysis outcome, not an error — but scripts want
+    // to gate on them, so surface "patterns found" as exit 4.
+    if !report.findings.is_empty() {
+        std::process::exit(4);
+    }
+}
+
 /// `bench run`: the `ora-meter` measurement loop (see `ora_bench::meter`).
 fn bench_run() {
     use ora_bench::meter::{runner, RunnerConfig};
@@ -241,11 +335,12 @@ fn bench_run() {
             MeterSuite::Npb,
             MeterSuite::Sync,
             MeterSuite::Dispatch,
+            MeterSuite::Tasks,
         ],
         key => match MeterSuite::from_key(key) {
             Some(s) => vec![s],
             None => {
-                eprintln!("unknown suite '{key}' — use epcc|npb|sync|dispatch|all");
+                eprintln!("unknown suite '{key}' — use epcc|npb|sync|dispatch|tasks|all");
                 std::process::exit(2);
             }
         },
@@ -613,6 +708,9 @@ fn health() {
                 ("requests served", api.requests),
                 ("events sampled (governor)", api.events_sampled),
                 ("events skipped (governor)", api.events_skipped),
+                ("tasks stolen (scheduler)", api.tasks_stolen),
+                ("task deque overflows", api.task_overflows),
+                ("taskwait parks", api.taskwait_parks),
             ]
             .iter()
             .map(|(k, v)| vec![k.to_string(), v.to_string()]),
@@ -1074,9 +1172,10 @@ fn main() {
         match argv.get(2).map(String::as_str) {
             Some("record") => return trace_record(),
             Some("report") => return trace_report(),
+            Some("analyze") => return trace_analyze(),
             other => {
                 eprintln!(
-                    "unknown trace subcommand {other:?} — use `trace record` or `trace report`"
+                    "unknown trace subcommand {other:?} — use `trace record`, `trace report`, or `trace analyze`"
                 );
                 std::process::exit(2);
             }

@@ -40,7 +40,7 @@ pub struct FleetConfig {
     pub ranks: usize,
     /// OpenMP threads per rank.
     pub threads: usize,
-    /// Multi-zone workload key (`bt-mz` | `lu-mz` | `sp-mz`).
+    /// Multi-zone workload key (`bt-mz` | `lu-mz` | `sp-mz` | `tasks-mz`).
     pub workload: String,
     /// Problem class.
     pub class: NpbClass,
@@ -62,6 +62,7 @@ pub fn mz_by_name(name: &str) -> Option<MzBenchmark> {
         "bt-mz" | "bt" => Some(MzBenchmark::bt_mz()),
         "lu-mz" | "lu" => Some(MzBenchmark::lu_mz()),
         "sp-mz" | "sp" => Some(MzBenchmark::sp_mz()),
+        "tasks-mz" | "tasks" => Some(MzBenchmark::tasks_mz()),
         _ => None,
     }
 }

@@ -113,6 +113,73 @@ fn tighter_budgets_never_sample_more() {
     );
 }
 
+/// A short re-attached collection must inherit the previous
+/// attachment's converged sampling plan instead of re-learning it.
+/// The second attachment plants a window that can never close
+/// (`min_window_ticks` ~half of `u64::MAX`), so any skipping observed
+/// there can only come from shifts re-seeded at install time.
+#[test]
+fn learned_shifts_survive_detach_and_reattach() {
+    let rt = OpenMp::with_config(Config {
+        num_threads: 4,
+        ..Config::default()
+    });
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).expect("runtime resolves");
+
+    // First collection: an impossible budget (0 ppm) forces every
+    // measured pair to max throttle as soon as one window closes.
+    let active = CollectionConfig::Governed
+        .attach(&handle)
+        .expect("governed attach");
+    handle.install_governor(GovernorConfig {
+        budget_ppm: 0,
+        clock: Some(Arc::new(clock::ticks)),
+        min_window_ticks: 100_000,
+    });
+    rt.parallel(|ctx| {
+        for round in 0..800 {
+            ctx.barrier();
+            if round % 8 == 0 {
+                ctx.critical("governor-reseed", || {});
+            }
+        }
+    });
+    let first = handle.query_governor().expect("OMP_REQ_GOVERNOR");
+    active.finish().expect("first finish");
+    assert!(first.retunes > 0, "zero budget must retune");
+    assert!(first.events_skipped > 0, "zero budget must shed events");
+
+    // Second, short collection: the window never closes, so the
+    // retune count cannot move — skipping must start from the plan
+    // stashed at detach.
+    let active = CollectionConfig::Governed
+        .attach(&handle)
+        .expect("governed re-attach");
+    handle.install_governor(GovernorConfig {
+        budget_ppm: 0,
+        clock: Some(Arc::new(clock::ticks)),
+        min_window_ticks: u64::MAX / 2,
+    });
+    rt.parallel(|ctx| {
+        for _ in 0..100 {
+            ctx.barrier();
+        }
+    });
+    drop(rt);
+    let second = handle.query_governor().expect("OMP_REQ_GOVERNOR");
+    active.finish().expect("second finish");
+    assert_eq!(
+        second.retunes, first.retunes,
+        "the second window can never close, so no new retunes"
+    );
+    assert!(
+        second.events_skipped > first.events_skipped,
+        "re-seeded shifts must skip from the first event (skipped stuck at {})",
+        first.events_skipped
+    );
+    assert!(second.reconciles());
+}
+
 #[test]
 fn rate_changes_never_drop_begin_end_pairing() {
     let run = barrier_storm_governed(parse_budget("0.5%").unwrap(), 400);

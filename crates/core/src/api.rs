@@ -137,6 +137,35 @@ pub struct ApiStats {
     pub callbacks_quarantined: u64,
 }
 
+/// Task-runtime scheduler counters the runtime deposits after each
+/// parallel region, served through [`ApiHealth`]. Lifetime totals, like
+/// every other health counter, so tools can watch deltas.
+#[derive(Debug, Default)]
+pub struct RuntimeTaskStats {
+    /// Tasks executed by a thread other than their spawner.
+    pub stolen: AtomicU64,
+    /// Spawns that spilled from a full per-thread deque to the overflow
+    /// queue.
+    pub overflows: AtomicU64,
+    /// Threads parking (not spinning) in taskwait / region-end drains.
+    pub parks: AtomicU64,
+}
+
+impl RuntimeTaskStats {
+    /// Fold one region's scheduler counters into the lifetime totals.
+    pub fn absorb(&self, stolen: u64, overflows: u64, parks: u64) {
+        if stolen > 0 {
+            self.stolen.fetch_add(stolen, Ordering::Relaxed);
+        }
+        if overflows > 0 {
+            self.overflows.fetch_add(overflows, Ordering::Relaxed);
+        }
+        if parks > 0 {
+            self.parks.fetch_add(parks, Ordering::Relaxed);
+        }
+    }
+}
+
 /// The collector API: callback table + lifecycle + request service.
 pub struct CollectorApi {
     phase: Mutex<Phase>,
@@ -153,6 +182,9 @@ pub struct CollectorApi {
     /// Always present (the lanes are the fast path's first check); only
     /// *armed* under the governed collector rung.
     governor: Governor,
+    /// Scheduler counters deposited by the task runtime (see
+    /// [`RuntimeTaskStats`]).
+    task_stats: RuntimeTaskStats,
 }
 
 impl Default for CollectorApi {
@@ -174,7 +206,13 @@ impl CollectorApi {
             queues: RequestQueues::new(),
             stats: Mutex::new(ApiStats::default()),
             governor: Governor::new(),
+            task_stats: RuntimeTaskStats::default(),
         }
+    }
+
+    /// The task-scheduler counter sink the runtime deposits into.
+    pub fn task_stats(&self) -> &RuntimeTaskStats {
+        &self.task_stats
     }
 
     /// Install the runtime's info provider (done once, when the runtime
@@ -219,6 +257,9 @@ impl CollectorApi {
             requests: stats.requests,
             events_sampled: self.governor.events_sampled(),
             events_skipped: self.governor.events_skipped(),
+            tasks_stolen: self.task_stats.stolen.load(Ordering::Relaxed),
+            task_overflows: self.task_stats.overflows.load(Ordering::Relaxed),
+            taskwait_parks: self.task_stats.parks.load(Ordering::Relaxed),
         }
     }
 

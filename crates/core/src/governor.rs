@@ -75,8 +75,11 @@ pub const DEFAULT_BUDGET_PPM: u64 = 20_000;
 /// governor clock and fed to the calibration window.
 pub const CAL_STRIDE: u64 = 64;
 
-/// Every `RETUNE_STRIDE`-th *observed* event on a lane attempts a
-/// retune (which then gates on the calibration window length).
+/// Every `RETUNE_STRIDE`-th observation of an event kind on a lane
+/// attempts a retune (which then gates on the calibration window
+/// length). Paced per lane × event index — the admission path keeps no
+/// lane-wide total, so a skipped event's bookkeeping stays within the
+/// counters planning needs anyway.
 pub const RETUNE_STRIDE: u64 = 256;
 
 /// Initial / ungoverned batch size for fired-counter publication.
@@ -140,8 +143,6 @@ pub struct DispatchLane {
     /// is active. Republished (never incrementally updated) on every
     /// transition; read with a single relaxed load on the fast path.
     mask: AtomicU64,
-    /// Monitored events that reached admission on this lane.
-    observed_total: AtomicU64,
     /// Admitted (callback-run) events.
     sampled: AtomicU64,
     /// Sampled-out events.
@@ -165,7 +166,6 @@ impl DispatchLane {
     fn new() -> Self {
         DispatchLane {
             mask: AtomicU64::new(0),
-            observed_total: AtomicU64::new(0),
             sampled: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
             observed: array::from_fn(|_| AtomicU64::new(0)),
@@ -340,6 +340,13 @@ pub struct Governor {
     /// same value (written pair-wise at retune).
     shifts: [AtomicU32; EVENT_COUNT],
     flush_every: AtomicU32,
+    /// Learned plan stashed at [`Governor::uninstall`] so a re-attach
+    /// starts from the converged rates instead of re-learning from
+    /// scratch (short collections would otherwise spend their whole
+    /// life in the transient).
+    saved_shifts: [AtomicU32; EVENT_COUNT],
+    saved_flush_every: AtomicU32,
+    has_saved: AtomicBool,
     retunes: AtomicU64,
     overhead_ppm: AtomicU64,
     baseline_milliticks: AtomicU64,
@@ -366,6 +373,9 @@ impl Governor {
             budget_ppm: AtomicU64::new(DEFAULT_BUDGET_PPM),
             shifts: array::from_fn(|_| AtomicU32::new(0)),
             flush_every: AtomicU32::new(DEFAULT_FLUSH_EVERY),
+            saved_shifts: array::from_fn(|_| AtomicU32::new(0)),
+            saved_flush_every: AtomicU32::new(DEFAULT_FLUSH_EVERY),
+            has_saved: AtomicBool::new(false),
             retunes: AtomicU64::new(0),
             overhead_ppm: AtomicU64::new(0),
             baseline_milliticks: AtomicU64::new(0),
@@ -412,17 +422,35 @@ impl Governor {
     /// Stage 1 of installation: adopt clock/budget/window config and
     /// reset the plan, while still disarmed — the caller calibrates the
     /// baseline fast path next, then [`Governor::arm`]s.
+    ///
+    /// When an earlier attachment stashed a converged plan at
+    /// [`Governor::uninstall`], the shifts and batch size are re-seeded
+    /// from it instead of zeroed: the event mix rarely changes between
+    /// collections of the same process, and starting from the learned
+    /// rates spares a short collection the whole re-learning transient.
+    /// (A mix or budget change is corrected by the first retune, same
+    /// as any other drift.)
     pub fn prepare(&self, config: GovernorConfig) {
         self.enabled.store(false, Ordering::SeqCst);
         if let Some(clock) = config.clock {
             *self.clock.write() = clock;
         }
         self.budget_ppm.store(config.budget_ppm, Ordering::Relaxed);
-        for shift in &self.shifts {
-            shift.store(0, Ordering::Relaxed);
+        let reseed = self.has_saved.load(Ordering::Acquire);
+        for (shift, saved) in self.shifts.iter().zip(self.saved_shifts.iter()) {
+            let seed = if reseed {
+                saved.load(Ordering::Relaxed)
+            } else {
+                0
+            };
+            shift.store(seed, Ordering::Relaxed);
         }
-        self.flush_every
-            .store(DEFAULT_FLUSH_EVERY, Ordering::Relaxed);
+        let flush = if reseed {
+            self.saved_flush_every.load(Ordering::Relaxed)
+        } else {
+            DEFAULT_FLUSH_EVERY
+        };
+        self.flush_every.store(flush, Ordering::Relaxed);
         let mut ctl = self.ctl.lock();
         ctl.min_window_ticks = config.min_window_ticks;
         ctl.cost_samples.clear();
@@ -446,12 +474,17 @@ impl Governor {
 
     /// Disarm: sampling stops (every monitored event is again kept) and
     /// shifts/batch sizes reset. Lifetime counters are preserved so
-    /// health remains monotonic.
+    /// health remains monotonic, and the learned plan is stashed so the
+    /// next [`Governor::prepare`] re-seeds from it (see there).
     pub fn uninstall(&self) {
         self.enabled.store(false, Ordering::SeqCst);
-        for shift in &self.shifts {
+        for (shift, saved) in self.shifts.iter().zip(self.saved_shifts.iter()) {
+            saved.store(shift.load(Ordering::Relaxed), Ordering::Relaxed);
             shift.store(0, Ordering::Relaxed);
         }
+        self.saved_flush_every
+            .store(self.flush_every.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.has_saved.store(true, Ordering::Release);
         self.flush_every
             .store(DEFAULT_FLUSH_EVERY, Ordering::Relaxed);
     }
@@ -474,15 +507,20 @@ impl Governor {
     /// Admit one monitored event on `lane`. Called after the registry
     /// and active checks pass; bumps exactly one of sampled/skipped so
     /// the reconciliation invariant holds at rest.
+    ///
+    /// The bookkeeping is deliberately minimal: disarmed admission is a
+    /// single lane-local RMW, and a skipped (sampled-out) event touches
+    /// only the lane counters planning consumes — no lane-wide total,
+    /// no fired-counter state. `events_observed` is derived as
+    /// `sampled + skipped` instead of being counted a third time.
     #[inline]
     pub fn admit(&self, lane: &DispatchLane, event: Event) -> Admit {
-        let index = event.index();
-        lane.observed[index].fetch_add(1, Ordering::Relaxed);
-        let seen = lane.observed_total.fetch_add(1, Ordering::Relaxed) + 1;
         if !self.enabled.load(Ordering::Relaxed) {
             lane.sampled.fetch_add(1, Ordering::Relaxed);
             return Admit::Sample;
         }
+        let index = event.index();
+        let seen = lane.observed[index].fetch_add(1, Ordering::Relaxed) + 1;
         if seen.is_multiple_of(RETUNE_STRIDE) {
             self.try_retune();
         }
@@ -644,11 +682,14 @@ impl Governor {
             .sum()
     }
 
-    /// Total events that reached admission across lanes.
+    /// Total events that reached admission across lanes. Derived from
+    /// the two verdict counters (admission bumps exactly one of them),
+    /// so the skip path needs no third shared counter and the
+    /// reconciliation invariant holds by construction at rest.
     pub fn events_observed(&self) -> u64 {
         self.lanes
             .iter()
-            .map(|lane| lane.observed_total.load(Ordering::Relaxed))
+            .map(|lane| lane.sampled.load(Ordering::Relaxed) + lane.skipped.load(Ordering::Relaxed))
             .sum()
     }
 
@@ -986,6 +1027,62 @@ mod tests {
             governor.take_decisions().is_empty(),
             "drain empties the log"
         );
+    }
+
+    #[test]
+    fn uninstall_stashes_and_prepare_reseeds_learned_shifts() {
+        let governor = Governor::new();
+        let config = GovernorConfig {
+            budget_ppm: 20_000,
+            min_window_ticks: u64::MAX,
+            clock: Some(Arc::new(|| 0)),
+        };
+        // First attachment starts from scratch.
+        governor.prepare(config.clone());
+        governor.arm(1.0);
+        assert_eq!(governor.shift_for(Event::ThreadBeginExplicitBarrier), 0);
+        // "Learn" a plan (stand-in for retune convergence).
+        governor.shifts[Event::ThreadBeginExplicitBarrier.index()].store(5, Ordering::Relaxed);
+        governor.shifts[Event::ThreadEndExplicitBarrier.index()].store(5, Ordering::Relaxed);
+        governor.flush_every.store(2048, Ordering::Relaxed);
+
+        governor.uninstall();
+        // Disarmed: every event is kept regardless of the stashed plan.
+        assert!(!governor.is_enabled());
+        let lane = governor.lane(0);
+        assert_eq!(
+            governor.admit(lane, Event::ThreadBeginExplicitBarrier),
+            Admit::Sample
+        );
+
+        // Re-attach: the learned rates come back without a transient.
+        governor.prepare(config);
+        governor.arm(1.0);
+        assert_eq!(governor.shift_for(Event::ThreadBeginExplicitBarrier), 5);
+        assert_eq!(governor.shift_for(Event::ThreadEndExplicitBarrier), 5);
+        assert_eq!(governor.flush_every(), 2048);
+        let mut kept = 0;
+        for _ in 0..320 {
+            if governor.admit(lane, Event::ThreadBeginExplicitBarrier) != Admit::Skip {
+                kept += 1;
+            }
+            let _ = governor.admit(lane, Event::ThreadEndExplicitBarrier);
+        }
+        assert_eq!(kept, 10, "shift 5 keeps exactly 1 in 32 from the start");
+    }
+
+    #[test]
+    fn disarmed_admission_touches_only_the_sampled_counter() {
+        let governor = Governor::new();
+        let lane = governor.lane(0);
+        for _ in 0..100 {
+            assert_eq!(governor.admit(lane, Event::Fork), Admit::Sample);
+        }
+        assert_eq!(governor.events_sampled(), 100);
+        assert_eq!(governor.events_observed(), 100);
+        // The per-event window counters are a governed-path concern; the
+        // disarmed fast path leaves them alone.
+        assert_eq!(governor.observed_per_event()[Event::Fork.index()], 0);
     }
 
     #[test]

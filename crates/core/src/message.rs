@@ -38,8 +38,9 @@ pub const CAPS_RESPONSE_BYTES: usize = 8;
 
 /// Response-area size for a health query: callback panics (u64) +
 /// quarantined callbacks (u64) + sequence errors (u64) + requests (u64) +
-/// sampled events (u64) + skipped events (u64).
-pub const HEALTH_RESPONSE_BYTES: usize = 48;
+/// sampled events (u64) + skipped events (u64) + stolen tasks (u64) +
+/// task overflows (u64) + taskwait parks (u64).
+pub const HEALTH_RESPONSE_BYTES: usize = 72;
 
 /// Response-area size for a governor query: nine u64 counters (see
 /// [`crate::governor::GovernorStatus`]).
@@ -229,6 +230,11 @@ impl RequestBatch {
                     read_u64(&self.buf, resp_off + 32).ok_or(OraError::Malformed)?;
                 let events_skipped =
                     read_u64(&self.buf, resp_off + 40).ok_or(OraError::Malformed)?;
+                let tasks_stolen = read_u64(&self.buf, resp_off + 48).ok_or(OraError::Malformed)?;
+                let task_overflows =
+                    read_u64(&self.buf, resp_off + 56).ok_or(OraError::Malformed)?;
+                let taskwait_parks =
+                    read_u64(&self.buf, resp_off + 64).ok_or(OraError::Malformed)?;
                 Ok(Response::Health(ApiHealth {
                     callback_panics,
                     callbacks_quarantined,
@@ -236,6 +242,9 @@ impl RequestBatch {
                     requests,
                     events_sampled,
                     events_skipped,
+                    tasks_stolen,
+                    task_overflows,
+                    taskwait_parks,
                 }))
             }
             Request::QueryGovernor => {
@@ -392,6 +401,9 @@ fn decode_and_serve(
             write_u64(buf, resp_off + 24, h.requests);
             write_u64(buf, resp_off + 32, h.events_sampled);
             write_u64(buf, resp_off + 40, h.events_skipped);
+            write_u64(buf, resp_off + 48, h.tasks_stolen);
+            write_u64(buf, resp_off + 56, h.task_overflows);
+            write_u64(buf, resp_off + 64, h.taskwait_parks);
             Ok(())
         }
         Response::Governor(g) => {
@@ -647,6 +659,9 @@ mod seeded_props {
                 requests: rng.next_u64(),
                 events_sampled: rng.next_u64(),
                 events_skipped: rng.next_u64(),
+                tasks_stolen: rng.next_u64(),
+                task_overflows: rng.next_u64(),
+                taskwait_parks: rng.next_u64(),
             };
             let mut batch = RequestBatch::new(&[Request::QueryHealth]);
             serve_batch(batch.as_mut_bytes(), |_| Ok(Response::Health(h)));

@@ -128,6 +128,15 @@ pub struct ApiHealth {
     pub events_sampled: u64,
     /// Monitored events the overhead governor sampled out.
     pub events_skipped: u64,
+    /// Explicit tasks executed by a thread other than their spawner
+    /// (work-stealing runtime; always 0 until a runtime reports).
+    pub tasks_stolen: u64,
+    /// Task spawns that spilled from a full per-thread deque into the
+    /// team overflow queue.
+    pub task_overflows: u64,
+    /// Times a thread parked (instead of spinning) inside a taskwait or
+    /// region-end task drain.
+    pub taskwait_parks: u64,
 }
 
 impl ApiHealth {

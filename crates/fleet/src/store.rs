@@ -9,32 +9,20 @@
 //! sorted and [`FleetStore::export`] is byte-identical to offline
 //! `merge_ranks` over the same data, regardless of arrival timing.
 
-use ora_trace::format::put_varint;
 use ora_trace::RankedEvent;
 
-/// Magic starting every exported timeline.
-pub const TIMELINE_MAGIC: &[u8; 6] = b"ORAFLT";
+/// Magic starting every exported timeline (defined next to the decoder
+/// so encode and decode cannot drift).
+pub use ora_trace::analyze::TIMELINE_MAGIC;
 
 /// Canonical byte encoding of a merged timeline: magic, record count,
 /// then each record's fields as plain varints in key order. Both the
 /// daemon's [`FleetStore::export`] and the offline `merge_ranks` path
 /// encode through this one function, which is what makes "byte
-/// identical" a meaningful equality.
-pub fn timeline_bytes(events: &[RankedEvent]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(events.len() * 8 + 16);
-    out.extend_from_slice(TIMELINE_MAGIC);
-    put_varint(&mut out, events.len() as u64);
-    for e in events {
-        put_varint(&mut out, e.record.tick);
-        put_varint(&mut out, e.record.gtid as u64);
-        put_varint(&mut out, e.record.seq);
-        put_varint(&mut out, e.rank as u64);
-        put_varint(&mut out, e.record.event as u64);
-        put_varint(&mut out, e.record.region_id);
-        put_varint(&mut out, e.record.wait_id);
-    }
-    out
-}
+/// identical" a meaningful equality. (The codec lives in
+/// `ora_trace::analyze` so `trace analyze` can consume exports without
+/// a dependency cycle.)
+pub use ora_trace::analyze::timeline_bytes;
 
 /// The aggregator's merged, totally-ordered event store.
 #[derive(Debug, Default)]

@@ -290,6 +290,8 @@ fn diff_governed_trace(
             Event::ThreadBeginOrderedWait,
             Event::ThreadBeginMaster,
             Event::ThreadBeginSingle,
+            Event::TaskBegin,
+            Event::TaskWaitBegin,
         ] {
             let unmatched = trace.unmatched_begins(begin);
             if unmatched != 0 {
@@ -544,6 +546,8 @@ fn diff_trace(
             Event::ThreadBeginOrderedWait,
             Event::ThreadBeginMaster,
             Event::ThreadBeginSingle,
+            Event::TaskBegin,
+            Event::TaskWaitBegin,
         ] {
             let unmatched = trace.unmatched_begins(begin);
             if unmatched != 0 {

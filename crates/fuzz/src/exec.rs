@@ -15,6 +15,7 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use collector::discovery::RuntimeHandle;
 use collector::modes::{CollectionConfig, CollectionSummary};
@@ -160,7 +161,11 @@ enum OpCell {
 impl OpCell {
     fn for_op(op: &Op, rt: &OpenMp) -> OpCell {
         match op {
-            Op::For { .. } | Op::NestedPar { .. } => OpCell::Sum(AtomicI64::new(0)),
+            Op::For { .. }
+            | Op::NestedPar { .. }
+            | Op::TaskFlood { .. }
+            | Op::TaskProducer { .. }
+            | Op::TaskTree { .. } => OpCell::Sum(AtomicI64::new(0)),
             Op::ReduceSum { .. } => OpCell::Reduce(AtomicU64::new(0.0f64.to_bits())),
             Op::ReduceMin { .. } => OpCell::Reduce(AtomicU64::new(f64::INFINITY.to_bits())),
             Op::ReduceMax { .. } => OpCell::Reduce(AtomicU64::new(f64::NEG_INFINITY.to_bits())),
@@ -170,6 +175,26 @@ impl OpCell {
             Op::Lock { .. } => OpCell::Lock(rt.new_lock(), RaceProbe::new()),
             Op::Atomic { .. } => OpCell::Atomic(AtomicU64::new(0)),
             Op::Barrier | Op::Gate => OpCell::None,
+        }
+    }
+}
+
+/// Grow a task tree: each call spawns `fanout` children and each child
+/// recurses until `depth` levels exist, counting every node. Levels
+/// alternate tied/untied so trees exercise both scheduling paths.
+fn grow_tree(scope: &omprt::TaskScope<'_>, nodes: &Arc<AtomicI64>, fanout: usize, depth: usize) {
+    for _ in 0..fanout {
+        let n = Arc::clone(nodes);
+        let body = move |s: &omprt::TaskScope<'_>| {
+            n.fetch_add(1, Ordering::Relaxed);
+            if depth > 1 {
+                grow_tree(s, &n, fanout, depth - 1);
+            }
+        };
+        if depth.is_multiple_of(2) {
+            scope.spawn_scoped_untied(body);
+        } else {
+            scope.spawn_scoped(body);
         }
     }
 }
@@ -278,6 +303,62 @@ fn exec_op(
             if ctx.is_master() {
                 slot.store(probe.get(), Ordering::Relaxed);
             }
+        }
+        (Op::TaskFlood { count, untied }, OpCell::Sum(acc)) => {
+            for i in 0..*count {
+                // SAFETY: `acc` lives past the region; the taskwait
+                // below drains every spawned task before the borrow
+                // can end.
+                unsafe {
+                    if *untied {
+                        ctx.task_borrowed_untied(move || {
+                            acc.fetch_add(mix(i), Ordering::Relaxed);
+                        });
+                    } else {
+                        ctx.task_borrowed(move || {
+                            acc.fetch_add(mix(i), Ordering::Relaxed);
+                        });
+                    }
+                }
+            }
+            ctx.taskwait();
+            ctx.barrier();
+            if ctx.is_master() {
+                slot.store(acc.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        (Op::TaskProducer { count }, OpCell::Sum(acc)) => {
+            ctx.barrier();
+            if ctx.is_master() {
+                for i in 0..*count {
+                    // SAFETY: as for TaskFlood — drained by the
+                    // taskwait below; untied, so any teammate may run
+                    // the closure, which only touches the atomic.
+                    unsafe {
+                        ctx.task_borrowed_untied(move || {
+                            acc.fetch_add(mix(i), Ordering::Relaxed);
+                        });
+                    }
+                }
+            }
+            ctx.taskwait();
+            ctx.barrier();
+            if ctx.is_master() {
+                slot.store(acc.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        (Op::TaskTree { fanout, depth }, OpCell::Sum(acc)) => {
+            ctx.barrier();
+            if ctx.is_master() {
+                let nodes = Arc::new(AtomicI64::new(0));
+                let (f, d) = (*fanout, *depth);
+                let n = Arc::clone(&nodes);
+                ctx.task_scoped(move |scope| grow_tree(scope, &n, f, d));
+                ctx.taskwait();
+                acc.fetch_add(nodes.load(Ordering::Relaxed), Ordering::Relaxed);
+                slot.store(acc.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+            ctx.barrier();
         }
         (Op::Barrier, OpCell::None) => ctx.barrier(),
         (Op::Gate, OpCell::None) => {

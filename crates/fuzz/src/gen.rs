@@ -16,6 +16,10 @@ use crate::scenario::{Op, Scenario, SchedSpec};
 /// The claimer's largest per-thread batch (`omprt::schedule::BATCH_MAX`).
 const BATCH_MAX: i64 = 8;
 
+/// Per-thread deque capacity (`omprt::task::DEQUE_CAP`) — spawn counts
+/// just around it force the overflow-spill path.
+const DEQUE_CAP: i64 = 256;
+
 /// Generate the scenario for `seed`. The same seed always yields the
 /// same scenario, on every machine.
 pub fn generate(seed: u64) -> Scenario {
@@ -70,42 +74,66 @@ fn rounds(rng: &mut XorShift64) -> i64 {
     rng.range_i64(1, 17)
 }
 
+/// A task spawn count biased toward the deque-capacity cliff, where a
+/// spawner must spill to the overflow queue (the task scheduler's
+/// claimer-hostile edge).
+fn task_count(rng: &mut XorShift64) -> i64 {
+    match rng.below(10) {
+        0..=2 => DEQUE_CAP + rng.range_i64(-1, 2), // 255 | 256 | 257
+        3..=5 => rng.range_i64(1, 33),
+        _ => rng.range_i64(1, 129),
+    }
+}
+
 fn op(rng: &mut XorShift64, threads: usize) -> Op {
     let count = trip_count(rng, threads);
     // Weighted construct pick out of 100 (for/reduction dominate;
-    // ordered/nested are the tail, per arXiv 2308.08002).
+    // ordered/nested are the tail, per arXiv 2308.08002; explicit
+    // tasks get a deliberate overweight while the work-stealing pool
+    // is the newest subsystem).
     match rng.below(100) {
-        0..=29 => Op::For {
+        0..=24 => Op::For {
             sched: sched(rng),
             count,
         },
-        30..=43 => Op::ReduceSum { count },
-        44..=47 => Op::ReduceMin { count },
-        48..=51 => Op::ReduceMax { count },
-        52..=59 => Op::Atomic {
+        25..=36 => Op::ReduceSum { count },
+        37..=40 => Op::ReduceMin { count },
+        41..=44 => Op::ReduceMax { count },
+        45..=50 => Op::Atomic {
             rounds: rounds(rng),
         },
-        60..=65 => Op::Critical {
+        51..=55 => Op::Critical {
             rounds: rounds(rng),
         },
-        66..=70 => Op::Single {
+        56..=59 => Op::Single {
             rounds: rng.range_i64(1, 9),
         },
-        71..=75 => Op::Barrier,
-        76..=79 => Op::Master {
+        60..=62 => Op::Barrier,
+        63..=65 => Op::Master {
             rounds: rounds(rng),
         },
-        80..=82 => Op::Lock {
+        66..=67 => Op::Lock {
             rounds: rounds(rng),
         },
-        83..=91 => Op::Ordered {
+        68..=73 => Op::Ordered {
             // Ordered serializes the loop; keep the tail biased small.
             count: rng.range_i64(1, 2 * threads as i64 + 30),
         },
-        92..=95 => Op::Gate,
-        _ => Op::NestedPar {
+        74..=76 => Op::Gate,
+        77..=78 => Op::NestedPar {
             threads: rng.range_usize(1, 4),
             count: rng.range_i64(1, 64),
+        },
+        79..=88 => Op::TaskFlood {
+            count: task_count(rng),
+            untied: rng.chance(1, 2),
+        },
+        89..=94 => Op::TaskProducer {
+            count: task_count(rng),
+        },
+        _ => Op::TaskTree {
+            fanout: rng.range_usize(1, 4),
+            depth: rng.range_usize(1, 4),
         },
     }
 }
@@ -150,6 +178,12 @@ mod tests {
                     | Op::Atomic { rounds }
                     | Op::Single { rounds }
                     | Op::Master { rounds } => assert!(rounds >= 1),
+                    Op::TaskFlood { count, .. } | Op::TaskProducer { count } => {
+                        assert!(count >= 1)
+                    }
+                    Op::TaskTree { fanout, depth } => {
+                        assert!((1..=3).contains(&fanout) && (1..=3).contains(&depth))
+                    }
                     Op::Barrier | Op::Gate => {}
                 }
             }
@@ -162,12 +196,20 @@ mod tests {
         let mut ordered = 0;
         let mut nested = 0;
         let mut gates = 0;
+        let mut trees = 0;
+        let mut producers = 0;
+        let mut cliff_floods = 0;
         for seed in 0..400 {
             for op in &generate(seed).ops {
                 match op {
                     Op::Ordered { .. } => ordered += 1,
                     Op::NestedPar { .. } => nested += 1,
                     Op::Gate => gates += 1,
+                    Op::TaskTree { .. } => trees += 1,
+                    Op::TaskProducer { .. } => producers += 1,
+                    Op::TaskFlood { count, .. } if (count - DEQUE_CAP).abs() <= 1 => {
+                        cliff_floods += 1
+                    }
                     _ => {}
                 }
             }
@@ -175,5 +217,8 @@ mod tests {
         assert!(ordered > 0, "ordered never generated");
         assert!(nested > 0, "nested parallel never generated");
         assert!(gates > 0, "gate never generated");
+        assert!(trees > 0, "task trees never generated");
+        assert!(producers > 0, "task producers never generated");
+        assert!(cliff_floods > 0, "no flood near the deque-capacity cliff");
     }
 }

@@ -112,6 +112,10 @@ fn count_of(op: &Op) -> Option<i64> {
         | Op::Atomic { rounds }
         | Op::Single { rounds }
         | Op::Master { rounds } => Some(rounds),
+        Op::TaskFlood { count, .. } | Op::TaskProducer { count } => Some(count),
+        // Trees shrink on depth: halving the node count directly would
+        // not stay in the fanout^depth family.
+        Op::TaskTree { depth, .. } => Some(depth as i64),
         Op::Barrier | Op::Gate => None,
     }
 }
@@ -130,6 +134,12 @@ fn set_count(op: &Op, n: i64) -> Option<Op> {
         Op::Atomic { .. } => Op::Atomic { rounds: n },
         Op::Single { .. } => Op::Single { rounds: n },
         Op::Master { .. } => Op::Master { rounds: n },
+        Op::TaskFlood { untied, .. } => Op::TaskFlood { count: n, untied },
+        Op::TaskProducer { .. } => Op::TaskProducer { count: n },
+        Op::TaskTree { fanout, .. } => Op::TaskTree {
+            fanout,
+            depth: (n as usize).min(3),
+        },
         Op::Barrier | Op::Gate => return None,
     })
 }

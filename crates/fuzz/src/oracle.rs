@@ -29,6 +29,22 @@ pub fn expected_op(op: &Op, threads: usize) -> i64 {
         Op::Master { rounds } => rounds,
         Op::Barrier | Op::Gate => 0,
         Op::NestedPar { count, .. } => (0..count).fold(0i64, |a, i| a.wrapping_add(mix(i))),
+        // Each of the `threads` spawners contributes the same sum, no
+        // matter which thread ends up executing which task.
+        Op::TaskFlood { count, .. } => (0..count)
+            .fold(0i64, |a, i| a.wrapping_add(mix(i)))
+            .wrapping_mul(threads as i64),
+        Op::TaskProducer { count } => (0..count).fold(0i64, |a, i| a.wrapping_add(mix(i))),
+        // One increment per tree node: fanout + fanout^2 + ... ^depth.
+        Op::TaskTree { fanout, depth } => {
+            let mut total = 0i64;
+            let mut level = 1i64;
+            for _ in 0..depth {
+                level *= fanout as i64;
+                total += level;
+            }
+            total
+        }
     }
 }
 
@@ -71,6 +87,52 @@ mod tests {
             assert_eq!(v as f64 as i64, v);
             assert!(v.abs() < 1 << 20);
         }
+    }
+
+    #[test]
+    fn task_ops_have_closed_form_results() {
+        // A flood's sum scales with the spawner count, not the executor.
+        let one = expected_op(
+            &Op::TaskFlood {
+                count: 10,
+                untied: true,
+            },
+            1,
+        );
+        let four = expected_op(
+            &Op::TaskFlood {
+                count: 10,
+                untied: false,
+            },
+            4,
+        );
+        assert_eq!(four, one.wrapping_mul(4));
+        // A producer's sum does not scale with the team.
+        assert_eq!(
+            expected_op(&Op::TaskProducer { count: 10 }, 1),
+            expected_op(&Op::TaskProducer { count: 10 }, 8),
+        );
+        // Trees count their nodes: 3 + 9 + 27.
+        assert_eq!(
+            expected_op(
+                &Op::TaskTree {
+                    fanout: 3,
+                    depth: 3
+                },
+                4
+            ),
+            39
+        );
+        assert_eq!(
+            expected_op(
+                &Op::TaskTree {
+                    fanout: 1,
+                    depth: 1
+                },
+                2
+            ),
+            1
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! construct whose runtime implementation PR 5 rewrote — worksharing
 //! under all four schedules, reductions, critical/lock mutual
 //! exclusion, ordered sections, single/master, barriers — plus
-//! pause/resume gating of the collector, and nested parallel regions.
+//! pause/resume gating of the collector, nested parallel regions, and
+//! the explicit-task constructs (floods, single-producer steals, and
+//! nested task trees) running on the work-stealing pool.
 //!
 //! Each op has a closed-form sequential result (see
 //! [`crate::oracle`]); the differential harness executes the same ops
@@ -87,6 +89,17 @@ pub enum Op {
     /// Master forks a nested region of `threads` threads which sums
     /// `mix(i)` over `0..count` (serialized unless `Scenario::nested`).
     NestedPar { threads: usize, count: i64 },
+    /// Every thread spawns `count` explicit tasks summing `mix(i)`,
+    /// then taskwaits. Tied tasks stay on their spawner's deque;
+    /// untied ones are fair game for thieves.
+    TaskFlood { count: i64, untied: bool },
+    /// Master alone spawns `count` untied tasks while the whole team
+    /// taskwaits — the steal-heavy shape.
+    TaskProducer { count: i64 },
+    /// Master grows a task tree through nested scoped spawns: every
+    /// node spawns `fanout` children down to `depth` levels, with
+    /// tied/untied alternating by level (both capped at 3).
+    TaskTree { fanout: usize, depth: usize },
 }
 
 /// A complete generated program.
@@ -140,6 +153,15 @@ impl Scenario {
                 Op::Barrier => writeln!(out, "barrier"),
                 Op::Gate => writeln!(out, "gate"),
                 Op::NestedPar { threads, count } => writeln!(out, "nestedpar {threads} {count}"),
+                Op::TaskFlood { count, untied } => {
+                    writeln!(
+                        out,
+                        "task_flood {count} {}",
+                        if *untied { "untied" } else { "tied" }
+                    )
+                }
+                Op::TaskProducer { count } => writeln!(out, "task_producer {count}"),
+                Op::TaskTree { fanout, depth } => writeln!(out, "task_tree {fanout} {depth}"),
             };
         }
         out
@@ -221,6 +243,29 @@ impl Scenario {
                     threads: positive(fields[1])? as usize,
                     count: positive(fields[2])?,
                 }),
+                "task_flood" if fields.len() == 3 => {
+                    let count = positive(fields[1])?;
+                    let untied = match fields[2] {
+                        "tied" => false,
+                        "untied" => true,
+                        _ => return Err(err("expected tied/untied")),
+                    };
+                    ops.push(Op::TaskFlood { count, untied });
+                }
+                "task_producer" if fields.len() == 2 => ops.push(Op::TaskProducer {
+                    count: positive(fields[1])?,
+                }),
+                "task_tree" if fields.len() == 3 => {
+                    let fanout = positive(fields[1])?;
+                    let depth = positive(fields[2])?;
+                    if fanout > 3 || depth > 3 {
+                        return Err(err("task_tree is capped at fanout 3, depth 3"));
+                    }
+                    ops.push(Op::TaskTree {
+                        fanout: fanout as usize,
+                        depth: depth as usize,
+                    });
+                }
                 _ => return Err(err("unknown directive")),
             }
         }
@@ -278,6 +323,19 @@ mod tests {
                 },
                 Op::ReduceMin { count: 7 },
                 Op::ReduceMax { count: 7 },
+                Op::TaskFlood {
+                    count: 257,
+                    untied: true,
+                },
+                Op::TaskFlood {
+                    count: 3,
+                    untied: false,
+                },
+                Op::TaskProducer { count: 40 },
+                Op::TaskTree {
+                    fanout: 2,
+                    depth: 3,
+                },
             ],
         }
     }
@@ -306,6 +364,9 @@ mod tests {
         assert!(err.contains("line 2"), "{err}");
         assert!(Scenario::parse("threads 2\nordered -3").is_err());
         assert!(Scenario::parse("threads 2\nwat 1").is_err());
+        assert!(Scenario::parse("threads 2\ntask_flood 5 sideways").is_err());
+        assert!(Scenario::parse("threads 2\ntask_tree 4 2").is_err());
+        assert!(Scenario::parse("threads 2\ntask_producer 0").is_err());
     }
 
     #[test]

@@ -466,19 +466,48 @@ impl<'a> ParCtx<'a> {
     // Explicit tasks (OpenMP 3.0 extension — the paper's future work)
     // ------------------------------------------------------------------
 
-    /// Create an explicit task. Any team thread may execute it; it is
-    /// guaranteed complete by the next [`ParCtx::taskwait`] or barrier.
+    /// Create an explicit **tied** task: it is pinned to this thread's
+    /// deque and only this thread executes it (see the scheduling notes
+    /// in [`crate::task`]). Guaranteed complete by the next
+    /// [`ParCtx::taskwait`] or barrier.
     ///
     /// The closure must be `'static` (move shared data in via `Arc`/
     /// atomics). For tasks that borrow region-lived data, see
     /// [`ParCtx::task_borrowed`].
     pub fn task<F: FnOnce() + Send + 'static>(&self, f: F) {
         // SAFETY: 'static captures trivially satisfy the drain contract.
-        let task = unsafe { crate::task::ErasedTask::new(f) };
+        let task = unsafe {
+            crate::task::ErasedTask::new(crate::task::TaskKind::Tied, self.gtid, move |_| f())
+        };
         self.team.tasks.push(task);
     }
 
-    /// Create an explicit task whose closure borrows non-`'static` data.
+    /// Create an explicit **untied** task: any team thread may steal and
+    /// execute it.
+    pub fn task_untied<F: FnOnce() + Send + 'static>(&self, f: F) {
+        // SAFETY: as for `task`.
+        let task = unsafe {
+            crate::task::ErasedTask::new(crate::task::TaskKind::Untied, self.gtid, move |_| f())
+        };
+        self.team.tasks.push(task);
+    }
+
+    /// Create a tied task whose body receives a [`TaskScope`] for
+    /// spawning nested child tasks (task trees).
+    ///
+    /// [`TaskScope`]: crate::task::TaskScope
+    pub fn task_scoped<F>(&self, f: F)
+    where
+        F: for<'s> FnOnce(&crate::task::TaskScope<'s>) + Send + 'static,
+    {
+        // SAFETY: as for `task`.
+        let task =
+            unsafe { crate::task::ErasedTask::new(crate::task::TaskKind::Tied, self.gtid, f) };
+        self.team.tasks.push(task);
+    }
+
+    /// Create an explicit tied task whose closure borrows non-`'static`
+    /// data.
     ///
     /// # Safety
     /// Every borrow captured by `f` must remain valid until the next
@@ -487,14 +516,51 @@ impl<'a> ParCtx<'a> {
     /// capture references to loop-iteration locals that die before the
     /// wait — move such values into the closure instead.
     pub unsafe fn task_borrowed<F: FnOnce() + Send>(&self, f: F) {
-        let task = unsafe { crate::task::ErasedTask::new(f) };
+        let task = unsafe {
+            crate::task::ErasedTask::new(crate::task::TaskKind::Tied, self.gtid, move |_| f())
+        };
         self.team.tasks.push(task);
+    }
+
+    /// Create an explicit **untied** borrowing task — the stealable
+    /// variant of [`ParCtx::task_borrowed`].
+    ///
+    /// # Safety
+    /// As for [`ParCtx::task_borrowed`], with the added caveat that any
+    /// team thread may run the closure, so the captures must also be
+    /// sound to touch from a stealing thread (the `Send` bound enforces
+    /// this for the types; aliasing discipline is on the caller).
+    pub unsafe fn task_borrowed_untied<F: FnOnce() + Send>(&self, f: F) {
+        let task = unsafe {
+            crate::task::ErasedTask::new(crate::task::TaskKind::Untied, self.gtid, move |_| f())
+        };
+        self.team.tasks.push(task);
+    }
+
+    /// Pop-and-run one eligible task, firing `TaskBegin`/`TaskEnd` with
+    /// the task's ID in the wait-ID field and keeping the state word at
+    /// `Working` for the duration. Returns whether a task ran.
+    pub(crate) fn run_one_task(&self) -> bool {
+        let pool = &self.team.tasks;
+        let Some(task) = pool.try_pop(self.gtid) else {
+            return false;
+        };
+        let id = task.id();
+        let prev = self.desc.state.replace(ThreadState::Working);
+        self.fire(Event::TaskBegin, id);
+        task.run(&crate::task::TaskScope::new(pool, self.gtid));
+        self.fire(Event::TaskEnd, id);
+        self.desc.state.set(prev);
+        pool.complete();
+        true
     }
 
     /// Execute queued tasks until the team's task queue is quiescent —
     /// `#pragma omp taskwait` (with the stronger all-team-tasks semantics
     /// the implicit barrier needs). Fires the extension taskwait events
-    /// and sets `THR_TSKWT_STATE` while waiting.
+    /// and sets `THR_TSKWT_STATE` while waiting. A thread with no
+    /// eligible task parks against the pool's epoch instead of spinning,
+    /// leaving the core to whichever thread holds runnable work.
     pub fn taskwait(&self) {
         let pool = &self.team.tasks;
         if pool.outstanding() == 0 {
@@ -504,19 +570,18 @@ impl<'a> ParCtx<'a> {
         let prev = self.desc.state.replace(ThreadState::TaskWait);
         self.fire(Event::TaskWaitBegin, wait_id);
         loop {
-            if let Some(task) = pool.try_pop() {
-                // Run the task in the working state, bracketed by events.
-                self.desc.state.set(ThreadState::Working);
-                self.fire(Event::TaskBegin, 0);
-                task.run();
-                self.fire(Event::TaskEnd, 0);
+            if self.run_one_task() {
                 self.desc.state.set(ThreadState::TaskWait);
-                pool.complete();
-            } else if pool.outstanding() == 0 {
-                break;
-            } else {
-                std::thread::yield_now();
+                continue;
             }
+            // Sample the epoch *before* the quiescence check: a push
+            // between the check and the park moves the epoch, so the
+            // park returns immediately instead of missing the wakeup.
+            let seen = pool.epoch();
+            if pool.outstanding() == 0 {
+                break;
+            }
+            pool.park(self.gtid, seen);
         }
         self.desc.state.set(prev);
         self.fire(Event::TaskWaitEnd, wait_id);

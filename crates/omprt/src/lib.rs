@@ -61,5 +61,6 @@ pub use lock::{OmpLock, OmpNestLock};
 pub use region::{CallSite, RegionHandle, SourceFunction};
 pub use runtime::OpenMp;
 pub use schedule::{Chunk, Claimer, DynamicLoop, Schedule};
+pub use task::TaskScope;
 pub use team::Team;
 pub use wordlock::WordLock;

@@ -453,6 +453,13 @@ impl OpenMp {
             result.err()
         };
 
+        // Every thread drained to quiescence at the barrier above, so
+        // the scheduler counters are final for this region.
+        if team.tasks.used() {
+            let (stolen, overflows, parks) = team.tasks.take_stats();
+            shared.api.task_stats().absorb(stolen, overflows, parks);
+        }
+
         // "In the case of a join operation, the OMP_EVENT_JOIN is
         // triggered and the state of the master thread is set to
         // THR_OVHD_STATE as soon as it leaves the implicit barrier at the
@@ -540,6 +547,11 @@ impl OpenMp {
             }
             ctx.implicit_barrier();
         });
+
+        if team.tasks.used() {
+            let (stolen, overflows, parks) = team.tasks.take_stats();
+            shared.api.task_stats().absorb(stolen, overflows, parks);
+        }
 
         // Join: fired by the inner master as it leaves the inner barrier.
         outer_desc.state.set(ThreadState::Overhead);

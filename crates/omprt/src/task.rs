@@ -2,18 +2,67 @@
 //! work ("More work will be needed to extend the interface to handle the
 //! constructs in the recent OpenMP 3.0 standard", §VI).
 //!
-//! Tasks created inside a parallel region are queued on the team and may
-//! be executed by any team thread. `taskwait` (and the implicit barrier at
-//! region/worksharing end, which subsumes one) drains the queue, executing
-//! tasks while waiting. The ORA extension events `TaskBegin`/`TaskEnd` and
-//! `TaskWaitBegin`/`TaskWaitEnd` plus the `THR_TSKWT_STATE` state make the
-//! construct observable to collectors in the same begin/end style as the
-//! white-paper events.
+//! ## Scheduling model
+//!
+//! The team's [`TaskPool`] keeps one bounded deque per team thread plus a
+//! shared overflow queue, in the classic work-stealing shape:
+//!
+//! * **Spawn** pushes onto the spawning thread's own deque (no shared
+//!   queue contention between spawners); a full deque spills into the
+//!   overflow queue and counts an overflow.
+//! * **Owner pop** takes from the back of the thread's own deque — LIFO,
+//!   so freshly spawned (cache-hot, deepest-in-the-tree) tasks run
+//!   first.
+//! * **Steal** scans the other threads' deques round-robin and takes
+//!   from the *front* — FIFO, so thieves take the oldest (largest
+//!   remaining subtree) work — but only **untied** tasks are eligible:
+//!   tied tasks (the default, [`TaskKind::Tied`]) only ever execute on
+//!   the thread that created them. That is deliberately more
+//!   conservative than OpenMP requires (tied tasks may start on any
+//!   thread and are only *re-execution* pinned after suspension), but
+//!   since this runtime never suspends a task mid-body, pinning at
+//!   spawn is indistinguishable from pinning at first execution — and
+//!   it is exactly the scheduling constraint profiling tools must see
+//!   to attribute serialized-spawn pathologies (arXiv 2406.03077) to
+//!   the thread that caused them.
+//!
+//! Waiting threads ([`ParCtx::taskwait`], and the region-end drain the
+//! implicit barrier performs) execute tasks while they wait; when no
+//! eligible task exists but tasks are still outstanding elsewhere, they
+//! park on a per-thread [`ParkSlot`] against the pool's epoch counter
+//! instead of burning the timeslice the task-running thread needs. Every
+//! push bumps the epoch and rings the parked threads' doorbells; the
+//! last completion does the same so quiescence-waiters wake.
+//!
+//! The ORA extension events `TaskBegin`/`TaskEnd` (whose wait-ID field
+//! carries the task's ID) and `TaskWaitBegin`/`TaskWaitEnd` plus the
+//! `THR_TSKWT_STATE` state make all of this observable to collectors in
+//! the same begin/end style as the white-paper events; steal, overflow,
+//! and park counts surface through `ApiHealth` after each region.
+//!
+//! [`ParCtx::taskwait`]: crate::context::ParCtx::taskwait
+//! [`ParkSlot`]: ora_core::park::ParkSlot
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
+use ora_core::pad::CachePadded;
+use ora_core::park::ParkSlot;
 use ora_core::sync::Mutex;
+
+/// Per-thread deque capacity; spawns beyond it spill to the overflow
+/// queue (claimer-hostile spawn storms stay bounded per lane, and the
+/// spill is counted so tools can see it).
+pub(crate) const DEQUE_CAP: usize = 256;
+
+/// Whether a task is pinned to its spawning thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TaskKind {
+    /// Executes only on the thread that created it (module docs).
+    Tied,
+    /// Eligible for any team thread; the unit of work stealing.
+    Untied,
+}
 
 /// A lifetime-erased queued task.
 ///
@@ -21,10 +70,16 @@ use ora_core::sync::Mutex;
 /// Tasks may borrow from the enclosing parallel region's environment. The
 /// runtime guarantees every queued task is executed (or dropped) before
 /// any team thread passes the region-end implicit barrier — each thread
-/// drains the queue to empty *and quiescent* before arriving — so the
+/// drains the pool to empty *and quiescent* before arriving — so the
 /// erased borrows never outlive their referents.
 pub(crate) struct ErasedTask {
-    f: Box<dyn FnOnce() + Send + 'static>,
+    f: Box<dyn FnOnce(&TaskScope<'_>) + Send + 'static>,
+    /// Monotonic per-pool ID, assigned at push; carried in the
+    /// TaskBegin/TaskEnd wait-ID field.
+    id: u64,
+    kind: TaskKind,
+    /// Spawning thread's gtid — the only legal executor for tied tasks.
+    owner: usize,
 }
 
 impl ErasedTask {
@@ -34,57 +89,233 @@ impl ErasedTask {
     /// Caller must ensure the task runs before the borrows in `f` expire
     /// (the team drains at every barrier, which is sufficient for tasks
     /// created inside a region).
-    pub(crate) unsafe fn new<'e, F: FnOnce() + Send + 'e>(f: F) -> Self {
-        let boxed: Box<dyn FnOnce() + Send + 'e> = Box::new(f);
+    pub(crate) unsafe fn new<'e, F>(kind: TaskKind, owner: usize, f: F) -> Self
+    where
+        F: for<'s> FnOnce(&TaskScope<'s>) + Send + 'e,
+    {
+        let boxed: Box<dyn for<'s> FnOnce(&TaskScope<'s>) + Send + 'e> = Box::new(f);
         // SAFETY: lifetime erasure justified by the drain-before-barrier
         // protocol documented on the type.
-        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
-        ErasedTask { f: boxed }
+        let boxed: Box<dyn for<'s> FnOnce(&TaskScope<'s>) + Send + 'static> =
+            unsafe { std::mem::transmute(boxed) };
+        ErasedTask {
+            f: boxed,
+            id: 0,
+            kind,
+            owner,
+        }
     }
 
-    pub(crate) fn run(self) {
-        (self.f)()
+    /// The pool-assigned task ID (0 until pushed).
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether `gtid` may execute this task.
+    fn eligible_for(&self, gtid: usize) -> bool {
+        self.kind == TaskKind::Untied || self.owner == gtid
+    }
+
+    pub(crate) fn run(self, scope: &TaskScope<'_>) {
+        (self.f)(scope)
     }
 }
 
-/// The team's shared task queue.
+/// The execution context handed to every running task: the handle
+/// through which a task body spawns nested tasks. Spawns are attributed
+/// to the *executing* thread — a tied child created inside a stolen task
+/// is pinned to the thief, which is where it actually ran.
+pub struct TaskScope<'p> {
+    pool: &'p TaskPool,
+    gtid: usize,
+}
+
+impl<'p> TaskScope<'p> {
+    pub(crate) fn new(pool: &'p TaskPool, gtid: usize) -> Self {
+        TaskScope { pool, gtid }
+    }
+
+    /// Spawn a tied child task (pinned to the thread running this task).
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) {
+        // SAFETY: 'static captures trivially satisfy the drain contract.
+        let task = unsafe { ErasedTask::new(TaskKind::Tied, self.gtid, move |_| f()) };
+        self.pool.push(task);
+    }
+
+    /// Spawn an untied child task (any team thread may steal it).
+    pub fn spawn_untied<F: FnOnce() + Send + 'static>(&self, f: F) {
+        // SAFETY: as for `spawn`.
+        let task = unsafe { ErasedTask::new(TaskKind::Untied, self.gtid, move |_| f()) };
+        self.pool.push(task);
+    }
+
+    /// Spawn a tied child that itself receives a [`TaskScope`], for
+    /// arbitrarily deep task trees.
+    pub fn spawn_scoped<F>(&self, f: F)
+    where
+        F: for<'s> FnOnce(&TaskScope<'s>) + Send + 'static,
+    {
+        // SAFETY: as for `spawn`.
+        let task = unsafe { ErasedTask::new(TaskKind::Tied, self.gtid, f) };
+        self.pool.push(task);
+    }
+
+    /// Spawn an untied child that itself receives a [`TaskScope`].
+    pub fn spawn_scoped_untied<F>(&self, f: F)
+    where
+        F: for<'s> FnOnce(&TaskScope<'s>) + Send + 'static,
+    {
+        // SAFETY: as for `spawn`.
+        let task = unsafe { ErasedTask::new(TaskKind::Untied, self.gtid, f) };
+        self.pool.push(task);
+    }
+}
+
+/// One thread's deque. A plain locked `VecDeque` rather than a lock-free
+/// Chase–Lev deque: every queue operation here brackets a task body (or
+/// a steal attempt that is already off the fast path), so an uncontended
+/// word-lock acquisition is noise — what matters is that *different
+/// spawners never share a queue*, and that owners and thieves take from
+/// opposite ends.
+struct Deque {
+    q: Mutex<VecDeque<ErasedTask>>,
+}
+
+/// The team's work-stealing task pool (module docs).
 pub(crate) struct TaskPool {
-    queue: Mutex<VecDeque<ErasedTask>>,
+    /// One deque per team thread, indexed by gtid; cache-padded so one
+    /// thread's spawn burst never false-shares with a neighbour's.
+    deques: Box<[CachePadded<Deque>]>,
+    /// Spill queue for full deques. Tied spill entries are still
+    /// owner-pinned; everyone scans this (it is expected to stay empty).
+    overflow: Mutex<VecDeque<ErasedTask>>,
     /// Tasks queued or currently executing.
     outstanding: AtomicUsize,
     /// Monotonic task IDs (carried in the TaskBegin/TaskEnd wait-ID field).
     next_id: AtomicU64,
     /// Cheap flag so regions that never create tasks skip the drain.
     ever_used: AtomicBool,
+    /// Eventcount epoch: bumped by every push and by the completion that
+    /// reaches quiescence. Waiters sample it before deciding to park and
+    /// park against "epoch changed or quiescent".
+    epoch: AtomicU64,
+    /// Doorbells for task-starved threads, one per team thread.
+    waiters: Box<[CachePadded<ParkSlot>]>,
+    /// Bit `gtid` set ⇔ that thread is inside [`TaskPool::park`]
+    /// (threads ≥ 64 are woken unconditionally).
+    parked_mask: AtomicU64,
+    /// Number of threads inside [`TaskPool::park`] — the wake path's
+    /// one-load fast exit.
+    parked_count: AtomicUsize,
+    /// Tasks executed by a thread other than their spawner.
+    steals: AtomicU64,
+    /// Spawns that spilled into the overflow queue.
+    overflows: AtomicU64,
+    /// Park episodes in task waits (satellite of `ApiHealth`).
+    parks: AtomicU64,
 }
 
 impl TaskPool {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(size: usize) -> Self {
+        let size = size.max(1);
         TaskPool {
-            queue: Mutex::new(VecDeque::new()),
+            deques: (0..size)
+                .map(|_| {
+                    CachePadded::new(Deque {
+                        q: Mutex::new(VecDeque::new()),
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            overflow: Mutex::new(VecDeque::new()),
             outstanding: AtomicUsize::new(0),
             next_id: AtomicU64::new(0),
             ever_used: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            waiters: (0..size)
+                .map(|_| CachePadded::new(ParkSlot::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            parked_mask: AtomicU64::new(0),
+            parked_count: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
         }
     }
 
-    /// Queue a task; returns its ID.
-    pub(crate) fn push(&self, task: ErasedTask) -> u64 {
+    /// Queue a task on its owner's deque (spilling when full); returns
+    /// its ID. Wakes parked threads so stealable or owner-runnable work
+    /// never strands.
+    pub(crate) fn push(&self, mut task: ErasedTask) -> u64 {
         self.ever_used.store(true, Ordering::Relaxed);
         self.outstanding.fetch_add(1, Ordering::AcqRel);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        self.queue.lock().push_back(task);
+        task.id = id;
+        let lane = task.owner.min(self.deques.len() - 1);
+        {
+            let mut q = self.deques[lane].q.lock();
+            if q.len() < DEQUE_CAP {
+                q.push_back(task);
+            } else {
+                drop(q);
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                self.overflow.lock().push_back(task);
+            }
+        }
+        // Publish-then-wake: the epoch bump is the predicate parked
+        // threads re-check, so it must be visible before the doorbells.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.wake_parked();
         id
     }
 
-    /// Pop one task if any is queued.
-    pub(crate) fn try_pop(&self) -> Option<ErasedTask> {
-        self.queue.lock().pop_front()
+    /// Take one task `gtid` may execute: own deque from the back (LIFO),
+    /// then the overflow spill, then steal — oldest first — from the
+    /// other deques, round-robin from the right neighbour.
+    pub(crate) fn try_pop(&self, gtid: usize) -> Option<ErasedTask> {
+        let lanes = self.deques.len();
+        let me = gtid.min(lanes - 1);
+        if let Some(task) = self.deques[me].q.lock().pop_back() {
+            return Some(task);
+        }
+        if let Some(task) = self.pop_overflow(gtid) {
+            return Some(task);
+        }
+        for offset in 1..lanes {
+            let victim = (me + offset) % lanes;
+            let mut q = self.deques[victim].q.lock();
+            if let Some(pos) = q.iter().position(|t| t.kind == TaskKind::Untied) {
+                let task = q.remove(pos).expect("position is in range");
+                drop(q);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
     }
 
-    /// Mark one popped task finished.
+    /// Take the oldest overflow entry `gtid` may execute. Counts a steal
+    /// when the entry was spawned elsewhere — distribution through the
+    /// spill queue is still work leaving its spawner.
+    fn pop_overflow(&self, gtid: usize) -> Option<ErasedTask> {
+        let mut q = self.overflow.lock();
+        let pos = q.iter().position(|t| t.eligible_for(gtid))?;
+        let task = q.remove(pos).expect("position is in range");
+        drop(q);
+        if task.owner != gtid {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(task)
+    }
+
+    /// Mark one popped task finished; the completion reaching quiescence
+    /// rings every parked waiter (they wait for `outstanding == 0`).
     pub(crate) fn complete(&self) {
-        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+            self.wake_parked();
+        }
     }
 
     /// Queued-or-running task count.
@@ -96,6 +327,57 @@ impl TaskPool {
     pub(crate) fn used(&self) -> bool {
         self.ever_used.load(Ordering::Relaxed)
     }
+
+    /// Current eventcount epoch; sample before deciding to park.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Park `gtid` until the epoch moves past `seen` or the pool goes
+    /// quiescent. Spin-free on single-core hosts (`crate::spin`); every
+    /// episode is counted for `ApiHealth`.
+    pub(crate) fn park(&self, gtid: usize, seen: u64) {
+        let slot = gtid.min(self.waiters.len() - 1);
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        self.parked_count.fetch_add(1, Ordering::SeqCst);
+        if slot < 64 {
+            self.parked_mask.fetch_or(1 << slot, Ordering::SeqCst);
+        }
+        self.waiters[slot].wait(crate::spin::short_budget(), || {
+            self.epoch.load(Ordering::SeqCst) != seen
+                || self.outstanding.load(Ordering::SeqCst) == 0
+        });
+        if slot < 64 {
+            self.parked_mask.fetch_and(!(1 << slot), Ordering::SeqCst);
+        }
+        self.parked_count.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Ring the doorbell of every thread currently in [`TaskPool::park`].
+    /// One relaxed-ish load when nobody is parked; a stale unpark token
+    /// at worst makes one future wait return spuriously (the wait
+    /// predicate is always re-checked).
+    fn wake_parked(&self) {
+        if self.parked_count.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mask = self.parked_mask.load(Ordering::SeqCst);
+        for (i, slot) in self.waiters.iter().enumerate() {
+            if i >= 64 || mask & (1 << i) != 0 {
+                slot.unpark();
+            }
+        }
+    }
+
+    /// Drain the scheduler counters (steals, overflows, parks) — called
+    /// once per region at join, the totals then land in `ApiHealth`.
+    pub(crate) fn take_stats(&self) -> (u64, u64, u64) {
+        (
+            self.steals.swap(0, Ordering::Relaxed),
+            self.overflows.swap(0, Ordering::Relaxed),
+            self.parks.swap(0, Ordering::Relaxed),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -103,63 +385,163 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    fn tied<F: FnOnce() + Send + 'static>(owner: usize, f: F) -> ErasedTask {
+        unsafe { ErasedTask::new(TaskKind::Tied, owner, move |_| f()) }
+    }
+
+    fn untied<F: FnOnce() + Send + 'static>(owner: usize, f: F) -> ErasedTask {
+        unsafe { ErasedTask::new(TaskKind::Untied, owner, move |_| f()) }
+    }
+
+    fn drain(pool: &TaskPool, gtid: usize) {
+        while let Some(t) = pool.try_pop(gtid) {
+            t.run(&TaskScope::new(pool, gtid));
+            pool.complete();
+        }
+    }
+
     #[test]
     fn pool_tracks_outstanding_counts() {
-        let pool = TaskPool::new();
+        let pool = TaskPool::new(2);
         assert!(!pool.used());
         assert_eq!(pool.outstanding(), 0);
         let hits = Arc::new(AtomicUsize::new(0));
         let h = hits.clone();
-        let id = pool.push(unsafe {
-            ErasedTask::new(move || {
-                h.fetch_add(1, Ordering::SeqCst);
-            })
-        });
+        let id = pool.push(tied(0, move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
         assert_eq!(id, 1);
         assert!(pool.used());
         assert_eq!(pool.outstanding(), 1);
-        let t = pool.try_pop().unwrap();
+        let t = pool.try_pop(0).unwrap();
+        assert_eq!(t.id(), 1);
         assert_eq!(pool.outstanding(), 1, "running still counts");
-        t.run();
+        t.run(&TaskScope::new(&pool, 0));
         pool.complete();
         assert_eq!(pool.outstanding(), 0);
         assert_eq!(hits.load(Ordering::SeqCst), 1);
-        assert!(pool.try_pop().is_none());
+        assert!(pool.try_pop(0).is_none());
     }
 
     #[test]
-    fn tasks_run_in_fifo_order_when_drained_serially() {
-        let pool = TaskPool::new();
-        let order = Arc::new(Mutex::new(Vec::new()));
-        for i in 0..5 {
-            let order = order.clone();
-            pool.push(unsafe {
-                ErasedTask::new(move || {
-                    order.lock().push(i);
-                })
-            });
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let pool = TaskPool::new(2);
+        for i in 0..4u64 {
+            pool.push(untied(0, move || {
+                let _ = i;
+            }));
         }
-        while let Some(t) = pool.try_pop() {
-            t.run();
+        // Owner takes the freshest spawn...
+        let own = pool.try_pop(0).unwrap();
+        assert_eq!(own.id(), 4, "owner pop is LIFO");
+        // ...the thief takes the oldest.
+        let stolen = pool.try_pop(1).unwrap();
+        assert_eq!(stolen.id(), 1, "steal is FIFO");
+        let (steals, _, _) = pool.take_stats();
+        assert_eq!(steals, 1);
+        // Clean up the outstanding ledger.
+        for t in [own, stolen] {
+            t.run(&TaskScope::new(&pool, 0));
             pool.complete();
         }
-        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+        drain(&pool, 0);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn tied_tasks_are_never_stolen() {
+        let pool = TaskPool::new(2);
+        pool.push(tied(0, || {}));
+        assert!(
+            pool.try_pop(1).is_none(),
+            "a tied task must wait for its owner"
+        );
+        let t = pool.try_pop(0).expect("owner takes its tied task");
+        t.run(&TaskScope::new(&pool, 0));
+        pool.complete();
+        let (steals, _, _) = pool.take_stats();
+        assert_eq!(steals, 0);
+    }
+
+    #[test]
+    fn overflow_spills_are_counted_and_respect_ties() {
+        let pool = TaskPool::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..DEQUE_CAP + 3 {
+            let ran = ran.clone();
+            pool.push(tied(0, move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let (_, overflows, _) = pool.take_stats();
+        assert_eq!(overflows, 3, "pushes past DEQUE_CAP spill");
+        assert!(
+            pool.try_pop(1).is_none(),
+            "tied spills stay pinned to their owner"
+        );
+        drain(&pool, 0);
+        assert_eq!(ran.load(Ordering::SeqCst), DEQUE_CAP + 3);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn nested_spawns_through_the_scope_complete() {
+        let pool = Arc::new(TaskPool::new(1));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let s = sum.clone();
+        let task = unsafe {
+            ErasedTask::new(TaskKind::Tied, 0, move |scope: &TaskScope<'_>| {
+                s.fetch_add(1, Ordering::SeqCst);
+                let s2 = s.clone();
+                scope.spawn(move || {
+                    s2.fetch_add(10, Ordering::SeqCst);
+                });
+                let s3 = s.clone();
+                scope.spawn_untied(move || {
+                    s3.fetch_add(100, Ordering::SeqCst);
+                });
+            })
+        };
+        pool.push(task);
+        drain(&pool, 0);
+        assert_eq!(sum.load(Ordering::SeqCst), 111);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn park_returns_on_push_and_on_quiescence() {
+        let pool = Arc::new(TaskPool::new(2));
+        // Quiescence: outstanding == 0 makes park a no-op.
+        let epoch = pool.epoch();
+        pool.park(1, epoch);
+
+        // Push: a parked thread is woken by new work.
+        let pool2 = pool.clone();
+        let waiter = std::thread::spawn(move || {
+            let seen = pool2.epoch();
+            if pool2.outstanding() == 0 || pool2.try_pop(1).is_some() {
+                return;
+            }
+            pool2.park(1, seen);
+        });
+        pool.push(untied(0, || {}));
+        waiter.join().unwrap();
+        drain(&pool, 0);
+        let (_, _, parks) = pool.take_stats();
+        assert!(parks >= 1, "park episodes are counted");
     }
 
     #[test]
     fn tasks_may_borrow_locals_when_drained_in_scope() {
         let data = [1, 2, 3];
         let sum = AtomicUsize::new(0);
-        let pool = TaskPool::new();
+        let pool = TaskPool::new(1);
         pool.push(unsafe {
-            ErasedTask::new(|| {
+            ErasedTask::new(TaskKind::Tied, 0, |_: &TaskScope<'_>| {
                 sum.fetch_add(data.iter().sum::<usize>(), Ordering::SeqCst);
             })
         });
-        while let Some(t) = pool.try_pop() {
-            t.run();
-            pool.complete();
-        }
+        drain(&pool, 0);
         assert_eq!(sum.load(Ordering::SeqCst), 6);
     }
 }

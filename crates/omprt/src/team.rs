@@ -114,7 +114,7 @@ impl Team {
             barrier: Arc::new(Barrier::new(barrier_kind, size)),
             reduction_lock: WordLock::new(),
             single_claim: CachePadded::new(AtomicU64::new(0)),
-            tasks: TaskPool::new(),
+            tasks: TaskPool::new(size),
             dyn_loops: Mutex::new(HashMap::new()),
             ordered_loops: Mutex::new(HashMap::new()),
             panicked: AtomicBool::new(false),

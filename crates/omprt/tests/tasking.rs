@@ -274,6 +274,146 @@ fn single_copyprivate_works_repeatedly() {
 }
 
 #[test]
+fn tied_tasks_execute_only_on_their_spawning_thread() {
+    let rt = OpenMp::with_threads(4);
+    let log = record(&rt, &[Event::TaskBegin]);
+    rt.parallel(move |ctx| {
+        for _ in 0..8 {
+            // The body is inert; the TaskBegin event's gtid identifies
+            // the executing thread.
+            ctx.task(|| {});
+        }
+        ctx.taskwait();
+    });
+    // Tied tasks are owner-pinned: every TaskBegin for the 8 tasks thread
+    // N spawned fires on thread N. IDs are assigned in push order
+    // globally, so reconstruct ownership from the event stream: each
+    // executing thread must have run exactly its own 8.
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 32);
+    let mut per_thread = [0usize; 4];
+    for d in log.iter() {
+        per_thread[d.gtid] += 1;
+    }
+    assert_eq!(per_thread, [8, 8, 8, 8], "tied tasks never migrate");
+}
+
+#[test]
+fn untied_tasks_distribute_and_steals_are_counted() {
+    let rt = OpenMp::with_threads(4);
+    let log = record(&rt, &[Event::TaskBegin]);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r = ran.clone();
+    rt.parallel(move |ctx| {
+        if ctx.is_master() {
+            for _ in 0..64 {
+                let r = r.clone();
+                ctx.task_untied(move || {
+                    r.fetch_add(1, Ordering::SeqCst);
+                    // Enough work that other threads reach their
+                    // taskwait while tasks are still pending.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                });
+            }
+        }
+        // Publish before anyone concludes the pool is quiescent.
+        ctx.barrier();
+        ctx.taskwait();
+    });
+    assert_eq!(ran.load(Ordering::SeqCst), 64);
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 64);
+    let stolen = log.iter().filter(|d| d.gtid != 0).count();
+    assert!(stolen > 0, "untied tasks must migrate off the producer");
+    // The scheduler counters surfaced through ApiHealth at region end.
+    let health = rt.health();
+    assert!(
+        health.tasks_stolen >= stolen as u64,
+        "health reports {} steals, events show {stolen}",
+        health.tasks_stolen
+    );
+}
+
+#[test]
+fn task_trees_spawn_through_the_scope() {
+    let rt = OpenMp::with_threads(2);
+    let sum = Arc::new(AtomicU64::new(0));
+    let s = sum.clone();
+    rt.parallel(move |ctx| {
+        if ctx.is_master() {
+            let s = s.clone();
+            ctx.task_scoped(move |scope| {
+                s.fetch_add(1, Ordering::SeqCst);
+                for _ in 0..3 {
+                    let s = s.clone();
+                    scope.spawn_scoped(move |scope| {
+                        s.fetch_add(10, Ordering::SeqCst);
+                        let s = s.clone();
+                        scope.spawn_untied(move || {
+                            s.fetch_add(100, Ordering::SeqCst);
+                        });
+                    });
+                }
+            });
+        }
+        ctx.taskwait();
+        assert_eq!(s.load(Ordering::SeqCst), 331);
+    });
+    assert_eq!(sum.load(Ordering::SeqCst), 331);
+}
+
+#[test]
+fn task_events_carry_task_ids() {
+    let rt = OpenMp::with_threads(2);
+    let log = record(&rt, &[Event::TaskBegin, Event::TaskEnd]);
+    rt.parallel(|ctx| {
+        if ctx.is_master() {
+            for _ in 0..5 {
+                ctx.task(|| {});
+            }
+        }
+        ctx.taskwait();
+    });
+    let log = log.lock().unwrap();
+    let begin_ids: Vec<u64> = log
+        .iter()
+        .filter(|d| d.event == Event::TaskBegin)
+        .map(|d| d.wait_id)
+        .collect();
+    let mut end_ids: Vec<u64> = log
+        .iter()
+        .filter(|d| d.event == Event::TaskEnd)
+        .map(|d| d.wait_id)
+        .collect();
+    // Pool-assigned IDs start at 1; begin/end carry the same ID.
+    let mut sorted = begin_ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+    end_ids.sort_unstable();
+    assert_eq!(end_ids, sorted);
+}
+
+#[test]
+fn taskwait_executes_descendants_while_waiting() {
+    // The master spawns untied work then taskwaits; per the pop order it
+    // executes queued tasks itself rather than only blocking, so even a
+    // solo team makes progress.
+    let rt = OpenMp::with_threads(1);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r = ran.clone();
+    rt.parallel(move |ctx| {
+        for _ in 0..10 {
+            let r = r.clone();
+            ctx.task_untied(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        ctx.taskwait();
+        assert_eq!(r.load(Ordering::SeqCst), 10);
+    });
+}
+
+#[test]
 fn tasks_interleave_with_worksharing() {
     // Producer/consumer: the master queues tasks while everyone also
     // works a loop; the next barrier picks up all of it.

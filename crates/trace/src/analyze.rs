@@ -1,0 +1,762 @@
+//! Detrimental-pattern trace analysis.
+//!
+//! Replays a recorded trace and reports the task-parallel performance
+//! pathologies catalogued for OpenMP tasking (arXiv 2406.03077):
+//!
+//! * **Starvation** — a thread sits in a task wait executing nothing
+//!   while a substantial number of tasks run elsewhere in the team.
+//!   With tied tasks this is structural (the work is pinned to another
+//!   thread); the signature is a `TaskWaitBegin`/`TaskWaitEnd` interval
+//!   containing zero of the waiter's `TaskBegin` events but many of the
+//!   team's.
+//! * **Serialized spawn** — one thread both produces and consumes
+//!   nearly all tasks of a region while teammates are parked in task
+//!   waits: the fan-out the construct promises never happens.
+//! * **Barrier convoy** — the same thread arrives last at barrier after
+//!   barrier, so the whole team repeatedly pays that thread's imbalance
+//!   as wait time.
+//!
+//! The analyzer consumes the rank-attributed timeline shape shared by
+//! every trace source in this workspace: a single-rank
+//! [`TraceReader`], the offline [`merge_ranks`](crate::reader::merge_ranks)
+//! output, or a fleet aggregator timeline export
+//! ([`decode_timeline`]). All evidence is reported as tick ranges in
+//! the source trace's clock domain, so findings can be drilled into
+//! with the existing `trace report --from-us/--to-us` queries.
+
+use std::collections::BTreeMap;
+
+use ora_core::event::Event;
+
+use crate::format::{get_varint, put_varint};
+use crate::reader::{RankedEvent, TraceEvent, TraceReader};
+use crate::TraceError;
+
+/// Magic starting every exported fleet timeline (`ora-fleet` encodes
+/// through this module's sibling `timeline_bytes`; the constant lives
+/// here so the trace crate can decode exports without a dependency
+/// cycle).
+pub const TIMELINE_MAGIC: &[u8; 6] = b"ORAFLT";
+
+/// Detection thresholds. The defaults are deliberately conservative:
+/// each pattern needs both a minimum amount of evidence (tasks,
+/// episodes) and a minimum *severity* (fraction of the region's span or
+/// of the team's time) before it is reported, so balanced traces stay
+/// clean.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeConfig {
+    /// Minimum tasks that must run elsewhere during a wait (starvation)
+    /// or in a region (serialized spawn) before either detector fires.
+    pub min_tasks: u64,
+    /// Minimum fraction of the region's task-active span a zero-task
+    /// wait must cover to count as starvation.
+    pub starvation_frac: f64,
+    /// Minimum fraction of a region's task executions on one thread to
+    /// count as serialized spawn.
+    pub dominance_frac: f64,
+    /// Minimum barrier episodes in a region before the convoy detector
+    /// considers it.
+    pub convoy_min_episodes: usize,
+    /// Minimum fraction of those episodes with the *same* last-arriving
+    /// thread.
+    pub convoy_frac: f64,
+    /// Minimum fraction of the convoy episodes' combined span the other
+    /// threads spend waiting on the laggard.
+    pub convoy_waste_frac: f64,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            min_tasks: 16,
+            starvation_frac: 0.25,
+            dominance_frac: 0.8,
+            convoy_min_episodes: 8,
+            convoy_frac: 0.8,
+            convoy_waste_frac: 0.25,
+        }
+    }
+}
+
+/// Which detrimental pattern a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// A thread waited through `tick_lo..tick_hi` executing nothing
+    /// while the team ran tasks.
+    Starvation,
+    /// One thread executed nearly all of a region's tasks.
+    SerializedSpawn,
+    /// The same thread arrived last at most of a region's barriers.
+    BarrierConvoy,
+}
+
+impl PatternKind {
+    /// Stable lowercase name for rendering and filtering.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternKind::Starvation => "starvation",
+            PatternKind::SerializedSpawn => "serialized-spawn",
+            PatternKind::BarrierConvoy => "barrier-convoy",
+        }
+    }
+}
+
+/// One detected pattern instance with its tick-ranged evidence.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The pattern.
+    pub kind: PatternKind,
+    /// Rank the evidence came from (0 for single-rank traces).
+    pub rank: usize,
+    /// Parallel region the pattern occurred in.
+    pub region_id: u64,
+    /// The implicated thread: the starved waiter, the serializing
+    /// spawner, or the convoy laggard.
+    pub gtid: usize,
+    /// First tick of the evidence window.
+    pub tick_lo: u64,
+    /// Last tick of the evidence window.
+    pub tick_hi: u64,
+    /// Human-readable explanation with the detector's numbers.
+    pub detail: String,
+}
+
+/// The analysis result: findings plus scan accounting.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Detected patterns, ordered by (rank, region, first tick).
+    pub findings: Vec<Finding>,
+    /// Parallel regions that had analyzable activity.
+    pub regions_scanned: usize,
+    /// Events consumed.
+    pub events_scanned: u64,
+}
+
+impl AnalysisReport {
+    /// Findings of one kind.
+    pub fn of_kind(&self, kind: PatternKind) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.kind == kind)
+    }
+
+    /// Render the report as the CLI prints it.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "detrimental-pattern analysis: {} finding(s) over {} region(s), {} event(s)",
+            self.findings.len(),
+            self.regions_scanned,
+            self.events_scanned
+        );
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "  [{:<16}] rank {} region {} thread {}: ticks {}..{} — {}",
+                f.kind.name(),
+                f.rank,
+                f.region_id,
+                f.gtid,
+                f.tick_lo,
+                f.tick_hi,
+                f.detail
+            );
+        }
+        if self.findings.is_empty() {
+            let _ = writeln!(out, "  clean: no detrimental patterns detected");
+        }
+        out
+    }
+}
+
+/// A closed `[begin, end]` tick interval attributed to a thread.
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    gtid: usize,
+    begin: u64,
+    end: u64,
+}
+
+/// Everything the detectors need about one `(rank, region)`.
+#[derive(Debug, Default)]
+struct RegionActivity {
+    /// Completed task executions: thread + begin/end ticks.
+    task_execs: Vec<Interval>,
+    /// Completed task-wait intervals per thread.
+    task_waits: Vec<Interval>,
+    /// Barrier arrivals per episode: `wait_id` → (gtid, begin, end),
+    /// implicit and explicit episodes keyed disjointly.
+    barrier_episodes: BTreeMap<(bool, u64), Vec<Interval>>,
+    /// Threads that fired any event in the region.
+    threads: std::collections::BTreeSet<usize>,
+    /// Overall tick extent of the region's events.
+    tick_lo: u64,
+    tick_hi: u64,
+}
+
+/// Pairs begin events with their ends per `(gtid, wait_id)`.
+#[derive(Debug, Default)]
+struct OpenIntervals {
+    open: BTreeMap<(usize, u64), u64>,
+}
+
+impl OpenIntervals {
+    fn begin(&mut self, gtid: usize, wait_id: u64, tick: u64) {
+        self.open.insert((gtid, wait_id), tick);
+    }
+
+    fn end(&mut self, gtid: usize, wait_id: u64, tick: u64) -> Option<Interval> {
+        let begin = self.open.remove(&(gtid, wait_id))?;
+        Some(Interval {
+            gtid,
+            begin,
+            end: tick.max(begin),
+        })
+    }
+}
+
+/// Analyze a rank-attributed event timeline. The input need not be
+/// sorted; each record is bucketed by `(rank, region)` and the
+/// detectors order evidence internally.
+pub fn analyze(events: &[RankedEvent], cfg: &AnalyzeConfig) -> AnalysisReport {
+    let mut regions: BTreeMap<(usize, u64), RegionActivity> = BTreeMap::new();
+    let mut tasks_open: BTreeMap<(usize, u64), OpenIntervals> = BTreeMap::new();
+    let mut waits_open: BTreeMap<(usize, u64), OpenIntervals> = BTreeMap::new();
+    let mut barriers_open: BTreeMap<(usize, u64, bool), OpenIntervals> = BTreeMap::new();
+
+    let mut events_scanned = 0u64;
+    for e in events {
+        events_scanned += 1;
+        let r = &e.record;
+        if r.region_id == 0 {
+            continue;
+        }
+        let key = (e.rank, r.region_id);
+        let act = regions.entry(key).or_insert_with(|| RegionActivity {
+            tick_lo: u64::MAX,
+            ..RegionActivity::default()
+        });
+        act.threads.insert(r.gtid);
+        act.tick_lo = act.tick_lo.min(r.tick);
+        act.tick_hi = act.tick_hi.max(r.tick);
+        match r.event {
+            Event::TaskBegin => {
+                tasks_open
+                    .entry(key)
+                    .or_default()
+                    .begin(r.gtid, r.wait_id, r.tick);
+            }
+            Event::TaskEnd => {
+                if let Some(iv) = tasks_open
+                    .entry(key)
+                    .or_default()
+                    .end(r.gtid, r.wait_id, r.tick)
+                {
+                    act.task_execs.push(iv);
+                }
+            }
+            Event::TaskWaitBegin => {
+                waits_open
+                    .entry(key)
+                    .or_default()
+                    .begin(r.gtid, r.wait_id, r.tick);
+            }
+            Event::TaskWaitEnd => {
+                if let Some(iv) = waits_open
+                    .entry(key)
+                    .or_default()
+                    .end(r.gtid, r.wait_id, r.tick)
+                {
+                    act.task_waits.push(iv);
+                }
+            }
+            Event::ThreadBeginImplicitBarrier | Event::ThreadBeginExplicitBarrier => {
+                let implicit = r.event == Event::ThreadBeginImplicitBarrier;
+                barriers_open
+                    .entry((e.rank, r.region_id, implicit))
+                    .or_default()
+                    .begin(r.gtid, r.wait_id, r.tick);
+            }
+            Event::ThreadEndImplicitBarrier | Event::ThreadEndExplicitBarrier => {
+                let implicit = r.event == Event::ThreadEndImplicitBarrier;
+                if let Some(iv) = barriers_open
+                    .entry((e.rank, r.region_id, implicit))
+                    .or_default()
+                    .end(r.gtid, r.wait_id, r.tick)
+                {
+                    act.barrier_episodes
+                        .entry((implicit, r.wait_id))
+                        .or_default()
+                        .push(iv);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut report = AnalysisReport {
+        events_scanned,
+        regions_scanned: regions.len(),
+        ..AnalysisReport::default()
+    };
+    for ((rank, region_id), act) in &regions {
+        detect_starvation(*rank, *region_id, act, cfg, &mut report.findings);
+        detect_serialized_spawn(*rank, *region_id, act, cfg, &mut report.findings);
+        detect_barrier_convoy(*rank, *region_id, act, cfg, &mut report.findings);
+    }
+    report
+        .findings
+        .sort_by_key(|f| (f.rank, f.region_id, f.tick_lo, f.gtid));
+    report
+}
+
+/// Analyze one single-rank trace file (rank index 0).
+pub fn analyze_reader(
+    reader: &TraceReader,
+    cfg: &AnalyzeConfig,
+) -> Result<AnalysisReport, TraceError> {
+    let mut events = Vec::new();
+    for record in reader.events() {
+        events.push(RankedEvent {
+            rank: 0,
+            record: record?,
+        });
+    }
+    Ok(analyze(&events, cfg))
+}
+
+/// The task-active span of a region: first task begin to last task end.
+fn task_span(act: &RegionActivity) -> Option<(u64, u64)> {
+    let lo = act.task_execs.iter().map(|t| t.begin).min()?;
+    let hi = act.task_execs.iter().map(|t| t.end).max()?;
+    Some((lo, hi))
+}
+
+fn detect_starvation(
+    rank: usize,
+    region_id: u64,
+    act: &RegionActivity,
+    cfg: &AnalyzeConfig,
+    out: &mut Vec<Finding>,
+) {
+    let Some((span_lo, span_hi)) = task_span(act) else {
+        return;
+    };
+    let span = span_hi.saturating_sub(span_lo);
+    if span == 0 {
+        return;
+    }
+    for w in &act.task_waits {
+        let own = act
+            .task_execs
+            .iter()
+            .filter(|t| t.gtid == w.gtid && (w.begin..=w.end).contains(&t.begin))
+            .count() as u64;
+        if own > 0 {
+            continue;
+        }
+        let elsewhere = act
+            .task_execs
+            .iter()
+            .filter(|t| t.gtid != w.gtid && (w.begin..=w.end).contains(&t.begin))
+            .count() as u64;
+        let window = w.end.saturating_sub(w.begin);
+        if elsewhere >= cfg.min_tasks && window as f64 >= cfg.starvation_frac * span as f64 {
+            out.push(Finding {
+                kind: PatternKind::Starvation,
+                rank,
+                region_id,
+                gtid: w.gtid,
+                tick_lo: w.begin,
+                tick_hi: w.end,
+                detail: format!(
+                    "0 tasks executed in a task wait spanning {:.0}% of the region's \
+                     task-active window while {elsewhere} task(s) ran elsewhere",
+                    100.0 * window as f64 / span as f64
+                ),
+            });
+        }
+    }
+}
+
+fn detect_serialized_spawn(
+    rank: usize,
+    region_id: u64,
+    act: &RegionActivity,
+    cfg: &AnalyzeConfig,
+    out: &mut Vec<Finding>,
+) {
+    let total = act.task_execs.len() as u64;
+    if total < cfg.min_tasks || act.threads.len() < 2 {
+        return;
+    }
+    let mut by_thread: BTreeMap<usize, u64> = BTreeMap::new();
+    for t in &act.task_execs {
+        *by_thread.entry(t.gtid).or_insert(0) += 1;
+    }
+    let (&dominant, &count) = by_thread
+        .iter()
+        .max_by_key(|(gtid, n)| (**n, std::cmp::Reverse(**gtid)))
+        .expect("total >= min_tasks implies task_execs is non-empty");
+    let share = count as f64 / total as f64;
+    if share < cfg.dominance_frac {
+        return;
+    }
+    // The pattern needs an idle audience: some other thread must have
+    // been in a task wait (available, not off doing worksharing) while
+    // the dominant thread churned. Otherwise a legitimately solo task
+    // phase would be flagged.
+    let audience = act.task_waits.iter().any(|w| w.gtid != dominant);
+    if !audience {
+        return;
+    }
+    let (lo, hi) = task_span(act).expect("task_execs is non-empty");
+    out.push(Finding {
+        kind: PatternKind::SerializedSpawn,
+        rank,
+        region_id,
+        gtid: dominant,
+        tick_lo: lo,
+        tick_hi: hi,
+        detail: format!(
+            "thread executed {count} of {total} task(s) ({:.0}%) while teammates \
+             waited — the task fan-out serialized on its spawner",
+            share * 100.0
+        ),
+    });
+}
+
+fn detect_barrier_convoy(
+    rank: usize,
+    region_id: u64,
+    act: &RegionActivity,
+    cfg: &AnalyzeConfig,
+    out: &mut Vec<Finding>,
+) {
+    // Episodes with at least two arrivals, in construct order.
+    let episodes: Vec<&Vec<Interval>> = act
+        .barrier_episodes
+        .values()
+        .filter(|arrivals| arrivals.len() >= 2)
+        .collect();
+    if episodes.len() < cfg.convoy_min_episodes {
+        return;
+    }
+    // Per episode: who arrived last, and how long the rest spent
+    // waiting for that arrival.
+    let mut laggard_counts: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut waste_by_laggard: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut span_total = 0u64;
+    for arrivals in &episodes {
+        let last = arrivals
+            .iter()
+            .max_by_key(|a| (a.begin, a.gtid))
+            .expect("episode has arrivals");
+        *laggard_counts.entry(last.gtid).or_insert(0) += 1;
+        let waste: u64 = arrivals
+            .iter()
+            .filter(|a| a.gtid != last.gtid)
+            .map(|a| last.begin.saturating_sub(a.begin))
+            .sum();
+        *waste_by_laggard.entry(last.gtid).or_insert(0) += waste;
+        let lo = arrivals.iter().map(|a| a.begin).min().expect("non-empty");
+        let hi = arrivals.iter().map(|a| a.end).max().expect("non-empty");
+        span_total += (hi - lo) * (arrivals.len() as u64 - 1);
+    }
+    let (&laggard, &led) = laggard_counts
+        .iter()
+        .max_by_key(|(gtid, n)| (**n, std::cmp::Reverse(**gtid)))
+        .expect("episodes is non-empty");
+    let led_frac = led as f64 / episodes.len() as f64;
+    if led_frac < cfg.convoy_frac || span_total == 0 {
+        return;
+    }
+    let waste_frac = waste_by_laggard[&laggard] as f64 / span_total as f64;
+    if waste_frac < cfg.convoy_waste_frac {
+        return;
+    }
+    let lo = episodes
+        .iter()
+        .flat_map(|a| a.iter().map(|i| i.begin))
+        .min()
+        .expect("non-empty");
+    let hi = episodes
+        .iter()
+        .flat_map(|a| a.iter().map(|i| i.end))
+        .max()
+        .expect("non-empty");
+    out.push(Finding {
+        kind: PatternKind::BarrierConvoy,
+        rank,
+        region_id,
+        gtid: laggard,
+        tick_lo: lo,
+        tick_hi: hi,
+        detail: format!(
+            "thread arrived last at {led} of {} barrier episode(s); teammates spent \
+             {:.0}% of the barrier time waiting on it",
+            episodes.len(),
+            waste_frac * 100.0
+        ),
+    });
+}
+
+/// Encode a rank-attributed timeline in the canonical fleet-export
+/// byte form: magic, record count, then each record's fields as plain
+/// varints in key order. `ora-fleet`'s store export and this function
+/// must stay byte-identical — the fleet crate delegates here.
+pub fn timeline_bytes(events: &[RankedEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * 8 + 16);
+    out.extend_from_slice(TIMELINE_MAGIC);
+    put_varint(&mut out, events.len() as u64);
+    for e in events {
+        put_varint(&mut out, e.record.tick);
+        put_varint(&mut out, e.record.gtid as u64);
+        put_varint(&mut out, e.record.seq);
+        put_varint(&mut out, e.rank as u64);
+        put_varint(&mut out, e.record.event as u64);
+        put_varint(&mut out, e.record.region_id);
+        put_varint(&mut out, e.record.wait_id);
+    }
+    out
+}
+
+/// Decode a fleet timeline export ([`timeline_bytes`]) back into
+/// rank-attributed records, validating magic, count, and event codes.
+pub fn decode_timeline(bytes: &[u8]) -> Result<Vec<RankedEvent>, TraceError> {
+    if bytes.len() < TIMELINE_MAGIC.len() || &bytes[..TIMELINE_MAGIC.len()] != TIMELINE_MAGIC {
+        return Err(TraceError::Malformed("not a fleet timeline export"));
+    }
+    let mut pos = TIMELINE_MAGIC.len();
+    let count = get_varint(bytes, &mut pos)?;
+    let mut out = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let tick = get_varint(bytes, &mut pos)?;
+        let gtid = get_varint(bytes, &mut pos)? as usize;
+        let seq = get_varint(bytes, &mut pos)?;
+        let rank = get_varint(bytes, &mut pos)? as usize;
+        let raw_event = u32::try_from(get_varint(bytes, &mut pos)?)
+            .map_err(|_| TraceError::Malformed("timeline event code overflows u32"))?;
+        let event = Event::from_u32(raw_event).ok_or(TraceError::UnknownEvent(raw_event))?;
+        let region_id = get_varint(bytes, &mut pos)?;
+        let wait_id = get_varint(bytes, &mut pos)?;
+        out.push(RankedEvent {
+            rank,
+            record: TraceEvent {
+                tick,
+                gtid,
+                seq,
+                event,
+                region_id,
+                wait_id,
+            },
+        });
+    }
+    if pos != bytes.len() {
+        return Err(TraceError::Malformed("trailing bytes after timeline"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64, gtid: usize, event: Event, region_id: u64, wait_id: u64) -> RankedEvent {
+        // seq follows tick — uniqueness is all the analyzer needs.
+        RankedEvent {
+            rank: 0,
+            record: TraceEvent {
+                tick,
+                gtid,
+                seq: tick,
+                event,
+                region_id,
+                wait_id,
+            },
+        }
+    }
+
+    /// Master executes `n` tasks over ticks [100, 100+10n]; workers 1/2
+    /// wait through the whole drain.
+    fn serialized_region(n: u64, region: u64) -> Vec<RankedEvent> {
+        let mut out = Vec::new();
+        for w in 1..3usize {
+            out.push(ev(90, w, Event::TaskWaitBegin, region, 1));
+        }
+        for i in 0..n {
+            let t = 100 + i * 10;
+            out.push(ev(t, 0, Event::TaskBegin, region, i + 1));
+            out.push(ev(t + 8, 0, Event::TaskEnd, region, i + 1));
+        }
+        let end = 100 + n * 10;
+        for w in 1..3usize {
+            out.push(ev(end, w, Event::TaskWaitEnd, region, 1));
+        }
+        out
+    }
+
+    /// Every thread executes `n` of its own tasks inside its wait.
+    fn balanced_region(threads: usize, n: u64, region: u64) -> Vec<RankedEvent> {
+        let mut out = Vec::new();
+        let mut id = 1u64;
+        for gtid in 0..threads {
+            out.push(ev(90, gtid, Event::TaskWaitBegin, region, 1));
+            for i in 0..n {
+                let t = 100 + i * 10 + gtid as u64;
+                out.push(ev(t, gtid, Event::TaskBegin, region, id));
+                out.push(ev(t + 8, gtid, Event::TaskEnd, region, id));
+                id += 1;
+            }
+            out.push(ev(100 + n * 10 + 5, gtid, Event::TaskWaitEnd, region, 1));
+        }
+        out
+    }
+
+    /// `episodes` explicit barriers where `laggard` arrives `skew`
+    /// ticks after everyone else.
+    fn convoy_region(
+        threads: usize,
+        episodes: u64,
+        laggard: usize,
+        skew: u64,
+        region: u64,
+    ) -> Vec<RankedEvent> {
+        let mut out = Vec::new();
+        for ep in 0..episodes {
+            let base = 1000 + ep * 1000;
+            let arrive_last = base + skew;
+            for gtid in 0..threads {
+                let begin = if gtid == laggard { arrive_last } else { base };
+                out.push(ev(
+                    begin,
+                    gtid,
+                    Event::ThreadBeginExplicitBarrier,
+                    region,
+                    ep,
+                ));
+                out.push(ev(
+                    arrive_last + 5,
+                    gtid,
+                    Event::ThreadEndExplicitBarrier,
+                    region,
+                    ep,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn serialized_spawn_and_starvation_are_flagged() {
+        let report = analyze(&serialized_region(32, 1), &AnalyzeConfig::default());
+        let ser: Vec<_> = report.of_kind(PatternKind::SerializedSpawn).collect();
+        assert_eq!(ser.len(), 1);
+        assert_eq!(ser[0].gtid, 0);
+        assert_eq!(ser[0].region_id, 1);
+        assert!(
+            (ser[0].tick_lo, ser[0].tick_hi) == (100, 418),
+            "evidence span"
+        );
+        let starved: Vec<_> = report.of_kind(PatternKind::Starvation).collect();
+        assert_eq!(starved.len(), 2, "both waiting workers starved");
+        assert!(starved.iter().all(|f| f.gtid == 1 || f.gtid == 2));
+        assert_eq!(report.of_kind(PatternKind::BarrierConvoy).count(), 0);
+    }
+
+    #[test]
+    fn balanced_task_regions_are_clean() {
+        let report = analyze(&balanced_region(4, 32, 1), &AnalyzeConfig::default());
+        assert!(
+            report.findings.is_empty(),
+            "clean trace produced {:?}",
+            report.findings
+        );
+        assert_eq!(report.regions_scanned, 1);
+    }
+
+    #[test]
+    fn small_task_counts_stay_below_the_evidence_floor() {
+        // Same serialized shape, but under min_tasks: not reportable.
+        let report = analyze(&serialized_region(8, 1), &AnalyzeConfig::default());
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn barrier_convoys_need_a_consistent_laggard() {
+        let cfg = AnalyzeConfig::default();
+        let report = analyze(&convoy_region(4, 12, 2, 900, 1), &cfg);
+        let convoys: Vec<_> = report.of_kind(PatternKind::BarrierConvoy).collect();
+        assert_eq!(convoys.len(), 1);
+        assert_eq!(convoys[0].gtid, 2);
+
+        // Rotate the laggard: no single thread leads enough episodes.
+        let mut rotating = Vec::new();
+        for ep in 0..12u64 {
+            let base = 1000 + ep * 1000;
+            for gtid in 0..4usize {
+                let begin = if gtid as u64 == ep % 4 {
+                    base + 900
+                } else {
+                    base
+                };
+                rotating.push(ev(begin, gtid, Event::ThreadBeginExplicitBarrier, 1, ep));
+                rotating.push(ev(base + 905, gtid, Event::ThreadEndExplicitBarrier, 1, ep));
+            }
+        }
+        assert_eq!(
+            analyze(&rotating, &cfg)
+                .of_kind(PatternKind::BarrierConvoy)
+                .count(),
+            0
+        );
+
+        // Tight arrivals (no skew): a stable "last" thread but no waste.
+        let report = analyze(&convoy_region(4, 12, 2, 0, 1), &cfg);
+        assert_eq!(report.of_kind(PatternKind::BarrierConvoy).count(), 0);
+    }
+
+    #[test]
+    fn ranks_are_analyzed_independently() {
+        let mut events = serialized_region(32, 1);
+        let clean: Vec<RankedEvent> = balanced_region(4, 32, 1)
+            .into_iter()
+            .map(|mut e| {
+                e.rank = 1;
+                e
+            })
+            .collect();
+        events.extend(clean);
+        let report = analyze(&events, &AnalyzeConfig::default());
+        assert!(report.findings.iter().all(|f| f.rank == 0));
+        assert_eq!(report.of_kind(PatternKind::SerializedSpawn).count(), 1);
+        assert_eq!(report.regions_scanned, 2, "(rank, region) buckets");
+    }
+
+    #[test]
+    fn timeline_export_round_trips() {
+        let events = serialized_region(20, 7);
+        let bytes = timeline_bytes(&events);
+        let back = decode_timeline(&bytes).expect("decodes");
+        assert_eq!(back.len(), events.len());
+        for (a, b) in events.iter().zip(&back) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.record, b.record);
+        }
+        assert!(decode_timeline(b"NOTAFLT").is_err());
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 1);
+        assert!(decode_timeline(&truncated).is_err());
+    }
+
+    #[test]
+    fn render_lists_findings_with_tick_evidence() {
+        let report = analyze(&serialized_region(32, 1), &AnalyzeConfig::default());
+        let text = report.render();
+        assert!(text.contains("serialized-spawn"));
+        assert!(text.contains("starvation"));
+        assert!(text.contains("ticks 100..418"));
+        let clean = analyze(&[], &AnalyzeConfig::default());
+        assert!(clean.render().contains("clean"));
+    }
+}

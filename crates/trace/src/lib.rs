@@ -38,12 +38,14 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod drain;
 pub mod format;
 pub mod reader;
 pub mod ring;
 pub mod sink;
 
+pub use analyze::{AnalysisReport, AnalyzeConfig, Finding, PatternKind};
 pub use drain::{DrainerHealth, Recorder, RecordingStats, TraceConfig};
 pub use format::{
     pack_governor_decision, unpack_governor_decision, ChunkMeta, Footer, LaneStats,

@@ -68,17 +68,23 @@ pub enum MeterSuite {
     /// per-rung slowdown isolates the cost of event dispatch itself —
     /// and the governed rung's adherence to its overhead budget.
     Dispatch,
+    /// Explicit-task microbenchmarks: spawn/execute throughput of the
+    /// team task pool, both the every-thread-spawns shape (contention on
+    /// the submission path) and the single-producer shape (distribution
+    /// of work to otherwise-idle threads).
+    Tasks,
 }
 
 impl MeterSuite {
-    /// Stable key (`epcc` / `npb` / `sync` / `dispatch`), also the
-    /// `BENCH_<key>.json` stem.
+    /// Stable key (`epcc` / `npb` / `sync` / `dispatch` / `tasks`), also
+    /// the `BENCH_<key>.json` stem.
     pub const fn key(self) -> &'static str {
         match self {
             MeterSuite::Epcc => "epcc",
             MeterSuite::Npb => "npb",
             MeterSuite::Sync => "sync",
             MeterSuite::Dispatch => "dispatch",
+            MeterSuite::Tasks => "tasks",
         }
     }
 
@@ -89,6 +95,7 @@ impl MeterSuite {
             "npb" => Some(MeterSuite::Npb),
             "sync" => Some(MeterSuite::Sync),
             "dispatch" => Some(MeterSuite::Dispatch),
+            "tasks" => Some(MeterSuite::Tasks),
             _ => None,
         }
     }
@@ -103,6 +110,19 @@ enum SyncKind {
     /// One region running a storm of explicit barriers: isolates barrier
     /// episode latency under full team contention.
     BarrierStorm,
+}
+
+/// Which task-pool hot path a [`MeterSuite::Tasks`] workload times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskShape {
+    /// Every thread spawns its own batch of tasks each episode, then
+    /// taskwaits. Maximizes submission-path contention: a single shared
+    /// queue serializes every spawn, per-thread deques do not.
+    SpawnFlood,
+    /// Only the master spawns; a barrier makes the batch visible before
+    /// the whole team taskwaits and drains it. Measures distribution of
+    /// one producer's work across otherwise-idle consumers.
+    ProducerSteal,
 }
 
 enum WorkUnit {
@@ -124,6 +144,20 @@ enum WorkUnit {
         // resolution.
         inner: usize,
     },
+    Tasks {
+        shape: TaskShape,
+        // Tasks per spawner per episode.
+        tasks: usize,
+        // Spawn/taskwait episodes per repetition.
+        episodes: usize,
+    },
+}
+
+/// Cheap deterministic per-task payload: enough arithmetic that the task
+/// body cannot be elided, little enough that spawn/dispatch dominates.
+#[inline]
+fn task_mix(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)
 }
 
 /// One deterministic workload unit exposed to the meter.
@@ -156,6 +190,9 @@ impl MeterWorkload {
                 passes,
             } => kernel.region_calls(*class) * *passes as u64,
             WorkUnit::Sync { inner, .. } => *inner as u64,
+            WorkUnit::Tasks {
+                tasks, episodes, ..
+            } => (*tasks * *episodes) as u64,
         }
     }
 
@@ -193,6 +230,57 @@ impl MeterWorkload {
                     }
                 }
                 0.0
+            }
+            WorkUnit::Tasks {
+                shape,
+                tasks,
+                episodes,
+            } => {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                let sum = AtomicU64::new(0);
+                let (shape, tasks, episodes) = (*shape, *tasks, *episodes);
+                rt.parallel(|ctx| {
+                    for ep in 0..episodes {
+                        let spawner = match shape {
+                            TaskShape::SpawnFlood => true,
+                            TaskShape::ProducerSteal => ctx.is_master(),
+                        };
+                        if spawner {
+                            for i in 0..tasks {
+                                let v = ((ep as u64) << 32) | i as u64;
+                                let sum = &sum;
+                                // SAFETY: `sum` outlives the region; the
+                                // episode taskwait below (and the region-end
+                                // drain) retire every task before it drops.
+                                // Spawn-flood keeps tasks tied (pure
+                                // own-deque push/pop throughput); the
+                                // producer shape needs untied tasks so the
+                                // team can actually steal from the master.
+                                unsafe {
+                                    match shape {
+                                        TaskShape::SpawnFlood => {
+                                            ctx.task_borrowed(move || {
+                                                sum.fetch_add(task_mix(v), Ordering::Relaxed);
+                                            });
+                                        }
+                                        TaskShape::ProducerSteal => {
+                                            ctx.task_borrowed_untied(move || {
+                                                sum.fetch_add(task_mix(v), Ordering::Relaxed);
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if shape == TaskShape::ProducerSteal {
+                            // Make the batch visible to the whole team
+                            // before anyone decides the pool is quiescent.
+                            ctx.barrier();
+                        }
+                        ctx.taskwait();
+                    }
+                });
+                sum.load(Ordering::Relaxed) as f64
             }
         }
     }
@@ -288,6 +376,36 @@ pub fn meter_workloads(suite: MeterSuite, scale: MeterScale) -> Vec<MeterWorkloa
                 },
             ]
         }
+        MeterSuite::Tasks => {
+            // Task-per-spawner counts sized so one repetition retires a
+            // few thousand tasks (spawn cost dominates the trivial task
+            // bodies) while staying comfortably under a second even on
+            // the serialized single-queue pool.
+            let (tasks, flood_eps, steal_eps) = match scale {
+                MeterScale::Quick => (64, 12, 8),
+                MeterScale::Full => (64, 60, 40),
+            };
+            vec![
+                MeterWorkload {
+                    name: "spawn-flood".to_string(),
+                    suite: MeterSuite::Tasks,
+                    unit: WorkUnit::Tasks {
+                        shape: TaskShape::SpawnFlood,
+                        tasks,
+                        episodes: flood_eps,
+                    },
+                },
+                MeterWorkload {
+                    name: "producer-steal".to_string(),
+                    suite: MeterSuite::Tasks,
+                    unit: WorkUnit::Tasks {
+                        shape: TaskShape::ProducerSteal,
+                        tasks: tasks * 3,
+                        episodes: steal_eps,
+                    },
+                },
+            ]
+        }
         MeterSuite::Npb => {
             let (kernels, class, passes) = match scale {
                 MeterScale::Quick => (vec![NpbKernel::cg(), NpbKernel::ep()], NpbClass::S, 10),
@@ -327,6 +445,7 @@ mod tests {
             MeterSuite::Npb,
             MeterSuite::Sync,
             MeterSuite::Dispatch,
+            MeterSuite::Tasks,
         ] {
             assert_eq!(MeterSuite::from_key(s.key()), Some(s));
         }
@@ -348,6 +467,21 @@ mod tests {
         let dispatch = meter_workloads(MeterSuite::Dispatch, MeterScale::Quick);
         let names: Vec<&str> = dispatch.iter().map(|w| w.name()).collect();
         assert_eq!(names, ["fork-flood", "barrier-storm"]);
+        let tasks = meter_workloads(MeterSuite::Tasks, MeterScale::Quick);
+        let names: Vec<&str> = tasks.iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["spawn-flood", "producer-steal"]);
+    }
+
+    #[test]
+    fn task_reps_run_and_checksum() {
+        let rt = OpenMp::with_threads(2);
+        for w in meter_workloads(MeterSuite::Tasks, MeterScale::Quick) {
+            assert!(w.work_units() > 0);
+            let a = w.run_rep(&rt);
+            let b = w.run_rep(&rt);
+            assert!(a != 0.0, "{} retired no tasks", w.name());
+            assert_eq!(a.to_bits(), b.to_bits(), "{} checksum drifted", w.name());
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use collector::{clock, Profiler, RuntimeHandle};
-use omprt::{OpenMp, RegionHandle, SourceFunction};
+use omprt::{OpenMp, ParCtx, RegionHandle, SourceFunction};
 
 use crate::npb::NpbClass;
 use crate::util::SharedVec;
@@ -38,6 +38,11 @@ pub struct MzBenchmark {
     /// Zones in the decomposition.
     pub zones: usize,
     region: RegionHandle,
+    /// When true, each zone step drains a master-spawned tied-task
+    /// flood instead of a worksharing loop — a deliberately detrimental
+    /// shape (serialized spawn + starved teammates) for exercising
+    /// `trace analyze` end-to-end on fleet traces.
+    serialized_tasks: bool,
 }
 
 /// Whether ranks attach collectors during the run.
@@ -80,6 +85,42 @@ fn mz_region(name: &str) -> RegionHandle {
     func.region("zone_step", 20)
 }
 
+/// Tied tasks the master floods per serialized zone step. Comfortably
+/// above `AnalyzeConfig::min_tasks` (16) so the planted pattern clears
+/// the analyzer's evidence floor.
+const SERIALIZED_SPAWNS: usize = 24;
+
+/// One zone step's worth of relaxation on `u`, in one of two shapes:
+/// the honest worksharing loop, or the planted detrimental one where
+/// the master serializes everything through tied tasks while the rest
+/// of the team waits (spawns happen before the barrier, so teammates'
+/// `taskwait` windows span the whole flood).
+fn zone_step(ctx: &ParCtx<'_>, u: &SharedVec, hi: i64, boundary: f64, serialized: bool) {
+    if serialized {
+        if ctx.thread_num() == 0 {
+            for t in 0..SERIALIZED_SPAWNS {
+                let i = t % (hi as usize + 1);
+                // SAFETY: tied tasks drain inside this region (at the
+                // taskwait below), while `u` and `boundary` are live;
+                // each task touches its own index, so the writes race
+                // with nothing.
+                unsafe {
+                    ctx.task_borrowed(move || {
+                        u.set(i, 0.75 * u.get(i) + 0.25 * (i as f64 * 1e-3 + boundary));
+                    });
+                }
+            }
+        }
+        ctx.barrier();
+        ctx.taskwait();
+    } else {
+        ctx.for_each(0, hi, |i| unsafe {
+            let i = i as usize;
+            u.set(i, 0.75 * u.get(i) + 0.25 * (i as f64 * 1e-3 + boundary));
+        });
+    }
+}
+
 impl MzBenchmark {
     /// BT-MZ: 167 616 total zone-step region calls, 64 zones.
     pub fn bt_mz() -> MzBenchmark {
@@ -88,6 +129,7 @@ impl MzBenchmark {
             total_calls_b: 167_616,
             zones: 64,
             region: mz_region("bt_mz"),
+            serialized_tasks: false,
         }
     }
 
@@ -98,6 +140,7 @@ impl MzBenchmark {
             total_calls_b: 40_353,
             zones: 16,
             region: mz_region("lu_mz"),
+            serialized_tasks: false,
         }
     }
 
@@ -108,6 +151,22 @@ impl MzBenchmark {
             total_calls_b: 436_672,
             zones: 64,
             region: mz_region("sp_mz"),
+            serialized_tasks: false,
+        }
+    }
+
+    /// TASKS-MZ: a deliberately detrimental variant where the master
+    /// serializes every zone step through a tied-task flood while the
+    /// rest of the team sits in taskwait. Not part of Table II — it
+    /// exists so `fleet` runs produce traces in which `trace analyze`
+    /// must flag serialized-spawn and starvation patterns.
+    pub fn tasks_mz() -> MzBenchmark {
+        MzBenchmark {
+            name: "TASKS-MZ",
+            total_calls_b: 4_000,
+            zones: 16,
+            region: mz_region("tasks_mz"),
+            serialized_tasks: true,
         }
     }
 
@@ -165,10 +224,7 @@ impl MzBenchmark {
         let boundary = rank as f64;
         for _ in 0..rank_calls {
             rt.parallel_region(&self.region, |ctx| {
-                ctx.for_each(0, hi, |i| unsafe {
-                    let i = i as usize;
-                    u.set(i, 0.75 * u.get(i) + 0.25 * (i as f64 * 1e-3 + boundary));
-                });
+                zone_step(ctx, &u, hi, boundary, self.serialized_tasks);
             });
         }
         MzRankResult {
@@ -211,6 +267,7 @@ impl MzBenchmark {
         let join_samples = Arc::new(AtomicU64::new(0));
         let exchange = Arc::new(AtomicU64::new(0f64.to_bits()));
         let region = self.region.clone();
+        let serialized = self.serialized_tasks;
 
         let (_, wall_ticks) = clock::time(|| {
             std::thread::scope(|scope| {
@@ -250,11 +307,7 @@ impl MzBenchmark {
 
                         for call in 0..rank_calls {
                             rt.parallel_region(&region, |ctx| {
-                                let b = boundary;
-                                ctx.for_each(0, hi, |i| unsafe {
-                                    let i = i as usize;
-                                    u.set(i, 0.75 * u.get(i) + 0.25 * (i as f64 * 1e-3 + b));
-                                });
+                                zone_step(ctx, &u, hi, boundary, serialized);
                             });
                             // MPI_Sendrecv stand-in around the ring: every
                             // rank performs exactly `rounds` exchanges,
@@ -392,6 +445,19 @@ mod tests {
         // An out-of-range rank does no work rather than panicking.
         let rt = OpenMp::with_threads(1);
         assert_eq!(bench.run_rank(&rt, 9, 4, NpbClass::S).calls, 0);
+    }
+
+    #[test]
+    fn tasks_mz_serialized_steps_complete_via_the_task_path() {
+        let bench = MzBenchmark::tasks_mz();
+        assert!(bench.serialized_tasks);
+        let rt = OpenMp::with_threads(4);
+        let result = bench.run_rank(&rt, 0, 1, NpbClass::S);
+        assert_eq!(result.calls, bench.total_calls_b / 200);
+        assert!(result.checksum.is_finite());
+        assert!(result.checksum > 0.0, "tied-task flood must touch u");
+        // Every task is tied to the master, so nothing is stealable.
+        assert_eq!(rt.health().tasks_stolen, 0);
     }
 
     #[test]

@@ -13,15 +13,16 @@
 #                       (main-branch mode)
 #
 # The threshold (percent) can be overridden via PERF_THRESHOLD; the
-# suite list via PERF_SUITES (space-separated, default "epcc npb sync"
-# — the dispatch CI job runs PERF_SUITES=dispatch on its own cadence).
+# suite list via PERF_SUITES (space-separated, default "epcc npb sync
+# tasks" — the dispatch CI job runs PERF_SUITES=dispatch on its own
+# cadence).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-report}"
 out="${2:-perf-smoke}"
 threshold="${PERF_THRESHOLD:-10}"
-suites="${PERF_SUITES:-epcc npb sync}"
+suites="${PERF_SUITES:-epcc npb sync tasks}"
 
 mkdir -p "$out"
 for suite in $suites; do

@@ -10,6 +10,7 @@
 # can be replayed locally with:
 #
 #   ORA_FAULT_SEED=<seed> cargo test -p omprt --test sync_stress
+#   ORA_FAULT_SEED=<seed> cargo test -p omprt --test task_stress
 #   ORA_FAULT_SEED=<seed> cargo test -p ora-trace --test fault_props
 #   ORA_FAULT_SEED=<seed> cargo test -p ora-bench --test fault_isolation
 set -euo pipefail
@@ -40,6 +41,9 @@ for seed in "${seeds[@]}"; do
   # Parking layer + barrier episodes under oversubscription; shutdown
   # racing workers that are mid-park.
   run_seeded "$seed" -p omprt --test sync_stress
+  # Work-stealing task scheduler: tied/untied storms, overflow spill,
+  # and taskwait parking on oversubscribed teams.
+  run_seeded "$seed" -p omprt --test task_stress
   # Sink faults, dead drainers, and oversubscribed Block producers.
   run_seeded "$seed" -p ora-trace --test fault_props --test stress
   # Live-runtime workloads under injected collector faults.
