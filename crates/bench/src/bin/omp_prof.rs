@@ -336,11 +336,12 @@ fn bench_run() {
             MeterSuite::Sync,
             MeterSuite::Dispatch,
             MeterSuite::Tasks,
+            MeterSuite::Topo,
         ],
         key => match MeterSuite::from_key(key) {
             Some(s) => vec![s],
             None => {
-                eprintln!("unknown suite '{key}' — use epcc|npb|sync|dispatch|tasks|all");
+                eprintln!("unknown suite '{key}' — use epcc|npb|sync|dispatch|tasks|topo|all");
                 std::process::exit(2);
             }
         },

@@ -113,7 +113,13 @@ fn run_workload(
     cfg: &RunnerConfig,
     progress: &mut impl FnMut(&str),
 ) -> Result<WorkloadResult, RunError> {
-    let rt = OpenMp::with_threads(cfg.threads);
+    // Workloads that pin a runtime configuration (team size, barrier
+    // algorithm, nesting mode — the sync and topo suites) get exactly
+    // that; everything else runs on the runner's default-threads runtime.
+    let rt = match workload.runtime_config() {
+        Some(c) => OpenMp::with_config(c.clone()),
+        None => OpenMp::with_threads(cfg.threads),
+    };
     rt.parallel(|_| {}); // warm the worker pool once, outside any config
     let handle = RuntimeHandle::discover_named(rt.symbol_name())
         .ok_or(RunError::Ora(ora_core::OraError::Error))?;

@@ -107,7 +107,16 @@ pub fn run_under(scenario: &Scenario, rung: CollectionConfig) -> Result<RunOutco
     let results: Vec<AtomicI64> = scenario.ops.iter().map(|_| AtomicI64::new(0)).collect();
     rt.parallel(|ctx| {
         for ((op, cell), slot) in scenario.ops.iter().zip(&cells).zip(&results) {
-            exec_op(&rt, &handle, ctx, op, cell, slot, gates_enabled);
+            exec_op(
+                &rt,
+                &handle,
+                ctx,
+                op,
+                cell,
+                slot,
+                gates_enabled,
+                scenario.nested,
+            );
         }
     });
 
@@ -163,6 +172,7 @@ impl OpCell {
         match op {
             Op::For { .. }
             | Op::NestedPar { .. }
+            | Op::NestedTeam { .. }
             | Op::TaskFlood { .. }
             | Op::TaskProducer { .. }
             | Op::TaskTree { .. } => OpCell::Sum(AtomicI64::new(0)),
@@ -177,6 +187,69 @@ impl OpCell {
             Op::Barrier | Op::Gate => OpCell::None,
         }
     }
+}
+
+/// One link of a `NestedTeam` chain: fork a region of `threads`
+/// threads, have every member fold `level * 100 + thread_num` into
+/// `acc`, and recurse from the inner master until `depth` links exist.
+/// The level/parent-region invariants are asserted inline — under real
+/// nesting the paper's §IV-E contract (fresh region ID, parent chain,
+/// incremented level), serialized the compiler-default contract (outer
+/// region ID kept, level still counts the lexical nesting).
+fn nested_chain(
+    rt: &OpenMp,
+    nested: bool,
+    threads: usize,
+    depth: usize,
+    parent_level: u32,
+    parent_region: u64,
+    acc: &AtomicI64,
+) {
+    if depth == 0 {
+        return;
+    }
+    rt.parallel_n(threads, |inner| {
+        assert_eq!(inner.level(), parent_level + 1, "level must increment");
+        if nested {
+            assert_eq!(
+                inner.num_threads(),
+                threads,
+                "real nesting forks the full sub-team"
+            );
+            assert_eq!(
+                inner.parent_region_id(),
+                parent_region,
+                "parent region chain broken"
+            );
+            assert_ne!(
+                inner.region_id(),
+                parent_region,
+                "sub-team needs its own region"
+            );
+        } else {
+            assert_eq!(inner.num_threads(), 1, "serialized nesting is solo");
+            assert_eq!(
+                inner.region_id(),
+                parent_region,
+                "serialized nesting keeps the outer region ID"
+            );
+        }
+        acc.fetch_add(
+            (inner.level() as i64) * 100 + inner.thread_num() as i64,
+            Ordering::Relaxed,
+        );
+        if inner.thread_num() == 0 {
+            nested_chain(
+                rt,
+                nested,
+                threads,
+                depth - 1,
+                inner.level(),
+                inner.region_id(),
+                acc,
+            );
+        }
+    });
 }
 
 /// Grow a task tree: each call spawns `fanout` children and each child
@@ -199,6 +272,7 @@ fn grow_tree(scope: &omprt::TaskScope<'_>, nodes: &Arc<AtomicI64>, fanout: usize
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_op(
     rt: &OpenMp,
     handle: &RuntimeHandle,
@@ -207,6 +281,7 @@ fn exec_op(
     cell: &OpCell,
     slot: &AtomicI64,
     gates_enabled: bool,
+    nested: bool,
 ) {
     match (op, cell) {
         (Op::For { sched, count }, OpCell::Sum(acc)) => {
@@ -366,6 +441,22 @@ fn exec_op(
             if ctx.is_master() && gates_enabled {
                 let _ = handle.request_one(Request::Pause);
                 let _ = handle.request_one(Request::Resume);
+            }
+            ctx.barrier();
+        }
+        (Op::NestedTeam { threads, depth }, OpCell::Sum(acc)) => {
+            ctx.barrier();
+            if ctx.is_master() {
+                nested_chain(
+                    rt,
+                    nested,
+                    *threads,
+                    *depth,
+                    ctx.level(),
+                    ctx.region_id(),
+                    acc,
+                );
+                slot.store(acc.load(Ordering::Relaxed), Ordering::Relaxed);
             }
             ctx.barrier();
         }

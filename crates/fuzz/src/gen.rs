@@ -120,9 +120,13 @@ fn op(rng: &mut XorShift64, threads: usize) -> Op {
             count: rng.range_i64(1, 2 * threads as i64 + 30),
         },
         74..=76 => Op::Gate,
-        77..=78 => Op::NestedPar {
+        77 => Op::NestedPar {
             threads: rng.range_usize(1, 4),
             count: rng.range_i64(1, 64),
+        },
+        78 => Op::NestedTeam {
+            threads: rng.range_usize(1, 5),
+            depth: rng.range_usize(1, 3),
         },
         79..=88 => Op::TaskFlood {
             count: task_count(rng),
@@ -184,6 +188,9 @@ mod tests {
                     Op::TaskTree { fanout, depth } => {
                         assert!((1..=3).contains(&fanout) && (1..=3).contains(&depth))
                     }
+                    Op::NestedTeam { threads, depth } => {
+                        assert!((1..=4).contains(&threads) && (1..=2).contains(&depth))
+                    }
                     Op::Barrier | Op::Gate => {}
                 }
             }
@@ -195,6 +202,7 @@ mod tests {
         // Across many seeds the rare constructs must all be exercised.
         let mut ordered = 0;
         let mut nested = 0;
+        let mut nested_teams = 0;
         let mut gates = 0;
         let mut trees = 0;
         let mut producers = 0;
@@ -204,6 +212,7 @@ mod tests {
                 match op {
                     Op::Ordered { .. } => ordered += 1,
                     Op::NestedPar { .. } => nested += 1,
+                    Op::NestedTeam { .. } => nested_teams += 1,
                     Op::Gate => gates += 1,
                     Op::TaskTree { .. } => trees += 1,
                     Op::TaskProducer { .. } => producers += 1,
@@ -216,6 +225,7 @@ mod tests {
         }
         assert!(ordered > 0, "ordered never generated");
         assert!(nested > 0, "nested parallel never generated");
+        assert!(nested_teams > 0, "nested_team never generated");
         assert!(gates > 0, "gate never generated");
         assert!(trees > 0, "task trees never generated");
         assert!(producers > 0, "task producers never generated");

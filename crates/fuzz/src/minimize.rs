@@ -116,6 +116,9 @@ fn count_of(op: &Op) -> Option<i64> {
         // Trees shrink on depth: halving the node count directly would
         // not stay in the fanout^depth family.
         Op::TaskTree { depth, .. } => Some(depth as i64),
+        // Nested chains shrink on the sub-team size; depth is already 1
+        // or 2 and shrinks implicitly when threads hits 1.
+        Op::NestedTeam { threads, .. } => Some(threads as i64),
         Op::Barrier | Op::Gate => None,
     }
 }
@@ -139,6 +142,10 @@ fn set_count(op: &Op, n: i64) -> Option<Op> {
         Op::TaskTree { fanout, .. } => Op::TaskTree {
             fanout,
             depth: (n as usize).min(3),
+        },
+        Op::NestedTeam { depth, .. } => Op::NestedTeam {
+            threads: (n as usize).min(4),
+            depth,
         },
         Op::Barrier | Op::Gate => return None,
     })

@@ -15,7 +15,10 @@
 use crate::scenario::{mix, mix_small, Op, Scenario};
 
 /// The expected result of one op under `threads` team threads.
-pub fn expected_op(op: &Op, threads: usize) -> i64 {
+/// `nested` is the scenario's nesting mode: it decides whether a
+/// nested-team probe forks real sub-teams or serialized 1-thread
+/// regions, which changes the closed form.
+pub fn expected_op(op: &Op, threads: usize, nested: bool) -> i64 {
     match *op {
         Op::For { count, .. } => (0..count).fold(0i64, |a, i| a.wrapping_add(mix(i))),
         Op::ReduceSum { count } => (0..count).map(|i| i % 97).sum(),
@@ -29,6 +32,16 @@ pub fn expected_op(op: &Op, threads: usize) -> i64 {
         Op::Master { rounds } => rounds,
         Op::Barrier | Op::Gate => 0,
         Op::NestedPar { count, .. } => (0..count).fold(0i64, |a, i| a.wrapping_add(mix(i))),
+        // Every member of every link in the nesting chain contributes
+        // `level * 100 + thread_num`. The ops run at level 1, so link
+        // `d` (1-based) runs at level `1 + d`; real nesting gives each
+        // link `threads` members, serialized nesting gives it one.
+        Op::NestedTeam { threads, depth } => {
+            let team = if nested { threads as i64 } else { 1 };
+            (1..=depth as i64)
+                .map(|d| (0..team).map(|t| (1 + d) * 100 + t).sum::<i64>())
+                .sum()
+        }
         // Each of the `threads` spawners contributes the same sum, no
         // matter which thread ends up executing which task.
         Op::TaskFlood { count, .. } => (0..count)
@@ -53,7 +66,7 @@ pub fn expected(scenario: &Scenario) -> Vec<i64> {
     scenario
         .ops
         .iter()
-        .map(|op| expected_op(op, scenario.threads))
+        .map(|op| expected_op(op, scenario.threads, scenario.nested))
         .collect()
 }
 
@@ -64,16 +77,16 @@ mod tests {
 
     #[test]
     fn mutual_exclusion_ops_scale_with_threads() {
-        assert_eq!(expected_op(&Op::Critical { rounds: 5 }, 4), 20);
-        assert_eq!(expected_op(&Op::Lock { rounds: 3 }, 2), 6);
-        assert_eq!(expected_op(&Op::Single { rounds: 7 }, 4), 7);
-        assert_eq!(expected_op(&Op::Master { rounds: 2 }, 4), 2);
+        assert_eq!(expected_op(&Op::Critical { rounds: 5 }, 4, false), 20);
+        assert_eq!(expected_op(&Op::Lock { rounds: 3 }, 2, false), 6);
+        assert_eq!(expected_op(&Op::Single { rounds: 7 }, 4, false), 7);
+        assert_eq!(expected_op(&Op::Master { rounds: 2 }, 4, false), 2);
     }
 
     #[test]
     fn ordered_hash_is_order_sensitive() {
         // Swapping two iterations changes the fold.
-        let in_order = expected_op(&Op::Ordered { count: 5 }, 2);
+        let in_order = expected_op(&Op::Ordered { count: 5 }, 2, false);
         let swapped = [0i64, 1, 3, 2, 4]
             .iter()
             .fold(0i64, |h, i| h.wrapping_mul(31).wrapping_add(*i));
@@ -98,6 +111,7 @@ mod tests {
                 untied: true,
             },
             1,
+            false,
         );
         let four = expected_op(
             &Op::TaskFlood {
@@ -105,12 +119,13 @@ mod tests {
                 untied: false,
             },
             4,
+            false,
         );
         assert_eq!(four, one.wrapping_mul(4));
         // A producer's sum does not scale with the team.
         assert_eq!(
-            expected_op(&Op::TaskProducer { count: 10 }, 1),
-            expected_op(&Op::TaskProducer { count: 10 }, 8),
+            expected_op(&Op::TaskProducer { count: 10 }, 1, false),
+            expected_op(&Op::TaskProducer { count: 10 }, 8, false),
         );
         // Trees count their nodes: 3 + 9 + 27.
         assert_eq!(
@@ -119,7 +134,8 @@ mod tests {
                     fanout: 3,
                     depth: 3
                 },
-                4
+                4,
+                false
             ),
             39
         );
@@ -129,10 +145,31 @@ mod tests {
                     fanout: 1,
                     depth: 1
                 },
-                2
+                2,
+                false
             ),
             1
         );
+    }
+
+    #[test]
+    fn nested_team_closed_form_tracks_nesting_mode() {
+        let op = Op::NestedTeam {
+            threads: 3,
+            depth: 2,
+        };
+        // Real nesting: level 2 gives 200+201+202, level 3 gives
+        // 300+301+302.
+        assert_eq!(expected_op(&op, 4, true), 603 + 903);
+        // Serialized: one member per link, thread_num always 0.
+        assert_eq!(expected_op(&op, 4, false), 200 + 300);
+        // Depth 1 is a single link.
+        let shallow = Op::NestedTeam {
+            threads: 2,
+            depth: 1,
+        };
+        assert_eq!(expected_op(&shallow, 2, true), 200 + 201);
+        assert_eq!(expected_op(&shallow, 2, false), 200);
     }
 
     #[test]

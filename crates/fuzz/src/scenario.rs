@@ -89,6 +89,15 @@ pub enum Op {
     /// Master forks a nested region of `threads` threads which sums
     /// `mix(i)` over `0..count` (serialized unless `Scenario::nested`).
     NestedPar { threads: usize, count: i64 },
+    /// Master forks a chain of `depth` nested regions of `threads`
+    /// threads each (only the inner master recurses) and folds every
+    /// member's `level`/`thread_num` into the result, asserting the
+    /// parent-region-ID chain along the way. Under `Scenario::nested`
+    /// each link is a real sub-team (leased from the worker pool);
+    /// serialized, each link is a 1-thread region that keeps the outer
+    /// region ID but still increments the level. Capped at `threads`
+    /// 4 × `depth` 2.
+    NestedTeam { threads: usize, depth: usize },
     /// Every thread spawns `count` explicit tasks summing `mix(i)`,
     /// then taskwaits. Tied tasks stay on their spawner's deque;
     /// untied ones are fair game for thieves.
@@ -153,6 +162,9 @@ impl Scenario {
                 Op::Barrier => writeln!(out, "barrier"),
                 Op::Gate => writeln!(out, "gate"),
                 Op::NestedPar { threads, count } => writeln!(out, "nestedpar {threads} {count}"),
+                Op::NestedTeam { threads, depth } => {
+                    writeln!(out, "nested_team {threads} {depth}")
+                }
                 Op::TaskFlood { count, untied } => {
                     writeln!(
                         out,
@@ -243,6 +255,17 @@ impl Scenario {
                     threads: positive(fields[1])? as usize,
                     count: positive(fields[2])?,
                 }),
+                "nested_team" if fields.len() == 3 => {
+                    let threads = positive(fields[1])?;
+                    let depth = positive(fields[2])?;
+                    if threads > 4 || depth > 2 {
+                        return Err(err("nested_team is capped at threads 4, depth 2"));
+                    }
+                    ops.push(Op::NestedTeam {
+                        threads: threads as usize,
+                        depth: depth as usize,
+                    });
+                }
                 "task_flood" if fields.len() == 3 => {
                     let count = positive(fields[1])?;
                     let untied = match fields[2] {
@@ -321,6 +344,10 @@ mod tests {
                     threads: 2,
                     count: 12,
                 },
+                Op::NestedTeam {
+                    threads: 3,
+                    depth: 2,
+                },
                 Op::ReduceMin { count: 7 },
                 Op::ReduceMax { count: 7 },
                 Op::TaskFlood {
@@ -367,6 +394,9 @@ mod tests {
         assert!(Scenario::parse("threads 2\ntask_flood 5 sideways").is_err());
         assert!(Scenario::parse("threads 2\ntask_tree 4 2").is_err());
         assert!(Scenario::parse("threads 2\ntask_producer 0").is_err());
+        assert!(Scenario::parse("threads 2\nnested_team 5 1").is_err());
+        assert!(Scenario::parse("threads 2\nnested_team 2 3").is_err());
+        assert!(Scenario::parse("threads 2\nnested_team 0 1").is_err());
     }
 
     #[test]

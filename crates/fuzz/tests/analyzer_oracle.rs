@@ -29,6 +29,66 @@ fn traced_events(body: impl Fn(&omprt::ParCtx<'_>) + Sync) -> Vec<ora_trace::Ran
     merge_ranks(&[reader]).expect("merge")
 }
 
+/// Like [`traced_events`] but with real nesting enabled and the runtime
+/// handle passed to the body, so region programs can fork sub-teams.
+fn traced_events_nested(
+    threads: usize,
+    body: impl Fn(&OpenMp, &omprt::ParCtx<'_>) + Sync,
+) -> Vec<ora_trace::RankedEvent> {
+    let rt = OpenMp::with_config(omprt::Config {
+        num_threads: threads,
+        nested: true,
+        ..omprt::Config::default()
+    });
+    let handle = RuntimeHandle::discover_named(rt.symbol_name()).expect("runtime symbol");
+    let active = CollectionConfig::StreamingTrace
+        .attach(&handle)
+        .expect("attach tracer");
+    rt.parallel(|ctx| body(&rt, ctx));
+    drop(rt);
+    let (_, trace) = active.finish_with_trace().expect("finish trace");
+    let reader = TraceReader::from_bytes(trace.expect("trace bytes")).expect("decode");
+    merge_ranks(&[reader]).expect("merge")
+}
+
+#[test]
+fn nested_inner_barriers_do_not_pollute_outer_convoy_attribution() {
+    // The master forks an inner sub-team (with its own barriers) before
+    // every outer explicit barrier. The inner barriers advance the
+    // master's per-descriptor wait-id counter, so its outer arrivals
+    // carry wait IDs out of lockstep with its teammates — the shape
+    // that used to scatter real episodes into phantom ones and blame
+    // an innocent teammate. Nesting-aware clustering must pin the
+    // convoy on the master (the genuine laggard: everyone else waits
+    // out its inner excursion) and must not flag the short-lived inner
+    // regions at all.
+    let events = traced_events_nested(3, |rt, ctx| {
+        for _ in 0..12 {
+            if ctx.is_master() {
+                rt.parallel_n(2, |inner| {
+                    inner.barrier();
+                    std::thread::sleep(Duration::from_micros(400));
+                    inner.barrier();
+                });
+            }
+            ctx.barrier();
+        }
+    });
+
+    let report = analyze(&events, &AnalyzeConfig::default());
+    let convoys: Vec<_> = report.of_kind(PatternKind::BarrierConvoy).collect();
+    assert!(
+        !convoys.is_empty(),
+        "the master-led outer convoy must still be detected:\n{}",
+        report.render()
+    );
+    assert!(
+        convoys.iter().all(|f| f.gtid == 0),
+        "inner-team barriers were misattributed to a teammate:\n{}",
+        report.render()
+    );
+}
+
 #[test]
 fn planted_serialized_flood_is_flagged_as_serialized_and_starved() {
     // The deliberately detrimental shape: the master floods tied tasks

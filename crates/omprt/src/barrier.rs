@@ -27,6 +27,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use ora_core::pad::CachePadded;
 use ora_core::park::ParkSlot;
 
+use crate::topology::Topology;
+
 /// Which barrier algorithm a runtime instance uses (ablation knob for the
 /// `barrier_ablation` bench).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,6 +39,13 @@ pub enum BarrierKind {
     /// Combining tree with fan-in 4: arrivals ascend a tree of counters,
     /// release broadcasts through the shared sense flag.
     Tree,
+    /// Topology-shaped combining tree: SMT siblings combine at the
+    /// leaves, cores combine into per-package subtrees, and package
+    /// representatives meet at a root whose fan-in is capped by
+    /// [`DEFAULT_ROOT_FANIN`]. The shape comes from
+    /// [`Topology::current`], so `OMP_ORA_TOPOLOGY` makes it
+    /// deterministic in tests and benches.
+    Shaped,
 }
 
 impl BarrierKind {
@@ -45,6 +54,7 @@ impl BarrierKind {
         match self {
             BarrierKind::Central => "central",
             BarrierKind::Tree => "tree",
+            BarrierKind::Shaped => "shaped",
         }
     }
 }
@@ -70,10 +80,35 @@ enum Algo {
         /// heap layout over `ceil(size/FANIN)`-ary groups.
         nodes: Vec<CachePadded<AtomicUsize>>,
     },
+    Shaped {
+        nodes: Vec<ShapedNode>,
+        /// tid → index of the node this thread arrives at.
+        leaf_of: Vec<u32>,
+    },
 }
+
+/// One node of the topology-shaped combining tree: an explicit
+/// parent-pointer structure (unlike the fixed-fan-in implicit heap) so
+/// every node can have its own fan-in — SMT width at the leaves, cores
+/// per package above them, [`DEFAULT_ROOT_FANIN`]-capped near the root.
+struct ShapedNode {
+    count: CachePadded<AtomicUsize>,
+    /// Arrivals this node waits for (child climbers plus directly
+    /// attached threads).
+    fanin: u32,
+    /// Parent node index; `u32::MAX` marks the root.
+    parent: u32,
+}
+
+const NO_PARENT: u32 = u32::MAX;
 
 /// Fan-in of the combining tree.
 const FANIN: usize = 4;
+
+/// Root fan-in cap for the shaped tree: package representatives combine
+/// in groups of at most this many. Machines rarely have more than a
+/// handful of packages, so the root is usually a single node.
+pub const DEFAULT_ROOT_FANIN: usize = 8;
 
 impl Barrier {
     /// A barrier for `size` threads using `kind`'s algorithm.
@@ -98,6 +133,9 @@ impl Barrier {
                         .collect(),
                 }
             }
+            BarrierKind::Shaped => {
+                return Barrier::new_shaped(size, Topology::current(), DEFAULT_ROOT_FANIN)
+            }
         };
         Barrier {
             size,
@@ -106,6 +144,23 @@ impl Barrier {
                 .map(|_| CachePadded::new(ParkSlot::new()))
                 .collect(),
             algo,
+        }
+    }
+
+    /// A topology-shaped combining-tree barrier with an explicit machine
+    /// model and root fan-in cap (the configurable form behind
+    /// [`BarrierKind::Shaped`]; benches and shape-edge-case tests inject
+    /// topologies here directly).
+    pub fn new_shaped(size: usize, topo: Topology, root_fanin: usize) -> Self {
+        assert!(size >= 1, "barrier needs at least one participant");
+        let (nodes, leaf_of) = build_shaped_tree(size, topo, root_fanin.max(2));
+        Barrier {
+            size,
+            sense: CachePadded::new(AtomicBool::new(false)),
+            slots: (0..size)
+                .map(|_| CachePadded::new(ParkSlot::new()))
+                .collect(),
+            algo: Algo::Shaped { nodes, leaf_of },
         }
     }
 
@@ -119,6 +174,7 @@ impl Barrier {
         match self.algo {
             Algo::Central { .. } => BarrierKind::Central,
             Algo::Tree { .. } => BarrierKind::Tree,
+            Algo::Shaped { .. } => BarrierKind::Shaped,
         }
     }
 
@@ -133,6 +189,7 @@ impl Barrier {
         let is_releaser = match &self.algo {
             Algo::Central { count } => count.fetch_add(1, Ordering::AcqRel) + 1 == self.size,
             Algo::Tree { nodes } => self.tree_arrive(nodes, tid),
+            Algo::Shaped { nodes, leaf_of } => shaped_arrive(nodes, leaf_of[tid]),
         };
         if is_releaser {
             // Reset *before* the sense flip so the reset is ordered into
@@ -144,6 +201,11 @@ impl Barrier {
                 Algo::Tree { nodes } => {
                     for node in nodes.iter() {
                         node.store(0, Ordering::Relaxed);
+                    }
+                }
+                Algo::Shaped { nodes, .. } => {
+                    for node in nodes.iter() {
+                        node.count.store(0, Ordering::Relaxed);
                     }
                 }
             }
@@ -212,6 +274,92 @@ impl Barrier {
         }
         true
     }
+}
+
+/// Climb the shaped tree from `leaf`; returns whether this thread is the
+/// overall releaser. Counters are reset by the releaser before the sense
+/// flip, exactly like the fixed-fan-in tree.
+fn shaped_arrive(nodes: &[ShapedNode], leaf: u32) -> bool {
+    let mut idx = leaf;
+    loop {
+        let node = &nodes[idx as usize];
+        let prev = node.count.fetch_add(1, Ordering::AcqRel);
+        if prev + 1 < node.fanin as usize {
+            return false; // not the last arrival into this node
+        }
+        if node.parent == NO_PARENT {
+            return true; // climbed out of the root
+        }
+        idx = node.parent;
+    }
+}
+
+/// Builds the shaped combining tree for `size` threads on `topo`.
+///
+/// Construction walks the hierarchy bottom-up with one grouping extent
+/// per level — SMT width, then cores-per-package, then `root_fanin`
+/// repeatedly until a single root remains. Units (threads at the bottom,
+/// node representatives above) are chunked consecutively, which under the
+/// compact gtid assignment puts SMT siblings in one leaf and one
+/// package's cores in one subtree. A chunk with a single unit allocates
+/// no node: the unit passes through to the next level, so degenerate
+/// extents (SMT-less machines, 1-package shapes) cost nothing.
+fn build_shaped_tree(
+    size: usize,
+    topo: Topology,
+    root_fanin: usize,
+) -> (Vec<ShapedNode>, Vec<u32>) {
+    enum Unit {
+        Thread(u32),
+        Node(u32),
+    }
+    let mut nodes: Vec<ShapedNode> = Vec::new();
+    let mut leaf_of = vec![NO_PARENT; size];
+    let mut units: Vec<Unit> = (0..size as u32).map(Unit::Thread).collect();
+    let mut extents = vec![topo.smt_per_core(), topo.cores_per_package()];
+    // Enough root_fanin levels to always converge to one unit.
+    let mut width = topo.packages().max(units.len());
+    while width > 1 {
+        extents.push(root_fanin);
+        width = width.div_ceil(root_fanin);
+    }
+    for extent in extents {
+        if units.len() <= 1 {
+            break;
+        }
+        if extent <= 1 {
+            continue;
+        }
+        let mut next: Vec<Unit> = Vec::with_capacity(units.len().div_ceil(extent));
+        for chunk in units.chunks(extent) {
+            if chunk.len() == 1 {
+                // Pass the lone unit through; re-wrap to move ownership.
+                next.push(match chunk[0] {
+                    Unit::Thread(t) => Unit::Thread(t),
+                    Unit::Node(n) => Unit::Node(n),
+                });
+                continue;
+            }
+            let id = nodes.len() as u32;
+            nodes.push(ShapedNode {
+                count: CachePadded::new(AtomicUsize::new(0)),
+                fanin: chunk.len() as u32,
+                parent: NO_PARENT,
+            });
+            for unit in chunk {
+                match *unit {
+                    Unit::Thread(t) => leaf_of[t as usize] = id,
+                    Unit::Node(n) => nodes[n as usize].parent = id,
+                }
+            }
+            next.push(Unit::Node(id));
+        }
+        units = next;
+    }
+    debug_assert!(units.len() <= 1);
+    debug_assert!(size < 2 || nodes.iter().filter(|n| n.parent == NO_PARENT).count() == 1);
+    debug_assert!(size < 2 || leaf_of.iter().all(|&l| l != NO_PARENT));
+    (nodes, leaf_of)
 }
 
 impl std::fmt::Debug for Barrier {
@@ -307,7 +455,104 @@ mod tests {
     #[test]
     fn kind_is_reported() {
         assert_eq!(Barrier::new(BarrierKind::Tree, 3).kind(), BarrierKind::Tree);
+        assert_eq!(
+            Barrier::new(BarrierKind::Shaped, 3).kind(),
+            BarrierKind::Shaped
+        );
         assert_eq!(BarrierKind::Central.name(), "central");
         assert_eq!(BarrierKind::Tree.name(), "tree");
+        assert_eq!(BarrierKind::Shaped.name(), "shaped");
+    }
+
+    fn exercise_shaped(topo: Topology, threads: usize, episodes: usize) {
+        let barrier = Arc::new(Barrier::new_shaped(threads, topo, DEFAULT_ROOT_FANIN));
+        let phase = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let barrier = barrier.clone();
+                let phase = phase.clone();
+                std::thread::spawn(move || {
+                    for ep in 0..episodes {
+                        assert_eq!(phase.load(Ordering::SeqCst) / threads as u64, ep as u64);
+                        phase.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait(tid);
+                        assert!(phase.load(Ordering::SeqCst) >= ((ep + 1) * threads) as u64);
+                        barrier.wait(tid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), (threads * episodes) as u64);
+    }
+
+    #[test]
+    fn shaped_barrier_synchronizes_under_matching_topology() {
+        exercise_shaped(Topology::new(2, 4, 2), 16, 20);
+    }
+
+    #[test]
+    fn shaped_barrier_handles_shape_edge_cases() {
+        // 1-package, SMT-less, odd team sizes vs injected shapes, and
+        // oversubscription past the slot count.
+        for (topo, threads) in [
+            (Topology::new(1, 4, 1), 4),  // 1 package, SMT-less, exact fit
+            (Topology::new(1, 1, 1), 5),  // everything oversubscribed
+            (Topology::new(2, 4, 2), 7),  // odd team inside one machine
+            (Topology::new(2, 4, 2), 33), // odd + oversubscribed
+            (Topology::new(4, 1, 2), 9),  // many tiny packages
+            (Topology::new(2, 3, 1), 13), // SMT-less, odd cores
+        ] {
+            exercise_shaped(topo, threads, 10);
+        }
+    }
+
+    #[test]
+    fn shaped_tree_structure_is_well_formed() {
+        for (topo, size) in [
+            (Topology::new(2, 4, 2), 16),
+            (Topology::new(2, 4, 2), 5),
+            (Topology::new(1, 8, 1), 8),
+            (Topology::new(1, 1, 1), 64),
+            (Topology::new(16, 1, 1), 32),
+        ] {
+            let (nodes, leaf_of) = build_shaped_tree(size, topo, 2);
+            assert_eq!(leaf_of.len(), size);
+            // Exactly one root; every thread reaches it.
+            let roots: Vec<usize> = (0..nodes.len())
+                .filter(|&i| nodes[i].parent == NO_PARENT)
+                .collect();
+            assert_eq!(roots.len(), 1, "topo {topo:?} size {size}");
+            for &leaf in &leaf_of {
+                let mut idx = leaf as usize;
+                let mut hops = 0;
+                while nodes[idx].parent != NO_PARENT {
+                    idx = nodes[idx].parent as usize;
+                    hops += 1;
+                    assert!(hops <= nodes.len(), "cycle in shaped tree");
+                }
+                assert_eq!(idx, roots[0]);
+            }
+            // Total arrivals across nodes = threads + one climb per
+            // non-root node.
+            let total_fanin: usize = nodes.iter().map(|n| n.fanin as usize).sum();
+            assert_eq!(total_fanin, size + nodes.len() - 1);
+            // No degenerate single-arrival nodes survive construction.
+            assert!(nodes.iter().all(|n| n.fanin >= 2));
+        }
+    }
+
+    #[test]
+    fn shaped_leaves_group_smt_siblings() {
+        let topo = Topology::new(2, 2, 2);
+        let (_, leaf_of) = build_shaped_tree(8, topo, 2);
+        // Compact assignment: gtids (0,1), (2,3), … are SMT pairs and
+        // must share a leaf; adjacent pairs must not.
+        for pair in 0..4 {
+            assert_eq!(leaf_of[2 * pair], leaf_of[2 * pair + 1]);
+        }
+        assert_ne!(leaf_of[1], leaf_of[2]);
     }
 }

@@ -22,6 +22,11 @@ pub struct Config {
     /// compiler": a fork event per nested region and live current/parent
     /// region IDs for the inner team (§IV-C1, §IV-E).
     pub nested: bool,
+    /// Force nested sub-teams to spawn ephemeral OS threads instead of
+    /// leasing parked pool workers. The default (off) is the pooled path;
+    /// this knob exists for the pooled-vs-ephemeral ablation in the
+    /// `topo` bench suite and has no effect unless `nested` is set.
+    pub nested_ephemeral: bool,
 }
 
 impl Default for Config {
@@ -34,6 +39,7 @@ impl Default for Config {
             barrier: BarrierKind::default(),
             atomic_events: false,
             nested: false,
+            nested_ephemeral: false,
         }
     }
 }
@@ -57,6 +63,7 @@ mod tests {
         let c = Config::default();
         assert!(!c.atomic_events, "paper leaves atomic events unimplemented");
         assert!(!c.nested, "paper's compiler serializes nested regions");
+        assert!(!c.nested_ephemeral, "pooled sub-teams are the default");
         assert_eq!(c.schedule, Schedule::StaticEven);
         assert_eq!(c.barrier, BarrierKind::Central);
         assert!(c.num_threads >= 1);

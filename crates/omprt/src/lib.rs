@@ -50,6 +50,7 @@ pub mod spin;
 pub mod task;
 pub mod team;
 pub mod tls;
+pub mod topology;
 pub mod userapi;
 pub mod wordlock;
 
@@ -63,4 +64,5 @@ pub use runtime::OpenMp;
 pub use schedule::{Chunk, Claimer, DynamicLoop, Schedule};
 pub use task::TaskScope;
 pub use team::Team;
+pub use topology::{Location, Topology};
 pub use wordlock::WordLock;

@@ -10,11 +10,15 @@
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ora_core::event::Event;
 use ora_core::pad::CachePadded;
+#[cfg(test)]
+use std::sync::atomic::AtomicBool;
+
+#[cfg(test)]
 use ora_core::park::ParkSlot;
 use ora_core::state::ThreadState;
 use psx::symtab::Ip;
@@ -130,14 +134,22 @@ impl TeamSlot {
     }
 
     /// Current team size of the published region.
-    fn size(&self) -> usize {
+    pub(crate) fn size(&self) -> usize {
         self.team_size.load(Ordering::Relaxed)
+    }
+
+    /// Current epoch (acquire: pairs with `publish`'s release increment).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Block until the epoch differs from `last` or `shutdown` is set,
     /// spinning (bounded, with backoff) before parking on `park` — the
     /// calling worker's own descriptor slot. Returns the new epoch, or
-    /// `None` on shutdown.
+    /// `None` on shutdown. (`worker_main` inlines this predicate so it
+    /// can also watch the lease doorbell; this form pins the protocol in
+    /// isolation for the tests below.)
+    #[cfg(test)]
     fn wait_change(&self, last: u64, shutdown: &AtomicBool, park: &ParkSlot) -> Option<u64> {
         let epoch = &self.epoch;
         park.wait(crate::spin::long_budget(), || {
@@ -154,9 +166,78 @@ impl TeamSlot {
     }
 }
 
+/// Per-worker sub-team lease channel.
+///
+/// Nested parallel regions do not publish through the global [`TeamSlot`]
+/// — that would wake the whole pool and race with the outer region it
+/// belongs to. Instead the nested master *leases* specific parked workers
+/// (workers whose gtid is outside the running top-level team are never
+/// woken by global publication, so they are exactly the idle capacity)
+/// and hands each its own `LeaseSlot`: the sub-team work, the worker's
+/// member ID inside the sub-team, and a doorbell epoch. The worker serves
+/// the lease under its *registered* descriptor — unlike the ephemeral
+/// fallback's fresh descriptors, a leased worker stays visible to state
+/// queries and health tooling mid-region — and frees itself back to the
+/// lease pool after the sub-team's closing barrier.
+///
+/// Publication protocol mirrors [`TeamSlot`]: write the work cell and
+/// member ID, release-increment `epoch`, unpark the worker's descriptor
+/// slot. The cell is single-producer/single-consumer by construction —
+/// a worker is leased to at most one sub-team at a time (the allocator in
+/// `runtime.rs` guarantees it) and clears the cell when it takes the work.
+pub(crate) struct LeaseSlot {
+    epoch: CachePadded<AtomicU64>,
+    inner_gtid: AtomicUsize,
+    work: UnsafeCell<Option<Work>>,
+}
+
+unsafe impl Sync for LeaseSlot {}
+
+impl LeaseSlot {
+    pub(crate) fn new() -> Self {
+        LeaseSlot {
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            inner_gtid: AtomicUsize::new(0),
+            work: UnsafeCell::new(None),
+        }
+    }
+
+    /// Publish a sub-team lease (nested master only; the worker must be
+    /// claimed from the lease pool first). Caller unparks the worker's
+    /// doorbell after this returns.
+    pub(crate) fn publish(&self, work: Work, inner_gtid: usize) {
+        // Safety: the worker is parked and unleased — nothing reads the
+        // cell until the epoch increment below is observed.
+        unsafe { *self.work.get() = Some(work) };
+        self.inner_gtid.store(inner_gtid, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Current lease epoch (acquire: pairs with `publish`).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Take the published lease, clearing the cell (leased worker only).
+    fn take(&self) -> (Work, usize) {
+        // Safety: we are the single consumer, inside the lease window.
+        let work = unsafe { (*self.work.get()).take().expect("lease published") };
+        (work, self.inner_gtid.load(Ordering::Relaxed))
+    }
+}
+
 /// Body of a pool worker thread with global thread ID `gtid`.
+///
+/// The worker sleeps on one doorbell (its descriptor's [`ParkSlot`]) but
+/// watches two work channels: the global [`TeamSlot`] for top-level
+/// regions it participates in, and its private [`LeaseSlot`] for nested
+/// sub-teams that leased it while it sat outside the running top-level
+/// team. Leases are checked first — a leased worker is by definition not
+/// in the current top-level team, so a pending global epoch catch-up is
+/// a no-op for it anyway.
 pub(crate) fn worker_main(shared: Arc<Shared>, gtid: usize) {
     let desc = shared.descriptor(gtid);
+    let lease = shared.lease_slot(gtid);
     crate::tls::bind(shared.instance, gtid, desc.clone());
 
     // "As soon as the threads are created, they are set to be in the
@@ -166,46 +247,124 @@ pub(crate) fn worker_main(shared: Arc<Shared>, gtid: usize) {
     shared.fire(Event::ThreadBeginIdle, gtid, 0, 0, 0);
 
     let mut last_epoch = 0u64;
-    while let Some(epoch) = shared
-        .slot
-        .wait_change(last_epoch, &shared.shutdown, &desc.park)
-    {
-        last_epoch = epoch;
-        if gtid >= shared.slot.size() {
-            continue; // not in this region's team; stay idle
-        }
-        let work = shared.slot.take();
-        let team = work.team.clone();
-
-        // The idle period is over before the end-idle event fires, so a
-        // state query from its callback sees the working state.
-        crate::tls::set_team(shared.instance, Some(team.clone()));
-        desc.state.set(ThreadState::Working);
-        shared.fire(
-            Event::ThreadEndIdle,
-            gtid,
-            team.region_id,
-            team.parent_region_id,
-            0,
-        );
-
+    let mut last_lease = 0u64;
+    loop {
         {
-            let ctx = ParCtx::new(&shared, &team, &desc, gtid);
-            let frame = psx::enter(work.outlined);
-            // Safety: we are inside the fork/join window for this epoch.
-            let result = catch_unwind(AssertUnwindSafe(|| unsafe { work.closure.call(&ctx) }));
-            drop(frame);
-            if result.is_err() {
-                team.set_panicked();
-            }
-            // The implicit barrier every participant takes at region end.
-            ctx.implicit_barrier();
+            let slot = &shared.slot;
+            let shutdown = &shared.shutdown;
+            let lease = &*lease;
+            desc.park.wait(crate::spin::long_budget(), || {
+                slot.epoch() != last_epoch
+                    || lease.epoch() != last_lease
+                    || shutdown.load(Ordering::Relaxed)
+            });
         }
 
-        crate::tls::set_team(shared.instance, None);
-        desc.state.set(ThreadState::Idle);
-        shared.fire(Event::ThreadBeginIdle, gtid, 0, 0, 0);
+        // Sub-team lease first; work of either kind wins over a racing
+        // shutdown so a region published just before teardown completes.
+        let lease_epoch = lease.epoch();
+        if lease_epoch != last_lease {
+            last_lease = lease_epoch;
+            serve_lease(&shared, &lease, gtid, &desc);
+            continue;
+        }
+
+        let epoch = shared.slot.epoch();
+        if epoch != last_epoch {
+            last_epoch = epoch;
+            if gtid >= shared.slot.size() {
+                continue; // not in this region's team; stay idle
+            }
+            serve_region(&shared, gtid, &desc);
+            continue;
+        }
+
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
     }
+}
+
+/// Serve one top-level region from the global [`TeamSlot`].
+fn serve_region(shared: &Arc<Shared>, gtid: usize, desc: &Arc<crate::ThreadDescriptor>) {
+    let work = shared.slot.take();
+    let team = work.team.clone();
+
+    // The idle period is over before the end-idle event fires, so a
+    // state query from its callback sees the working state.
+    crate::tls::set_team(shared.instance, Some(team.clone()));
+    desc.state.set(ThreadState::Working);
+    shared.fire(
+        Event::ThreadEndIdle,
+        gtid,
+        team.region_id,
+        team.parent_region_id,
+        0,
+    );
+
+    {
+        let ctx = ParCtx::new(shared, &team, desc, gtid);
+        let frame = psx::enter(work.outlined);
+        // Safety: we are inside the fork/join window for this epoch.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { work.closure.call(&ctx) }));
+        drop(frame);
+        if result.is_err() {
+            team.set_panicked();
+        }
+        // The implicit barrier every participant takes at region end.
+        ctx.implicit_barrier();
+    }
+
+    crate::tls::set_team(shared.instance, None);
+    desc.state.set(ThreadState::Idle);
+    shared.fire(Event::ThreadBeginIdle, gtid, 0, 0, 0);
+}
+
+/// Serve one nested sub-team lease, then return to the pool.
+///
+/// Event emission deliberately matches the ephemeral-spawn fallback
+/// exactly (no idle transitions; the Fork was fired by the nested master
+/// before this worker woke), so the trace of a nested region is
+/// indistinguishable across the two fork paths. The difference is the
+/// descriptor: the worker keeps its registered one, binding it under the
+/// sub-team member ID, so state queries and health tooling see the thread
+/// mid-region.
+fn serve_lease(
+    shared: &Arc<Shared>,
+    lease: &LeaseSlot,
+    gtid: usize,
+    desc: &Arc<crate::ThreadDescriptor>,
+) {
+    let (work, inner_gtid) = lease.take();
+    let team = work.team.clone();
+
+    // Become sub-team member `inner_gtid` for the duration: same
+    // registered descriptor, inner team binding.
+    crate::tls::bind(shared.instance, inner_gtid, desc.clone());
+    crate::tls::set_team(shared.instance, Some(team.clone()));
+    desc.state.set(ThreadState::Working);
+
+    {
+        let ctx = ParCtx::new(shared, &team, desc, inner_gtid);
+        let frame = psx::enter(work.outlined);
+        // Safety: the nested master keeps the closure alive until every
+        // sub-team member passes the barrier below.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { work.closure.call(&ctx) }));
+        drop(frame);
+        if result.is_err() {
+            team.set_panicked();
+        }
+        ctx.implicit_barrier();
+    }
+    drop(work);
+    drop(team);
+
+    // Restore the pool identity (bind clears the team) and only then
+    // return to the lease pool — the slot must not be reclaimable while
+    // this thread still looks like a sub-team member.
+    crate::tls::bind(shared.instance, gtid, desc.clone());
+    desc.state.set(ThreadState::Idle);
+    shared.release_lease(gtid);
 }
 
 #[cfg(test)]
@@ -262,6 +421,37 @@ mod tests {
         shutdown.store(true, Ordering::Relaxed);
         park.unpark();
         assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn lease_slot_round_trips_work_and_inner_gtid() {
+        let lease = LeaseSlot::new();
+        assert_eq!(lease.epoch(), 0);
+        let f = |_: &ParCtx<'_>| {};
+        lease.publish(
+            Work {
+                team: Team::solo(7, 0),
+                closure: ErasedClosure::new(&f),
+                outlined: Ip(42),
+            },
+            3,
+        );
+        assert_eq!(lease.epoch(), 1, "publish bumps the doorbell epoch");
+        let (work, inner_gtid) = lease.take();
+        assert_eq!(inner_gtid, 3);
+        assert_eq!(work.outlined, Ip(42));
+        // A second lease of the same slot is a fresh epoch edge.
+        lease.publish(
+            Work {
+                team: Team::solo(8, 0),
+                closure: ErasedClosure::new(&f),
+                outlined: Ip(43),
+            },
+            1,
+        );
+        assert_eq!(lease.epoch(), 2);
+        let (_, inner_gtid) = lease.take();
+        assert_eq!(inner_gtid, 1);
     }
 
     #[test]

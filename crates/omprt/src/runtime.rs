@@ -8,7 +8,7 @@
 //! instance-qualified symbol; the first instance also claims the canonical
 //! symbol name, like the single OpenMP runtime of a real process.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -27,10 +27,11 @@ use psx::symtab::{Ip, SymbolDesc, SymbolTable};
 use crate::config::Config;
 use crate::context::ParCtx;
 use crate::descriptor::ThreadDescriptor;
-use crate::pool::{worker_main, ErasedClosure, TeamSlot, Work};
+use crate::pool::{worker_main, ErasedClosure, LeaseSlot, TeamSlot, Work};
 use crate::region::RegionHandle;
 use crate::team::Team;
 use crate::tls;
+use crate::topology::Topology;
 use crate::wordlock::WordLock;
 
 /// Synthetic IPs of the runtime's own entry points, so captured
@@ -87,6 +88,11 @@ pub(crate) struct Shared {
     pub master_serial: Arc<ThreadDescriptor>,
     pub slot: TeamSlot,
     pub shutdown: AtomicBool,
+    /// Per-worker sub-team lease channels, index-aligned with
+    /// `descriptors` (slot 0 is the master's, never leased).
+    leases: RwLock<Vec<Arc<LeaseSlot>>>,
+    /// Gtids currently leased to a nested sub-team.
+    leased: Mutex<HashSet<usize>>,
     region_counter: AtomicU64,
     region_calls: AtomicU64,
     criticals: Mutex<HashMap<String, Arc<WordLock>>>,
@@ -138,6 +144,55 @@ impl Shared {
         for desc in descs.iter().skip(1) {
             desc.park.unpark();
         }
+    }
+
+    /// Lease channel of worker `gtid`.
+    pub(crate) fn lease_slot(&self, gtid: usize) -> Arc<LeaseSlot> {
+        self.leases.read()[gtid].clone()
+    }
+
+    /// Claim up to `want` parked pool workers for a nested sub-team.
+    ///
+    /// Leasable workers are exactly those outside the running top-level
+    /// team (`gtid >= slot.size()` — global publication never wakes
+    /// them) and not already leased to a sibling sub-team. Assignment is
+    /// topology-compact: workers on `near`'s package come first (in gtid
+    /// order, so SMT siblings stay adjacent), then the rest. Returns the
+    /// claimed gtids in inner-member order; the caller maps them to
+    /// inner gtids `1..` and must publish to each exactly once.
+    pub(crate) fn claim_lease_workers(&self, want: usize, near: usize) -> Vec<usize> {
+        if want == 0 {
+            return Vec::new();
+        }
+        let topo = Topology::current();
+        let near_pkg = topo.package_of(near);
+        let floor = self.slot.size().max(1);
+        let pool = self.descriptors.read().len();
+        let mut leased = self.leased.lock();
+        let mut free: Vec<usize> = (floor..pool).filter(|g| !leased.contains(g)).collect();
+        free.sort_by_key(|&g| (topo.package_of(g) != near_pkg, g));
+        free.truncate(want);
+        for &g in &free {
+            leased.insert(g);
+        }
+        free
+    }
+
+    /// Publish sub-team work to a claimed worker and ring its doorbell.
+    pub(crate) fn publish_lease(&self, gtid: usize, work: Work, inner_gtid: usize) {
+        self.lease_slot(gtid).publish(work, inner_gtid);
+        self.descriptor(gtid).park.unpark();
+    }
+
+    /// Return a worker to the lease pool (the worker itself, after it has
+    /// fully restored its pool identity).
+    pub(crate) fn release_lease(&self, gtid: usize) {
+        self.leased.lock().remove(&gtid);
+    }
+
+    /// Workers currently leased to nested sub-teams.
+    pub(crate) fn leased_count(&self) -> usize {
+        self.leased.lock().len()
     }
 }
 
@@ -257,6 +312,8 @@ impl OpenMp {
             master_serial: master_serial.clone(),
             slot: TeamSlot::new(),
             shutdown: AtomicBool::new(false),
+            leases: RwLock::new(vec![Arc::new(LeaseSlot::new())]),
+            leased: Mutex::new(HashSet::new()),
             region_counter: AtomicU64::new(0),
             region_calls: AtomicU64::new(0),
             criticals: Mutex::new(HashMap::new()),
@@ -392,6 +449,19 @@ impl OpenMp {
                     crate::barrier::BarrierKind::Central,
                     outer.level + 1,
                 );
+                // Make the solo team current for the duration of the
+                // body: `omp_get_level` counts serialized regions too,
+                // so a deeper serialized nest must see *this* level as
+                // its outer one, not the enclosing real team's. The
+                // guard restores the outer team even if `f` unwinds.
+                struct TeamRestore(u64, Option<Arc<Team>>);
+                impl Drop for TeamRestore {
+                    fn drop(&mut self) {
+                        tls::set_team(self.0, self.1.take());
+                    }
+                }
+                let prev = tls::swap_team(shared.instance, Some(solo.clone()));
+                let _restore = TeamRestore(shared.instance, prev);
                 let ctx = ParCtx::new(shared, &solo, &desc, 0);
                 let _frame = psx::enter(region.outlined);
                 f(&ctx);
@@ -482,11 +552,20 @@ impl OpenMp {
         }
     }
 
-    /// Fork a real nested sub-team (the `Config::nested` path): ephemeral
-    /// scoped threads join an inner team whose parent region ID is the
-    /// enclosing region's ID. "In the case of a nested parallel region,
-    /// it will return the current parallel region ID of the parent team
-    /// that spawned the new team of threads." (§IV-E)
+    /// Fork a real nested sub-team (the `Config::nested` path). The inner
+    /// team's parent region ID is the enclosing region's ID: "In the case
+    /// of a nested parallel region, it will return the current parallel
+    /// region ID of the parent team that spawned the new team of
+    /// threads." (§IV-E)
+    ///
+    /// Sub-team members come from the persistent pool: parked workers
+    /// outside the running top-level team are leased (topology-compactly,
+    /// preferring the nested master's package) and woken through their
+    /// private [`LeaseSlot`] doorbells. Only the shortfall — pool
+    /// exhausted, or `Config::nested_ephemeral` forcing the old behaviour
+    /// for ablation — is covered by ephemeral scoped threads. Both paths
+    /// emit identical fork/join/level event streams; they differ only in
+    /// thread provenance (and therefore descriptor visibility).
     fn nested_parallel<F: Fn(&ParCtx<'_>) + Sync>(&self, n: usize, region: &RegionHandle, f: &F) {
         let shared = &self.shared;
         let (outer_gtid, outer_desc, outer_team) = tls::lookup(shared.instance).expect("bound");
@@ -504,17 +583,41 @@ impl OpenMp {
 
         let fork_frame = psx::enter(syms().fork);
         // The inner master is in the overhead state while forking, and the
-        // fork event precedes thread creation, as at the outer level.
+        // fork event precedes thread creation or waking, as at the outer
+        // level.
         let prev_state = outer_desc.state.replace(ThreadState::Overhead);
         shared.fire(Event::Fork, outer_gtid, region_id, outer.region_id, 0);
 
-        // The inner master reuses its descriptor; inner workers get fresh
-        // ephemeral descriptors (they exist only for this region).
+        // Lease parked pool workers for the sub-team (growing the pool up
+        // to a bound first, so steady-state nested forking never spawns).
+        let leased = if n > 1 && !shared.config.nested_ephemeral {
+            self.ensure_lease_capacity(n - 1);
+            shared.claim_lease_workers(n - 1, outer_gtid)
+        } else {
+            Vec::new()
+        };
+
+        // The inner master reuses its descriptor; leased workers keep
+        // their registered ones (bound under their inner gtids); only
+        // ephemeral fallback workers get fresh descriptors.
         tls::set_team(shared.instance, Some(team.clone()));
         outer_desc.state.set(ThreadState::Working);
 
+        let closure = ErasedClosure::new(f);
+        for (i, &worker) in leased.iter().enumerate() {
+            shared.publish_lease(
+                worker,
+                Work {
+                    team: team.clone(),
+                    closure,
+                    outlined: region.outlined,
+                },
+                i + 1,
+            );
+        }
+
         std::thread::scope(|scope| {
-            for inner_gtid in 1..n {
+            for inner_gtid in (1 + leased.len())..n {
                 let team = team.clone();
                 let shared = shared.clone();
                 let f = &f;
@@ -538,6 +641,10 @@ impl OpenMp {
                 });
             }
 
+            // The inner master's share. Its implicit barrier releases
+            // only after every leased and ephemeral member arrived, so
+            // `f` (referenced by the erased lease closures) outlives all
+            // calls through them.
             let ctx = ParCtx::new(shared, &team, &outer_desc, 0);
             let frame = psx::enter(region.outlined);
             let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
@@ -587,12 +694,14 @@ impl OpenMp {
     fn ensure_workers(&self, n: usize) {
         {
             let mut descs = self.shared.descriptors.write();
+            let mut leases = self.shared.leases.write();
             while descs.len() < n {
                 // Descriptors are created (in the overhead state) before
                 // their thread exists, so state queries during creation
                 // have an answer (paper §IV-D).
                 let gtid = descs.len();
                 descs.push(Arc::new(ThreadDescriptor::new(gtid)));
+                leases.push(Arc::new(LeaseSlot::new()));
             }
         }
         let mut workers = self.workers.lock();
@@ -607,9 +716,43 @@ impl OpenMp {
         }
     }
 
+    /// Grow the pool so `want` workers are leasable for a nested
+    /// sub-team alongside the running top-level team and any sibling
+    /// leases. Bounded so pathological nesting cannot spawn without
+    /// limit; the shortfall past the bound falls back to ephemeral
+    /// threads in the caller.
+    fn ensure_lease_capacity(&self, want: usize) {
+        /// Hard cap on pool size (top-level team + all leases).
+        const MAX_POOL: usize = 512;
+        let target = self
+            .shared
+            .slot
+            .size()
+            .max(1)
+            .saturating_add(self.shared.leased_count())
+            .saturating_add(want)
+            .min(MAX_POOL);
+        self.ensure_workers(target);
+    }
+
     /// Number of live worker threads (excluding the master).
     pub fn spawned_workers(&self) -> usize {
         self.workers.lock().len()
+    }
+
+    /// Snapshot of every *registered* thread descriptor's state, indexed
+    /// by pool gtid. This is the view health/monitoring tooling gets of
+    /// the runtime's threads: pooled workers (including ones leased to a
+    /// nested sub-team) appear here, while the ephemeral fallback's
+    /// fresh descriptors never do — which is why pooled nested forking
+    /// is required for sub-teams to be observable mid-region.
+    pub fn registered_thread_states(&self) -> Vec<ThreadState> {
+        self.shared
+            .descriptors
+            .read()
+            .iter()
+            .map(|d| d.state.get())
+            .collect()
     }
 
     /// Internal shared state, for sibling modules (locks).

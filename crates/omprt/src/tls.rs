@@ -59,6 +59,19 @@ pub fn set_team(instance: u64, team: Option<Arc<Team>>) {
     });
 }
 
+/// Swap the current team for the calling thread in `instance`, returning
+/// the previous one (used by serialized nesting, which must make its
+/// solo team current so deeper serialized nests chain their levels, and
+/// restore the outer team on the way out).
+pub fn swap_team(instance: u64, team: Option<Arc<Team>>) -> Option<Arc<Team>> {
+    ENTRIES.with(|e| {
+        e.borrow_mut()
+            .iter_mut()
+            .find(|en| en.instance == instance)
+            .and_then(|en| std::mem::replace(&mut en.team, team))
+    })
+}
+
 /// Swap the descriptor bound for `instance` (used when the master switches
 /// between its serial and parallel personas). Returns the previous
 /// descriptor, or `None` if the thread is not bound to the instance.

@@ -149,14 +149,22 @@ fn nesting_levels_count_both_serialized_and_real() {
     });
 
     // Serialized nesting also increments the level (omp_get_level counts
-    // nested regions whether or not they got their own team).
+    // nested regions whether or not they got their own team), and keeps
+    // counting through serialized-inside-serialized chains.
     let rt = OpenMp::with_threads(2);
     rt.parallel(|outer| {
         assert_eq!(outer.level(), 1);
         rt.parallel(|inner| {
             assert_eq!(inner.level(), 2);
             assert_eq!(inner.num_threads(), 1);
+            rt.parallel(|deepest| {
+                assert_eq!(deepest.level(), 3);
+                assert_eq!(deepest.num_threads(), 1);
+                assert_eq!(deepest.region_id(), inner.region_id());
+            });
         });
+        // Back at level 1, a fresh serialized nest restarts at 2.
+        rt.parallel(|again| assert_eq!(again.level(), 2));
     });
 }
 
@@ -205,6 +213,132 @@ fn nested_worksharing_partitions_within_inner_team() {
         }
     });
     assert_eq!(sum.load(Ordering::SeqCst), 299 * 300 / 2);
+}
+
+#[test]
+fn pooled_nested_fork_reuses_pool_workers() {
+    // Nested sub-teams lease parked pool workers instead of spawning OS
+    // threads: after the first nested fork warms the pool, repeated
+    // nested forks leave the worker count untouched.
+    let rt = nested_rt(2);
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h = hits.clone();
+    rt.parallel(|ctx| {
+        if ctx.is_master() {
+            rt.parallel_n(4, |_| {});
+        }
+    });
+    let after_first = rt.spawned_workers();
+    const ROUNDS: usize = 20;
+    rt.parallel(|ctx| {
+        if ctx.is_master() {
+            for _ in 0..ROUNDS {
+                let h = h.clone();
+                rt.parallel_n(4, move |_| {
+                    h.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), ROUNDS * 4);
+    // A lease released just after the master leaves the inner barrier
+    // can still look in-flight when the next fork sizes the pool, so
+    // allow a couple of sub-teams of slack — the point is that growth
+    // is O(1), not O(rounds) like ephemeral spawning would be.
+    assert!(
+        rt.spawned_workers() <= after_first + 6,
+        "repeated nested forks must lease, not spawn: {} workers after \
+         {ROUNDS} rounds (was {after_first})",
+        rt.spawned_workers()
+    );
+}
+
+#[test]
+fn leased_sub_team_workers_are_visible_to_state_queries() {
+    // Regression: ephemeral nested workers used to bind fresh, unregistered
+    // descriptors, so health/state tooling saw an idle pool while a nested
+    // region was running flat out. Leased pool workers keep their
+    // registered descriptor, so a mid-region snapshot shows them Working.
+    use ora_core::state::ThreadState;
+
+    let rt = nested_rt(1);
+    let seen_working = Arc::new(AtomicUsize::new(0));
+    let sw = seen_working.clone();
+    rt.parallel(|_outer| {
+        let arrived = AtomicUsize::new(0);
+        let release = AtomicUsize::new(0);
+        let sw = sw.clone();
+        let rt = &rt;
+        rt.parallel_n(4, move |inner| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            if inner.thread_num() == 0 {
+                // Wait until the whole sub-team is inside the region
+                // body, then snapshot every registered descriptor.
+                while arrived.load(Ordering::SeqCst) < 4 {
+                    std::hint::spin_loop();
+                }
+                let working = rt
+                    .registered_thread_states()
+                    .into_iter()
+                    .filter(|s| *s == ThreadState::Working)
+                    .count();
+                sw.store(working, Ordering::SeqCst);
+                release.store(1, Ordering::SeqCst);
+            } else {
+                while release.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+    });
+    assert!(
+        seen_working.load(Ordering::SeqCst) >= 3,
+        "the 3 leased sub-team workers must appear Working in the \
+         registered-descriptor snapshot, got {}",
+        seen_working.load(Ordering::SeqCst)
+    );
+}
+
+#[test]
+fn ephemeral_knob_preserves_nested_semantics() {
+    // The pooled-vs-ephemeral ablation knob must not change results,
+    // parent chains, or region accounting — only the thread source.
+    let rt = OpenMp::with_config(Config {
+        num_threads: 2,
+        nested: true,
+        nested_ephemeral: true,
+        ..Config::default()
+    });
+    let run = |rt: &OpenMp, sum: &Arc<AtomicUsize>| {
+        let s = sum.clone();
+        rt.parallel(|ctx| {
+            let outer_id = ctx.region_id();
+            if ctx.is_master() {
+                let s = s.clone();
+                rt.parallel_n(3, move |inner| {
+                    assert_eq!(inner.parent_region_id(), outer_id);
+                    assert_eq!(inner.level(), 2);
+                    let mut local = 0usize;
+                    inner.for_each(0, 99, |i| local += i as usize);
+                    s.fetch_add(local, Ordering::SeqCst);
+                });
+            }
+        });
+    };
+    let sum = Arc::new(AtomicUsize::new(0));
+    run(&rt, &sum);
+    // The first region lazily spawns the outer team's pool worker; the
+    // ephemeral nested fork must add nothing beyond that, ever.
+    let baseline = rt.spawned_workers();
+    assert_eq!(baseline, 1, "only the outer team lives in the pool");
+    run(&rt, &sum);
+    assert_eq!(sum.load(Ordering::SeqCst), 2 * (99 * 100 / 2));
+    assert_eq!(rt.region_calls(), 4);
+    assert_eq!(
+        rt.spawned_workers(),
+        baseline,
+        "ephemeral path must not grow the pool"
+    );
 }
 
 #[test]

@@ -11,7 +11,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use omprt::{Barrier, BarrierKind, Config, OpenMp, Schedule};
+use omprt::barrier::DEFAULT_ROOT_FANIN;
+use omprt::{Barrier, BarrierKind, Config, OpenMp, Schedule, Topology};
 use ora_core::park::ParkSlot;
 use ora_core::testutil::XorShift64;
 
@@ -81,6 +82,87 @@ fn tree_barrier_oversubscribed_many_episodes() {
     // 17 threads → partial fan-in nodes on every tree layer, so the
     // releaser-side reset covers full and partial nodes alike.
     oversubscribed_barrier(BarrierKind::Tree, 17, 300, seed());
+}
+
+/// [`oversubscribed_barrier`] for the topology-shaped combining tree:
+/// same phase protocol, but the tree is built from an injected machine
+/// model so the shape under test is independent of the host.
+fn oversubscribed_shaped_barrier(
+    topo: Topology,
+    root_fanin: usize,
+    threads: usize,
+    episodes: usize,
+    seed: u64,
+) {
+    let barrier = Arc::new(Barrier::new_shaped(threads, topo, root_fanin));
+    let phase = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let barrier = barrier.clone();
+            let phase = phase.clone();
+            std::thread::spawn(move || {
+                let mut rng = XorShift64::new(seed ^ ((tid as u64 + 1) << 32));
+                for ep in 0..episodes {
+                    assert_eq!(
+                        phase.load(Ordering::SeqCst) / threads as u64,
+                        ep as u64,
+                        "tid {tid} entered episode {ep} early under {topo:?}"
+                    );
+                    jitter(&mut rng);
+                    phase.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait(tid);
+                    assert!(
+                        phase.load(Ordering::SeqCst) >= ((ep + 1) * threads) as u64,
+                        "tid {tid} released from episode {ep} early under {topo:?}"
+                    );
+                    barrier.wait(tid);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(phase.load(Ordering::SeqCst), (threads * episodes) as u64);
+}
+
+/// 32-thread oversubscription sweep over tree-shape edge cases: a team
+/// far wider than every injected machine, so gtids wrap the slot space
+/// and every leaf/subtree sees multiple attached threads. Covers the
+/// degenerate 1-package and SMT-less shapes plus an odd team size that
+/// leaves partial nodes on every layer, and both a tight and the
+/// default root fan-in.
+#[test]
+fn shaped_barrier_oversubscribed_32_threads_across_topologies() {
+    let s = seed();
+    for topo in [
+        Topology::new(1, 4, 1), // 1 package, SMT-less: package layer degenerates
+        Topology::new(1, 2, 4), // single package, deep SMT leaves
+        Topology::new(2, 4, 2), // the CI-injected reference shape
+        Topology::new(4, 3, 1), // odd cores per package, SMT-less
+    ] {
+        for root_fanin in [2, DEFAULT_ROOT_FANIN] {
+            oversubscribed_shaped_barrier(topo, root_fanin, 32, 40, s);
+            // Odd team size: partial leaves and a ragged last package.
+            oversubscribed_shaped_barrier(topo, root_fanin, 29, 40, s);
+        }
+    }
+}
+
+/// 64-thread sweep: heavier oversubscription, including a shape with
+/// more packages than the team spans compactly (the root combines
+/// everything) and a single giant package (no package layer at all).
+#[test]
+fn shaped_barrier_oversubscribed_64_threads_across_topologies() {
+    let s = seed();
+    for topo in [
+        Topology::new(1, 64, 1), // one giant SMT-less package
+        Topology::new(2, 4, 2),  // reference shape, 4x oversubscribed
+        Topology::new(8, 1, 1),  // package-per-core: the root does the work
+    ] {
+        oversubscribed_shaped_barrier(topo, DEFAULT_ROOT_FANIN, 64, 25, s);
+        oversubscribed_shaped_barrier(topo, DEFAULT_ROOT_FANIN, 61, 25, s);
+    }
 }
 
 /// Raw parking layer under oversubscription: one producer hammers N

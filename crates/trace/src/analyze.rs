@@ -184,9 +184,12 @@ struct RegionActivity {
     task_execs: Vec<Interval>,
     /// Completed task-wait intervals per thread.
     task_waits: Vec<Interval>,
-    /// Barrier arrivals per episode: `wait_id` → (gtid, begin, end),
-    /// implicit and explicit episodes keyed disjointly.
-    barrier_episodes: BTreeMap<(bool, u64), Vec<Interval>>,
+    /// Completed barrier-wait intervals, tagged implicit/explicit.
+    /// Episode grouping happens later by tick overlap (see
+    /// [`cluster_episodes`]) — the records' wait IDs pair a thread's
+    /// own begin/end but are per-thread counters, so nested parallel
+    /// regions push them out of lockstep across the team.
+    barrier_intervals: Vec<(bool, Interval)>,
     /// Threads that fired any event in the region.
     threads: std::collections::BTreeSet<usize>,
     /// Overall tick extent of the region's events.
@@ -284,10 +287,7 @@ pub fn analyze(events: &[RankedEvent], cfg: &AnalyzeConfig) -> AnalysisReport {
                     .or_default()
                     .end(r.gtid, r.wait_id, r.tick)
                 {
-                    act.barrier_episodes
-                        .entry((implicit, r.wait_id))
-                        .or_default()
-                        .push(iv);
+                    act.barrier_intervals.push((implicit, iv));
                 }
             }
             _ => {}
@@ -426,6 +426,42 @@ fn detect_serialized_spawn(
     });
 }
 
+/// Group one class of completed barrier intervals into episodes by
+/// mutual tick overlap. A barrier serializes its team — every member
+/// of an episode is inside the barrier at the release point, and the
+/// next episode cannot begin before the previous one released — so
+/// overlapping intervals with distinct threads are one episode.
+/// Clustering by overlap rather than by the records' wait IDs keeps
+/// the grouping correct under nested parallelism: a thread that forks
+/// an inner team advances its per-thread barrier counter inside the
+/// inner region, so its raw wait IDs fall out of lockstep with its
+/// outer teammates and would scatter one real episode across several
+/// phantom ones (misattributing the convoy to an innocent thread).
+fn cluster_episodes(mut intervals: Vec<Interval>) -> Vec<Vec<Interval>> {
+    intervals.sort_by_key(|iv| (iv.begin, iv.end, iv.gtid));
+    let mut episodes: Vec<Vec<Interval>> = Vec::new();
+    let mut current: Vec<Interval> = Vec::new();
+    let mut min_end = 0u64;
+    for iv in intervals {
+        let joins = !current.is_empty()
+            && iv.begin <= min_end
+            && !current.iter().any(|c| c.gtid == iv.gtid);
+        if joins {
+            min_end = min_end.min(iv.end);
+        } else {
+            if !current.is_empty() {
+                episodes.push(std::mem::take(&mut current));
+            }
+            min_end = iv.end;
+        }
+        current.push(iv);
+    }
+    if !current.is_empty() {
+        episodes.push(current);
+    }
+    episodes
+}
+
 fn detect_barrier_convoy(
     rank: usize,
     region_id: u64,
@@ -433,11 +469,25 @@ fn detect_barrier_convoy(
     cfg: &AnalyzeConfig,
     out: &mut Vec<Finding>,
 ) {
-    // Episodes with at least two arrivals, in construct order.
-    let episodes: Vec<&Vec<Interval>> = act
-        .barrier_episodes
-        .values()
-        .filter(|arrivals| arrivals.len() >= 2)
+    let mut clustered: Vec<Vec<Interval>> = Vec::new();
+    for implicit in [false, true] {
+        let class: Vec<Interval> = act
+            .barrier_intervals
+            .iter()
+            .filter(|(imp, _)| *imp == implicit)
+            .map(|(_, iv)| *iv)
+            .collect();
+        clustered.extend(cluster_episodes(class));
+    }
+    // Only full-team episodes count as convoy evidence. Partial
+    // clusters are the residue of nesting — a serialized inner
+    // region's solo barriers carry the outer region's ID, and an
+    // episode can split around a member's inner-team excursion — and
+    // must not be charged to this region's barrier discipline.
+    let team = act.threads.len();
+    let episodes: Vec<&Vec<Interval>> = clustered
+        .iter()
+        .filter(|arrivals| arrivals.len() >= 2 && arrivals.len() == team)
         .collect();
     if episodes.len() < cfg.convoy_min_episodes {
         return;
@@ -714,6 +764,66 @@ mod tests {
         // Tight arrivals (no skew): a stable "last" thread but no waste.
         let report = analyze(&convoy_region(4, 12, 2, 0, 1), &cfg);
         assert_eq!(report.of_kind(PatternKind::BarrierConvoy).count(), 0);
+    }
+
+    #[test]
+    fn desynced_wait_ids_still_cluster_into_full_episodes() {
+        // A nested fork advances the forking thread's per-descriptor
+        // barrier counter, so its outer arrivals carry wait IDs out of
+        // lockstep with its teammates. Episode grouping must rely on
+        // temporal overlap, not wait-id equality — keying on wait IDs
+        // scatters the laggard's arrivals into phantom partial episodes
+        // and an innocent teammate takes the blame.
+        let mut events = Vec::new();
+        for ep in 0..12u64 {
+            let base = 1000 + ep * 1000;
+            for gtid in 0..4usize {
+                // Thread 2 lags by 900 ticks and its wait IDs run ahead
+                // (it ran inner-team barriers between outer episodes).
+                let (begin, wid) = if gtid == 2 {
+                    (base + 900, ep * 3 + 7)
+                } else {
+                    (base, ep)
+                };
+                events.push(ev(begin, gtid, Event::ThreadBeginExplicitBarrier, 1, wid));
+                events.push(ev(
+                    base + 905,
+                    gtid,
+                    Event::ThreadEndExplicitBarrier,
+                    1,
+                    wid,
+                ));
+            }
+        }
+        let report = analyze(&events, &AnalyzeConfig::default());
+        let convoys: Vec<_> = report.of_kind(PatternKind::BarrierConvoy).collect();
+        assert_eq!(convoys.len(), 1, "{}", report.render());
+        assert_eq!(
+            convoys[0].gtid, 2,
+            "the desynced laggard itself must be blamed"
+        );
+    }
+
+    #[test]
+    fn partial_episodes_from_nested_residue_are_not_convoy_evidence() {
+        // Four genuine full-team episodes (below convoy_min_episodes)
+        // padded with a pile of solo barrier intervals from thread 0 —
+        // the shape a serialized inner region leaves behind, since its
+        // solo barriers carry the outer region's ID. The residue must
+        // not be promoted into episodes that clear the threshold.
+        let mut events = convoy_region(4, 4, 2, 900, 1);
+        for i in 0..20u64 {
+            let t = 50_000 + i * 100;
+            events.push(ev(t, 0, Event::ThreadBeginExplicitBarrier, 1, 100 + i));
+            events.push(ev(t + 10, 0, Event::ThreadEndExplicitBarrier, 1, 100 + i));
+        }
+        let report = analyze(&events, &AnalyzeConfig::default());
+        assert_eq!(
+            report.of_kind(PatternKind::BarrierConvoy).count(),
+            0,
+            "nesting residue inflated the episode count:\n{}",
+            report.render()
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! LU-HP's partition-dependent wavefronts would make the checksum — and
 //! worse, the work distribution — depend on scheduling.
 
-use omprt::OpenMp;
+use omprt::{BarrierKind, Config, OpenMp, Schedule};
 
 use crate::epcc::{self, Directive, EpccConfig};
 use crate::npb::{NpbClass, NpbKernel};
@@ -73,11 +73,17 @@ pub enum MeterSuite {
     /// the submission path) and the single-producer shape (distribution
     /// of work to otherwise-idle threads).
     Tasks,
+    /// Topology-aware scheduling microbenchmarks: pooled vs ephemeral
+    /// nested fork (the sub-team leasing ablation) and the
+    /// topology-shaped combining-tree barrier vs the flat fan-in-4 tree
+    /// under heavy oversubscription. Run with `OMP_ORA_TOPOLOGY`
+    /// injected so the shaped tree is identical on every host.
+    Topo,
 }
 
 impl MeterSuite {
-    /// Stable key (`epcc` / `npb` / `sync` / `dispatch` / `tasks`), also
-    /// the `BENCH_<key>.json` stem.
+    /// Stable key (`epcc` / `npb` / `sync` / `dispatch` / `tasks` /
+    /// `topo`), also the `BENCH_<key>.json` stem.
     pub const fn key(self) -> &'static str {
         match self {
             MeterSuite::Epcc => "epcc",
@@ -85,6 +91,7 @@ impl MeterSuite {
             MeterSuite::Sync => "sync",
             MeterSuite::Dispatch => "dispatch",
             MeterSuite::Tasks => "tasks",
+            MeterSuite::Topo => "topo",
         }
     }
 
@@ -96,6 +103,7 @@ impl MeterSuite {
             "sync" => Some(MeterSuite::Sync),
             "dispatch" => Some(MeterSuite::Dispatch),
             "tasks" => Some(MeterSuite::Tasks),
+            "topo" => Some(MeterSuite::Topo),
             _ => None,
         }
     }
@@ -151,6 +159,20 @@ enum WorkUnit {
         // Spawn/taskwait episodes per repetition.
         episodes: usize,
     },
+    NestedFork {
+        // Sub-team width of each nested fork.
+        width: usize,
+        // Nested forks (by the outer master) per repetition.
+        forks: usize,
+    },
+    DynamicClaim {
+        // Loop trip count per episode.
+        iters: i64,
+        // Dynamic-schedule chunk size (small, so claims dominate).
+        chunk: usize,
+        // Loop episodes per repetition.
+        episodes: usize,
+    },
 }
 
 /// Cheap deterministic per-task payload: enough arithmetic that the task
@@ -165,6 +187,12 @@ pub struct MeterWorkload {
     name: String,
     suite: MeterSuite,
     unit: WorkUnit,
+    /// Runtime configuration this workload must run under; `None` means
+    /// the runner's default (its `threads` setting, default everything
+    /// else). The topo and sync suites pin team sizes, barrier
+    /// algorithms, and nesting modes per workload, so a single runner
+    /// invocation can compare them like-for-like.
+    config: Option<Config>,
 }
 
 impl MeterWorkload {
@@ -176,6 +204,11 @@ impl MeterWorkload {
     /// The suite this workload reports under.
     pub fn suite(&self) -> MeterSuite {
         self.suite
+    }
+
+    /// The runtime configuration override, if this workload pins one.
+    pub fn runtime_config(&self) -> Option<&Config> {
+        self.config.as_ref()
     }
 
     /// Directive instances (EPCC) or parallel-region calls (NPB) one
@@ -193,6 +226,8 @@ impl MeterWorkload {
             WorkUnit::Tasks {
                 tasks, episodes, ..
             } => (*tasks * *episodes) as u64,
+            WorkUnit::NestedFork { forks, .. } => *forks as u64,
+            WorkUnit::DynamicClaim { episodes, .. } => *episodes as u64,
         }
     }
 
@@ -282,6 +317,39 @@ impl MeterWorkload {
                 });
                 sum.load(Ordering::Relaxed) as f64
             }
+            WorkUnit::NestedFork { width, forks } => {
+                let (width, forks) = (*width, *forks);
+                rt.parallel(|ctx| {
+                    if ctx.is_master() {
+                        for _ in 0..forks {
+                            rt.parallel_n(width, |_| {});
+                        }
+                    }
+                });
+                0.0
+            }
+            WorkUnit::DynamicClaim {
+                iters,
+                chunk,
+                episodes,
+            } => {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                let sum = AtomicU64::new(0);
+                let (iters, chunk, episodes) = (*iters, *chunk, *episodes);
+                rt.parallel(|ctx| {
+                    for _ in 0..episodes {
+                        // Accumulate locally; one shared add per episode so
+                        // the measured cost is claiming, not the checksum.
+                        let mut local = 0u64;
+                        ctx.for_schedule(Schedule::Dynamic(chunk), 0, iters - 1, 1, |i| {
+                            local = local.wrapping_add(task_mix(i as u64));
+                        });
+                        sum.fetch_add(local, Ordering::Relaxed);
+                        ctx.barrier();
+                    }
+                });
+                sum.load(Ordering::Relaxed) as f64
+            }
         }
     }
 }
@@ -315,30 +383,100 @@ pub fn meter_workloads(suite: MeterSuite, scale: MeterScale) -> Vec<MeterWorkloa
                         directive,
                         cfg: cfg.clone(),
                     },
+                    config: None,
                 })
                 .collect()
         }
         MeterSuite::Sync => {
+            // Oversubscribed team sizes (32- and 64-thread teams on a
+            // far smaller host): the fork wake fan-out and barrier
+            // parking paths only show their scaling behaviour when
+            // threads heavily outnumber cores.
             let (forks, episodes) = match scale {
-                MeterScale::Quick => (60, 120),
-                MeterScale::Full => (400, 800),
+                MeterScale::Quick => (30, 60),
+                MeterScale::Full => (150, 300),
             };
             vec![
                 MeterWorkload {
-                    name: "forkjoin".to_string(),
+                    name: "forkjoin-32".to_string(),
                     suite: MeterSuite::Sync,
                     unit: WorkUnit::Sync {
                         kind: SyncKind::ForkJoin,
                         inner: forks,
                     },
+                    config: Some(Config::with_threads(32)),
                 },
                 MeterWorkload {
-                    name: "barrier-storm".to_string(),
+                    name: "barrier-storm-64".to_string(),
                     suite: MeterSuite::Sync,
                     unit: WorkUnit::Sync {
                         kind: SyncKind::BarrierStorm,
                         inner: episodes,
                     },
+                    config: Some(Config::with_threads(64)),
+                },
+            ]
+        }
+        MeterSuite::Topo => {
+            // Ablation pairs differing only in the knob under test.
+            // Nested fork: a 2-thread outer team whose master repeatedly
+            // forks a 16-wide sub-team — leased from the pool vs spawned
+            // as ephemeral OS threads. Barrier: a 32-thread
+            // oversubscribed storm under the topology-shaped combining
+            // tree vs the flat fan-in-4 tree.
+            let (forks, episodes) = match scale {
+                MeterScale::Quick => (25, 60),
+                MeterScale::Full => (120, 300),
+            };
+            let nested_fork = |name: &str, ephemeral: bool| MeterWorkload {
+                name: name.to_string(),
+                suite: MeterSuite::Topo,
+                unit: WorkUnit::NestedFork { width: 16, forks },
+                config: Some(Config {
+                    num_threads: 2,
+                    nested: true,
+                    nested_ephemeral: ephemeral,
+                    ..Config::default()
+                }),
+            };
+            let storm = |name: &str, barrier: BarrierKind| MeterWorkload {
+                name: name.to_string(),
+                suite: MeterSuite::Topo,
+                unit: WorkUnit::Sync {
+                    kind: SyncKind::BarrierStorm,
+                    inner: episodes,
+                },
+                config: Some(Config {
+                    num_threads: 32,
+                    barrier,
+                    ..Config::default()
+                }),
+            };
+            // Claimer probe: a 16-thread dynamic(2) loop whose chunks are
+            // claimed through the schedule layer. The hierarchical claimer
+            // has no Config knob — it engages when the team spans more
+            // than one package of `Topology::current()` — so the ablation
+            // is across runs: under OMP_ORA_TOPOLOGY=2x4x2 the 16 threads
+            // span 2 packages (per-package claim tiers), under 1x16x1
+            // they collapse to the flat global claim line.
+            let (claim_iters, claim_eps) = match scale {
+                MeterScale::Quick => (4096, 40),
+                MeterScale::Full => (4096, 200),
+            };
+            vec![
+                nested_fork("nested-pooled-16", false),
+                nested_fork("nested-ephemeral-16", true),
+                storm("barrier-shaped-32", BarrierKind::Shaped),
+                storm("barrier-tree-32", BarrierKind::Tree),
+                MeterWorkload {
+                    name: "dynamic-claim-16".to_string(),
+                    suite: MeterSuite::Topo,
+                    unit: WorkUnit::DynamicClaim {
+                        iters: claim_iters,
+                        chunk: 2,
+                        episodes: claim_eps,
+                    },
+                    config: Some(Config::with_threads(16)),
                 },
             ]
         }
@@ -365,6 +503,7 @@ pub fn meter_workloads(suite: MeterSuite, scale: MeterScale) -> Vec<MeterWorkloa
                         kind: SyncKind::ForkJoin,
                         inner: forks,
                     },
+                    config: None,
                 },
                 MeterWorkload {
                     name: "barrier-storm".to_string(),
@@ -373,6 +512,7 @@ pub fn meter_workloads(suite: MeterSuite, scale: MeterScale) -> Vec<MeterWorkloa
                         kind: SyncKind::BarrierStorm,
                         inner: episodes,
                     },
+                    config: None,
                 },
             ]
         }
@@ -394,6 +534,7 @@ pub fn meter_workloads(suite: MeterSuite, scale: MeterScale) -> Vec<MeterWorkloa
                         tasks,
                         episodes: flood_eps,
                     },
+                    config: None,
                 },
                 MeterWorkload {
                     name: "producer-steal".to_string(),
@@ -403,6 +544,7 @@ pub fn meter_workloads(suite: MeterSuite, scale: MeterScale) -> Vec<MeterWorkloa
                         tasks: tasks * 3,
                         episodes: steal_eps,
                     },
+                    config: None,
                 },
             ]
         }
@@ -425,6 +567,7 @@ pub fn meter_workloads(suite: MeterSuite, scale: MeterScale) -> Vec<MeterWorkloa
                         class,
                         passes,
                     },
+                    config: None,
                 })
                 .collect()
         }
@@ -446,6 +589,7 @@ mod tests {
             MeterSuite::Sync,
             MeterSuite::Dispatch,
             MeterSuite::Tasks,
+            MeterSuite::Topo,
         ] {
             assert_eq!(MeterSuite::from_key(s.key()), Some(s));
         }
@@ -463,13 +607,86 @@ mod tests {
         assert_eq!(names, ["cg", "ep"]);
         let sync = meter_workloads(MeterSuite::Sync, MeterScale::Quick);
         let names: Vec<&str> = sync.iter().map(|w| w.name()).collect();
-        assert_eq!(names, ["forkjoin", "barrier-storm"]);
+        assert_eq!(names, ["forkjoin-32", "barrier-storm-64"]);
         let dispatch = meter_workloads(MeterSuite::Dispatch, MeterScale::Quick);
         let names: Vec<&str> = dispatch.iter().map(|w| w.name()).collect();
         assert_eq!(names, ["fork-flood", "barrier-storm"]);
         let tasks = meter_workloads(MeterSuite::Tasks, MeterScale::Quick);
         let names: Vec<&str> = tasks.iter().map(|w| w.name()).collect();
         assert_eq!(names, ["spawn-flood", "producer-steal"]);
+        let topo = meter_workloads(MeterSuite::Topo, MeterScale::Quick);
+        let names: Vec<&str> = topo.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "nested-pooled-16",
+                "nested-ephemeral-16",
+                "barrier-shaped-32",
+                "barrier-tree-32",
+                "dynamic-claim-16"
+            ]
+        );
+    }
+
+    #[test]
+    fn sync_and_topo_workloads_pin_their_runtime_configs() {
+        for w in meter_workloads(MeterSuite::Sync, MeterScale::Quick) {
+            let c = w.runtime_config().expect("sync pins oversubscription");
+            assert!(c.num_threads >= 32, "{} is not oversubscribed", w.name());
+        }
+        let topo = meter_workloads(MeterSuite::Topo, MeterScale::Quick);
+        let cfg = |name: &str| {
+            topo.iter()
+                .find(|w| w.name() == name)
+                .and_then(|w| w.runtime_config())
+                .unwrap_or_else(|| panic!("{name} must pin a config"))
+        };
+        assert!(cfg("nested-pooled-16").nested);
+        assert!(!cfg("nested-pooled-16").nested_ephemeral);
+        assert!(cfg("nested-ephemeral-16").nested_ephemeral);
+        assert_eq!(cfg("barrier-shaped-32").barrier, BarrierKind::Shaped);
+        assert_eq!(cfg("barrier-shaped-32").num_threads, 32);
+        assert_eq!(cfg("barrier-tree-32").barrier, BarrierKind::Tree);
+        // 16 threads span 2 packages under the 2x4x2 reference shape, so
+        // the claimer probe actually exercises the hierarchical path there.
+        assert_eq!(cfg("dynamic-claim-16").num_threads, 16);
+        // The ablation pairs must differ only in the knob under test.
+        assert_eq!(
+            topo[0].work_units(),
+            topo[1].work_units(),
+            "nested ablation pair does different work"
+        );
+        assert_eq!(topo[2].work_units(), topo[3].work_units());
+    }
+
+    /// The claimer probe's checksum covers every loop iteration exactly
+    /// once per episode, whichever claimer tier served the chunks.
+    #[test]
+    fn dynamic_claim_rep_covers_every_iteration() {
+        let topo = meter_workloads(MeterSuite::Topo, MeterScale::Quick);
+        let w = topo
+            .iter()
+            .find(|w| w.name() == "dynamic-claim-16")
+            .expect("claimer probe in topo suite");
+        let rt = OpenMp::with_config(w.runtime_config().expect("pinned").clone());
+        let per_episode: u64 = (0..4096u64)
+            .map(task_mix)
+            .fold(0u64, |a, b| a.wrapping_add(b));
+        let expect = (0..w.work_units()).fold(0u64, |a, _| a.wrapping_add(per_episode));
+        // The rep returns the checksum through f64; compare after the
+        // same (deterministic) u64 → f64 conversion.
+        assert_eq!(w.run_rep(&rt).to_bits(), (expect as f64).to_bits());
+    }
+
+    #[test]
+    fn nested_fork_rep_runs_on_a_nested_runtime() {
+        let topo = meter_workloads(MeterSuite::Topo, MeterScale::Quick);
+        let w = &topo[0];
+        let rt = OpenMp::with_config(w.runtime_config().expect("pinned").clone());
+        let before = rt.region_calls();
+        let _ = w.run_rep(&rt);
+        // One outer region + `forks` nested regions per repetition.
+        assert_eq!(rt.region_calls() - before, w.work_units() + 1);
     }
 
     #[test]

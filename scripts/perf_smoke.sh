@@ -14,15 +14,22 @@
 #
 # The threshold (percent) can be overridden via PERF_THRESHOLD; the
 # suite list via PERF_SUITES (space-separated, default "epcc npb sync
-# tasks" — the dispatch CI job runs PERF_SUITES=dispatch on its own
-# cadence).
+# tasks topo" — the dispatch CI job runs PERF_SUITES=dispatch on its
+# own cadence, and the topology CI jobs re-run "sync topo" under
+# different injected OMP_ORA_TOPOLOGY shapes).
+#
+# OMP_ORA_TOPOLOGY defaults to the 2x4x2 reference shape so the
+# topology-shaped barrier (and therefore the sync/topo numbers and the
+# committed baselines) is identical on every host; export it to gate
+# under a different injected machine model.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-report}"
 out="${2:-perf-smoke}"
 threshold="${PERF_THRESHOLD:-10}"
-suites="${PERF_SUITES:-epcc npb sync tasks}"
+suites="${PERF_SUITES:-epcc npb sync tasks topo}"
+export OMP_ORA_TOPOLOGY="${OMP_ORA_TOPOLOGY:-2x4x2}"
 
 mkdir -p "$out"
 for suite in $suites; do

@@ -65,6 +65,30 @@ for seed in "${seeds[@]}"; do
   fi
 done
 
+# Nested-team topology sweep: real nested forks (pooled sub-team
+# leasing, level/parent chains, leased-worker state visibility) and the
+# topology-shaped barrier and hierarchical claimer exercised under
+# several injected machine shapes — the 2x4x2 reference box, a
+# single-package SMT-less box, and a package-per-core box — plus the
+# curated nested-team fuzz cases replayed under each shape.
+echo "== stress: nested-team topology sweep =="
+for shape in 2x4x2 1x8x1 8x1x1; do
+  if ! OMP_ORA_TOPOLOGY="$shape" cargo test -q --offline -p omprt \
+      --test nested --test sync_stress; then
+    echo "stress: nested/sync tests FAILED under OMP_ORA_TOPOLOGY=$shape" >&2
+    echo "OMP_ORA_TOPOLOGY=$shape nested+sync_stress" >> stress-failures/failed-seeds.txt
+    status=1
+  fi
+  for case in tests/fuzz_cases/nested_*.case; do
+    if ! OMP_ORA_TOPOLOGY="$shape" cargo run -q --release --offline \
+        -p ora-bench --bin omp_prof -- fuzz --case "$case"; then
+      echo "stress: $case FAILED under OMP_ORA_TOPOLOGY=$shape" >&2
+      echo "OMP_ORA_TOPOLOGY=$shape fuzz --case $case" >> stress-failures/failed-seeds.txt
+      status=1
+    fi
+  done
+done
+
 # CLI acceptance scenario: every workload completes with correct
 # results while the collector panics and the trace drainer is dead.
 echo "== stress: omp_prof suite under full fault injection =="
